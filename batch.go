@@ -1,0 +1,26 @@
+package phiopenssl
+
+import (
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/vpu"
+)
+
+// RSABatchSize is the number of ciphertexts processed per batch private
+// operation (one per vector lane).
+const RSABatchSize = rsakit.BatchSize
+
+// RSAPrivateBatch decrypts sixteen ciphertexts under one key with the
+// batch (lane-per-operation) vector kernels — the throughput-oriented
+// alternative to the per-operation PhiOpenSSL engine (see ablation A4 in
+// EXPERIMENTS.md). It returns the plaintexts and the total simulated KNC
+// cycles of the batch pass; divide by RSABatchSize for the amortized
+// per-operation cost.
+func RSAPrivateBatch(key *PrivateKey, cs *[RSABatchSize]Nat) ([RSABatchSize]Nat, float64, error) {
+	u := vpu.New()
+	res, err := rsakit.PrivateOpBatch(u, key, cs)
+	if err != nil {
+		return [RSABatchSize]Nat{}, 0, err
+	}
+	return res, knc.KNCVectorCosts.VectorCycles(u.Counts()), nil
+}

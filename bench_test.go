@@ -1,0 +1,246 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per table/figure, E2-E9; E1 is the static platform table printed by
+// cmd/phibench). Wall-clock numbers measure this host running the KNC
+// simulator and are not paper-comparable; the paper-comparable metric is
+// the reported sim-cycles/op (and derived sim-ms/op), which is
+// deterministic. Run with:
+//
+//	go test -bench=. -benchmem
+package phiopenssl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"phiopenssl"
+	"phiopenssl/internal/bench"
+)
+
+// engines returns the three engines keyed by short names, in order.
+var engineKinds = []phiopenssl.EngineKind{
+	phiopenssl.EnginePhi, phiopenssl.EngineOpenSSL, phiopenssl.EngineMPSS,
+}
+
+// benchRandNat returns a deterministic value with exactly `bits` bits.
+func benchRandNat(rng *rand.Rand, bits int) phiopenssl.Nat {
+	buf := make([]byte, (bits+7)/8)
+	rng.Read(buf)
+	excess := uint(len(buf)*8 - bits)
+	buf[0] &= 0xff >> excess
+	buf[0] |= 0x80 >> excess
+	return phiopenssl.NatFromBytes(buf)
+}
+
+func benchRandOdd(rng *rand.Rand, bits int) phiopenssl.Nat {
+	n := benchRandNat(rng, bits)
+	if n.IsEven() {
+		n = n.AddUint64(1)
+	}
+	return n
+}
+
+// reportSim attaches the simulated-cycle metrics to b.
+func reportSim(b *testing.B, eng phiopenssl.Engine) {
+	b.Helper()
+	cycles := eng.Cycles() / float64(b.N)
+	b.ReportMetric(cycles, "sim-cycles/op")
+	b.ReportMetric(1e3*phiopenssl.DefaultMachine().Seconds(cycles), "sim-ms/op")
+}
+
+// BenchmarkE2BigMul regenerates the big-integer multiplication figure.
+func BenchmarkE2BigMul(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048, 4096} {
+		rng := rand.New(rand.NewSource(2))
+		x := benchRandNat(rng, bits)
+		y := benchRandNat(rng, bits)
+		for _, kind := range engineKinds {
+			b.Run(fmt.Sprintf("%d/%s", bits, kind), func(b *testing.B) {
+				eng := phiopenssl.NewEngine(kind)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Mul(x, y)
+				}
+				reportSim(b, eng)
+			})
+		}
+	}
+}
+
+// BenchmarkE3MontMul regenerates the Montgomery multiplication figure.
+func BenchmarkE3MontMul(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048, 4096} {
+		rng := rand.New(rand.NewSource(3))
+		n := benchRandOdd(rng, bits)
+		x := benchRandNat(rng, bits-1)
+		y := benchRandNat(rng, bits-1)
+		for _, kind := range engineKinds {
+			b.Run(fmt.Sprintf("%d/%s", bits, kind), func(b *testing.B) {
+				eng := phiopenssl.NewEngine(kind)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.MulMod(x, y, n)
+				}
+				reportSim(b, eng)
+			})
+		}
+	}
+}
+
+// BenchmarkE4MontExp regenerates the Montgomery exponentiation
+// table/figure (the 15.3x headline). 4096-bit runs are several seconds of
+// wall clock per op on the simulator; the sim-cycles metric needs only one
+// iteration.
+func BenchmarkE4MontExp(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048, 4096} {
+		rng := rand.New(rand.NewSource(4))
+		n := benchRandOdd(rng, bits)
+		base := benchRandNat(rng, bits-1)
+		exp := benchRandNat(rng, bits)
+		for _, kind := range engineKinds {
+			b.Run(fmt.Sprintf("%d/%s", bits, kind), func(b *testing.B) {
+				eng := phiopenssl.NewEngine(kind)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.ModExp(base, exp, n)
+				}
+				reportSim(b, eng)
+			})
+		}
+	}
+}
+
+// BenchmarkE5RSAPrivate regenerates the RSA private-key operation table
+// (the 1.6-5.7x headline).
+func BenchmarkE5RSAPrivate(b *testing.B) {
+	for _, bits := range []int{1024, 2048, 4096} {
+		key := bench.FixedKey(bits)
+		rng := rand.New(rand.NewSource(5))
+		c := benchRandNat(rng, bits-2)
+		for _, kind := range engineKinds {
+			b.Run(fmt.Sprintf("RSA%d/%s", bits, kind), func(b *testing.B) {
+				eng := phiopenssl.NewEngine(kind)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := phiopenssl.RSAPrivate(eng, key, c,
+						phiopenssl.DefaultPrivateOpts()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportSim(b, eng)
+			})
+		}
+	}
+}
+
+// BenchmarkE6ThreadScaling regenerates the thread-scaling figure: one
+// RSA-2048 op measured, throughput projected per thread count with the KNC
+// model (reported as the sim-ops-per-second metric).
+func BenchmarkE6ThreadScaling(b *testing.B) {
+	key := bench.FixedKey(2048)
+	rng := rand.New(rand.NewSource(6))
+	c := benchRandNat(rng, 2046)
+	mach := phiopenssl.DefaultMachine()
+	for _, threads := range []int{1, 61, 122, 244} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := phiopenssl.RSAPrivate(eng, key, c,
+					phiopenssl.DefaultPrivateOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cyclesPerOp := eng.Cycles() / float64(b.N)
+			b.ReportMetric(mach.Throughput(threads, cyclesPerOp), "sim-ops/s")
+		})
+	}
+}
+
+// BenchmarkE7Handshake regenerates the handshake-throughput figure with
+// real handshakes over an in-memory pipe; the server engine's cycles are
+// the reported metric.
+func BenchmarkE7Handshake(b *testing.B) {
+	key := bench.FixedKey(1024)
+	for _, kind := range engineKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			srvEng := phiopenssl.NewEngine(kind)
+			cliEng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+			rng := rand.New(rand.NewSource(7))
+			srvCfg := &phiopenssl.SSLConfig{
+				Key: key, Rand: rng,
+				PrivateOpts: phiopenssl.DefaultPrivateOpts(),
+			}
+			cliCfg := &phiopenssl.SSLConfig{ServerPub: &key.PublicKey, Rand: rng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cc, sc := net.Pipe()
+				errc := make(chan error, 1)
+				go func() {
+					sess, err := phiopenssl.SSLClient(cc, cliEng, cliCfg)
+					if sess != nil {
+						sess.Close()
+					}
+					errc <- err
+				}()
+				sess, err := phiopenssl.SSLServer(sc, srvEng, srvCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := <-errc; err != nil {
+					b.Fatal(err)
+				}
+				sess.Close()
+			}
+			reportSim(b, srvEng)
+		})
+	}
+}
+
+// BenchmarkE8WindowSweep regenerates the fixed-window ablation on the
+// PhiOpenSSL engine.
+func BenchmarkE8WindowSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n := benchRandOdd(rng, 2048)
+	base := benchRandNat(rng, 2047)
+	exp := benchRandNat(rng, 2048)
+	for w := 1; w <= 7; w++ {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			eng := phiopenssl.NewPhiEngine(w, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ModExp(base, exp, n)
+			}
+			reportSim(b, eng)
+		})
+	}
+}
+
+// BenchmarkE9CRTAblation regenerates the CRT/blinding ablation.
+func BenchmarkE9CRTAblation(b *testing.B) {
+	key := bench.FixedKey(2048)
+	rng := rand.New(rand.NewSource(9))
+	c := benchRandNat(rng, 2046)
+	cases := []struct {
+		name string
+		opts phiopenssl.PrivateOpts
+	}{
+		{"crt", phiopenssl.PrivateOpts{UseCRT: true}},
+		{"nocrt", phiopenssl.PrivateOpts{UseCRT: false}},
+		{"crt+blind", phiopenssl.PrivateOpts{UseCRT: true, Blinding: true,
+			Rand: rand.New(rand.NewSource(90))}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := phiopenssl.RSAPrivate(eng, key, c, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSim(b, eng)
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package phiopenssl
+
+import "phiopenssl/internal/cert"
+
+// Certificate layer, re-exported from internal/cert: a minimal chain
+// format (line-envelope encoding, PKCS#1 v1.5/SHA-256 signatures) for the
+// SSL substrate.
+
+type (
+	// Certificate binds a subject name to an RSA public key.
+	Certificate = cert.Certificate
+	// CertTemplate carries the fields of a certificate request.
+	CertTemplate = cert.Template
+	// CertChain is a leaf-first certificate chain.
+	CertChain = cert.Chain
+)
+
+// Certificate operations.
+var (
+	// SignCertificate issues a certificate under an issuer key.
+	SignCertificate = cert.Sign
+	// SelfSignCertificate issues a root (subject == issuer).
+	SelfSignCertificate = cert.SelfSign
+	// VerifyCertificateChain verifies a chain against trusted roots.
+	VerifyCertificateChain = cert.VerifyChain
+	// MarshalCertificate serializes one certificate.
+	MarshalCertificate = cert.Marshal
+	// UnmarshalCertificate parses one certificate.
+	UnmarshalCertificate = cert.Unmarshal
+)

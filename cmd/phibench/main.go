@@ -1,0 +1,81 @@
+// Command phibench regenerates the paper's evaluation tables and figures
+// (experiments E1-E9; see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	phibench                 # run every experiment at full size
+//	phibench -exp e4         # one experiment
+//	phibench -quick          # reduced size grid (seconds instead of minutes)
+//	phibench -list           # list experiment ids and titles
+//	phibench -seed 42        # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phiopenssl/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (e1..e9) or 'all'")
+		quick  = flag.Bool("quick", false, "reduced size grid for a fast run")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "text", "output format: text|markdown|csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("  %s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phibench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	render := func(t *bench.Table) {
+		switch *format {
+		case "markdown":
+			t.RenderMarkdown(os.Stdout)
+		case "csv":
+			t.RenderCSV(os.Stdout)
+		default:
+			t.Render(os.Stdout)
+		}
+	}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	if *format == "text" {
+		fmt.Printf("phibench: %d experiment(s), %s grid, seed %d\n\n", len(todo), mode, *seed)
+	}
+	start := time.Now()
+	for _, e := range todo {
+		t0 := time.Now()
+		table := e.Run(opts)
+		render(table)
+		if *format == "text" {
+			fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+		}
+	}
+	if *format == "text" {
+		fmt.Printf("phibench: done in %.1fs\n", time.Since(start).Seconds())
+	}
+}

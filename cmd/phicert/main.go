@@ -1,0 +1,171 @@
+// Command phicert manages certificates for the SSL substrate: create a
+// self-signed root, issue leaf certificates under it, and verify chains.
+//
+// Usage:
+//
+//	phicert selfsign -key root.phi -subject root-ca -days 365 -out root.cert
+//	phicert issue    -key root.phi -cacert root.cert -pub server.pub \
+//	                 -subject server -days 30 -out server.cert
+//	phicert verify   -root root.cert -chain server.cert
+//
+// Keys come from `phirsa keygen`/`phirsa pubout`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phiopenssl"
+	"phiopenssl/internal/cert"
+	"phiopenssl/internal/rsakit"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "selfsign":
+		err = cmdSelfSign(os.Args[2:])
+	case "issue":
+		err = cmdIssue(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phicert %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: phicert selfsign|issue|verify [flags]")
+	os.Exit(2)
+}
+
+func writeOut(path, data string) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.WriteString(data)
+		return err
+	}
+	return os.WriteFile(path, []byte(data), 0o644)
+}
+
+func template(subject string, serial uint64, days int) cert.Template {
+	now := time.Now().Unix()
+	return cert.Template{
+		Subject:   subject,
+		Serial:    serial,
+		NotBefore: now - 300, // small backdate for clock skew
+		NotAfter:  now + int64(days)*86400,
+	}
+}
+
+func cmdSelfSign(args []string) error {
+	fs := flag.NewFlagSet("selfsign", flag.ExitOnError)
+	keyPath := fs.String("key", "", "private key file (phirsa keygen)")
+	subject := fs.String("subject", "", "certificate subject")
+	serial := fs.Uint64("serial", 1, "serial number")
+	days := fs.Int("days", 365, "validity in days")
+	out := fs.String("out", "-", "output file")
+	fs.Parse(args)
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+	c, err := cert.SelfSign(eng, template(*subject, *serial, *days), key,
+		rsakit.DefaultPrivateOpts())
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, cert.Marshal(c))
+}
+
+func cmdIssue(args []string) error {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	keyPath := fs.String("key", "", "issuer private key")
+	caPath := fs.String("cacert", "", "issuer certificate")
+	pubPath := fs.String("pub", "", "subject public key (phirsa pubout)")
+	subject := fs.String("subject", "", "certificate subject")
+	serial := fs.Uint64("serial", 2, "serial number")
+	days := fs.Int("days", 30, "validity in days")
+	out := fs.String("out", "-", "output file")
+	fs.Parse(args)
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	caData, err := os.ReadFile(*caPath)
+	if err != nil {
+		return err
+	}
+	ca, err := cert.Unmarshal(string(caData))
+	if err != nil {
+		return err
+	}
+	if !ca.Key.N.Equal(key.N) {
+		return fmt.Errorf("issuer key does not match -cacert")
+	}
+	pubData, err := os.ReadFile(*pubPath)
+	if err != nil {
+		return err
+	}
+	pub, err := rsakit.UnmarshalPublic(string(pubData))
+	if err != nil {
+		return err
+	}
+	eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+	c, err := cert.Sign(eng, template(*subject, *serial, *days), pub,
+		ca.Subject, key, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, cert.Marshal(c))
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	rootPath := fs.String("root", "", "trusted root certificate")
+	chainPath := fs.String("chain", "", "chain file (leaf first)")
+	fs.Parse(args)
+	rootData, err := os.ReadFile(*rootPath)
+	if err != nil {
+		return err
+	}
+	root, err := cert.Unmarshal(string(rootData))
+	if err != nil {
+		return err
+	}
+	chainData, err := os.ReadFile(*chainPath)
+	if err != nil {
+		return err
+	}
+	chain, err := cert.UnmarshalChain(string(chainData))
+	if err != nil {
+		return err
+	}
+	eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+	leaf, err := cert.VerifyChain(eng, chain, []*cert.Certificate{root}, time.Now().Unix())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chain OK: %q certified by %q\n", leaf.Subject, root.Subject)
+	return nil
+}
+
+func loadKey(path string) (*phiopenssl.PrivateKey, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -key")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return phiopenssl.UnmarshalPrivateKey(string(data))
+}

@@ -1,0 +1,266 @@
+// Command phirsa is an RSA tool built on the phiopenssl library: key
+// generation, signing, verification, encryption and decryption, with a
+// selectable engine and a simulated-cycle report.
+//
+// Usage:
+//
+//	phirsa keygen  -bits 2048 -out key.phi
+//	phirsa pubout  -key key.phi -out key.pub
+//	phirsa sign    -key key.phi -in msg.txt -out msg.sig
+//	phirsa verify  -pub key.pub -in msg.txt -sig msg.sig
+//	phirsa encrypt -pub key.pub -in small.txt -out ct.bin
+//	phirsa decrypt -key key.phi -in ct.bin
+//
+// Common flags: -engine phi|openssl|mpss (default phi), -nocrt, -blind.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+
+	"phiopenssl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "keygen":
+		err = cmdKeygen(args)
+	case "pubout":
+		err = cmdPubout(args)
+	case "sign":
+		err = cmdSign(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "encrypt":
+		err = cmdEncrypt(args)
+	case "decrypt":
+		err = cmdDecrypt(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phirsa %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: phirsa keygen|pubout|sign|verify|encrypt|decrypt [flags]")
+	os.Exit(2)
+}
+
+// common registers the flags shared by the operating subcommands.
+type common struct {
+	fs     *flag.FlagSet
+	engine *string
+	noCRT  *bool
+	blind  *bool
+}
+
+func newCommon(name string) *common {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &common{
+		fs:     fs,
+		engine: fs.String("engine", "phi", "engine: phi|openssl|mpss"),
+		noCRT:  fs.Bool("nocrt", false, "disable the Chinese Remainder Theorem"),
+		blind:  fs.Bool("blind", false, "enable base blinding"),
+	}
+}
+
+func (c *common) newEngine() (phiopenssl.Engine, error) {
+	switch *c.engine {
+	case "phi":
+		return phiopenssl.NewEngine(phiopenssl.EnginePhi), nil
+	case "openssl":
+		return phiopenssl.NewEngine(phiopenssl.EngineOpenSSL), nil
+	case "mpss":
+		return phiopenssl.NewEngine(phiopenssl.EngineMPSS), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", *c.engine)
+	}
+}
+
+func (c *common) privateOpts() phiopenssl.PrivateOpts {
+	opts := phiopenssl.DefaultPrivateOpts()
+	opts.UseCRT = !*c.noCRT
+	if *c.blind {
+		opts.Blinding = true
+		opts.Rand = rand.Reader
+	}
+	return opts
+}
+
+func reportCycles(eng phiopenssl.Engine) {
+	m := phiopenssl.DefaultMachine()
+	fmt.Fprintf(os.Stderr, "[%s: %.0f simulated cycles = %.3f ms on %s]\n",
+		eng.Name(), eng.Cycles(), 1e3*m.Seconds(eng.Cycles()), m.Name)
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	bits := fs.Int("bits", 2048, "modulus size in bits")
+	out := fs.String("out", "-", "output file")
+	fs.Parse(args)
+	key, err := phiopenssl.GenerateKey(rand.Reader, *bits)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, []byte(phiopenssl.MarshalPrivateKey(key)))
+}
+
+func cmdPubout(args []string) error {
+	fs := flag.NewFlagSet("pubout", flag.ExitOnError)
+	keyPath := fs.String("key", "", "private key file")
+	out := fs.String("out", "-", "output file")
+	fs.Parse(args)
+	key, err := loadPrivate(*keyPath)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, []byte(phiopenssl.MarshalPublicKey(&key.PublicKey)))
+}
+
+func cmdSign(args []string) error {
+	c := newCommon("sign")
+	keyPath := c.fs.String("key", "", "private key file")
+	in := c.fs.String("in", "", "message file")
+	out := c.fs.String("out", "-", "signature output")
+	c.fs.Parse(args)
+	key, err := loadPrivate(*keyPath)
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := c.newEngine()
+	if err != nil {
+		return err
+	}
+	sig, err := phiopenssl.SignPKCS1v15SHA256(eng, key, msg, c.privateOpts())
+	if err != nil {
+		return err
+	}
+	reportCycles(eng)
+	return writeOut(*out, sig)
+}
+
+func cmdVerify(args []string) error {
+	c := newCommon("verify")
+	pubPath := c.fs.String("pub", "", "public key file")
+	in := c.fs.String("in", "", "message file")
+	sigPath := c.fs.String("sig", "", "signature file")
+	c.fs.Parse(args)
+	pub, err := loadPublic(*pubPath)
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	sig, err := os.ReadFile(*sigPath)
+	if err != nil {
+		return err
+	}
+	eng, err := c.newEngine()
+	if err != nil {
+		return err
+	}
+	if err := phiopenssl.VerifyPKCS1v15SHA256(eng, pub, msg, sig); err != nil {
+		return err
+	}
+	reportCycles(eng)
+	fmt.Println("signature OK")
+	return nil
+}
+
+func cmdEncrypt(args []string) error {
+	c := newCommon("encrypt")
+	pubPath := c.fs.String("pub", "", "public key file")
+	in := c.fs.String("in", "", "plaintext file")
+	out := c.fs.String("out", "-", "ciphertext output")
+	c.fs.Parse(args)
+	pub, err := loadPublic(*pubPath)
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := c.newEngine()
+	if err != nil {
+		return err
+	}
+	ct, err := phiopenssl.EncryptPKCS1v15(eng, rand.Reader, pub, msg)
+	if err != nil {
+		return err
+	}
+	reportCycles(eng)
+	return writeOut(*out, ct)
+}
+
+func cmdDecrypt(args []string) error {
+	c := newCommon("decrypt")
+	keyPath := c.fs.String("key", "", "private key file")
+	in := c.fs.String("in", "", "ciphertext file")
+	out := c.fs.String("out", "-", "plaintext output")
+	c.fs.Parse(args)
+	key, err := loadPrivate(*keyPath)
+	if err != nil {
+		return err
+	}
+	ct, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := c.newEngine()
+	if err != nil {
+		return err
+	}
+	pt, err := phiopenssl.DecryptPKCS1v15(eng, key, ct, c.privateOpts())
+	if err != nil {
+		return err
+	}
+	reportCycles(eng)
+	return writeOut(*out, pt)
+}
+
+func loadPrivate(path string) (*phiopenssl.PrivateKey, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -key")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return phiopenssl.UnmarshalPrivateKey(string(data))
+}
+
+func loadPublic(path string) (*phiopenssl.PublicKey, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -pub")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return phiopenssl.UnmarshalPublicKey(string(data))
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIWorkflow drives the subcommand functions end-to-end through temp
+// files: keygen -> pubout -> sign -> verify -> encrypt -> decrypt.
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "key.phi")
+	pubPath := filepath.Join(dir, "key.pub")
+	msgPath := filepath.Join(dir, "msg.txt")
+	sigPath := filepath.Join(dir, "msg.sig")
+	ctPath := filepath.Join(dir, "ct.bin")
+	ptPath := filepath.Join(dir, "pt.txt")
+
+	if err := os.WriteFile(msgPath, []byte("cli message"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdKeygen([]string{"-bits", "512", "-out", keyPath}); err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	if err := cmdPubout([]string{"-key", keyPath, "-out", pubPath}); err != nil {
+		t.Fatalf("pubout: %v", err)
+	}
+	for _, engine := range []string{"phi", "openssl", "mpss"} {
+		if err := cmdSign([]string{"-engine", engine, "-key", keyPath,
+			"-in", msgPath, "-out", sigPath}); err != nil {
+			t.Fatalf("sign(%s): %v", engine, err)
+		}
+		if err := cmdVerify([]string{"-engine", engine, "-pub", pubPath,
+			"-in", msgPath, "-sig", sigPath}); err != nil {
+			t.Fatalf("verify(%s): %v", engine, err)
+		}
+	}
+	if err := cmdEncrypt([]string{"-pub", pubPath, "-in", msgPath, "-out", ctPath}); err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+	if err := cmdDecrypt([]string{"-key", keyPath, "-in", ctPath, "-out", ptPath}); err != nil {
+		t.Fatalf("decrypt: %v", err)
+	}
+	pt, err := os.ReadFile(ptPath)
+	if err != nil || string(pt) != "cli message" {
+		t.Fatalf("round trip: %q, %v", pt, err)
+	}
+
+	// CRT/blinding flags compose.
+	if err := cmdSign([]string{"-nocrt", "-blind", "-key", keyPath,
+		"-in", msgPath, "-out", sigPath}); err != nil {
+		t.Fatalf("sign -nocrt -blind: %v", err)
+	}
+	if err := cmdVerify([]string{"-pub", pubPath, "-in", msgPath, "-sig", sigPath}); err != nil {
+		t.Fatalf("verify after -nocrt -blind: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdSign([]string{"-key", filepath.Join(dir, "missing"),
+		"-in", "also-missing"}); err == nil {
+		t.Error("sign with missing key should fail")
+	}
+	if err := cmdVerify([]string{"-pub", "", "-in", "x", "-sig", "y"}); err == nil {
+		t.Error("verify with no pub should fail")
+	}
+	// Corrupted signature file fails verification.
+	keyPath := filepath.Join(dir, "k")
+	pubPath := filepath.Join(dir, "p")
+	msgPath := filepath.Join(dir, "m")
+	sigPath := filepath.Join(dir, "s")
+	if err := cmdKeygen([]string{"-bits", "512", "-out", keyPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPubout([]string{"-key", keyPath, "-out", pubPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(msgPath, []byte("m"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSign([]string{"-key", keyPath, "-in", msgPath, "-out", sigPath}); err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := os.ReadFile(sigPath)
+	sig[0] ^= 1
+	if err := os.WriteFile(sigPath, sig, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-pub", pubPath, "-in", msgPath, "-sig", sigPath}); err == nil {
+		t.Error("corrupted signature verified")
+	}
+	// Unknown engine.
+	if err := cmdSign([]string{"-engine", "gpu", "-key", keyPath,
+		"-in", msgPath, "-out", sigPath}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command tlsbench runs a live SSL-handshake load test against the tlssim
+// server: it starts a pool server with the chosen engine, drives it with
+// concurrent clients over loopback TCP, and reports both real handshakes
+// per second and the simulated Phi-cycle cost per handshake.
+//
+// Usage:
+//
+//	tlsbench -engine phi -bits 1024 -workers 8 -clients 16 -duration 3s
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phiopenssl"
+	"phiopenssl/internal/stats"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "phi", "server engine: phi|openssl|mpss")
+		bits       = flag.Int("bits", 1024, "RSA key size")
+		workers    = flag.Int("workers", 4, "server worker pool size")
+		clients    = flag.Int("clients", 8, "concurrent client connections")
+		duration   = flag.Duration("duration", 3*time.Second, "load duration")
+		resume     = flag.Bool("resume", false, "resume sessions after the first handshake per client")
+	)
+	flag.Parse()
+
+	kind := map[string]phiopenssl.EngineKind{
+		"phi": phiopenssl.EnginePhi, "openssl": phiopenssl.EngineOpenSSL,
+		"mpss": phiopenssl.EngineMPSS,
+	}[*engineName]
+
+	fmt.Printf("tlsbench: generating RSA-%d key...\n", *bits)
+	key, err := phiopenssl.GenerateKey(rand.Reader, *bits)
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	cfg := &phiopenssl.SSLConfig{
+		Key:         key,
+		Rand:        rand.Reader,
+		PrivateOpts: phiopenssl.DefaultPrivateOpts(),
+	}
+	if *resume {
+		cfg.Cache = phiopenssl.NewSSLSessionCache(4 * *clients)
+	}
+	srv := phiopenssl.SSLServe(l, cfg, func() phiopenssl.Engine {
+		return phiopenssl.NewEngine(kind)
+	}, *workers)
+
+	cliCfg := &phiopenssl.SSLConfig{ServerPub: &key.PublicKey, Rand: rand.Reader}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var latMu sync.Mutex
+	var latencies []time.Duration
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			myCfg := *cliCfg
+			for !stop.Load() {
+				conn, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					return
+				}
+				hsStart := time.Now()
+				sess, err := phiopenssl.SSLClient(conn,
+					phiopenssl.NewEngine(phiopenssl.EngineOpenSSL), &myCfg)
+				if err != nil {
+					conn.Close()
+					continue
+				}
+				latMu.Lock()
+				latencies = append(latencies, time.Since(hsStart))
+				latMu.Unlock()
+				if *resume {
+					myCfg.Resume = sess.Ticket()
+				}
+				sess.Close()
+			}
+		}()
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+
+	st := srv.Stats()
+	mach := phiopenssl.DefaultMachine()
+	fmt.Printf("\nengine            : %s (%d workers, %d clients)\n", kind, *workers, *clients)
+	fmt.Printf("handshakes        : %d ok (%d resumed), %d failed in %.1fs\n",
+		st.Handshakes, st.Resumed, st.Errors, elapsed.Seconds())
+	fmt.Printf("local rate        : %.1f handshakes/s (host wall clock)\n",
+		stats.Rate(int(st.Handshakes), elapsed))
+	fmt.Printf("client latency    : %s (host wall clock)\n", stats.Summarize(latencies))
+	if full := st.Handshakes - st.Resumed; full > 0 {
+		perHs := st.EngineCycles / float64(full)
+		fmt.Printf("simulated cost    : %.0f Phi cycles per full handshake (%.3f ms)\n",
+			perHs, 1e3*mach.Seconds(perHs))
+		fmt.Printf("simulated @244thr : %.1f handshakes/s on %s\n",
+			mach.Throughput(mach.MaxThreads(), perHs), mach.Name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlsbench:", err)
+	os.Exit(1)
+}

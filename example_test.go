@@ -1,0 +1,67 @@
+package phiopenssl_test
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"phiopenssl"
+	"phiopenssl/internal/bench"
+)
+
+// ExampleNewEngine shows the three engines computing the same modular
+// exponentiation with different simulated costs.
+func ExampleNewEngine() {
+	n, _ := phiopenssl.NatFromHex("10001") // 65537, an odd modulus
+	base := phiopenssl.NatFromUint64(3)
+	exp := phiopenssl.NatFromUint64(1000)
+
+	phi := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+	ossl := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+	r1 := phi.ModExp(base, exp, n)
+	r2 := ossl.ModExp(base, exp, n)
+	fmt.Println(r1.Equal(r2), phi.Cycles() > 0, ossl.Cycles() > 0)
+	// Output: true true true
+}
+
+// ExampleRSAPrivate signs and recovers a value with the CRT private
+// operation.
+func ExampleRSAPrivate() {
+	key, _ := phiopenssl.GenerateKey(mrand.New(mrand.NewSource(7)), 512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineMPSS)
+
+	m := phiopenssl.NatFromUint64(42)
+	c, _ := phiopenssl.RSAPublic(eng, &key.PublicKey, m)
+	back, _ := phiopenssl.RSAPrivate(eng, key, c, phiopenssl.DefaultPrivateOpts())
+	fmt.Println(back.Equal(m))
+	// Output: true
+}
+
+// ExampleRSAPrivateBatch decrypts sixteen ciphertexts in one batch kernel
+// pass.
+func ExampleRSAPrivateBatch() {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+
+	var msgs, cts [phiopenssl.RSABatchSize]phiopenssl.Nat
+	for i := range msgs {
+		msgs[i] = phiopenssl.NatFromUint64(uint64(1000 + i))
+		cts[i], _ = phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
+	}
+	res, cycles, _ := phiopenssl.RSAPrivateBatch(key, &cts)
+	allMatch := true
+	for i := range res {
+		allMatch = allMatch && res[i].Equal(msgs[i])
+	}
+	fmt.Println(allMatch, cycles > 0)
+	// Output: true true
+}
+
+// ExampleMachine projects throughput across the Phi's hardware threads.
+func ExampleMachine() {
+	mach := phiopenssl.DefaultMachine()
+	const cyclesPerOp = 1.0e6
+	t1 := mach.Throughput(1, cyclesPerOp)
+	t244 := mach.Throughput(244, cyclesPerOp)
+	fmt.Printf("%.0f %.0f %.0fx\n", t1, t244, t244/t1)
+	// Output: 619 75518 122x
+}

@@ -1,0 +1,46 @@
+// Quickstart: generate an RSA key, sign a message with each of the three
+// engines, verify the signature, and compare the simulated Xeon Phi cost.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"phiopenssl"
+)
+
+func main() {
+	fmt.Println("generating a 1024-bit RSA key...")
+	key, err := phiopenssl.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := []byte("PhiOpenSSL reproduction quickstart")
+	mach := phiopenssl.DefaultMachine()
+	fmt.Printf("simulated platform: %s\n\n", mach)
+
+	var phiCycles float64
+	for _, kind := range []phiopenssl.EngineKind{
+		phiopenssl.EnginePhi, phiopenssl.EngineOpenSSL, phiopenssl.EngineMPSS,
+	} {
+		eng := phiopenssl.NewEngine(kind)
+		sig, err := phiopenssl.SignPKCS1v15SHA256(eng, key, msg, phiopenssl.DefaultPrivateOpts())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := phiopenssl.VerifyPKCS1v15SHA256(eng, &key.PublicKey, msg, sig); err != nil {
+			log.Fatal(err)
+		}
+		cycles := eng.Cycles()
+		if kind == phiopenssl.EnginePhi {
+			phiCycles = cycles
+		}
+		fmt.Printf("%-16s sign+verify: %12.0f cycles = %6.2f ms", kind, cycles,
+			1e3*mach.Seconds(cycles))
+		if kind != phiopenssl.EnginePhi {
+			fmt.Printf("  (PhiOpenSSL is %.1fx faster)", cycles/phiCycles)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module phiopenssl
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package barrett implements Barrett modular reduction (HAC algorithm
+// 14.42) as the classical alternative to Montgomery arithmetic.
+//
+// The PhiOpenSSL design space includes the choice of reduction scheme;
+// like OpenSSL, the paper settles on Montgomery because exponentiation
+// amortizes the domain conversions while Barrett pays two extra
+// multiplications per reduction. Ablation experiment A2 quantifies that
+// choice on the simulated KNC scalar pipe. Unlike Montgomery, Barrett
+// works for any modulus (odd or even).
+package barrett
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+)
+
+// Ctx caches the per-modulus Barrett constant mu = floor(b^(2k) / m) with
+// b = 2^32 and k the limb length of m.
+type Ctx struct {
+	m      bn.Nat
+	mu     bn.Nat
+	k      int
+	counts *knc.ScalarCounts
+}
+
+// NewCtx prepares a Barrett context for m > 2. If counts is non-nil the
+// kernels meter their primitive operations there.
+func NewCtx(m bn.Nat, counts *knc.ScalarCounts) (*Ctx, error) {
+	if m.CmpUint64(2) <= 0 {
+		return nil, fmt.Errorf("barrett: modulus must be > 2, got %s", m)
+	}
+	k := m.LimbLen()
+	return &Ctx{
+		m:      m,
+		mu:     bn.One().Shl(uint(64 * k)).Div(m),
+		k:      k,
+		counts: counts,
+	}, nil
+}
+
+// Modulus returns m.
+func (c *Ctx) Modulus() bn.Nat { return c.m }
+
+// K returns the limb width of the modulus.
+func (c *Ctx) K() int { return c.k }
+
+// Reduce returns x mod m for 0 <= x < b^(2k) (in particular for any
+// product of two reduced values).
+func (c *Ctx) Reduce(x bn.Nat) bn.Nat {
+	if x.BitLen() > 64*c.k {
+		// Outside Barrett's input range; fall back to division (callers
+		// in this package never hit this, but keep Reduce total).
+		c.chargeMul(x.LimbLen(), c.k)
+		return x.Mod(c.m)
+	}
+	k := uint(c.k)
+	// q3 = floor( floor(x / b^(k-1)) * mu / b^(k+1) )
+	q1 := x.Shr(32 * (k - 1))
+	q2 := q1.Mul(c.mu)
+	c.chargeMul(q1.LimbLen(), c.mu.LimbLen())
+	q3 := q2.Shr(32 * (k + 1))
+
+	// r = (x - q3*m) mod b^(k+1), then at most two final subtractions.
+	mask := uint(32 * (k + 1))
+	r1 := truncate(x, mask)
+	qm := q3.Mul(c.m)
+	c.chargeMul(q3.LimbLen(), c.k)
+	r2 := truncate(qm, mask)
+	var r bn.Nat
+	if d, ok := r1.TrySub(r2); ok {
+		r = d
+	} else {
+		r = r1.Add(bn.One().Shl(mask)).Sub(r2)
+		c.counts.Tick(knc.OpAdd32, uint64(c.k+1))
+	}
+	for i := 0; i < 3 && r.Cmp(c.m) >= 0; i++ {
+		r = r.Sub(c.m)
+		c.counts.Tick(knc.OpAdd32, uint64(c.k))
+		c.counts.Tick(knc.OpMem, uint64(3*c.k))
+	}
+	if r.Cmp(c.m) >= 0 {
+		panic("barrett: reduction did not converge")
+	}
+	return r
+}
+
+// MulMod returns a*b mod m for reduced inputs.
+func (c *Ctx) MulMod(a, b bn.Nat) bn.Nat {
+	p := a.Mul(b)
+	c.chargeMul(a.LimbLen(), b.LimbLen())
+	return c.Reduce(p)
+}
+
+// ModExp computes base^exp mod m with 4-bit fixed windows over Barrett
+// reductions — the schedule a Barrett-based libcrypto would use, for the
+// A2 comparison against the Montgomery engines.
+func (c *Ctx) ModExp(base, exp bn.Nat) bn.Nat {
+	if c.m.IsOne() {
+		return bn.Zero()
+	}
+	if exp.IsZero() {
+		return bn.One()
+	}
+	b := base.Mod(c.m)
+	const w = 4
+	table := make([]bn.Nat, 1<<w)
+	table[0] = bn.One()
+	table[1] = b
+	for i := 2; i < len(table); i++ {
+		table[i] = c.MulMod(table[i-1], b)
+	}
+	windows := (exp.BitLen() + w - 1) / w
+	acc := table[exp.Bits((windows-1)*w, w)]
+	for wi := windows - 2; wi >= 0; wi-- {
+		for s := 0; s < w; s++ {
+			acc = c.MulMod(acc, acc)
+		}
+		if d := exp.Bits(wi*w, w); d != 0 {
+			acc = c.MulMod(acc, table[d])
+		}
+	}
+	return acc
+}
+
+// truncate returns x mod 2^bits.
+func truncate(x bn.Nat, bits uint) bn.Nat {
+	if uint(x.BitLen()) <= bits {
+		return x
+	}
+	return x.Sub(x.Shr(bits).Shl(bits))
+}
+
+// chargeMul meters a ka x kb schoolbook multiplication (Barrett's partial
+// products are multiplications of reduced-size operands; generic code does
+// not exploit the high/low truncations, matching OpenSSL's BN_mod
+// fallback behaviour).
+func (c *Ctx) chargeMul(ka, kb int) {
+	n := uint64(ka) * uint64(kb)
+	c.counts.Tick(knc.OpMulAdd32, n)
+	c.counts.Tick(knc.OpMem, n+uint64(2*(ka+kb)))
+	c.counts.Tick(knc.OpAdd32, uint64(ka+kb))
+	c.counts.Tick(knc.OpMisc, uint64(kb))
+}

@@ -1,0 +1,179 @@
+package barrett
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+)
+
+func randBits(rng *rand.Rand, bits int) bn.Nat {
+	buf := make([]byte, (bits+7)/8)
+	rng.Read(buf)
+	excess := uint(len(buf)*8 - bits)
+	buf[0] &= 0xff >> excess
+	buf[0] |= 0x80 >> excess
+	return bn.FromBytes(buf)
+}
+
+func toBig(x bn.Nat) *big.Int { return new(big.Int).SetBytes(x.Bytes()) }
+
+func TestNewCtxValidation(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2} {
+		if _, err := NewCtx(bn.FromUint64(v), nil); err == nil {
+			t.Errorf("NewCtx(%d) should fail", v)
+		}
+	}
+	if _, err := NewCtx(bn.FromUint64(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Even moduli are fine for Barrett (unlike Montgomery).
+	if _, err := NewCtx(bn.FromUint64(1000), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMatchesMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		bits := 16 + rng.Intn(1024)
+		m := randBits(rng, bits)
+		if m.CmpUint64(2) <= 0 {
+			continue
+		}
+		ctx, err := NewCtx(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// x < m^2 (the Barrett input range for products).
+		x := randBits(rng, 2*bits-1)
+		if got, want := ctx.Reduce(x), x.Mod(m); !got.Equal(want) {
+			t.Fatalf("Reduce(%s) mod %s = %s, want %s", x, m, got, want)
+		}
+	}
+}
+
+func TestReduceEdges(t *testing.T) {
+	m := bn.MustHex("fedcba9876543211")
+	ctx, _ := NewCtx(m, nil)
+	cases := []bn.Nat{
+		bn.Zero(), bn.One(), m.SubUint64(1), m, m.AddUint64(1),
+		m.Mul(m).SubUint64(1), // largest product of reduced operands
+	}
+	for _, x := range cases {
+		if got, want := ctx.Reduce(x), x.Mod(m); !got.Equal(want) {
+			t.Fatalf("Reduce(%s) = %s, want %s", x, got, want)
+		}
+	}
+	// Out-of-range fallback path.
+	huge := bn.One().Shl(uint(64*ctx.K()) + 5)
+	if got, want := ctx.Reduce(huge), huge.Mod(m); !got.Equal(want) {
+		t.Fatalf("fallback Reduce = %s, want %s", got, want)
+	}
+}
+
+func TestMulModMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bits := range []int{64, 512, 1024} {
+		m := randBits(rng, bits)
+		ctx, err := NewCtx(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := randBits(rng, bits-1).Mod(m)
+			b := randBits(rng, bits-1).Mod(m)
+			if got, want := ctx.MulMod(a, b), a.ModMul(b, m); !got.Equal(want) {
+				t.Fatalf("MulMod mismatch at %d bits", bits)
+			}
+		}
+	}
+}
+
+func TestModExpMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bits := range []int{64, 256, 512} {
+		m := randBits(rng, bits)
+		ctx, err := NewCtx(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			base := randBits(rng, bits+10)
+			exp := randBits(rng, bits)
+			want := base.ModExp(exp, m)
+			if got := ctx.ModExp(base, exp); !got.Equal(want) {
+				t.Fatalf("ModExp mismatch at %d bits: %s vs %s", bits, got, want)
+			}
+		}
+	}
+}
+
+func TestModExpEvenModulus(t *testing.T) {
+	// Montgomery cannot do this; Barrett can.
+	m := bn.FromUint64(1 << 20).AddUint64(12) // even
+	ctx, err := NewCtx(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, exp := bn.FromUint64(123456789), bn.FromUint64(65537)
+	if got, want := ctx.ModExp(base, exp), base.ModExp(exp, m); !got.Equal(want) {
+		t.Fatalf("even-modulus ModExp = %s, want %s", got, want)
+	}
+}
+
+func TestModExpEdgeCases(t *testing.T) {
+	ctx, _ := NewCtx(bn.MustHex("10001"), nil)
+	if !ctx.ModExp(bn.FromUint64(5), bn.Zero()).IsOne() {
+		t.Error("x^0 != 1")
+	}
+	if got := ctx.ModExp(bn.FromUint64(5), bn.One()); got.CmpUint64(5) != 0 {
+		t.Errorf("x^1 = %s", got)
+	}
+	one, _ := NewCtx(bn.FromUint64(3), nil)
+	if !one.ModExp(bn.Zero(), bn.FromUint64(9)).IsZero() {
+		t.Error("0^9 mod 3 != 0")
+	}
+}
+
+func TestMetering(t *testing.T) {
+	var counts knc.ScalarCounts
+	rng := rand.New(rand.NewSource(4))
+	m := randBits(rng, 512)
+	ctx, err := NewCtx(m, &counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randBits(rng, 500)
+	ctx.MulMod(a, a)
+	if counts[knc.OpMulAdd32] == 0 {
+		t.Fatal("no muladds metered")
+	}
+	// Barrett MulMod should charge ~3 k^2-size multiplies; with k=16 that
+	// is within [2, 4] * 256.
+	k := uint64(ctx.K())
+	if got := counts[knc.OpMulAdd32]; got < 2*k*k || got > 4*k*k+4*k {
+		t.Fatalf("muladds = %d, want ~3k^2 = %d", got, 3*k*k)
+	}
+}
+
+// Property: Reduce agrees with big.Int Mod across the valid input range.
+func TestQuickReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randBits(rng, 200)
+	ctx, _ := NewCtx(m, nil)
+	f := func(xb []byte) bool {
+		x := bn.FromBytes(xb)
+		if x.BitLen() > 2*m.BitLen()-1 {
+			x = x.Mod(m.Mul(m))
+		}
+		want := new(big.Int).Mod(toBig(x), toBig(m))
+		return toBig(ctx.Reduce(x)).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

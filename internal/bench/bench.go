@@ -1,0 +1,163 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation: one registered experiment per table/figure (E1–E9, see
+// DESIGN.md's per-experiment index), each producing a rendered table of
+// simulated-cycle measurements and engine-to-engine speedups.
+//
+// All workloads are deterministic (seeded); because engine costs are
+// simulated-cycle meters rather than wall clocks, a single run of each
+// operation yields exact, reproducible numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick restricts sizes and trial counts so the full suite runs in
+	// seconds (used by tests); the default exercises the paper's full
+	// size grid.
+	Quick bool
+	// Seed drives all workload generation.
+	Seed int64
+}
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the experiment id (e1..e9).
+	ID string
+	// Title describes the reproduced artifact.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells (len(row) == len(Columns)).
+	Rows [][]string
+	// Notes are free-form footnotes (paper claims, caveats).
+	Notes []string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s", n)
+	}
+	fmt.Fprint(w, "\n\n")
+}
+
+// RenderCSV writes the table as CSV (quotes applied only when needed).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	writeRow(append([]string{"experiment"}, t.Columns...))
+	for _, row := range t.Rows {
+		writeRow(append([]string{t.ID}, row...))
+	}
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	// ID is the stable experiment id (e1..e9).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) *Table
+}
+
+// registry holds all experiments, keyed by id.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// formatting helpers shared by the experiments.
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func cyclesToUs(cycles float64) string {
+	mach := machine()
+	return fmt.Sprintf("%.1f", 1e6*mach.Seconds(cycles))
+}
+
+func speedup(base, phi float64) string {
+	return fmt.Sprintf("%.2fx", base/phi)
+}

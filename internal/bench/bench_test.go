@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{"a1", "a2", "a3", "a4", "a5", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+	for i, e := range all {
+		if e.ID != wantIDs[i] {
+			t.Errorf("experiment %d id = %s, want %s", i, e.ID, wantIDs[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E4"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	opts := Options{Quick: true, Seed: 7}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(opts)
+			if tab.ID != e.ID {
+				t.Errorf("table id %s != %s", tab.ID, e.ID)
+			}
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced empty table", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row width %d != %d columns", e.ID, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), strings.ToUpper(e.ID)) {
+				t.Errorf("%s render missing header", e.ID)
+			}
+		})
+	}
+}
+
+func TestE4SpeedupsWithinPaperShape(t *testing.T) {
+	tab := runE4(Options{Quick: true, Seed: 11})
+	// Speedup columns must all exceed 1x (PhiOpenSSL wins at every size).
+	for _, row := range tab.Rows {
+		for _, cell := range row[4:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil {
+				t.Fatalf("bad speedup cell %q", cell)
+			}
+			if v <= 1.0 {
+				t.Errorf("PhiOpenSSL slower than baseline: %s", cell)
+			}
+		}
+	}
+}
+
+func TestE6ThroughputMonotone(t *testing.T) {
+	tab := runE6(Options{Quick: true, Seed: 3})
+	prev := 0.0
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad throughput %q", row[1])
+		}
+		if v < prev {
+			t.Fatalf("throughput not monotone: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestE8HasInteriorOptimum(t *testing.T) {
+	tab := runE8(Options{Quick: true, Seed: 5})
+	// The "vs best" column must hit +0.0% somewhere strictly inside the
+	// sweep (w=1 and w=7 both pay; the optimum is interior).
+	bestRow := -1
+	for i, row := range tab.Rows {
+		if row[3] == "+0.0%" {
+			bestRow = i
+		}
+	}
+	if bestRow <= 0 || bestRow >= len(tab.Rows)-1 {
+		t.Fatalf("window optimum at row %d not interior", bestRow)
+	}
+}
+
+func TestE9CRTWins(t *testing.T) {
+	tab := runE9(Options{Quick: true, Seed: 5})
+	// Row 0 is the paper config (CRT on); row 1 CRT off must be slower.
+	ref, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	noCRT, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if noCRT <= ref {
+		t.Fatalf("CRT off (%.0f) should cost more than on (%.0f)", noCRT, ref)
+	}
+	if noCRT/ref < 2 || noCRT/ref > 6 {
+		t.Errorf("CRT benefit %.1fx outside expected 3-4x band", noCRT/ref)
+	}
+}
+
+func TestFixedKeysValidate(t *testing.T) {
+	for _, bits := range []int{512, 1024, 2048, 4096} {
+		k := keyFor(bits)
+		if k.N.BitLen() != bits {
+			t.Errorf("fixed key %d has %d-bit modulus", bits, k.N.BitLen())
+		}
+	}
+}
+
+func TestKeyForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("keyFor(123) should panic")
+		}
+	}()
+	keyFor(123)
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "ex", Title: "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"value-wider-than-header", "1"}},
+		Notes:   []string{"footnote"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "EX — demo") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "note: footnote") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+// TestDeterministicOutput pins the reproducibility claim: two runs with
+// the same options render byte-identical tables.
+func TestDeterministicOutput(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		for _, e := range All() {
+			e.Run(Options{Quick: true, Seed: 99}).Render(&buf)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("experiment output is not deterministic")
+	}
+}

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/phipool"
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/vpu"
+)
+
+// newPhiWithWindow returns a PhiOpenSSL engine pinned to window width w.
+func newPhiWithWindow(w int) engine.Engine {
+	return core.New(core.WithWindow(w))
+}
+
+func init() {
+	register(Experiment{ID: "e1", Title: "Platform configuration (Table I)", Run: runE1})
+	register(Experiment{ID: "e2", Title: "Big-integer multiplication latency vs operand size", Run: runE2})
+	register(Experiment{ID: "e3", Title: "Montgomery multiplication latency vs modulus size", Run: runE3})
+	register(Experiment{ID: "e4", Title: "Montgomery exponentiation latency (headline: up to 15.3x)", Run: runE4})
+	register(Experiment{ID: "e5", Title: "RSA private-key operation latency (headline: 1.6-5.7x)", Run: runE5})
+	register(Experiment{ID: "e6", Title: "Thread scaling of RSA-2048 throughput", Run: runE6})
+	// e7 (handshake throughput) registers from handshake.go.
+	register(Experiment{ID: "e8", Title: "Ablation: fixed-window width sweep", Run: runE8})
+	register(Experiment{ID: "e9", Title: "Ablation: CRT and blinding", Run: runE9})
+}
+
+// runE1 prints the simulated platform, matching the paper's testbed table.
+func runE1(o Options) *Table {
+	m := machine()
+	t := &Table{
+		ID: "e1", Title: "Platform configuration (Table I)",
+		Columns: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"coprocessor", m.Name},
+			{"cores", fmt.Sprintf("%d", m.Cores)},
+			{"hardware threads/core", fmt.Sprintf("%d", m.ThreadsPerCore)},
+			{"total hardware threads", fmt.Sprintf("%d", m.MaxThreads())},
+			{"clock", fmt.Sprintf("%.3f GHz", m.ClockHz/1e9)},
+			{"vector width", fmt.Sprintf("%d bits (%d x 32-bit lanes)", 32*vpu.Lanes, vpu.Lanes)},
+			{"vector ISA", "IMCI subset (simulated, internal/vpu)"},
+			{"engines", "PhiOpenSSL / OpenSSL-default / MPSS-libcrypto"},
+		},
+		Notes: []string{
+			"hardware is simulated; see DESIGN.md for the substitution argument",
+		},
+	}
+	return t
+}
+
+// perEngineRow measures the same workload on all three engines and formats
+// latency plus speedup columns.
+func perEngineRow(label string, work func(engine.Engine)) []string {
+	engines := engineSet()
+	cycles := make([]float64, len(engines))
+	for i, e := range engines {
+		cycles[i] = measure(e, work)
+	}
+	return []string{
+		label,
+		cyclesToUs(cycles[0]), cyclesToUs(cycles[1]), cyclesToUs(cycles[2]),
+		speedup(cycles[1], cycles[0]), speedup(cycles[2], cycles[0]),
+	}
+}
+
+var perEngineColumns = []string{
+	"size", "PhiOpenSSL (us)", "OpenSSL (us)", "MPSS (us)",
+	"speedup vs OpenSSL", "speedup vs MPSS",
+}
+
+// runE2 reproduces the big-multiplication figure.
+func runE2(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 2))
+	t := &Table{ID: "e2", Title: "Big-integer multiplication latency", Columns: perEngineColumns}
+	for _, bits := range operandSizes(o) {
+		a, b := randBits(rng, bits), randBits(rng, bits)
+		t.Rows = append(t.Rows, perEngineRow(
+			fmt.Sprintf("%d-bit", bits),
+			func(e engine.Engine) { e.Mul(a, b) }))
+	}
+	t.Notes = append(t.Notes,
+		"one full a*b product; PhiOpenSSL uses the vectorized operand-scanning kernel,",
+		"baselines follow generic OpenSSL's schoolbook/Karatsuba schedule")
+	return t
+}
+
+// runE3 reproduces the Montgomery multiplication figure.
+func runE3(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 3))
+	t := &Table{ID: "e3", Title: "Montgomery multiplication latency", Columns: perEngineColumns}
+	for _, bits := range operandSizes(o) {
+		n := randOdd(rng, bits)
+		a, b := randBits(rng, bits-1), randBits(rng, bits-1)
+		t.Rows = append(t.Rows, perEngineRow(
+			fmt.Sprintf("%d-bit", bits),
+			func(e engine.Engine) { e.MulMod(a, b, n) }))
+	}
+	t.Notes = append(t.Notes, "one a*b mod n including domain conversions (cold Montgomery context)")
+	return t
+}
+
+// runE4 reproduces the Montgomery exponentiation table/figure — the
+// paper's headline microbenchmark.
+func runE4(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 4))
+	t := &Table{ID: "e4", Title: "Montgomery exponentiation latency", Columns: perEngineColumns}
+	maxSpeedup := 0.0
+	for _, bits := range operandSizes(o) {
+		n := randOdd(rng, bits)
+		base, exp := randBits(rng, bits-1), randBits(rng, bits)
+		engines := engineSet()
+		cycles := make([]float64, len(engines))
+		for i, e := range engines {
+			cycles[i] = measure(e, func(e engine.Engine) { e.ModExp(base, exp, n) })
+		}
+		for _, s := range []float64{cycles[1] / cycles[0], cycles[2] / cycles[0]} {
+			if s > maxSpeedup {
+				maxSpeedup = s
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-bit", bits),
+			cyclesToUs(cycles[0]), cyclesToUs(cycles[1]), cyclesToUs(cycles[2]),
+			speedup(cycles[1], cycles[0]), speedup(cycles[2], cycles[0]),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper claim: PhiOpenSSL up to 15.3x faster than the reference libcrypto libraries",
+		fmt.Sprintf("measured maximum speedup in this run: %.1fx", maxSpeedup))
+	return t
+}
+
+// runE5 reproduces the RSA private-key operation table.
+func runE5(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 5))
+	t := &Table{
+		ID: "e5", Title: "RSA private-key operation (CRT)",
+		Columns: []string{
+			"key", "PhiOpenSSL (ms)", "OpenSSL (ms)", "MPSS (ms)",
+			"speedup vs OpenSSL", "speedup vs MPSS", "Phi ops/s @244thr",
+		},
+	}
+	minS, maxS := 1e18, 0.0
+	for _, bits := range keySizes(o) {
+		key := keyFor(bits)
+		c, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			panic(err)
+		}
+		engines := engineSet()
+		cycles := make([]float64, len(engines))
+		for i, e := range engines {
+			cycles[i] = measure(e, func(e engine.Engine) {
+				if _, err := rsakit.PrivateOp(e, key, c, rsakit.DefaultPrivateOpts()); err != nil {
+					panic(err)
+				}
+			})
+		}
+		for _, s := range []float64{cycles[1] / cycles[0], cycles[2] / cycles[0]} {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		m := machine()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("RSA-%d", bits),
+			f2(1e3 * m.Seconds(cycles[0])),
+			f2(1e3 * m.Seconds(cycles[1])),
+			f2(1e3 * m.Seconds(cycles[2])),
+			speedup(cycles[1], cycles[0]), speedup(cycles[2], cycles[0]),
+			f1(m.Throughput(m.MaxThreads(), cycles[0])),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper claim: RSA private-key routines 1.6-5.7x faster than the reference systems",
+		fmt.Sprintf("measured speedup range in this run: %.1fx-%.1fx", minS, maxS))
+	return t
+}
+
+// runE6 reproduces the thread-scaling figure: RSA-2048 throughput under
+// the KNC issue-efficiency model.
+func runE6(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 6))
+	bits := 2048
+	if o.Quick {
+		bits = 1024
+	}
+	key := keyFor(bits)
+	c, err := bn.RandomRange(rng, bn.One(), key.N)
+	if err != nil {
+		panic(err)
+	}
+	engines := engineSet()
+	cycles := make([]float64, len(engines))
+	for i, e := range engines {
+		cycles[i] = measure(e, func(e engine.Engine) {
+			if _, err := rsakit.PrivateOp(e, key, c, rsakit.DefaultPrivateOpts()); err != nil {
+				panic(err)
+			}
+		})
+	}
+	m := machine()
+	t := &Table{
+		ID: "e6", Title: fmt.Sprintf("RSA-%d private-op throughput vs threads", bits),
+		Columns: []string{"threads", "Phi ops/s", "OpenSSL ops/s", "MPSS ops/s", "Phi scaling vs 1 thread"},
+	}
+	base := m.Throughput(1, cycles[0])
+	for _, threads := range []int{1, 2, 4, 8, 16, 32, 61, 122, 183, 244} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", threads),
+			f1(m.Throughput(threads, cycles[0])),
+			f1(m.Throughput(threads, cycles[1])),
+			f1(m.Throughput(threads, cycles[2])),
+			fmt.Sprintf("%.1fx", m.Throughput(threads, cycles[0])/base),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"KNC issue model: one thread reaches 50% of a core's issue slots; two threads ~88%;",
+		"scaling is near-linear to 61 threads (1/core) and saturates toward 244")
+
+	// Live validation: run the same op concurrently on a real worker pool
+	// (phipool) and confirm the per-op metered cost matches the
+	// single-engine measurement the model rows are built from.
+	pool, err := phipool.New(m, 8, func() engine.Engine { return core.New() })
+	if err != nil {
+		panic(err)
+	}
+	rep, err := pool.Run(16, func(e engine.Engine) {
+		if _, err := rsakit.PrivateOp(e, key, c, rsakit.DefaultPrivateOpts()); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"live pool validation: 16 ops on 8 concurrent workers metered %.0f cycles/op "+
+			"vs %.0f single-engine (warm-context runs are cheaper)",
+		rep.CyclesPerJob, cycles[0]))
+	return t
+}
+
+// runE8 sweeps the fixed-window width on the PhiOpenSSL engine.
+func runE8(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 8))
+	bits := 2048
+	if o.Quick {
+		bits = 1024
+	}
+	n := randOdd(rng, bits)
+	base, exp := randBits(rng, bits-1), randBits(rng, bits)
+	t := &Table{
+		ID: "e8", Title: fmt.Sprintf("Fixed-window width sweep, %d-bit modexp (PhiOpenSSL)", bits),
+		Columns: []string{"window", "cycles", "us", "vs best"},
+	}
+	cycles := make(map[int]float64)
+	best := 1e18
+	for w := 1; w <= 7; w++ {
+		e := newPhiWithWindow(w)
+		cycles[w] = measure(e, func(e engine.Engine) { e.ModExp(base, exp, n) })
+		if cycles[w] < best {
+			best = cycles[w]
+		}
+	}
+	for w := 1; w <= 7; w++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("w=%d", w),
+			fmt.Sprintf("%.0f", cycles[w]),
+			cyclesToUs(cycles[w]),
+			fmt.Sprintf("+%.1f%%", 100*(cycles[w]/best-1)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"constant-time table scan included: larger windows pay a 2^w-entry gather per digit,",
+		"which is why the optimum sits at w=5-6 rather than growing without bound")
+	return t
+}
+
+// runE9 ablates CRT and blinding on the RSA private operation.
+func runE9(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 9))
+	bits := 2048
+	if o.Quick {
+		bits = 1024
+	}
+	key := keyFor(bits)
+	c, err := bn.RandomRange(rng, bn.One(), key.N)
+	if err != nil {
+		panic(err)
+	}
+	blindRng := rand.New(rand.NewSource(o.Seed + 90))
+	configs := []struct {
+		label string
+		opts  rsakit.PrivateOpts
+	}{
+		{"CRT on, blinding off (paper)", rsakit.PrivateOpts{UseCRT: true}},
+		{"CRT off, blinding off", rsakit.PrivateOpts{UseCRT: false}},
+		{"CRT on, blinding on", rsakit.PrivateOpts{UseCRT: true, Blinding: true, Rand: blindRng}},
+		{"CRT off, blinding on", rsakit.PrivateOpts{UseCRT: false, Blinding: true, Rand: blindRng}},
+	}
+	t := &Table{
+		ID: "e9", Title: fmt.Sprintf("RSA-%d private-op ablation (PhiOpenSSL)", bits),
+		Columns: []string{"configuration", "cycles", "ms", "vs paper config"},
+	}
+	var ref float64
+	for i, cfg := range configs {
+		e := engineSet()[0]
+		cy := measure(e, func(e engine.Engine) {
+			if _, err := rsakit.PrivateOp(e, key, c, cfg.opts); err != nil {
+				panic(err)
+			}
+		})
+		if i == 0 {
+			ref = cy
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.label,
+			fmt.Sprintf("%.0f", cy),
+			f2(1e3 * machine().Seconds(cy)),
+			fmt.Sprintf("%.2fx", cy/ref),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"CRT replaces one full-size exponentiation with two half-size ones (2.5-4x cheaper",
+		"on the vector engine, whose per-digit overheads grow at small sizes);",
+		"blinding adds one public-exponent exponentiation and two modular multiplications")
+	return t
+}

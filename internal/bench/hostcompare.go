@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/rsakit"
+)
+
+func init() {
+	register(Experiment{ID: "a5", Title: "Context: coprocessor vs host Xeon (RSA throughput)", Run: runA5})
+}
+
+// runA5 puts the Phi results in system context: the same RSA workloads on
+// the simulated host Xeon running OpenSSL's optimized x86-64 paths. This
+// is the comparison deployment decisions hinge on, and it is the honest
+// one: a KNC card accelerates its *own* (weak) cores dramatically, but a
+// contemporary dual-socket host still out-runs it on RSA — the known
+// historical outcome for this hardware generation.
+func runA5(o Options) *Table {
+	rng := rand.New(rand.NewSource(o.Seed + 105))
+	phiMach := machine()
+	hostMach := knc.Host()
+	t := &Table{
+		ID: "a5", Title: "PhiOpenSSL on the coprocessor vs OpenSSL on the host",
+		Columns: []string{
+			"key",
+			fmt.Sprintf("Phi ops/s @%dthr", phiMach.MaxThreads()),
+			fmt.Sprintf("host ops/s @%dthr", hostMach.MaxThreads()),
+			"Phi/host",
+			"Phi ms/op", "host ms/op",
+		},
+	}
+	for _, bits := range keySizes(o) {
+		key := keyFor(bits)
+		c, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			panic(err)
+		}
+		run := func(e engine.Engine) float64 {
+			return measure(e, func(e engine.Engine) {
+				if _, err := rsakit.PrivateOp(e, key, c, rsakit.DefaultPrivateOpts()); err != nil {
+					panic(err)
+				}
+			})
+		}
+		phiCycles := run(engineSet()[0])
+		hostCycles := run(baseline.NewHost())
+		phiTP := phiMach.Throughput(phiMach.MaxThreads(), phiCycles)
+		hostTP := hostMach.Throughput(hostMach.MaxThreads(), hostCycles)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("RSA-%d", bits),
+			f1(phiTP), f1(hostTP),
+			fmt.Sprintf("%.2fx", phiTP/hostTP),
+			f2(1e3 * phiMach.Seconds(phiCycles)),
+			f2(1e3 * hostMach.Seconds(hostCycles)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("host model: %s, OpenSSL x86-64 assembly cost table", hostMach),
+		"the paper's contribution is making the coprocessor's RSA usable (15x over its",
+		"own scalar baselines); per-card it remains below a contemporary dual-socket host,",
+		"consistent with the historical record for KNC crypto offload")
+	return t
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID: "ex", Title: "sample",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}},
+		Notes:   []string{"a note"},
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"## EX — sample",
+		"| name | value |",
+		"| --- | --- |",
+		"| plain | 1 |",
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "experiment,name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "ex,plain,1" {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Comma and quote escaping.
+	if lines[2] != `ex,"with,comma",2` {
+		t.Errorf("comma row = %q", lines[2])
+	}
+	if lines[3] != `ex,"with""quote",3` {
+		t.Errorf("quote row = %q", lines[3])
+	}
+}
+
+func TestA5HostComparison(t *testing.T) {
+	tab := runA5(Options{Quick: true, Seed: 3})
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty A5 table")
+	}
+	// Honest-result check: the host out-runs the card at every key size
+	// in this hardware generation (Phi/host < 1).
+	for _, row := range tab.Rows {
+		ratio := strings.TrimSuffix(row[3], "x")
+		if !strings.HasPrefix(ratio, "0.") {
+			t.Errorf("%s: Phi/host = %s, expected < 1x for KNC-era hardware", row[0], row[3])
+		}
+	}
+}

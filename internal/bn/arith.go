@@ -1,0 +1,156 @@
+package bn
+
+// Add returns x + y.
+func (x Nat) Add(y Nat) Nat {
+	if len(x.w) < len(y.w) {
+		x, y = y, x
+	}
+	out := make([]uint32, len(x.w)+1)
+	var carry uint64
+	for i := range x.w {
+		sum := uint64(x.w[i]) + carry
+		if i < len(y.w) {
+			sum += uint64(y.w[i])
+		}
+		out[i] = uint32(sum)
+		carry = sum >> LimbBits
+	}
+	out[len(x.w)] = uint32(carry)
+	return norm(out)
+}
+
+// AddUint64 returns x + v.
+func (x Nat) AddUint64(v uint64) Nat { return x.Add(FromUint64(v)) }
+
+// Sub returns x - y. It panics if y > x; use TrySub to test.
+func (x Nat) Sub(y Nat) Nat {
+	d, ok := x.TrySub(y)
+	if !ok {
+		panic("bn: Sub underflow")
+	}
+	return d
+}
+
+// TrySub returns x - y and true if x >= y, or zero and false otherwise.
+func (x Nat) TrySub(y Nat) (Nat, bool) {
+	if x.Cmp(y) < 0 {
+		return Nat{}, false
+	}
+	out := make([]uint32, len(x.w))
+	var borrow uint64
+	for i := range x.w {
+		yi := uint64(0)
+		if i < len(y.w) {
+			yi = uint64(y.w[i])
+		}
+		diff := uint64(x.w[i]) - yi - borrow
+		out[i] = uint32(diff)
+		borrow = (diff >> LimbBits) & 1
+	}
+	return norm(out), true
+}
+
+// SubUint64 returns x - v, panicking on underflow.
+func (x Nat) SubUint64(v uint64) Nat { return x.Sub(FromUint64(v)) }
+
+// Shl returns x << k.
+func (x Nat) Shl(k uint) Nat {
+	if x.IsZero() || k == 0 {
+		return x
+	}
+	limbShift := int(k / LimbBits)
+	bitShift := k % LimbBits
+	out := make([]uint32, len(x.w)+limbShift+1)
+	if bitShift == 0 {
+		copy(out[limbShift:], x.w)
+		return norm(out)
+	}
+	var carry uint32
+	for i, limb := range x.w {
+		out[limbShift+i] = limb<<bitShift | carry
+		carry = limb >> (LimbBits - bitShift)
+	}
+	out[limbShift+len(x.w)] = carry
+	return norm(out)
+}
+
+// Shr returns x >> k.
+func (x Nat) Shr(k uint) Nat {
+	if x.IsZero() || k == 0 {
+		return x
+	}
+	limbShift := int(k / LimbBits)
+	if limbShift >= len(x.w) {
+		return Nat{}
+	}
+	bitShift := k % LimbBits
+	src := x.w[limbShift:]
+	out := make([]uint32, len(src))
+	if bitShift == 0 {
+		copy(out, src)
+		return norm(out)
+	}
+	for i := range src {
+		v := src[i] >> bitShift
+		if i+1 < len(src) {
+			v |= src[i+1] << (LimbBits - bitShift)
+		}
+		out[i] = v
+	}
+	return norm(out)
+}
+
+// MulUint32 returns x * v.
+func (x Nat) MulUint32(v uint32) Nat {
+	if x.IsZero() || v == 0 {
+		return Nat{}
+	}
+	out := make([]uint32, len(x.w)+1)
+	var carry uint64
+	for i, limb := range x.w {
+		p := uint64(limb)*uint64(v) + carry
+		out[i] = uint32(p)
+		carry = p >> LimbBits
+	}
+	out[len(x.w)] = uint32(carry)
+	return norm(out)
+}
+
+// addInto computes dst = a + b over raw limb slices, where dst has
+// len >= max(len(a), len(b)) + 1. It returns dst trimmed.
+func addInto(dst, a, b []uint32) []uint32 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	var carry uint64
+	for i := range a {
+		sum := uint64(a[i]) + carry
+		if i < len(b) {
+			sum += uint64(b[i])
+		}
+		dst[i] = uint32(sum)
+		carry = sum >> LimbBits
+	}
+	dst[len(a)] = uint32(carry)
+	return trim(dst[:len(a)+1])
+}
+
+// subInPlace computes a -= b over raw limb slices, assuming a >= b
+// element-length-wise semantics (a numerically >= b). It returns the
+// trimmed result aliasing a.
+func subInPlace(a, b []uint32) []uint32 {
+	var borrow uint64
+	for i := range a {
+		bi := uint64(0)
+		if i < len(b) {
+			bi = uint64(b[i])
+		}
+		diff := uint64(a[i]) - bi - borrow
+		a[i] = uint32(diff)
+		borrow = (diff >> LimbBits) & 1
+	}
+	if borrow != 0 {
+		panic("bn: internal subtraction underflow")
+	}
+	return trim(a)
+}

@@ -1,0 +1,148 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randNat(rng, 500), randNat(rng, 500)
+		want := new(big.Int).Add(toBig(a), toBig(b))
+		checkEqualBig(t, "Add", a.Add(b), want)
+	}
+}
+
+func TestAddCarryChain(t *testing.T) {
+	// 0xffff...ff + 1 ripples a carry through every limb.
+	a := One().Shl(320).SubUint64(1)
+	got := a.AddUint64(1)
+	if !got.Equal(One().Shl(320)) {
+		t.Errorf("carry chain: got %s", got)
+	}
+}
+
+func TestSubAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randNat(rng, 500), randNat(rng, 500)
+		if a.Cmp(b) < 0 {
+			a, b = b, a
+		}
+		want := new(big.Int).Sub(toBig(a), toBig(b))
+		checkEqualBig(t, "Sub", a.Sub(b), want)
+	}
+}
+
+func TestSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub underflow should panic")
+		}
+	}()
+	One().Sub(FromUint64(2))
+}
+
+func TestTrySub(t *testing.T) {
+	if _, ok := One().TrySub(FromUint64(2)); ok {
+		t.Error("TrySub(1,2) should report failure")
+	}
+	d, ok := FromUint64(7).TrySub(FromUint64(7))
+	if !ok || !d.IsZero() {
+		t.Errorf("TrySub(7,7) = %s, %v", d, ok)
+	}
+}
+
+func TestSubBorrowChain(t *testing.T) {
+	// 2^320 - 1 ripples a borrow through every limb.
+	a := One().Shl(320)
+	got := a.SubUint64(1)
+	want := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 320), big.NewInt(1))
+	checkEqualBig(t, "Sub borrow chain", got, want)
+}
+
+func TestShlAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		a := randNat(rng, 300)
+		k := uint(rng.Intn(200))
+		want := new(big.Int).Lsh(toBig(a), k)
+		checkEqualBig(t, "Shl", a.Shl(k), want)
+	}
+}
+
+func TestShrAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		a := randNat(rng, 300)
+		k := uint(rng.Intn(350))
+		want := new(big.Int).Rsh(toBig(a), k)
+		checkEqualBig(t, "Shr", a.Shr(k), want)
+	}
+}
+
+func TestShiftEdgeCases(t *testing.T) {
+	x := MustHex("123456789abcdef0")
+	if !x.Shl(0).Equal(x) || !x.Shr(0).Equal(x) {
+		t.Error("shift by 0 should be identity")
+	}
+	if !x.Shr(64).IsZero() {
+		t.Error("shift past width should be zero")
+	}
+	if !Zero().Shl(100).IsZero() {
+		t.Error("0 << k should be zero")
+	}
+	// Exact limb-multiple shifts.
+	if !x.Shl(96).Shr(96).Equal(x) {
+		t.Error("limb-aligned shift round trip")
+	}
+}
+
+func TestMulUint32(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 500; trial++ {
+		a := randNat(rng, 400)
+		v := rng.Uint32()
+		want := new(big.Int).Mul(toBig(a), new(big.Int).SetUint64(uint64(v)))
+		checkEqualBig(t, "MulUint32", a.MulUint32(v), want)
+	}
+}
+
+// Property: (a+b)-b == a for all naturals.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifts are consistent: (a<<k)>>k == a.
+func TestQuickShiftInverse(t *testing.T) {
+	f := func(ab []byte, k uint8) bool {
+		a := FromBytes(ab)
+		return a.Shl(uint(k)).Shr(uint(k)).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addition is commutative and associative.
+func TestQuickAddLaws(t *testing.T) {
+	f := func(ab, bb, cb []byte) bool {
+		a, b, c := FromBytes(ab), FromBytes(bb), FromBytes(cb)
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

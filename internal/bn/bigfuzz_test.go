@@ -1,0 +1,101 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Large-operand property tests: testing/quick's default generators top
+// out around 50 bytes, which never reaches the Karatsuba recursion or the
+// multi-limb Knuth-D paths. These checks use custom Values generators that
+// draw kilobit operands.
+
+// bigOperandConfig generates pairs of operands up to maxBytes bytes.
+func bigOperandConfig(seed int64, maxBytes int) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, _ *rand.Rand) {
+			for i := range args {
+				n := 1 + rng.Intn(maxBytes)
+				buf := make([]byte, n)
+				rng.Read(buf)
+				args[i] = reflect.ValueOf(buf)
+			}
+		},
+	}
+}
+
+func TestQuickBigMulMatchesBig(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		return toBig(a.Mul(b)).Cmp(want) == 0
+	}
+	if err := quick.Check(f, bigOperandConfig(1, 1024)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBigDivModMatchesBig(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		if b.IsZero() {
+			return true
+		}
+		q, r := a.DivMod(b)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), toBig(b), new(big.Int))
+		return toBig(q).Cmp(wantQ) == 0 && toBig(r).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, bigOperandConfig(2, 768)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBigSqrMatchesMul(t *testing.T) {
+	f := func(ab []byte) bool {
+		a := FromBytes(ab)
+		return a.Sqr().Equal(a.Mul(a))
+	}
+	if err := quick.Check(f, bigOperandConfig(3, 2048)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBigModExpMatchesBig(t *testing.T) {
+	f := func(ab, eb, mb []byte) bool {
+		a, e, m := FromBytes(ab), FromBytes(eb), FromBytes(mb)
+		if m.IsZero() {
+			return true
+		}
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		return toBig(a.ModExp(e, m)).Cmp(want) == 0
+	}
+	cfg := bigOperandConfig(4, 96)
+	cfg.MaxCount = 25
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDecimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		x := randNat(rng, 400)
+		got, err := FromDecimal(x.DecimalString())
+		if err != nil || !got.Equal(x) {
+			t.Fatalf("decimal round trip of %s: %s, %v", x, got, err)
+		}
+	}
+	if v, err := FromDecimal("1_000_000"); err != nil || v.CmpUint64(1000000) != 0 {
+		t.Errorf("underscored decimal: %s, %v", v, err)
+	}
+	for _, bad := range []string{"", "_", "12a", "-5", " 5"} {
+		if _, err := FromDecimal(bad); err == nil {
+			t.Errorf("FromDecimal(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package bn
+
+import "fmt"
+
+// FromDecimal parses a base-10 string of ASCII digits (underscores
+// ignored), completing the codec symmetry with DecimalString.
+func FromDecimal(s string) (Nat, error) {
+	x := Nat{}
+	seen := false
+	for _, c := range s {
+		if c == '_' {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return Nat{}, fmt.Errorf("bn: invalid decimal digit %q", c)
+		}
+		seen = true
+		x = x.MulUint32(10).AddUint64(uint64(c - '0'))
+	}
+	if !seen {
+		return Nat{}, fmt.Errorf("bn: empty decimal string")
+	}
+	return x, nil
+}

@@ -1,0 +1,167 @@
+package bn
+
+// DivMod returns (q, r) such that x = q*y + r with 0 <= r < y.
+// It panics if y is zero.
+func (x Nat) DivMod(y Nat) (q, r Nat) {
+	switch {
+	case y.IsZero():
+		panic("bn: division by zero")
+	case x.Cmp(y) < 0:
+		return Nat{}, x
+	case len(y.w) == 1:
+		qw, rl := divModLimb(x.w, y.w[0])
+		return norm(qw), FromUint64(uint64(rl))
+	}
+	qw, rw := divModKnuth(x.w, y.w)
+	return norm(qw), norm(rw)
+}
+
+// Div returns x / y (floor division).
+func (x Nat) Div(y Nat) Nat {
+	q, _ := x.DivMod(y)
+	return q
+}
+
+// Mod returns x mod y.
+func (x Nat) Mod(y Nat) Nat {
+	_, r := x.DivMod(y)
+	return r
+}
+
+// ModUint32 returns x mod m as a uint32 for a single-limb modulus.
+func (x Nat) ModUint32(m uint32) uint32 {
+	if m == 0 {
+		panic("bn: division by zero")
+	}
+	var rem uint64
+	for i := len(x.w) - 1; i >= 0; i-- {
+		rem = (rem<<LimbBits | uint64(x.w[i])) % uint64(m)
+	}
+	return uint32(rem)
+}
+
+// divModLimb divides a normalized limb slice by a single nonzero limb.
+func divModLimb(a []uint32, d uint32) (q []uint32, r uint32) {
+	q = make([]uint32, len(a))
+	var rem uint64
+	for i := len(a) - 1; i >= 0; i-- {
+		cur := rem<<LimbBits | uint64(a[i])
+		q[i] = uint32(cur / uint64(d))
+		rem = cur % uint64(d)
+	}
+	return q, uint32(rem)
+}
+
+// divModKnuth implements Knuth TAOCP vol. 2, Algorithm 4.3.1 D for
+// multi-limb divisors. a and b are normalized, len(b) >= 2, a >= b.
+func divModKnuth(a, b []uint32) (q, r []uint32) {
+	n := len(b)
+	m := len(a) - n
+
+	// D1: normalize so the top divisor limb has its high bit set.
+	shift := uint(LimbBits - bitLen32(b[n-1]))
+	bn := shlLimbs(b, shift)         // exactly n limbs
+	un := shlLimbsExtended(a, shift) // m+n+1 limbs (extra high limb)
+
+	q = make([]uint32, m+1)
+	btop := uint64(bn[n-1])
+	bnext := uint64(bn[n-2])
+
+	// D2-D7: main loop over quotient digits, most significant first.
+	for j := m; j >= 0; j-- {
+		// D3: estimate qhat from the top two/three limbs.
+		u2 := uint64(un[j+n])<<LimbBits | uint64(un[j+n-1])
+		qhat := u2 / btop
+		rhat := u2 % btop
+		if qhat > limbMask {
+			qhat = limbMask
+			rhat = u2 - qhat*btop
+		}
+		for rhat <= limbMask && qhat*bnext > rhat<<LimbBits|uint64(un[j+n-2]) {
+			qhat--
+			rhat += btop
+		}
+
+		// D4: multiply and subtract un[j..j+n] -= qhat * bn.
+		var borrow, mulCarry uint64
+		for i := 0; i < n; i++ {
+			p := qhat*uint64(bn[i]) + mulCarry
+			mulCarry = p >> LimbBits
+			diff := uint64(un[i+j]) - (p & limbMask) - borrow
+			un[i+j] = uint32(diff)
+			borrow = (diff >> LimbBits) & 1
+		}
+		diff := uint64(un[j+n]) - mulCarry - borrow
+		un[j+n] = uint32(diff)
+
+		// D5/D6: qhat was one too large with probability ~2/2^32; add back.
+		if diff>>LimbBits != 0 {
+			qhat--
+			var carry uint64
+			for i := 0; i < n; i++ {
+				sum := uint64(un[i+j]) + uint64(bn[i]) + carry
+				un[i+j] = uint32(sum)
+				carry = sum >> LimbBits
+			}
+			un[j+n] = uint32(uint64(un[j+n]) + carry)
+		}
+		q[j] = uint32(qhat)
+	}
+
+	// D8: denormalize the remainder.
+	r = shrLimbs(un[:n], shift)
+	return q, r
+}
+
+// shlLimbs shifts a left by s bits (0 <= s < 32) into a slice of the same
+// length; the caller guarantees no overflow out of the top limb.
+func shlLimbs(a []uint32, s uint) []uint32 {
+	out := make([]uint32, len(a))
+	if s == 0 {
+		copy(out, a)
+		return out
+	}
+	var carry uint32
+	for i, limb := range a {
+		out[i] = limb<<s | carry
+		carry = limb >> (LimbBits - s)
+	}
+	if carry != 0 {
+		panic("bn: shlLimbs overflow")
+	}
+	return out
+}
+
+// shlLimbsExtended shifts a left by s bits (0 <= s < 32) into a slice one
+// limb longer than a, capturing the overflow.
+func shlLimbsExtended(a []uint32, s uint) []uint32 {
+	out := make([]uint32, len(a)+1)
+	if s == 0 {
+		copy(out, a)
+		return out
+	}
+	var carry uint32
+	for i, limb := range a {
+		out[i] = limb<<s | carry
+		carry = limb >> (LimbBits - s)
+	}
+	out[len(a)] = carry
+	return out
+}
+
+// shrLimbs shifts a right by s bits (0 <= s < 32) in a fresh slice.
+func shrLimbs(a []uint32, s uint) []uint32 {
+	out := make([]uint32, len(a))
+	if s == 0 {
+		copy(out, a)
+		return out
+	}
+	for i := range a {
+		v := a[i] >> s
+		if i+1 < len(a) {
+			v |= a[i+1] << (LimbBits - s)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDivModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 800; trial++ {
+		a := randNat(rng, 800)
+		b := randNat(rng, 400)
+		if b.IsZero() {
+			b = One()
+		}
+		q, r := a.DivMod(b)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), toBig(b), new(big.Int))
+		checkEqualBig(t, "DivMod q", q, wantQ)
+		checkEqualBig(t, "DivMod r", r, wantR)
+	}
+}
+
+func TestDivModSingleLimb(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		a := randNat(rng, 500)
+		d := rng.Uint32()
+		if d == 0 {
+			d = 1
+		}
+		q, r := a.DivMod(FromUint64(uint64(d)))
+		bigD := new(big.Int).SetUint64(uint64(d))
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), bigD, new(big.Int))
+		checkEqualBig(t, "DivMod/limb q", q, wantQ)
+		checkEqualBig(t, "DivMod/limb r", r, wantR)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero should panic")
+		}
+	}()
+	One().DivMod(Zero())
+}
+
+func TestDivSmallerThanDivisor(t *testing.T) {
+	a, b := FromUint64(5), FromUint64(1000)
+	q, r := a.DivMod(b)
+	if !q.IsZero() || !r.Equal(a) {
+		t.Errorf("5/1000 = %s rem %s", q, r)
+	}
+}
+
+func TestDivExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		b := randNatExact(rng, 100+rng.Intn(300))
+		q0 := randNat(rng, 400)
+		a := b.Mul(q0)
+		q, r := a.DivMod(b)
+		if !q.Equal(q0) || !r.IsZero() {
+			t.Fatalf("exact division: (b*q)/b: q=%s want %s, r=%s", q, q0, r)
+		}
+	}
+}
+
+// TestDivQhatCorrection targets Knuth D's rare correction paths: divisors
+// with top limb just below/above 2^31 and dividends built to force qhat
+// over-estimation (top limbs of the dividend close to the divisor pattern).
+func TestDivQhatCorrection(t *testing.T) {
+	cases := []struct{ a, b string }{
+		// Classic add-back trigger family (base 2^32):
+		// a = (B^2)(B-1)... patterns with divisor B^k/2-ish.
+		{"7fffffff800000010000000000000000", "800000008000000100000000"},
+		{"ffffffffffffffffffffffffffffffff", "80000000000000000000000000000001"},
+		{"fffffffffffffffffffffffffffffffe00000001", "ffffffffffffffffffffffff"},
+		{"800000000000000000000000000000000000000000000000", "80000000000000000000000000000001"},
+		{"7fffffffffffffffffffffff800000000000000000000001", "800000000000000000000001"},
+	}
+	for _, c := range cases {
+		a, b := MustHex(c.a), MustHex(c.b)
+		q, r := a.DivMod(b)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), toBig(b), new(big.Int))
+		checkEqualBig(t, "qhat q "+c.a, q, wantQ)
+		checkEqualBig(t, "qhat r "+c.a, r, wantR)
+	}
+	// Randomized stress over the correction-prone region: divisor top limb
+	// exactly 0x80000000 and dividend saturated high limbs.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 500; trial++ {
+		k := 2 + rng.Intn(6)
+		bw := make([]uint32, k)
+		for i := range bw {
+			bw[i] = rng.Uint32()
+		}
+		bw[k-1] = 0x80000000
+		b := FromLimbs(bw)
+		aw := make([]uint32, k+1+rng.Intn(3))
+		for i := range aw {
+			aw[i] = 0xffffffff
+		}
+		if rng.Intn(2) == 0 {
+			aw[rng.Intn(len(aw))] = rng.Uint32()
+		}
+		a := FromLimbs(aw)
+		q, r := a.DivMod(b)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), toBig(b), new(big.Int))
+		checkEqualBig(t, "stress q", q, wantQ)
+		checkEqualBig(t, "stress r", r, wantR)
+	}
+}
+
+func TestModUint32(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 300; trial++ {
+		a := randNat(rng, 500)
+		m := rng.Uint32()
+		if m == 0 {
+			m = 3
+		}
+		want := new(big.Int).Mod(toBig(a), new(big.Int).SetUint64(uint64(m))).Uint64()
+		if got := a.ModUint32(m); uint64(got) != want {
+			t.Fatalf("ModUint32(%s, %d) = %d, want %d", a, m, got, want)
+		}
+	}
+}
+
+// Property: the division identity a == q*b + r with 0 <= r < b.
+func TestQuickDivisionIdentity(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		if b.IsZero() {
+			return true
+		}
+		q, r := a.DivMod(b)
+		if r.Cmp(b) >= 0 {
+			return false
+		}
+		return q.Mul(b).Add(r).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

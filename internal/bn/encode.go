@@ -1,0 +1,135 @@
+package bn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FromBytes returns the Nat encoded by buf interpreted as an unsigned
+// big-endian integer.
+func FromBytes(buf []byte) Nat {
+	k := (len(buf) + LimbBytes - 1) / LimbBytes
+	w := make([]uint32, k)
+	for i, b := range buf {
+		byteIdx := len(buf) - 1 - i // position from least significant end
+		w[byteIdx/LimbBytes] |= uint32(b) << (8 * (byteIdx % LimbBytes))
+	}
+	return norm(w)
+}
+
+// Bytes returns the minimal big-endian encoding of x; Bytes(0) is empty.
+func (x Nat) Bytes() []byte {
+	n := (x.BitLen() + 7) / 8
+	out := make([]byte, n)
+	x.FillBytes(out)
+	return out
+}
+
+// FillBytes writes x as a zero-padded big-endian integer filling buf exactly
+// and returns buf. It panics if x does not fit.
+func (x Nat) FillBytes(buf []byte) []byte {
+	if (x.BitLen()+7)/8 > len(buf) {
+		panic("bn: FillBytes: value does not fit")
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for byteIdx := 0; byteIdx < len(buf); byteIdx++ {
+		limb := byteIdx / LimbBytes
+		if limb >= len(x.w) {
+			break
+		}
+		buf[len(buf)-1-byteIdx] = byte(x.w[limb] >> (8 * (byteIdx % LimbBytes)))
+	}
+	return buf
+}
+
+// FromHex parses a hexadecimal string (upper or lower case, optional "0x"
+// prefix, underscores ignored).
+func FromHex(s string) (Nat, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return Nat{}, fmt.Errorf("bn: empty hex string")
+	}
+	x := Nat{}
+	for _, c := range s {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return Nat{}, fmt.Errorf("bn: invalid hex digit %q", c)
+		}
+		x = x.Shl(4).AddUint64(uint64(d))
+	}
+	return x, nil
+}
+
+// MustHex parses a hexadecimal constant, panicking on error. For use in
+// tests and package-level constants.
+func MustHex(s string) Nat {
+	x, err := FromHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// Hex returns the lowercase hexadecimal encoding of x with no prefix;
+// Hex(0) == "0".
+func (x Nat) Hex() string {
+	if x.IsZero() {
+		return "0"
+	}
+	const digits = "0123456789abcdef"
+	var sb strings.Builder
+	top := true
+	for i := len(x.w) - 1; i >= 0; i-- {
+		for shift := LimbBits - 4; shift >= 0; shift -= 4 {
+			d := (x.w[i] >> uint(shift)) & 0xf
+			if top && d == 0 {
+				continue
+			}
+			top = false
+			sb.WriteByte(digits[d])
+		}
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer using hexadecimal with a 0x prefix.
+func (x Nat) String() string { return "0x" + x.Hex() }
+
+// DecimalString returns the base-10 representation of x.
+func (x Nat) DecimalString() string {
+	if x.IsZero() {
+		return "0"
+	}
+	var digits []byte
+	cur := x
+	for !cur.IsZero() {
+		q, r := cur.DivMod(FromUint64(1_000_000_000))
+		rv, _ := r.Uint64()
+		cur = q
+		if cur.IsZero() {
+			for rv > 0 {
+				digits = append(digits, byte('0'+rv%10))
+				rv /= 10
+			}
+		} else {
+			for i := 0; i < 9; i++ {
+				digits = append(digits, byte('0'+rv%10))
+				rv /= 10
+			}
+		}
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return string(digits)
+}

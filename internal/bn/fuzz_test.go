@@ -1,0 +1,71 @@
+package bn
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Native fuzz targets (run seed corpus under `go test`, explore under
+// `go test -fuzz=FuzzX`). Each cross-checks against math/big.
+
+func FuzzDivMod(f *testing.F) {
+	f.Add([]byte{0xff, 0xff, 0xff}, []byte{0x03})
+	f.Add([]byte{0x80, 0, 0, 0, 0, 0, 0, 0, 1}, []byte{0x80, 0, 0, 0, 1})
+	f.Add([]byte{1}, []byte{1})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		a, b := FromBytes(ab), FromBytes(bb)
+		if b.IsZero() {
+			return
+		}
+		q, r := a.DivMod(b)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), toBig(b), new(big.Int))
+		if toBig(q).Cmp(wantQ) != 0 || toBig(r).Cmp(wantR) != 0 {
+			t.Fatalf("DivMod(%x, %x) = %s, %s; want %s, %s",
+				ab, bb, q, r, wantQ.Text(16), wantR.Text(16))
+		}
+	})
+}
+
+func FuzzMul(f *testing.F) {
+	f.Add([]byte{0xff}, []byte{0xff})
+	f.Add(make([]byte, 100), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		a, b := FromBytes(ab), FromBytes(bb)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		if toBig(a.Mul(b)).Cmp(want) != 0 {
+			t.Fatalf("Mul(%x, %x) wrong", ab, bb)
+		}
+	})
+}
+
+func FuzzHexRoundTrip(f *testing.F) {
+	f.Add("deadbeef")
+	f.Add("0")
+	f.Fuzz(func(t *testing.T, s string) {
+		x, err := FromHex(s)
+		if err != nil {
+			return // invalid input is fine
+		}
+		back, err := FromHex(x.Hex())
+		if err != nil || !back.Equal(x) {
+			t.Fatalf("hex round trip of %q: %v", s, err)
+		}
+	})
+}
+
+func FuzzModExp(f *testing.F) {
+	f.Add([]byte{2}, []byte{10}, []byte{0x0f, 0xff})
+	f.Fuzz(func(t *testing.T, ab, eb, mb []byte) {
+		if len(eb) > 16 || len(mb) > 48 {
+			return // keep per-case cost bounded
+		}
+		a, e, m := FromBytes(ab), FromBytes(eb), FromBytes(mb)
+		if m.IsZero() {
+			return
+		}
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		if toBig(a.ModExp(e, m)).Cmp(want) != 0 {
+			t.Fatalf("ModExp(%x, %x, %x) wrong", ab, eb, mb)
+		}
+	})
+}

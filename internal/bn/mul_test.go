@@ -1,0 +1,118 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 400; trial++ {
+		a, b := randNat(rng, 600), randNat(rng, 600)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		checkEqualBig(t, "Mul", a.Mul(b), want)
+	}
+}
+
+func TestMulCrossesKaratsubaThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Sizes straddling the Karatsuba threshold (24 limbs = 768 bits), plus
+	// large sizes exercising deep recursion.
+	sizes := []int{256, 512, 767, 768, 769, 1024, 1536, 2048, 4096, 8192}
+	for _, bits := range sizes {
+		a := randNatExact(rng, bits)
+		b := randNatExact(rng, bits)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		checkEqualBig(t, "Mul", a.Mul(b), want)
+		// Schoolbook must agree with the dispatching Mul.
+		if !a.MulSchoolbook(b).Equal(a.Mul(b)) {
+			t.Fatalf("schoolbook disagrees at %d bits", bits)
+		}
+	}
+}
+
+func TestMulUnbalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pairs := [][2]int{{4096, 32}, {32, 4096}, {8192, 800}, {3000, 1000}, {1537, 64}}
+	for _, p := range pairs {
+		a := randNatExact(rng, p[0])
+		b := randNatExact(rng, p[1])
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		checkEqualBig(t, "Mul unbalanced", a.Mul(b), want)
+	}
+}
+
+func TestMulZeroAndOne(t *testing.T) {
+	x := MustHex("deadbeef00112233")
+	if !x.Mul(Zero()).IsZero() || !Zero().Mul(x).IsZero() {
+		t.Error("x*0 should be 0")
+	}
+	if !x.Mul(One()).Equal(x) {
+		t.Error("x*1 should be x")
+	}
+}
+
+func TestMulAllOnesLimbs(t *testing.T) {
+	// (2^n - 1)^2 stresses every carry path.
+	for _, bits := range []int{32, 64, 96, 512, 768, 1024} {
+		a := One().Shl(uint(bits)).SubUint64(1)
+		want := new(big.Int).Mul(toBig(a), toBig(a))
+		checkEqualBig(t, "all-ones square", a.Mul(a), want)
+		checkEqualBig(t, "all-ones Sqr", a.Sqr(), want)
+	}
+}
+
+func TestSqrAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		a := randNat(rng, 900)
+		want := new(big.Int).Mul(toBig(a), toBig(a))
+		checkEqualBig(t, "Sqr", a.Sqr(), want)
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, bits := range []int{31, 32, 33, 100, 500, 767, 768, 2000} {
+		a := randNatExact(rng, bits)
+		if !a.Sqr().Equal(a.Mul(a)) {
+			t.Errorf("Sqr != Mul at %d bits", bits)
+		}
+	}
+}
+
+// Property: multiplication matches math/big for arbitrary operands.
+func TestQuickMulMatchesBig(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		return toBig(a.Mul(b)).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distributive law a*(b+c) == a*b + a*c.
+func TestQuickMulDistributive(t *testing.T) {
+	f := func(ab, bb, cb []byte) bool {
+		a, b, c := FromBytes(ab), FromBytes(bb), FromBytes(cb)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: commutativity a*b == b*a (exercises the swap in mulLimbs).
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := FromBytes(ab), FromBytes(bb)
+		return a.Mul(b).Equal(b.Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

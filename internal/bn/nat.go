@@ -1,0 +1,229 @@
+// Package bn implements arbitrary-precision natural-number arithmetic from
+// scratch on 32-bit limbs.
+//
+// The package is the scalar reference substrate for the PhiOpenSSL
+// reproduction: the simulated KNC vector unit operates on 16 lanes of 32-bit
+// integers, so the scalar library uses the same limb width, which lets the
+// vector kernels in internal/vmont be validated limb-for-limb against this
+// package. No code here depends on math/big; the test suite cross-checks
+// every operation against math/big.
+//
+// A Nat is an immutable value: all methods return fresh values and never
+// mutate their receiver or arguments. Numbers are stored as little-endian
+// limb slices with no high zero limbs; the zero value of Nat is the number 0
+// and is ready to use.
+package bn
+
+// Limb width constants. The limb type is uint32 throughout so that products
+// fit in uint64 without overflow.
+const (
+	// LimbBits is the number of bits per limb.
+	LimbBits = 32
+	// LimbBytes is the number of bytes per limb.
+	LimbBytes = 4
+	// limbMask isolates a limb value inside a uint64 accumulator.
+	limbMask = 1<<LimbBits - 1
+)
+
+// Nat is an arbitrary-precision natural number (non-negative integer).
+type Nat struct {
+	// w holds the limbs in little-endian order with no trailing zeros.
+	// A nil or empty slice represents zero.
+	w []uint32
+}
+
+// Zero returns the number 0.
+func Zero() Nat { return Nat{} }
+
+// One returns the number 1.
+func One() Nat { return Nat{w: []uint32{1}} }
+
+// FromUint64 returns v as a Nat.
+func FromUint64(v uint64) Nat {
+	switch {
+	case v == 0:
+		return Nat{}
+	case v <= limbMask:
+		return Nat{w: []uint32{uint32(v)}}
+	default:
+		return Nat{w: []uint32{uint32(v), uint32(v >> LimbBits)}}
+	}
+}
+
+// FromLimbs returns a Nat from little-endian limbs. The slice is copied and
+// may contain high zero limbs.
+func FromLimbs(limbs []uint32) Nat {
+	n := len(limbs)
+	for n > 0 && limbs[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return Nat{}
+	}
+	w := make([]uint32, n)
+	copy(w, limbs[:n])
+	return Nat{w: w}
+}
+
+// Limbs returns a copy of x's little-endian limbs. The result is empty for
+// zero.
+func (x Nat) Limbs() []uint32 {
+	out := make([]uint32, len(x.w))
+	copy(out, x.w)
+	return out
+}
+
+// LimbsPadded returns a copy of x's little-endian limbs zero-padded to at
+// least n limbs. It panics if x does not fit in n limbs.
+func (x Nat) LimbsPadded(n int) []uint32 {
+	if len(x.w) > n {
+		panic("bn: LimbsPadded: value wider than requested limb count")
+	}
+	out := make([]uint32, n)
+	copy(out, x.w)
+	return out
+}
+
+// LimbLen returns the number of significant limbs in x (0 for zero).
+func (x Nat) LimbLen() int { return len(x.w) }
+
+// IsZero reports whether x == 0.
+func (x Nat) IsZero() bool { return len(x.w) == 0 }
+
+// IsOne reports whether x == 1.
+func (x Nat) IsOne() bool { return len(x.w) == 1 && x.w[0] == 1 }
+
+// IsOdd reports whether x is odd.
+func (x Nat) IsOdd() bool { return len(x.w) > 0 && x.w[0]&1 == 1 }
+
+// IsEven reports whether x is even.
+func (x Nat) IsEven() bool { return !x.IsOdd() }
+
+// Uint64 returns x as a uint64 and whether it fits.
+func (x Nat) Uint64() (uint64, bool) {
+	switch len(x.w) {
+	case 0:
+		return 0, true
+	case 1:
+		return uint64(x.w[0]), true
+	case 2:
+		return uint64(x.w[0]) | uint64(x.w[1])<<LimbBits, true
+	default:
+		return 0, false
+	}
+}
+
+// BitLen returns the length of x in bits; BitLen(0) == 0.
+func (x Nat) BitLen() int {
+	n := len(x.w)
+	if n == 0 {
+		return 0
+	}
+	return (n-1)*LimbBits + bitLen32(x.w[n-1])
+}
+
+// Bit returns bit i of x (0 or 1). Bits beyond BitLen are 0.
+func (x Nat) Bit(i int) uint {
+	if i < 0 {
+		panic("bn: negative bit index")
+	}
+	limb := i / LimbBits
+	if limb >= len(x.w) {
+		return 0
+	}
+	return uint(x.w[limb]>>(uint(i)%LimbBits)) & 1
+}
+
+// Bits returns bits [i, i+n) of x as a uint32 window, for 0 < n <= 32.
+// Bits beyond BitLen read as 0.
+func (x Nat) Bits(i, n int) uint32 {
+	if n <= 0 || n > 32 {
+		panic("bn: Bits window out of range")
+	}
+	var v uint64
+	limb := i / LimbBits
+	off := uint(i) % LimbBits
+	if limb < len(x.w) {
+		v = uint64(x.w[limb]) >> off
+	}
+	if limb+1 < len(x.w) && off != 0 {
+		v |= uint64(x.w[limb+1]) << (LimbBits - off)
+	}
+	return uint32(v & (1<<uint(n) - 1))
+}
+
+// TrailingZeroBits returns the number of consecutive zero bits at the least
+// significant end of x. TrailingZeroBits(0) == 0.
+func (x Nat) TrailingZeroBits() uint {
+	for i, limb := range x.w {
+		if limb != 0 {
+			return uint(i)*LimbBits + trailingZeros32(limb)
+		}
+	}
+	return 0
+}
+
+// Cmp compares x and y and returns -1, 0, or +1.
+func (x Nat) Cmp(y Nat) int {
+	return cmpLimbs(x.w, y.w)
+}
+
+// CmpUint64 compares x with v.
+func (x Nat) CmpUint64(v uint64) int {
+	return x.Cmp(FromUint64(v))
+}
+
+// Equal reports whether x == y.
+func (x Nat) Equal(y Nat) bool { return x.Cmp(y) == 0 }
+
+// cmpLimbs compares two normalized little-endian limb slices.
+func cmpLimbs(a, b []uint32) int {
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// trim drops high zero limbs in place and returns the normalized slice.
+func trim(w []uint32) []uint32 {
+	n := len(w)
+	for n > 0 && w[n-1] == 0 {
+		n--
+	}
+	return w[:n]
+}
+
+// norm wraps a freshly allocated limb slice as a Nat.
+func norm(w []uint32) Nat { return Nat{w: trim(w)} }
+
+// bitLen32 returns the number of significant bits in v.
+func bitLen32(v uint32) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// trailingZeros32 returns the number of trailing zero bits in v; v must be
+// nonzero.
+func trailingZeros32(v uint32) uint {
+	var n uint
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

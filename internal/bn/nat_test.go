@@ -1,0 +1,263 @@
+package bn
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var x Nat
+	if !x.IsZero() {
+		t.Error("zero value should be zero")
+	}
+	if x.BitLen() != 0 {
+		t.Errorf("BitLen(0) = %d, want 0", x.BitLen())
+	}
+	if got := x.Add(One()); !got.IsOne() {
+		t.Errorf("0 + 1 = %s, want 1", got)
+	}
+	if x.Hex() != "0" {
+		t.Errorf("Hex(0) = %q", x.Hex())
+	}
+	if len(x.Bytes()) != 0 {
+		t.Errorf("Bytes(0) = %x, want empty", x.Bytes())
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	cases := []uint64{0, 1, 2, 0xffffffff, 0x100000000, 0xdeadbeefcafebabe, 1<<64 - 1}
+	for _, v := range cases {
+		x := FromUint64(v)
+		got, ok := x.Uint64()
+		if !ok || got != v {
+			t.Errorf("FromUint64(%#x) round trip = %#x, ok=%v", v, got, ok)
+		}
+		if want := new(big.Int).SetUint64(v); toBig(x).Cmp(want) != 0 {
+			t.Errorf("FromUint64(%#x) = %s", v, x)
+		}
+	}
+}
+
+func TestUint64Overflow(t *testing.T) {
+	x := One().Shl(64)
+	if _, ok := x.Uint64(); ok {
+		t.Error("2^64 should not fit in uint64")
+	}
+}
+
+func TestFromLimbsNormalization(t *testing.T) {
+	x := FromLimbs([]uint32{5, 0, 0})
+	if x.LimbLen() != 1 {
+		t.Errorf("LimbLen = %d, want 1", x.LimbLen())
+	}
+	if x.CmpUint64(5) != 0 {
+		t.Errorf("value = %s, want 5", x)
+	}
+	if FromLimbs(nil).LimbLen() != 0 {
+		t.Error("FromLimbs(nil) should be zero")
+	}
+}
+
+func TestLimbsPadded(t *testing.T) {
+	x := FromUint64(0x1_0000_0001)
+	w := x.LimbsPadded(4)
+	if len(w) != 4 || w[0] != 1 || w[1] != 1 || w[2] != 0 || w[3] != 0 {
+		t.Errorf("LimbsPadded = %v", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LimbsPadded smaller than value should panic")
+		}
+	}()
+	x.LimbsPadded(1)
+}
+
+func TestCmp(t *testing.T) {
+	vals := []Nat{Zero(), One(), FromUint64(2), FromUint64(1 << 40), One().Shl(100)}
+	for i, a := range vals {
+		for j, b := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%s, %s) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		x    Nat
+		want int
+	}{
+		{Zero(), 0}, {One(), 1}, {FromUint64(2), 2}, {FromUint64(255), 8},
+		{FromUint64(256), 9}, {One().Shl(31), 32}, {One().Shl(32), 33},
+		{One().Shl(1000), 1001},
+	}
+	for _, c := range cases {
+		if got := c.x.BitLen(); got != c.want {
+			t.Errorf("BitLen(%s) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBitAndBits(t *testing.T) {
+	x := MustHex("f0f0f0f0f0f0f0f0f0f0")
+	ref := toBig(x)
+	for i := 0; i < 90; i++ {
+		if got, want := x.Bit(i), ref.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Bits windows cross limb boundaries.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		v := randNat(rng, 200)
+		rv := toBig(v)
+		i := rng.Intn(210)
+		n := 1 + rng.Intn(32)
+		var want uint32
+		for b := 0; b < n; b++ {
+			want |= uint32(rv.Bit(i+b)) << b
+		}
+		if got := v.Bits(i, n); got != want {
+			t.Fatalf("Bits(%s, %d, %d) = %#x, want %#x", v, i, n, got, want)
+		}
+	}
+}
+
+func TestTrailingZeroBits(t *testing.T) {
+	cases := []struct {
+		x    Nat
+		want uint
+	}{
+		{Zero(), 0}, {One(), 0}, {FromUint64(8), 3},
+		{One().Shl(32), 32}, {One().Shl(67), 67},
+		{FromUint64(12), 2},
+	}
+	for _, c := range cases {
+		if got := c.x.TrailingZeroBits(); got != c.want {
+			t.Errorf("TrailingZeroBits(%s) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Zero().IsOdd() || !Zero().IsEven() {
+		t.Error("0 parity wrong")
+	}
+	if !One().IsOdd() || One().IsEven() {
+		t.Error("1 parity wrong")
+	}
+	if !One().Shl(64).IsEven() {
+		t.Error("2^64 should be even")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		x := randNat(rng, 700)
+		got := FromBytes(x.Bytes())
+		if !got.Equal(x) {
+			t.Fatalf("Bytes round trip: %s -> %x -> %s", x, x.Bytes(), got)
+		}
+	}
+}
+
+func TestFromBytesLeadingZeros(t *testing.T) {
+	x := FromBytes([]byte{0, 0, 0, 1, 2})
+	if x.CmpUint64(0x102) != 0 {
+		t.Errorf("FromBytes with leading zeros = %s", x)
+	}
+}
+
+func TestFillBytes(t *testing.T) {
+	x := FromUint64(0xabcd)
+	buf := x.FillBytes(make([]byte, 6))
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0, 0xab, 0xcd}) {
+		t.Errorf("FillBytes = %x", buf)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FillBytes too small should panic")
+		}
+	}()
+	x.FillBytes(make([]byte, 1))
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		x := randNat(rng, 600)
+		got, err := FromHex(x.Hex())
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", x.Hex(), err)
+		}
+		if !got.Equal(x) {
+			t.Fatalf("hex round trip: %s -> %s", x, got)
+		}
+		if x.Hex() != toBig(x).Text(16) {
+			t.Fatalf("Hex(%s) = %q, want %q", x, x.Hex(), toBig(x).Text(16))
+		}
+	}
+}
+
+func TestFromHexForms(t *testing.T) {
+	for _, s := range []string{"0xFF", "0Xff", "f_f", "ff"} {
+		x, err := FromHex(s)
+		if err != nil || x.CmpUint64(255) != 0 {
+			t.Errorf("FromHex(%q) = %s, %v", s, x, err)
+		}
+	}
+	for _, s := range []string{"", "0x", "xyz", "12g4"} {
+		if _, err := FromHex(s); err == nil {
+			t.Errorf("FromHex(%q) should fail", s)
+		}
+	}
+}
+
+func TestDecimalString(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x := randNat(rng, 400)
+		if got, want := x.DecimalString(), toBig(x).String(); got != want {
+			t.Fatalf("DecimalString(%s) = %q, want %q", x, got, want)
+		}
+	}
+	if Zero().DecimalString() != "0" {
+		t.Error("DecimalString(0)")
+	}
+}
+
+// Property: FromBytes(b) equals big.Int SetBytes(b) for arbitrary byte
+// strings.
+func TestQuickFromBytesMatchesBig(t *testing.T) {
+	f := func(b []byte) bool {
+		return toBig(FromBytes(b)).Cmp(new(big.Int).SetBytes(b)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is antisymmetric and consistent with big.Int.
+func TestQuickCmpMatchesBig(t *testing.T) {
+	f := func(a, b []byte) bool {
+		x, y := FromBytes(a), FromBytes(b)
+		if x.Cmp(y) != -y.Cmp(x) {
+			return false
+		}
+		return x.Cmp(y) == toBig(x).Cmp(toBig(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

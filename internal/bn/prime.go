@@ -1,0 +1,136 @@
+package bn
+
+import (
+	"fmt"
+	"io"
+)
+
+// smallPrimes holds the odd primes below 2048, generated once at package
+// initialization with a sieve of Eratosthenes. They are used for trial
+// division before the (much more expensive) Miller-Rabin rounds.
+var smallPrimes = sievePrimes(2048)
+
+func sievePrimes(limit int) []uint32 {
+	composite := make([]bool, limit)
+	var primes []uint32
+	for p := 3; p < limit; p += 2 {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, uint32(p))
+		for q := p * p; q < limit; q += 2 * p {
+			composite[q] = true
+		}
+	}
+	return primes
+}
+
+// ProbablyPrime reports whether x passes `rounds` rounds of Miller-Rabin
+// with random bases from rng, preceded by a base-2 round and trial division
+// by small primes. A false result is definitive; a true result is wrong
+// with probability at most 4^-rounds.
+func (x Nat) ProbablyPrime(rng io.Reader, rounds int) (bool, error) {
+	if x.CmpUint64(2) < 0 {
+		return false, nil
+	}
+	if v, ok := x.Uint64(); ok && v < 4 {
+		return true, nil // 2 and 3
+	}
+	if x.IsEven() {
+		return false, nil
+	}
+	for _, p := range smallPrimes {
+		if x.ModUint32(p) == 0 {
+			return x.CmpUint64(uint64(p)) == 0, nil
+		}
+	}
+
+	// Write x-1 = d * 2^s with d odd.
+	xMinus1 := x.SubUint64(1)
+	s := xMinus1.TrailingZeroBits()
+	d := xMinus1.Shr(s)
+
+	// For 64-bit inputs the first twelve prime bases are a *deterministic*
+	// primality test (Sorenson & Webster): no random rounds needed and no
+	// error probability.
+	if _, fits := x.Uint64(); fits {
+		for _, b := range [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+			if x.CmpUint64(b) == 0 {
+				return true, nil
+			}
+			if !millerRabinRound(x, xMinus1, d, s, FromUint64(b)) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Deterministic base-2 round first: cheap and removes most composites.
+	if !millerRabinRound(x, xMinus1, d, s, FromUint64(2)) {
+		return false, nil
+	}
+	three := FromUint64(3)
+	for i := 0; i < rounds; i++ {
+		base, err := RandomRange(rng, three, xMinus1)
+		if err != nil {
+			return false, fmt.Errorf("bn: ProbablyPrime: %w", err)
+		}
+		if !millerRabinRound(x, xMinus1, d, s, base) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// millerRabinRound runs one Miller-Rabin round with the given base and
+// reports whether x is still possibly prime.
+func millerRabinRound(x, xMinus1, d Nat, s uint, base Nat) bool {
+	y := base.ModExp(d, x)
+	if y.IsOne() || y.Equal(xMinus1) {
+		return true
+	}
+	for i := uint(1); i < s; i++ {
+		y = y.Sqr().Mod(x)
+		if y.Equal(xMinus1) {
+			return true
+		}
+		if y.IsOne() {
+			return false // nontrivial square root of 1
+		}
+	}
+	return false
+}
+
+// GeneratePrime returns a random prime with exactly `bits` bits (top two
+// bits set, so products of two such primes have exactly 2*bits bits — the
+// RSA keygen convention). rounds Miller-Rabin rounds are applied.
+func GeneratePrime(rng io.Reader, bits, rounds int) (Nat, error) {
+	if bits < 16 {
+		return Nat{}, fmt.Errorf("bn: GeneratePrime: bits too small: %d", bits)
+	}
+	for attempts := 0; attempts < 100*bits; attempts++ {
+		cand, err := Random(rng, bits, true)
+		if err != nil {
+			return Nat{}, err
+		}
+		// Force the top two bits and the low bit (RSA convention: odd, and
+		// the product of two such primes has exactly 2*bits bits).
+		w := cand.LimbsPadded((bits + LimbBits - 1) / LimbBits)
+		w[0] |= 1
+		topBit := uint(bits-1) % LimbBits
+		w[len(w)-1] |= 1 << topBit
+		secondBit := uint(bits-2) % LimbBits
+		secondLimb := (bits - 2) / LimbBits
+		w[secondLimb] |= 1 << secondBit
+		cand = FromLimbs(w)
+
+		ok, err := cand.ProbablyPrime(rng, rounds)
+		if err != nil {
+			return Nat{}, err
+		}
+		if ok {
+			return cand, nil
+		}
+	}
+	return Nat{}, fmt.Errorf("bn: GeneratePrime: no prime found after %d attempts", 100*bits)
+}

@@ -1,0 +1,167 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSmallPrimesTable(t *testing.T) {
+	if len(smallPrimes) == 0 || smallPrimes[0] != 3 {
+		t.Fatalf("smallPrimes table malformed: %v", smallPrimes[:5])
+	}
+	for _, p := range smallPrimes {
+		if !new(big.Int).SetUint64(uint64(p)).ProbablyPrime(20) {
+			t.Errorf("sieve produced composite %d", p)
+		}
+	}
+	// pi(2048) - 1 (excluding 2) = 308.
+	if len(smallPrimes) != 308 {
+		t.Errorf("len(smallPrimes) = %d, want 308", len(smallPrimes))
+	}
+}
+
+func TestProbablyPrimeKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	primes := []string{
+		"2", "3", "5", "7", "10001", // 65537
+		"fffffffffffffffffffffffffffffffeffffffffffffffff",                 // P-192
+		"ffffffff00000001000000000000000000000000ffffffffffffffffffffffff", // P-256
+		"7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff", // 2^255-19... not prime! use known
+	}
+	// Replace the last entry with 2^127-1 (Mersenne prime M127).
+	primes[len(primes)-1] = One().Shl(127).SubUint64(1).Hex()
+	for _, s := range primes {
+		p := MustHex(s)
+		ok, err := p.ProbablyPrime(rng, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s should be prime", s)
+		}
+	}
+	composites := []string{
+		"1", "4", "6", "8", "9", "f", // small
+		"10000",                             // 65536
+		"5c1e9b3f",                          // random even-ish? force: see below
+		"3b9aca00",                          // 10^9
+		"7ffffffffffffffffffffffffffffffff", // huge odd composite (2^131-1 = 263*10350064...)
+	}
+	for _, s := range composites {
+		c := MustHex(s)
+		if bi := toBig(c); bi.ProbablyPrime(30) {
+			continue // skip anything accidentally prime in the list
+		}
+		ok, err := c.ProbablyPrime(rng, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s should be composite", s)
+		}
+	}
+}
+
+func TestProbablyPrimeCarmichael(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	// Carmichael numbers fool Fermat tests but not Miller-Rabin.
+	for _, v := range []uint64{561, 1105, 1729, 2465, 2821, 6601, 8911, 530881, 552721} {
+		ok, err := FromUint64(v).ProbablyPrime(rng, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("Carmichael number %d declared prime", v)
+		}
+	}
+}
+
+func TestProbablyPrimeMatchesBigSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for v := uint64(0); v < 2000; v++ {
+		ok, err := FromUint64(v).ProbablyPrime(rng, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).SetUint64(v).ProbablyPrime(20)
+		if ok != want {
+			t.Errorf("ProbablyPrime(%d) = %v, want %v", v, ok, want)
+		}
+	}
+}
+
+func TestProbablyPrimeProductOfPrimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	// Semiprimes with both factors above the trial-division bound:
+	// Miller-Rabin must reject them.
+	p, err := GeneratePrime(rng, 96, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := GeneratePrime(rng, 96, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Mul(q).ProbablyPrime(rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("semiprime declared prime")
+	}
+}
+
+func TestGeneratePrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, bits := range []int{64, 128, 256, 512} {
+		p, err := GeneratePrime(rng, bits, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.BitLen() != bits {
+			t.Errorf("GeneratePrime(%d): BitLen = %d", bits, p.BitLen())
+		}
+		if p.Bit(bits-2) != 1 {
+			t.Errorf("GeneratePrime(%d): second-highest bit clear", bits)
+		}
+		if !p.IsOdd() {
+			t.Errorf("GeneratePrime(%d): even", bits)
+		}
+		if !toBig(p).ProbablyPrime(30) {
+			t.Errorf("GeneratePrime(%d) = %s is composite per math/big", bits, p)
+		}
+	}
+}
+
+func TestGeneratePrimeTooSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	if _, err := GeneratePrime(rng, 8, 4); err == nil {
+		t.Error("GeneratePrime(8 bits) should fail")
+	}
+}
+
+func TestDeterministic64BitPrimality(t *testing.T) {
+	// With the deterministic base set, 64-bit answers are exact even with
+	// zero requested rounds. Check strong pseudoprimes to small bases.
+	rng := rand.New(rand.NewSource(56))
+	cases := map[uint64]bool{
+		2:                    true,
+		3215031751:           false, // strong pseudoprime to bases 2,3,5,7
+		3825123056546413051:  false, // strong pseudoprime to first 9 prime bases
+		18446744073709551557: true,  // largest 64-bit prime
+		18446744073709551615: false, // 2^64 - 1
+		67:                   true,
+		1_000_000_007:        true,
+		25326001:             false, // strong pseudoprime to 2,3,5
+	}
+	for v, want := range cases {
+		got, err := FromUint64(v).ProbablyPrime(rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ProbablyPrime(%d) = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package bn
+
+import (
+	"fmt"
+	"io"
+)
+
+// Random returns a uniformly random Nat with exactly the requested number of
+// bits drawn from rng (the top bit is always set), or fewer-or-equal bits if
+// exact is false. bits must be > 0.
+func Random(rng io.Reader, bits int, exact bool) (Nat, error) {
+	if bits <= 0 {
+		return Nat{}, fmt.Errorf("bn: Random: bits must be positive, got %d", bits)
+	}
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return Nat{}, fmt.Errorf("bn: Random: reading entropy: %w", err)
+	}
+	// Mask excess high bits so the value has at most `bits` bits.
+	excess := uint(nbytes*8 - bits)
+	buf[0] &= 0xff >> excess
+	if exact {
+		buf[0] |= 0x80 >> excess
+	}
+	return FromBytes(buf), nil
+}
+
+// RandomRange returns a uniformly random Nat in [lo, hi) using rejection
+// sampling. It panics if hi <= lo.
+func RandomRange(rng io.Reader, lo, hi Nat) (Nat, error) {
+	if hi.Cmp(lo) <= 0 {
+		panic("bn: RandomRange: empty range")
+	}
+	span := hi.Sub(lo)
+	bits := span.BitLen()
+	for {
+		r, err := Random(rng, bits, false)
+		if err != nil {
+			return Nat{}, err
+		}
+		if r.Cmp(span) < 0 {
+			return lo.Add(r), nil
+		}
+	}
+}

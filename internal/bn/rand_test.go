@@ -1,0 +1,96 @@
+package bn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomExactBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, bits := range []int{1, 7, 8, 9, 31, 32, 33, 255, 1024} {
+		for trial := 0; trial < 20; trial++ {
+			x, err := Random(rng, bits, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x.BitLen() != bits {
+				t.Fatalf("Random(%d, exact) has %d bits", bits, x.BitLen())
+			}
+		}
+	}
+}
+
+func TestRandomLooseBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		x, err := Random(rng, 64, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.BitLen() > 64 {
+			t.Fatalf("Random(64, loose) has %d bits", x.BitLen())
+		}
+	}
+}
+
+func TestRandomRejectsBadBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, bits := range []int{0, -5} {
+		if _, err := Random(rng, bits, true); err == nil {
+			t.Errorf("Random(%d) should fail", bits)
+		}
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("entropy exhausted") }
+
+func TestRandomPropagatesReaderErrors(t *testing.T) {
+	if _, err := Random(failingReader{}, 64, true); err == nil {
+		t.Error("reader error not propagated")
+	}
+	if _, err := RandomRange(failingReader{}, One(), FromUint64(100)); err == nil {
+		t.Error("RandomRange reader error not propagated")
+	}
+}
+
+func TestRandomRangeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	lo, hi := FromUint64(1000), FromUint64(1010)
+	seen := map[uint64]bool{}
+	for trial := 0; trial < 500; trial++ {
+		x, err := RandomRange(rng, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Cmp(lo) < 0 || x.Cmp(hi) >= 0 {
+			t.Fatalf("RandomRange out of bounds: %s", x)
+		}
+		v, _ := x.Uint64()
+		seen[v] = true
+	}
+	// All ten values should appear over 500 draws (coverage check).
+	if len(seen) != 10 {
+		t.Errorf("only %d/10 range values observed", len(seen))
+	}
+}
+
+func TestRandomRangeEmptyPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	defer func() {
+		if recover() == nil {
+			t.Error("empty range should panic")
+		}
+	}()
+	RandomRange(rng, FromUint64(5), FromUint64(5)) //nolint:errcheck
+}
+
+func TestRandomRangeSingleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	x, err := RandomRange(rng, FromUint64(7), FromUint64(8))
+	if err != nil || x.CmpUint64(7) != 0 {
+		t.Fatalf("singleton range: %s, %v", x, err)
+	}
+}

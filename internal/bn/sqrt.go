@@ -1,0 +1,25 @@
+package bn
+
+// Sqrt returns the integer square root of x: the largest s with s*s <= x.
+// Newton's method on the integers; each iteration at least halves the
+// error, so the loop runs O(log BitLen) big-number divisions.
+func (x Nat) Sqrt() Nat {
+	if x.CmpUint64(1) <= 0 {
+		return x
+	}
+	// Initial estimate: 2^ceil(BitLen/2) >= sqrt(x).
+	z := One().Shl(uint((x.BitLen() + 1) / 2))
+	for {
+		y := z.Add(x.Div(z)).Shr(1)
+		if y.Cmp(z) >= 0 {
+			return z
+		}
+		z = y
+	}
+}
+
+// IsSquare reports whether x is a perfect square.
+func (x Nat) IsSquare() bool {
+	s := x.Sqrt()
+	return s.Mul(s).Equal(x)
+}

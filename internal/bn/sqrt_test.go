@@ -1,0 +1,63 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqrtAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 300; trial++ {
+		x := randNat(rng, 600)
+		want := new(big.Int).Sqrt(toBig(x))
+		checkEqualBig(t, "Sqrt", x.Sqrt(), want)
+	}
+}
+
+func TestSqrtSmall(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 2: 1, 3: 1, 4: 2, 8: 2, 9: 3, 15: 3, 16: 4, 99: 9, 100: 10}
+	for in, want := range cases {
+		if got := FromUint64(in).Sqrt(); got.CmpUint64(want) != 0 {
+			t.Errorf("Sqrt(%d) = %s, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSqrtPerfectSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		s := randNatExact(rng, 10+rng.Intn(300))
+		sq := s.Mul(s)
+		if got := sq.Sqrt(); !got.Equal(s) {
+			t.Fatalf("Sqrt(%s^2) = %s", s, got)
+		}
+		if !sq.IsSquare() {
+			t.Fatalf("%s^2 not recognized as square", s)
+		}
+		// s^2 + 1 and s^2 - 1 are not squares (for s >= 2).
+		if sq.AddUint64(1).IsSquare() {
+			t.Fatalf("s^2+1 declared square")
+		}
+		if s.CmpUint64(2) > 0 && sq.SubUint64(1).IsSquare() {
+			t.Fatalf("s^2-1 declared square")
+		}
+	}
+}
+
+// Property: s = Sqrt(x) satisfies s^2 <= x < (s+1)^2.
+func TestQuickSqrtBracket(t *testing.T) {
+	f := func(xb []byte) bool {
+		x := FromBytes(xb)
+		s := x.Sqrt()
+		if s.Mul(s).Cmp(x) > 0 {
+			return false
+		}
+		s1 := s.AddUint64(1)
+		return s1.Mul(s1).Cmp(x) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

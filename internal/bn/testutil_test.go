@@ -1,0 +1,52 @@
+package bn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// toBig converts a Nat to math/big for cross-checking.
+func toBig(x Nat) *big.Int {
+	return new(big.Int).SetBytes(x.Bytes())
+}
+
+// fromBig converts a non-negative math/big value to a Nat.
+func fromBig(v *big.Int) Nat {
+	if v.Sign() < 0 {
+		panic("fromBig: negative")
+	}
+	return FromBytes(v.Bytes())
+}
+
+// randNat returns a random Nat with up to maxBits bits (possibly zero).
+func randNat(rng *rand.Rand, maxBits int) Nat {
+	bits := rng.Intn(maxBits + 1)
+	if bits == 0 {
+		return Nat{}
+	}
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	rng.Read(buf)
+	buf[0] &= 0xff >> uint(nbytes*8-bits)
+	return FromBytes(buf)
+}
+
+// randNatExact returns a random Nat with exactly bits bits.
+func randNatExact(rng *rand.Rand, bits int) Nat {
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	rng.Read(buf)
+	excess := uint(nbytes*8 - bits)
+	buf[0] &= 0xff >> excess
+	buf[0] |= 0x80 >> excess
+	return FromBytes(buf)
+}
+
+// checkEqualBig fails the test if got != want.
+func checkEqualBig(t *testing.T, op string, got Nat, want *big.Int) {
+	t.Helper()
+	if toBig(got).Cmp(want) != 0 {
+		t.Fatalf("%s: got %s, want %s", op, got, want.Text(16))
+	}
+}

@@ -1,0 +1,292 @@
+// Package cert implements a minimal certificate system for the SSL
+// substrate: a certificate binds a subject name to an RSA public key and
+// a validity window, signed by an issuer with RSASSA-PKCS1-v1_5/SHA-256.
+//
+// The encoding reuses the reproduction's line-oriented envelope format
+// rather than ASN.1/X.509 — the object of study is the RSA arithmetic the
+// signatures cost, not DER parsing. Chains verify leaf-first up to a
+// pinned root, and tlssim can carry a chain in ServerHello so the client
+// performs the same verification work (RSA public ops) a real TLS client
+// would.
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/rsakit"
+)
+
+// Certificate binds a subject to a public key.
+type Certificate struct {
+	// Subject names the key holder.
+	Subject string
+	// Issuer names the signer (== Subject for self-signed roots).
+	Issuer string
+	// Serial disambiguates certificates from one issuer.
+	Serial uint64
+	// NotBefore/NotAfter bound validity (Unix seconds, inclusive).
+	NotBefore, NotAfter int64
+	// Key is the certified RSA public key.
+	Key *rsakit.PublicKey
+	// Signature is the issuer's PKCS#1 v1.5 SHA-256 signature over the
+	// to-be-signed encoding.
+	Signature []byte
+}
+
+// tbs is the deterministic to-be-signed encoding.
+func (c *Certificate) tbs() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "subject=%q\nissuer=%q\nserial=%d\nnotbefore=%d\nnotafter=%d\nkey=%s",
+		c.Subject, c.Issuer, c.Serial, c.NotBefore, c.NotAfter,
+		rsakit.MarshalPublic(c.Key))
+	return []byte(sb.String())
+}
+
+// Template carries the fields of a certificate request.
+type Template struct {
+	// Subject names the key holder.
+	Subject string
+	// Serial disambiguates certificates from one issuer.
+	Serial uint64
+	// NotBefore/NotAfter bound validity (Unix seconds).
+	NotBefore, NotAfter int64
+}
+
+// Sign issues a certificate for pub under the issuer's name and key. The
+// issuer's RSA private operation runs on eng with opts.
+func Sign(eng engine.Engine, tmpl Template, pub *rsakit.PublicKey,
+	issuerName string, issuerKey *rsakit.PrivateKey, opts rsakit.PrivateOpts) (*Certificate, error) {
+	if tmpl.Subject == "" {
+		return nil, fmt.Errorf("cert: empty subject")
+	}
+	if tmpl.NotAfter < tmpl.NotBefore {
+		return nil, fmt.Errorf("cert: validity window ends before it begins")
+	}
+	c := &Certificate{
+		Subject:   tmpl.Subject,
+		Issuer:    issuerName,
+		Serial:    tmpl.Serial,
+		NotBefore: tmpl.NotBefore,
+		NotAfter:  tmpl.NotAfter,
+		Key:       pub,
+	}
+	sig, err := rsakit.SignPKCS1v15SHA256(eng, issuerKey, c.tbs(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("cert: signing: %w", err)
+	}
+	c.Signature = sig
+	return c, nil
+}
+
+// SelfSign issues a root certificate: subject == issuer, signed by its own
+// key.
+func SelfSign(eng engine.Engine, tmpl Template, key *rsakit.PrivateKey,
+	opts rsakit.PrivateOpts) (*Certificate, error) {
+	return Sign(eng, tmpl, &key.PublicKey, tmpl.Subject, key, opts)
+}
+
+// Verify checks c's signature under issuerPub and its validity at `now`.
+func (c *Certificate) Verify(eng engine.Engine, issuerPub *rsakit.PublicKey, now int64) error {
+	if now < c.NotBefore || now > c.NotAfter {
+		return fmt.Errorf("cert: %q not valid at time %d", c.Subject, now)
+	}
+	if err := rsakit.VerifyPKCS1v15SHA256(eng, issuerPub, c.tbs(), c.Signature); err != nil {
+		return fmt.Errorf("cert: %q: bad signature: %w", c.Subject, err)
+	}
+	return nil
+}
+
+// Chain is a certificate chain, leaf first, ending in (or chaining to) a
+// trusted root.
+type Chain []*Certificate
+
+// VerifyChain verifies a chain against a set of trusted roots at time
+// `now`: every link's signature checks under its parent's key, names
+// chain correctly, and the final link is signed by (or is) a trusted
+// root. It returns the verified leaf.
+func VerifyChain(eng engine.Engine, chain Chain, roots []*Certificate, now int64) (*Certificate, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("cert: empty chain")
+	}
+	rootByName := make(map[string]*Certificate, len(roots))
+	for _, r := range roots {
+		rootByName[r.Subject] = r
+	}
+	for i, c := range chain {
+		// Find the parent: next element, or a trusted root.
+		if i+1 < len(chain) {
+			parent := chain[i+1]
+			if c.Issuer != parent.Subject {
+				return nil, fmt.Errorf("cert: %q issued by %q, next in chain is %q",
+					c.Subject, c.Issuer, parent.Subject)
+			}
+			if err := c.Verify(eng, parent.Key, now); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Last element: must be anchored in the trust store.
+		root, ok := rootByName[c.Issuer]
+		if !ok {
+			return nil, fmt.Errorf("cert: no trusted root %q", c.Issuer)
+		}
+		if err := c.Verify(eng, root.Key, now); err != nil {
+			return nil, err
+		}
+		if root.Subject != root.Issuer {
+			return nil, fmt.Errorf("cert: trust anchor %q is not self-signed", root.Subject)
+		}
+	}
+	return chain[0], nil
+}
+
+// Marshal serializes a certificate.
+func Marshal(c *Certificate) string {
+	var sb strings.Builder
+	sb.WriteString("-----BEGIN PHIOPENSSL CERTIFICATE-----\n")
+	fields := map[string]string{
+		"subject":   c.Subject,
+		"issuer":    c.Issuer,
+		"serial":    strconv.FormatUint(c.Serial, 10),
+		"notbefore": strconv.FormatInt(c.NotBefore, 10),
+		"notafter":  strconv.FormatInt(c.NotAfter, 10),
+		"n":         c.Key.N.Hex(),
+		"e":         c.Key.E.Hex(),
+		"sig":       bn.FromBytes(c.Signature).Hex(),
+		"siglen":    strconv.Itoa(len(c.Signature)),
+	}
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s:%s\n", name, fields[name])
+	}
+	sb.WriteString("-----END PHIOPENSSL CERTIFICATE-----\n")
+	return sb.String()
+}
+
+// Unmarshal parses a certificate.
+func Unmarshal(s string) (*Certificate, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 ||
+		strings.TrimSpace(lines[0]) != "-----BEGIN PHIOPENSSL CERTIFICATE-----" ||
+		strings.TrimSpace(lines[len(lines)-1]) != "-----END PHIOPENSSL CERTIFICATE-----" {
+		return nil, fmt.Errorf("cert: malformed envelope")
+	}
+	fields := make(map[string]string)
+	for _, line := range lines[1 : len(lines)-1] {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), ":")
+		if !ok {
+			return nil, fmt.Errorf("cert: malformed line %q", line)
+		}
+		fields[name] = val
+	}
+	get := func(name string) (string, error) {
+		v, ok := fields[name]
+		if !ok {
+			return "", fmt.Errorf("cert: missing field %q", name)
+		}
+		return v, nil
+	}
+	c := &Certificate{Key: &rsakit.PublicKey{}}
+	var err error
+	if c.Subject, err = get("subject"); err != nil {
+		return nil, err
+	}
+	if c.Issuer, err = get("issuer"); err != nil {
+		return nil, err
+	}
+	serial, err := get("serial")
+	if err != nil {
+		return nil, err
+	}
+	if c.Serial, err = strconv.ParseUint(serial, 10, 64); err != nil {
+		return nil, fmt.Errorf("cert: serial: %w", err)
+	}
+	nb, err := get("notbefore")
+	if err != nil {
+		return nil, err
+	}
+	if c.NotBefore, err = strconv.ParseInt(nb, 10, 64); err != nil {
+		return nil, fmt.Errorf("cert: notbefore: %w", err)
+	}
+	na, err := get("notafter")
+	if err != nil {
+		return nil, err
+	}
+	if c.NotAfter, err = strconv.ParseInt(na, 10, 64); err != nil {
+		return nil, fmt.Errorf("cert: notafter: %w", err)
+	}
+	nHex, err := get("n")
+	if err != nil {
+		return nil, err
+	}
+	if c.Key.N, err = bn.FromHex(nHex); err != nil {
+		return nil, fmt.Errorf("cert: n: %w", err)
+	}
+	eHex, err := get("e")
+	if err != nil {
+		return nil, err
+	}
+	if c.Key.E, err = bn.FromHex(eHex); err != nil {
+		return nil, fmt.Errorf("cert: e: %w", err)
+	}
+	sigHex, err := get("sig")
+	if err != nil {
+		return nil, err
+	}
+	sigNat, err := bn.FromHex(sigHex)
+	if err != nil {
+		return nil, fmt.Errorf("cert: sig: %w", err)
+	}
+	sigLenStr, err := get("siglen")
+	if err != nil {
+		return nil, err
+	}
+	sigLen, err := strconv.Atoi(sigLenStr)
+	if err != nil || sigLen < 0 || sigLen > 4096 {
+		return nil, fmt.Errorf("cert: bad siglen %q", sigLenStr)
+	}
+	c.Signature = sigNat.FillBytes(make([]byte, sigLen))
+	return c, nil
+}
+
+// MarshalChain serializes a chain as concatenated certificates.
+func MarshalChain(chain Chain) string {
+	var sb strings.Builder
+	for _, c := range chain {
+		sb.WriteString(Marshal(c))
+	}
+	return sb.String()
+}
+
+// UnmarshalChain parses concatenated certificates.
+func UnmarshalChain(s string) (Chain, error) {
+	const end = "-----END PHIOPENSSL CERTIFICATE-----"
+	var chain Chain
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		idx := strings.Index(rest, end)
+		if idx < 0 {
+			return nil, fmt.Errorf("cert: truncated chain")
+		}
+		one := rest[:idx+len(end)]
+		c, err := Unmarshal(one)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, c)
+		rest = strings.TrimSpace(rest[idx+len(end):])
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("cert: empty chain")
+	}
+	return chain, nil
+}

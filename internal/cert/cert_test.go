@@ -1,0 +1,218 @@
+package cert
+
+import (
+	mrand "math/rand"
+	"strings"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/rsakit"
+)
+
+var (
+	rootKey   = mustKey(1)
+	interKey  = mustKey(2)
+	leafKey   = mustKey(3)
+	strangeCA = mustKey(4)
+)
+
+func mustKey(seed int64) *rsakit.PrivateKey {
+	k, err := rsakit.GenerateKey(mrand.New(mrand.NewSource(seed)), 512)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+const (
+	tNow    = int64(1_600_000_000)
+	tBefore = tNow - 1000
+	tAfter  = tNow + 1000
+)
+
+func opts() rsakit.PrivateOpts { return rsakit.DefaultPrivateOpts() }
+
+// buildChain issues root -> intermediate -> leaf.
+func buildChain(t *testing.T, eng engine.Engine) (Chain, *Certificate) {
+	t.Helper()
+	root, err := SelfSign(eng, Template{
+		Subject: "root-ca", Serial: 1, NotBefore: tBefore, NotAfter: tAfter,
+	}, rootKey, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Sign(eng, Template{
+		Subject: "intermediate", Serial: 2, NotBefore: tBefore, NotAfter: tAfter,
+	}, &interKey.PublicKey, "root-ca", rootKey, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := Sign(eng, Template{
+		Subject: "server.example", Serial: 3, NotBefore: tBefore, NotAfter: tAfter,
+	}, &leafKey.PublicKey, "intermediate", interKey, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Chain{leaf, inter}, root
+}
+
+func TestSelfSignedVerifies(t *testing.T) {
+	for _, eng := range []engine.Engine{core.New(), baseline.NewOpenSSL()} {
+		root, err := SelfSign(eng, Template{
+			Subject: "root", Serial: 9, NotBefore: tBefore, NotAfter: tAfter,
+		}, rootKey, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Verify(eng, root.Key, tNow); err != nil {
+			t.Fatalf("self-signed verify: %v", err)
+		}
+	}
+}
+
+func TestChainVerifies(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, root := buildChain(t, eng)
+	leaf, err := VerifyChain(eng, chain, []*Certificate{root}, tNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Subject != "server.example" {
+		t.Fatalf("leaf = %q", leaf.Subject)
+	}
+	if !leaf.Key.N.Equal(leafKey.N) {
+		t.Fatal("leaf key mismatch")
+	}
+}
+
+func TestChainRejectsUntrustedRoot(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, _ := buildChain(t, eng)
+	otherRoot, err := SelfSign(eng, Template{
+		Subject: "other-ca", Serial: 5, NotBefore: tBefore, NotAfter: tAfter,
+	}, strangeCA, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(eng, chain, []*Certificate{otherRoot}, tNow); err == nil {
+		t.Fatal("chain accepted under wrong root")
+	}
+	if _, err := VerifyChain(eng, chain, nil, tNow); err == nil {
+		t.Fatal("chain accepted with empty trust store")
+	}
+}
+
+func TestChainRejectsTamperedLink(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, root := buildChain(t, eng)
+	// Swap the leaf's key for the attacker's.
+	bad := *chain[0]
+	bad.Key = &strangeCA.PublicKey
+	if _, err := VerifyChain(eng, Chain{&bad, chain[1]}, []*Certificate{root}, tNow); err == nil {
+		t.Fatal("tampered leaf accepted")
+	}
+	// Break the name chain.
+	bad2 := *chain[0]
+	bad2.Issuer = "unrelated"
+	if _, err := VerifyChain(eng, Chain{&bad2, chain[1]}, []*Certificate{root}, tNow); err == nil {
+		t.Fatal("broken name chain accepted")
+	}
+	// Corrupt a signature bit.
+	bad3 := *chain[0]
+	bad3.Signature = append([]byte{}, chain[0].Signature...)
+	bad3.Signature[4] ^= 1
+	if _, err := VerifyChain(eng, Chain{&bad3, chain[1]}, []*Certificate{root}, tNow); err == nil {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestValidityWindow(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, root := buildChain(t, eng)
+	if _, err := VerifyChain(eng, chain, []*Certificate{root}, tAfter+10); err == nil {
+		t.Fatal("expired chain accepted")
+	}
+	if _, err := VerifyChain(eng, chain, []*Certificate{root}, tBefore-10); err == nil {
+		t.Fatal("not-yet-valid chain accepted")
+	}
+}
+
+func TestSignValidation(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	if _, err := Sign(eng, Template{Subject: "", NotBefore: 0, NotAfter: 10},
+		&leafKey.PublicKey, "ca", rootKey, opts()); err == nil {
+		t.Fatal("empty subject accepted")
+	}
+	if _, err := Sign(eng, Template{Subject: "x", NotBefore: 10, NotAfter: 0},
+		&leafKey.PublicKey, "ca", rootKey, opts()); err == nil {
+		t.Fatal("inverted validity accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, root := buildChain(t, eng)
+	all := append(Chain{}, chain...)
+	all = append(all, root)
+	for _, c := range all {
+		back, err := Unmarshal(Marshal(c))
+		if err != nil {
+			t.Fatalf("unmarshal %q: %v", c.Subject, err)
+		}
+		if back.Subject != c.Subject || back.Issuer != c.Issuer ||
+			back.Serial != c.Serial || back.NotBefore != c.NotBefore ||
+			back.NotAfter != c.NotAfter || !back.Key.N.Equal(c.Key.N) ||
+			string(back.Signature) != string(c.Signature) {
+			t.Fatalf("round trip mismatch for %q", c.Subject)
+		}
+		// The round-tripped certificate still verifies.
+		if c.Subject == "root-ca" {
+			if err := back.Verify(eng, back.Key, tNow); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestChainMarshalRoundTrip(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	chain, root := buildChain(t, eng)
+	s := MarshalChain(chain)
+	back, err := UnmarshalChain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(chain) {
+		t.Fatalf("chain length %d", len(back))
+	}
+	if _, err := VerifyChain(eng, back, []*Certificate{root}, tNow); err != nil {
+		t.Fatalf("re-parsed chain fails verification: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a cert",
+		"-----BEGIN PHIOPENSSL CERTIFICATE-----\n-----END PHIOPENSSL CERTIFICATE-----",
+		"-----BEGIN PHIOPENSSL CERTIFICATE-----\nsubject:x\n-----END PHIOPENSSL CERTIFICATE-----",
+	}
+	for _, s := range cases {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%.30q) should fail", s)
+		}
+	}
+	if _, err := UnmarshalChain("junk without end marker"); err == nil {
+		t.Error("UnmarshalChain of junk should fail")
+	}
+	// Tampered field in an otherwise valid envelope.
+	eng := baseline.NewOpenSSL()
+	chain, _ := buildChain(t, eng)
+	s := Marshal(chain[0])
+	s = strings.Replace(s, "serial:3", "serial:zz", 1)
+	if _, err := Unmarshal(s); err == nil {
+		t.Error("bad serial accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package dh implements finite-field Diffie-Hellman key agreement over
+// the RFC 3526 MODP groups, with all modular exponentiation delegated to a
+// pluggable engine.
+//
+// The SSL deployments the paper targets offer DHE-RSA suites alongside
+// plain RSA key transport: the server's RSA key then signs ephemeral DH
+// parameters instead of decrypting a premaster secret, and the DH
+// exponentiations join RSA as the dominant handshake cost. This package
+// provides that substrate for tlssim's DHE mode and for benchmarks.
+package dh
+
+import (
+	"fmt"
+	"io"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+)
+
+// Group is a finite-field DH group with prime modulus P and generator G.
+// The RFC 3526 groups are safe-prime groups: P = 2Q + 1 with Q prime, so
+// the subgroup of quadratic residues has prime order Q.
+type Group struct {
+	// Name identifies the group ("modp2048", ...).
+	Name string
+	// P is the safe prime modulus.
+	P bn.Nat
+	// G is the generator (2 for the MODP groups).
+	G bn.Nat
+}
+
+// MODP2048 is RFC 3526 group 14 (2048-bit MODP), the group TLS
+// deployments of the paper's era negotiated most often.
+func MODP2048() Group {
+	return Group{Name: "modp2048", G: bn.FromUint64(2), P: bn.MustHex(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
+			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
+			"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+			"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718" +
+			"3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF")}
+}
+
+// MODP1536 is RFC 3526 group 5 (1536-bit MODP), used for faster tests and
+// the smaller handshake configurations.
+func MODP1536() Group {
+	return Group{Name: "modp1536", G: bn.FromUint64(2), P: bn.MustHex(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
+			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
+			"9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF")}
+}
+
+// GroupByName resolves a group by its wire name.
+func GroupByName(name string) (Group, error) {
+	switch name {
+	case "modp2048":
+		return MODP2048(), nil
+	case "modp1536":
+		return MODP1536(), nil
+	default:
+		return Group{}, fmt.Errorf("dh: unknown group %q", name)
+	}
+}
+
+// exponentBits is the private exponent size: 2s-bit exponents give s bits
+// of security in a safe-prime group; 256 bits matches the ~128-bit level
+// of the group sizes used here and is what OpenSSL-era servers used.
+const exponentBits = 256
+
+// KeyPair is an ephemeral DH key.
+type KeyPair struct {
+	// Group is the key's group.
+	Group Group
+	// Private is the secret exponent x.
+	Private bn.Nat
+	// Public is g^x mod p.
+	Public bn.Nat
+}
+
+// GenerateKey draws a private exponent and computes the public value on
+// eng.
+func GenerateKey(eng engine.Engine, rng io.Reader, g Group) (*KeyPair, error) {
+	x, err := bn.Random(rng, exponentBits, true)
+	if err != nil {
+		return nil, fmt.Errorf("dh: drawing exponent: %w", err)
+	}
+	return &KeyPair{Group: g, Private: x, Public: eng.ModExp(g.G, x, g.P)}, nil
+}
+
+// CheckPublic validates a peer public value: it must lie in (1, P-1) —
+// the checks that defeat the degenerate-key and small-subgroup attacks a
+// hostile client can mount.
+func CheckPublic(g Group, pub bn.Nat) error {
+	if pub.CmpUint64(1) <= 0 {
+		return fmt.Errorf("dh: degenerate peer public value")
+	}
+	if pub.Cmp(g.P.SubUint64(1)) >= 0 {
+		return fmt.Errorf("dh: peer public value out of range")
+	}
+	return nil
+}
+
+// SharedSecret computes peerPub^x mod p after validating peerPub, and
+// additionally rejects the degenerate shared secrets 0, 1 and P-1.
+func SharedSecret(eng engine.Engine, key *KeyPair, peerPub bn.Nat) (bn.Nat, error) {
+	if err := CheckPublic(key.Group, peerPub); err != nil {
+		return bn.Nat{}, err
+	}
+	s := eng.ModExp(peerPub, key.Private, key.Group.P)
+	if s.CmpUint64(1) <= 0 || s.Equal(key.Group.P.SubUint64(1)) {
+		return bn.Nat{}, fmt.Errorf("dh: degenerate shared secret")
+	}
+	return s, nil
+}

@@ -1,0 +1,153 @@
+package dh
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+)
+
+func engines() map[string]engine.Engine {
+	return map[string]engine.Engine{
+		"phi":  core.New(),
+		"ossl": baseline.NewOpenSSL(),
+	}
+}
+
+func TestGroupPrimesAreSane(t *testing.T) {
+	for _, g := range []Group{MODP2048(), MODP1536()} {
+		wantBits := map[string]int{"modp2048": 2048, "modp1536": 1536}[g.Name]
+		if g.P.BitLen() != wantBits {
+			t.Errorf("%s: P has %d bits", g.Name, g.P.BitLen())
+		}
+		if !g.P.IsOdd() {
+			t.Errorf("%s: P even", g.Name)
+		}
+		// Safe prime: (P-1)/2 must also be prime. Use math/big's test
+		// (fast, and these are standardized constants).
+		p := new(big.Int).SetBytes(g.P.Bytes())
+		if !p.ProbablyPrime(16) {
+			t.Errorf("%s: P not prime", g.Name)
+		}
+		q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+		if !q.ProbablyPrime(16) {
+			t.Errorf("%s: (P-1)/2 not prime", g.Name)
+		}
+	}
+}
+
+func TestGroupByName(t *testing.T) {
+	g, err := GroupByName("modp1536")
+	if err != nil || g.Name != "modp1536" {
+		t.Fatalf("GroupByName: %v", err)
+	}
+	if _, err := GroupByName("modp0"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestKeyAgreement(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	g := MODP1536()
+	for name, eng := range engines() {
+		alice, err := GenerateKey(eng, rng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bob, err := GenerateKey(eng, rng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := SharedSecret(eng, alice, bob.Public)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := SharedSecret(eng, bob, alice.Public)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s1.Equal(s2) {
+			t.Fatalf("%s: shared secrets differ", name)
+		}
+		if alice.Public.Equal(bob.Public) {
+			t.Fatalf("%s: identical ephemeral keys", name)
+		}
+		if alice.Private.BitLen() != 256 {
+			t.Fatalf("%s: exponent %d bits", name, alice.Private.BitLen())
+		}
+	}
+}
+
+func TestCrossEngineAgreement(t *testing.T) {
+	// Alice on the Phi engine, Bob on a baseline: same secret.
+	rng := mrand.New(mrand.NewSource(2))
+	g := MODP1536()
+	phi, ossl := core.New(), baseline.NewOpenSSL()
+	alice, err := GenerateKey(phi, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := GenerateKey(ossl, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SharedSecret(phi, alice, bob.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SharedSecret(ossl, bob, alice.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatal("cross-engine secrets differ")
+	}
+}
+
+func TestCheckPublicRejectsDegenerate(t *testing.T) {
+	g := MODP1536()
+	bad := []bn.Nat{bn.Zero(), bn.One(), g.P.SubUint64(1), g.P, g.P.AddUint64(5)}
+	for _, pub := range bad {
+		if err := CheckPublic(g, pub); err == nil {
+			t.Errorf("CheckPublic(%s...) accepted", pub.Hex()[:8])
+		}
+	}
+	if err := CheckPublic(g, bn.FromUint64(12345)); err != nil {
+		t.Errorf("valid public rejected: %v", err)
+	}
+}
+
+func TestSharedSecretRejectsDegenerate(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	eng := baseline.NewOpenSSL()
+	g := MODP1536()
+	key, err := GenerateKey(eng, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pub := range []bn.Nat{bn.Zero(), bn.One(), g.P.SubUint64(1)} {
+		if _, err := SharedSecret(eng, key, pub); err == nil {
+			t.Errorf("degenerate peer public accepted")
+		}
+	}
+}
+
+func TestAgainstBigIntOracle(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	g := MODP1536()
+	eng := core.New()
+	key, err := GenerateKey(eng, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := new(big.Int).SetBytes(g.P.Bytes())
+	wantPub := new(big.Int).Exp(big.NewInt(2),
+		new(big.Int).SetBytes(key.Private.Bytes()), p)
+	if new(big.Int).SetBytes(key.Public.Bytes()).Cmp(wantPub) != 0 {
+		t.Fatal("public value disagrees with math/big")
+	}
+}

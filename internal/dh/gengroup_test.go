@@ -1,0 +1,66 @@
+package dh
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+)
+
+func TestGenerateGroupSafePrime(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(40))
+	g, err := GenerateGroup(rng, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.P.BitLen() != 128 {
+		t.Errorf("P has %d bits", g.P.BitLen())
+	}
+	p := new(big.Int).SetBytes(g.P.Bytes())
+	if !p.ProbablyPrime(20) {
+		t.Fatal("P not prime")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(20) {
+		t.Fatal("(P-1)/2 not prime")
+	}
+	// P ≡ 7 mod 8 so that 2 generates the QR subgroup.
+	if new(big.Int).Mod(p, big.NewInt(8)).Int64() != 7 {
+		t.Fatalf("P mod 8 = %s, want 7", new(big.Int).Mod(p, big.NewInt(8)))
+	}
+}
+
+func TestGenerateGroupKeyAgreement(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(41))
+	g, err := GenerateGroup(rng, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := baseline.NewOpenSSL()
+	a, err := GenerateKey(eng, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKey(eng, rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SharedSecret(eng, a, b.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SharedSecret(eng, b, a.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatal("custom-group agreement failed")
+	}
+}
+
+func TestGenerateGroupRejectsTiny(t *testing.T) {
+	if _, err := GenerateGroup(mrand.New(mrand.NewSource(42)), 8); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+}

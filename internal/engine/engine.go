@@ -1,0 +1,41 @@
+// Package engine defines the common interface of the three libcrypto
+// implementations the reproduction compares: the PhiOpenSSL vectorized
+// engine (internal/core) and the two scalar baselines (internal/baseline).
+//
+// An Engine owns its simulated-cost meter: every arithmetic entry point
+// charges the meter with the engine's own cost model, so the benchmark
+// harness can run identical workloads against all engines and compare
+// simulated cycles — the reproduction's analogue of the paper's wall-clock
+// comparisons on the Phi card.
+//
+// Engines are not safe for concurrent use: in the threading experiments
+// each simulated hardware thread owns a private engine instance, exactly as
+// each pthread on the Phi owns its own BN_CTX.
+package engine
+
+import "phiopenssl/internal/bn"
+
+// Engine is one libcrypto implementation under test.
+type Engine interface {
+	// Name identifies the engine in benchmark output
+	// ("PhiOpenSSL", "OpenSSL-default", "MPSS-libcrypto").
+	Name() string
+
+	// Mul returns a*b (the E2 big-integer multiplication workload).
+	Mul(a, b bn.Nat) bn.Nat
+
+	// MulMod returns a*b mod n for odd n via one Montgomery
+	// multiplication including domain conversions (the E3 workload).
+	MulMod(a, b, n bn.Nat) bn.Nat
+
+	// ModExp returns base^exp mod n for odd n using the engine's
+	// exponentiation strategy (the E4 workload and the RSA primitive).
+	ModExp(base, exp, n bn.Nat) bn.Nat
+
+	// Cycles returns the simulated KNC cycles charged since the last
+	// Reset.
+	Cycles() float64
+
+	// Reset zeroes the engine's meter.
+	Reset()
+}

@@ -1,0 +1,132 @@
+package knc
+
+import "phiopenssl/internal/vpu"
+
+// VectorCostTable assigns a cycle cost to each vpu instruction class.
+type VectorCostTable [vpu.NumClasses]float64
+
+// VectorCycles converts vpu instruction counts into cycles.
+func (t VectorCostTable) VectorCycles(c vpu.Counts) float64 {
+	var cycles float64
+	for class, n := range c {
+		cycles += float64(n) * t[class]
+	}
+	return cycles
+}
+
+// KNCVectorCosts is the cost table for the simulated VPU.
+//
+// Calibration: KNC issues at most one vector instruction per cycle per core
+// (throughput 1 for the ALU and shuffle units when enough threads hide the
+// 4-cycle latency). vpmulld/vpmulhud occupy the multiplier for two slots.
+// Mask-register ops issue on the scalar pipe and pair with vector ops, so
+// they are nearly free. Crossing between the scalar and vector register
+// files has no direct path on KNC — the value round-trips through the L1
+// with a store-to-load-forward penalty (~16 cycles), and the scalar
+// quotient multiply stalls the in-order pipe (~8 cycles). Explicit stall
+// cycles charged by kernels (ClassStall) are cycles by definition.
+var KNCVectorCosts = VectorCostTable{
+	vpu.ClassALU:     1.0,
+	vpu.ClassMul:     2.0,
+	vpu.ClassShuffle: 1.0,
+	vpu.ClassMem:     1.0,
+	vpu.ClassMask:    0.25,
+	vpu.ClassScalar:  8.0,
+	vpu.ClassCross:   16.0,
+	vpu.ClassStall:   1.0,
+}
+
+// ScalarOp enumerates the primitive operations counted by the scalar
+// (baseline) big-number kernels.
+type ScalarOp int
+
+// Scalar primitive operations.
+const (
+	// OpMulAdd32 is one 32x32→64 multiply-accumulate step (the inner loop
+	// body of schoolbook or CIOS multiplication).
+	OpMulAdd32 ScalarOp = iota
+	// OpAdd32 is one add/sub-with-carry step.
+	OpAdd32
+	// OpMem is one load or store of a limb.
+	OpMem
+	// OpMisc covers loop control, shifts, and table indexing.
+	OpMisc
+	// NumScalarOps is the number of scalar op kinds.
+	NumScalarOps
+)
+
+// ScalarCounts records primitive-operation counts for a scalar kernel.
+type ScalarCounts [NumScalarOps]uint64
+
+// Add accumulates o into c.
+func (c *ScalarCounts) Add(o ScalarCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Tick records n ops of kind op. A nil receiver is a no-op, letting
+// unmetered callers share the metered kernels.
+func (c *ScalarCounts) Tick(op ScalarOp, n uint64) {
+	if c != nil {
+		c[op] += n
+	}
+}
+
+// ScalarCostTable assigns cycle costs to scalar primitive ops.
+type ScalarCostTable [NumScalarOps]float64
+
+// ScalarCycles converts scalar op counts into cycles.
+func (t ScalarCostTable) ScalarCycles(c ScalarCounts) float64 {
+	var cycles float64
+	for op, n := range c {
+		cycles += float64(n) * t[op]
+	}
+	return cycles
+}
+
+// OpenSSLScalarCosts models the "default OpenSSL" baseline of the paper:
+// libcrypto built for the KNC target from generic C (`BN_ULONG` = 64-bit,
+// no assembly). The in-order P54C-derived scalar pipeline executes a 64-bit
+// multiply-accumulate in ~12 cycles with no overlap of dependent steps;
+// normalized to our 32-bit step granularity (a 64-bit limb step covers four
+// 32-bit steps of work) that is ~3 cycles per 32-bit multiply-accumulate.
+// Memory costs are per-limb L1 hits; the working-set weighting applied by
+// the engines (see mont.Ctx.SetMemWeight) scales them when the operand and
+// table footprint outgrows KNC's 32 KB L1D.
+var OpenSSLScalarCosts = ScalarCostTable{
+	OpMulAdd32: 3.0,
+	OpAdd32:    1.0,
+	OpMem:      1.0,
+	OpMisc:     1.0,
+}
+
+// MPSSScalarCosts models the MPSS-distributed libcrypto: the same generic C
+// compiled with Intel's k1om toolchain, which the paper found comparable
+// to, and usually slightly slower than, default OpenSSL on the
+// multiply-heavy loops (it is the baseline against which the largest
+// speedup is observed).
+var MPSSScalarCosts = ScalarCostTable{
+	OpMulAdd32: 3.2,
+	OpAdd32:    1.0,
+	OpMem:      1.1,
+	OpMisc:     1.0,
+}
+
+// MemWeightForLimbs returns the L1-pressure multiplier the scalar engines
+// apply to per-limb memory costs for a modulus of k 32-bit limbs. The
+// sliding-window exponentiation working set (2^(w-1) table entries, the
+// CIOS double-width accumulator, and both operands) fits KNC's 32 KB L1D
+// comfortably through 1024-bit moduli, brushes against it at 2048, and
+// thrashes it at 4096 (a w=6 table alone is 32 KB), where most limb
+// traffic is served at L2 latency (~24 cycles, partially pipelined).
+func MemWeightForLimbs(k int) float64 {
+	switch {
+	case k >= 128: // >= 4096-bit
+		return 3.2
+	case k >= 64: // 2048-bit
+		return 1.05
+	default:
+		return 1.0
+	}
+}

@@ -1,0 +1,201 @@
+package knc
+
+import (
+	"math"
+	"testing"
+
+	"phiopenssl/internal/vpu"
+)
+
+func TestDefaultMachine(t *testing.T) {
+	m := Default()
+	if m.Cores != 61 || m.ThreadsPerCore != 4 {
+		t.Fatalf("default topology = %d x %d", m.Cores, m.ThreadsPerCore)
+	}
+	if m.MaxThreads() != 244 {
+		t.Fatalf("MaxThreads = %d", m.MaxThreads())
+	}
+	if got := m.Seconds(1.238e9); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Seconds(clock) = %g, want 1.0", got)
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestVectorCycles(t *testing.T) {
+	var c vpu.Counts
+	c[vpu.ClassALU] = 10
+	c[vpu.ClassMul] = 5
+	c[vpu.ClassMask] = 4
+	got := KNCVectorCosts.VectorCycles(c)
+	want := 10*1.0 + 5*2.0 + 4*0.25
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VectorCycles = %g, want %g", got, want)
+	}
+}
+
+func TestScalarCounts(t *testing.T) {
+	var c ScalarCounts
+	c.Tick(OpMulAdd32, 100)
+	c.Tick(OpAdd32, 50)
+	var c2 ScalarCounts
+	c2.Tick(OpMem, 7)
+	c.Add(c2)
+	if c[OpMulAdd32] != 100 || c[OpAdd32] != 50 || c[OpMem] != 7 {
+		t.Fatalf("counts = %v", c)
+	}
+	got := OpenSSLScalarCosts.ScalarCycles(c)
+	want := 100*3.0 + 50*1.0 + 7*1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ScalarCycles = %g, want %g", got, want)
+	}
+	// nil receiver must be safe.
+	var nilc *ScalarCounts
+	nilc.Tick(OpAdd32, 1)
+}
+
+func TestBaselineCostOrdering(t *testing.T) {
+	// The vectorized engine must be cheaper per limb of work than either
+	// scalar baseline, and the two baselines must be within 2x of each
+	// other (the paper found them comparable).
+	ratio := OpenSSLScalarCosts[OpMulAdd32] / MPSSScalarCosts[OpMulAdd32]
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("baseline muladd ratio %g implausible", ratio)
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	m := Default()
+	p := m.Placement(61)
+	for core, n := range p {
+		if n != 1 {
+			t.Fatalf("61 threads: core %d has %d threads", core, n)
+		}
+	}
+	p = m.Placement(62)
+	if p[0] != 2 || p[1] != 1 {
+		t.Fatalf("62 threads placement: %v", p[:3])
+	}
+	p = m.Placement(1000) // clamped to 244
+	total := 0
+	for _, n := range p {
+		if n > 4 {
+			t.Fatalf("core oversubscribed: %d", n)
+		}
+		total += n
+	}
+	if total != 244 {
+		t.Fatalf("clamped total = %d", total)
+	}
+	if got := m.Placement(-3); len(got) != m.Cores {
+		t.Fatal("negative thread count should yield empty placement")
+	}
+}
+
+func TestIssueEfficiencyMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 0; n <= 4; n++ {
+		e := issueEfficiency(n)
+		if e < prev {
+			t.Fatalf("efficiency not monotone at %d threads", n)
+		}
+		prev = e
+	}
+	if issueEfficiency(1) != 0.5 {
+		t.Error("single thread must cap at 50% issue (KNC fetch rule)")
+	}
+	if issueEfficiency(4) != 1.0 {
+		t.Error("four threads must saturate the core")
+	}
+}
+
+func TestAggregateIssueRateShape(t *testing.T) {
+	m := Default()
+	// Monotone non-decreasing in thread count.
+	prev := 0.0
+	for threads := 0; threads <= 244; threads++ {
+		r := m.AggregateIssueRate(threads)
+		if r+1e-9 < prev {
+			t.Fatalf("aggregate rate decreased at %d threads", threads)
+		}
+		prev = r
+	}
+	// 61 threads = one per core = 50% of peak; 244 = peak.
+	if got := m.AggregateIssueRate(61); math.Abs(got-30.5) > 1e-9 {
+		t.Fatalf("rate(61) = %g, want 30.5", got)
+	}
+	if got := m.AggregateIssueRate(244); math.Abs(got-61.0) > 1e-9 {
+		t.Fatalf("rate(244) = %g, want 61", got)
+	}
+	// Two threads/core should be close to saturation (the KNC rule).
+	if got := m.AggregateIssueRate(122); got < 0.85*61 {
+		t.Fatalf("rate(122) = %g too low", got)
+	}
+}
+
+func TestThroughputAndLatency(t *testing.T) {
+	m := Default()
+	const cyclesPerOp = 1e6
+	t1 := m.Throughput(1, cyclesPerOp)
+	t244 := m.Throughput(244, cyclesPerOp)
+	if t244 <= t1 {
+		t.Fatal("throughput must scale with threads")
+	}
+	if ratio := t244 / t1; ratio < 100 || ratio > 130 {
+		t.Fatalf("244-thread speedup = %g, want ~122x", ratio)
+	}
+	if m.Throughput(10, 0) != 0 {
+		t.Error("zero-cost op throughput should be 0")
+	}
+	// Latency grows when a core is shared.
+	l1 := m.Latency(1, cyclesPerOp)
+	l244 := m.Latency(244, cyclesPerOp)
+	if l244 <= l1 {
+		t.Fatal("latency should grow under sharing")
+	}
+	if m.Latency(0, cyclesPerOp) != 0 {
+		t.Error("zero threads should have zero latency by convention")
+	}
+}
+
+func TestMeterVector(t *testing.T) {
+	m := NewVectorMeter(KNCVectorCosts)
+	var c vpu.Counts
+	c[vpu.ClassALU] = 3
+	m.ChargeVector(c)
+	if m.Cycles() != 3 || m.Ops() != 3 {
+		t.Fatalf("meter = %s", m)
+	}
+	m.ChargeCycles(7)
+	if m.Cycles() != 10 {
+		t.Fatalf("after ChargeCycles: %g", m.Cycles())
+	}
+	m.Reset()
+	if m.Cycles() != 0 || m.Ops() != 0 {
+		t.Fatal("Reset failed")
+	}
+	// nil meter is inert.
+	var nm *Meter
+	nm.ChargeVector(c)
+	nm.ChargeScalar(ScalarCounts{})
+	nm.ChargeCycles(1)
+	nm.Reset()
+	if nm.Cycles() != 0 || nm.Ops() != 0 {
+		t.Fatal("nil meter should read zero")
+	}
+}
+
+func TestMeterScalar(t *testing.T) {
+	m := NewScalarMeter(MPSSScalarCosts)
+	var c ScalarCounts
+	c[OpMulAdd32] = 10
+	m.ChargeScalar(c)
+	want := 10 * MPSSScalarCosts[OpMulAdd32]
+	if math.Abs(m.Cycles()-want) > 1e-9 {
+		t.Fatalf("cycles = %g, want %g", m.Cycles(), want)
+	}
+	if m.Ops() != 10 {
+		t.Fatalf("ops = %d", m.Ops())
+	}
+}

@@ -1,0 +1,94 @@
+// Package knc models the Intel Xeon Phi (Knights Corner) coprocessor as a
+// timing substrate: core/thread topology, clock rate, per-instruction cycle
+// costs for the simulated vector unit (internal/vpu) and for the scalar
+// baselines, and the multi-threaded issue-efficiency model used by the
+// thread-scaling experiments.
+//
+// Nothing in this package executes arithmetic; it converts the instruction
+// counts produced by the metered kernels into simulated cycles and seconds.
+// The cost tables are calibrated against the published characteristics of
+// the KNC microarchitecture (in-order dual-issue pipeline, one vector
+// instruction per cycle per core, a single hardware thread can issue at
+// most every other cycle) so that engine-to-engine cycle ratios — the
+// quantity the paper reports — are meaningful.
+package knc
+
+import "fmt"
+
+// Machine describes one simulated coprocessor card.
+type Machine struct {
+	// Name identifies the card model.
+	Name string
+	// Cores is the number of in-order cores.
+	Cores int
+	// ThreadsPerCore is the number of hardware threads per core.
+	ThreadsPerCore int
+	// ClockHz is the core clock rate.
+	ClockHz float64
+}
+
+// Default returns the machine used throughout the reproduction: a Xeon Phi
+// 7120-class card (61 cores, 4 threads/core, 1.238 GHz), the configuration
+// the paper targets.
+func Default() Machine {
+	return Machine{
+		Name:           "Xeon Phi 7120 (KNC, simulated)",
+		Cores:          61,
+		ThreadsPerCore: 4,
+		ClockHz:        1.238e9,
+	}
+}
+
+// Host returns the simulated host system the coprocessor plugs into: a
+// dual-socket Sandy Bridge-class Xeon (2 x 8 cores, 2-way SMT, 2.6 GHz),
+// the reference such papers compare coprocessor throughput against. Its
+// out-of-order cores do not suffer KNC's issue restrictions, so its
+// Placement/Throughput use the same model with hostIssueEfficiency.
+func Host() Machine {
+	return Machine{
+		Name:           "2x Xeon E5-2670 host (simulated)",
+		Cores:          16,
+		ThreadsPerCore: 2,
+		ClockHz:        2.6e9,
+	}
+}
+
+// HostScalarCosts models OpenSSL's optimized x86-64 assembly on the host:
+// the Montgomery inner loop sustains close to one 64-bit multiply-
+// accumulate per cycle on an out-of-order core (~0.35 cycles per 32-bit
+// step equivalent), with memory traffic hidden by the large caches.
+var HostScalarCosts = ScalarCostTable{
+	OpMulAdd32: 0.35,
+	OpAdd32:    0.15,
+	OpMem:      0.05,
+	OpMisc:     0.20,
+}
+
+// hostIssueEfficiency: an out-of-order SMT2 core is nearly saturated by
+// one thread; the second adds ~25%.
+func hostIssueEfficiency(t int) float64 {
+	switch {
+	case t <= 0:
+		return 0
+	case t == 1:
+		return 0.80
+	default:
+		return 1.0
+	}
+}
+
+// isHost reports whether m is the host model (drives the efficiency
+// curve selection in scaling.go).
+func (m Machine) isHost() bool { return m.ThreadsPerCore == 2 }
+
+// MaxThreads returns the total hardware thread count.
+func (m Machine) MaxThreads() int { return m.Cores * m.ThreadsPerCore }
+
+// Seconds converts a simulated cycle count into seconds on this machine.
+func (m Machine) Seconds(cycles float64) float64 { return cycles / m.ClockHz }
+
+// String implements fmt.Stringer.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: %d cores x %d threads @ %.3f GHz",
+		m.Name, m.Cores, m.ThreadsPerCore, m.ClockHz/1e9)
+}

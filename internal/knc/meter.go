@@ -1,0 +1,85 @@
+package knc
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/vpu"
+)
+
+// Meter accumulates simulated cycles for one engine run. Engines feed it
+// either vpu instruction counts (vector kernels) or scalar op counts
+// (baseline kernels); the meter applies the engine's cost table.
+type Meter struct {
+	vectorCosts VectorCostTable
+	scalarCosts ScalarCostTable
+	cycles      float64
+	ops         uint64
+}
+
+// NewVectorMeter returns a meter that charges vpu counts at table rates.
+func NewVectorMeter(t VectorCostTable) *Meter {
+	return &Meter{vectorCosts: t}
+}
+
+// NewScalarMeter returns a meter that charges scalar counts at table rates.
+func NewScalarMeter(t ScalarCostTable) *Meter {
+	return &Meter{scalarCosts: t}
+}
+
+// ChargeVector adds the cycle cost of the given vpu counts.
+func (m *Meter) ChargeVector(c vpu.Counts) {
+	if m == nil {
+		return
+	}
+	m.cycles += m.vectorCosts.VectorCycles(c)
+	m.ops += c.Total()
+}
+
+// ChargeScalar adds the cycle cost of the given scalar counts.
+func (m *Meter) ChargeScalar(c ScalarCounts) {
+	if m == nil {
+		return
+	}
+	m.cycles += m.scalarCosts.ScalarCycles(c)
+	for _, n := range c {
+		m.ops += n
+	}
+}
+
+// ChargeCycles adds raw cycles (fixed protocol overheads).
+func (m *Meter) ChargeCycles(cy float64) {
+	if m == nil {
+		return
+	}
+	m.cycles += cy
+}
+
+// Cycles returns the accumulated simulated cycles.
+func (m *Meter) Cycles() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.cycles
+}
+
+// Ops returns the accumulated instruction count.
+func (m *Meter) Ops() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.ops
+}
+
+// Reset zeroes the meter, keeping its cost tables.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.cycles = 0
+	m.ops = 0
+}
+
+// String implements fmt.Stringer.
+func (m *Meter) String() string {
+	return fmt.Sprintf("%.0f cycles (%d instrs)", m.Cycles(), m.Ops())
+}

@@ -1,0 +1,96 @@
+package knc
+
+// Thread-scaling model.
+//
+// A KNC core fetches from a given hardware thread at most every other
+// cycle: a single thread can never exceed 50% of a core's issue bandwidth,
+// two threads nearly saturate it, and the third and fourth threads add a
+// little more by hiding vector latency and memory stalls. This is the
+// defining scaling behaviour of the machine and the reason the paper runs
+// with large thread counts.
+
+// issueEfficiency returns the fraction of a core's issue bandwidth achieved
+// with t resident hardware threads (0 <= t <= 4).
+func issueEfficiency(t int) float64 {
+	switch {
+	case t <= 0:
+		return 0
+	case t == 1:
+		return 0.50
+	case t == 2:
+		return 0.88
+	case t == 3:
+		return 0.96
+	default:
+		return 1.0
+	}
+}
+
+// Placement distributes t worker threads round-robin across the machine's
+// cores (the scatter affinity the paper's experiments use) and returns the
+// per-core thread counts.
+func (m Machine) Placement(t int) []int {
+	if t < 0 {
+		t = 0
+	}
+	if max := m.MaxThreads(); t > max {
+		t = max
+	}
+	perCore := make([]int, m.Cores)
+	for i := 0; i < t; i++ {
+		perCore[i%m.Cores]++
+	}
+	return perCore
+}
+
+// AggregateIssueRate returns the machine-wide issue bandwidth, in
+// instructions per cycle, achieved by t threads placed with Placement.
+func (m Machine) AggregateIssueRate(t int) float64 {
+	eff := issueEfficiency
+	if m.isHost() {
+		eff = hostIssueEfficiency
+	}
+	var rate float64
+	for _, n := range m.Placement(t) {
+		rate += eff(n)
+	}
+	return rate
+}
+
+// Throughput returns operations per second achieved by t threads when one
+// operation costs cyclesPerOp simulated cycles on a fully-owned core.
+//
+// The model: the workload is embarrassingly parallel (independent RSA
+// operations), each thread runs the same kernel, and a core's issue
+// bandwidth is shared by its resident threads with the efficiency curve
+// above. Aggregate throughput is therefore the aggregate issue rate times
+// the clock, divided by the per-operation instruction cost.
+func (m Machine) Throughput(t int, cyclesPerOp float64) float64 {
+	if cyclesPerOp <= 0 {
+		return 0
+	}
+	return m.AggregateIssueRate(t) * m.ClockHz / cyclesPerOp
+}
+
+// Latency returns the single-operation latency, in seconds, observed by one
+// of t concurrent threads: a thread sharing a core with n-1 others issues at
+// eff(n)/n of the core's bandwidth.
+func (m Machine) Latency(t int, cyclesPerOp float64) float64 {
+	placement := m.Placement(t)
+	// The worst-loaded core bounds the observed latency.
+	maxLoad := 0
+	for _, n := range placement {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad == 0 {
+		return 0
+	}
+	eff := issueEfficiency
+	if m.isHost() {
+		eff = hostIssueEfficiency
+	}
+	perThreadRate := eff(maxLoad) / float64(maxLoad)
+	return cyclesPerOp / (perThreadRate * m.ClockHz)
+}

@@ -1,0 +1,88 @@
+package modexp
+
+import (
+	"math/rand"
+	"testing"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/mont"
+)
+
+func TestLadderAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, bits := range []int{64, 512, 1024} {
+		m := randOdd(rng, bits)
+		base := randBits(rng, bits)
+		exp := randBits(rng, bits)
+		want := base.ModExp(exp, m)
+		for name, mul := range multipliers(t, m) {
+			if got := Ladder(mul, base, exp); !got.Equal(want) {
+				t.Errorf("%s ladder %d bits: got %s want %s", name, bits, got, want)
+			}
+		}
+	}
+}
+
+func TestLadderEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	m := randOdd(rng, 256)
+	mul := multipliers(t, m)["scalar"]
+	if got := Ladder(mul, bn.FromUint64(5), bn.Zero()); !got.IsOne() {
+		t.Errorf("x^0 = %s", got)
+	}
+	if got := Ladder(mul, bn.FromUint64(5), bn.One()); got.CmpUint64(5) != 0 {
+		t.Errorf("x^1 = %s", got)
+	}
+	if got := Ladder(mul, bn.Zero(), bn.FromUint64(9)); !got.IsZero() {
+		t.Errorf("0^9 = %s", got)
+	}
+	// Exponents with long zero runs (the ladder must not shortcut).
+	exp := bn.One().Shl(200)
+	want := bn.FromUint64(3).ModExp(exp, m)
+	if got := Ladder(mul, bn.FromUint64(3), exp); !got.Equal(want) {
+		t.Errorf("sparse exponent mismatch")
+	}
+}
+
+func TestLadderUniformCost(t *testing.T) {
+	// The ladder's op count must depend only on the exponent bit length,
+	// not on its Hamming weight.
+	rng := rand.New(rand.NewSource(102))
+	m := randOdd(rng, 512)
+	cost := func(exp bn.Nat) uint64 {
+		var counts knc.ScalarCounts
+		ctx, err := mont.NewCtx(m, &counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Ladder(ctx, bn.FromUint64(7), exp)
+		return counts[knc.OpMulAdd32]
+	}
+	dense := bn.One().Shl(512).SubUint64(1) // all ones
+	sparse := bn.One().Shl(511)             // single bit
+	if cd, cs := cost(dense), cost(sparse); cd != cs {
+		t.Fatalf("ladder cost depends on Hamming weight: %d vs %d", cd, cs)
+	}
+}
+
+func TestLadderCostsMoreThanFixedWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	m := randOdd(rng, 512)
+	base := randBits(rng, 512)
+	exp := randBits(rng, 512)
+	cost := func(f func(Multiplier)) uint64 {
+		var counts knc.ScalarCounts
+		ctx, err := mont.NewCtx(m, &counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(ctx)
+		return counts[knc.OpMulAdd32]
+	}
+	ladder := cost(func(mul Multiplier) { Ladder(mul, base, exp) })
+	fixed := cost(func(mul Multiplier) { FixedWindow(mul, base, exp, 5, false) })
+	if ladder <= fixed {
+		t.Fatalf("ladder (%d) should cost more than w=5 fixed window (%d)", ladder, fixed)
+	}
+}

@@ -1,0 +1,195 @@
+// Package mont implements scalar Montgomery multiplication with primitive
+// operation metering.
+//
+// This is the algorithm OpenSSL's generic bn_mul_mont executes (the CIOS
+// variant of Montgomery reduction) and is the multiplier underlying both
+// baseline engines of the reproduction. Every limb-level primitive executed
+// by the kernel is recorded into a knc.ScalarCounts, which the baseline
+// engines convert into simulated KNC cycles. Correctness is validated
+// against internal/bn (and transitively against math/big).
+package mont
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+)
+
+// Ctx holds the precomputed per-modulus constants for Montgomery
+// arithmetic: the modulus N (odd, > 1), n0' = -N^-1 mod 2^32, and
+// R^2 mod N for domain conversion, with R = 2^(32k) and k the limb count
+// of N.
+type Ctx struct {
+	modulus bn.Nat
+	n       []uint32 // k limbs
+	n0      uint32
+	rr      []uint32 // R^2 mod N, k limbs
+	counts  *knc.ScalarCounts
+	memW    float64 // L1-pressure multiplier on per-limb memory costs
+}
+
+// NewCtx prepares a Montgomery context for the odd modulus m > 1.
+// If counts is non-nil, every subsequent kernel invocation through the
+// context records its primitive ops there.
+func NewCtx(m bn.Nat, counts *knc.ScalarCounts) (*Ctx, error) {
+	if m.IsZero() || m.IsOne() {
+		return nil, fmt.Errorf("mont: modulus must be > 1, got %s", m)
+	}
+	if !m.IsOdd() {
+		return nil, fmt.Errorf("mont: modulus must be odd, got %s", m)
+	}
+	k := m.LimbLen()
+	ctx := &Ctx{
+		memW:    1.0,
+		modulus: m,
+		n:       m.LimbsPadded(k),
+		n0:      negInv32(m.Limbs()[0]),
+		rr:      bn.One().Shl(uint(64 * k)).Mod(m).LimbsPadded(k),
+		counts:  counts,
+	}
+	return ctx, nil
+}
+
+// K returns the limb width of the modulus.
+func (c *Ctx) K() int { return len(c.n) }
+
+// Modulus returns N.
+func (c *Ctx) Modulus() bn.Nat { return c.modulus }
+
+// Counts returns the op-count sink attached to the context (may be nil).
+func (c *Ctx) Counts() *knc.ScalarCounts { return c.counts }
+
+// SetMemWeight sets the L1-pressure multiplier applied to the context's
+// per-limb memory ops (see knc.MemWeightForLimbs). The default is 1.
+func (c *Ctx) SetMemWeight(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	c.memW = w
+}
+
+// tickMem meters n limb memory operations scaled by the memory weight.
+func (c *Ctx) tickMem(n uint64) {
+	c.counts.Tick(knc.OpMem, uint64(float64(n)*c.memW+0.5))
+}
+
+// negInv32 returns -v^-1 mod 2^32 for odd v by Newton iteration.
+func negInv32(v uint32) uint32 {
+	inv := v
+	for i := 0; i < 5; i++ {
+		inv *= 2 - v*inv
+	}
+	return -inv
+}
+
+// Mul returns the Montgomery product a*b*R^-1 mod N. Both inputs must be
+// k-limb slices holding values < N; the result is a fresh fully-reduced
+// k-limb slice.
+//
+// The kernel is the word-serial CIOS loop: for each limb b[i], accumulate
+// a*b[i], derive the quotient digit q = z0 * n0' mod 2^32, accumulate q*N,
+// and shift one limb. Primitive op accounting: each inner step is one
+// 32x32 multiply-accumulate plus its limb traffic.
+func (c *Ctx) Mul(a, b []uint32) []uint32 {
+	k := len(c.n)
+	if len(a) != k || len(b) != k {
+		panic("mont: operand limb width mismatch")
+	}
+	z := make([]uint32, 2*k)
+	var carryFlag uint32
+	for i := 0; i < k; i++ {
+		c2 := c.addMulVVW(z[i:k+i], a, b[i])
+		q := z[i] * c.n0
+		c.counts.Tick(knc.OpMulAdd32, 1) // quotient digit multiply
+		c3 := c.addMulVVW(z[i:k+i], c.n, q)
+		cx := carryFlag + c2
+		cy := cx + c3
+		z[k+i] = cy
+		c.counts.Tick(knc.OpAdd32, 2)
+		if cx < c2 || cy < c3 {
+			carryFlag = 1
+		} else {
+			carryFlag = 0
+		}
+	}
+	out := make([]uint32, k)
+	if carryFlag != 0 {
+		c.subVV(out, z[k:], c.n)
+	} else {
+		copy(out, z[k:])
+		c.tickMem(uint64(k))
+	}
+	if c.cmpVV(out, c.n) >= 0 {
+		c.subVV(out, out, c.n)
+	}
+	return out
+}
+
+// Sqr returns the Montgomery square of a. The scalar baselines do not use a
+// dedicated squaring kernel (generic OpenSSL's bn_mul_mont does not either),
+// so this simply delegates to Mul — kept as a method so engines read
+// naturally.
+func (c *Ctx) Sqr(a []uint32) []uint32 { return c.Mul(a, a) }
+
+// addMulVVW computes z += x*y, returning the carry limb, and meters one
+// multiply-accumulate plus limb traffic per step.
+func (c *Ctx) addMulVVW(z, x []uint32, y uint32) uint32 {
+	var carry uint64
+	yv := uint64(y)
+	for i := range x {
+		p := yv*uint64(x[i]) + uint64(z[i]) + carry
+		z[i] = uint32(p)
+		carry = p >> 32
+	}
+	c.counts.Tick(knc.OpMulAdd32, uint64(len(x)))
+	c.tickMem(uint64(3 * len(x))) // read x, read z, write z
+	c.counts.Tick(knc.OpMisc, 1)  // loop setup
+	return uint32(carry)
+}
+
+// subVV computes z = x - y over k limbs, discarding the expected borrow.
+func (c *Ctx) subVV(z, x, y []uint32) {
+	var borrow uint64
+	for i := range z {
+		d := uint64(x[i]) - uint64(y[i]) - borrow
+		z[i] = uint32(d)
+		borrow = (d >> 32) & 1
+	}
+	c.counts.Tick(knc.OpAdd32, uint64(len(z)))
+	c.tickMem(uint64(3 * len(z)))
+}
+
+// cmpVV compares equal-length limb slices, metering the limb reads.
+func (c *Ctx) cmpVV(a, b []uint32) int {
+	c.tickMem(uint64(2 * len(a)))
+	c.counts.Tick(knc.OpAdd32, uint64(len(a)))
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ToMont converts x (any Nat) into Montgomery form: x*R mod N as k limbs.
+func (c *Ctx) ToMont(x bn.Nat) []uint32 {
+	return c.Mul(x.Mod(c.modulus).LimbsPadded(len(c.n)), c.rr)
+}
+
+// FromMont converts a k-limb Montgomery-form value back to a Nat.
+func (c *Ctx) FromMont(a []uint32) bn.Nat {
+	one := make([]uint32, len(c.n))
+	one[0] = 1
+	return bn.FromLimbs(c.Mul(a, one))
+}
+
+// One returns R mod N (the Montgomery form of 1) as k limbs.
+func (c *Ctx) One() []uint32 {
+	one := make([]uint32, len(c.n))
+	one[0] = 1
+	return c.Mul(c.rr, one)
+}

@@ -1,0 +1,213 @@
+package mont
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+)
+
+func randOdd(rng *rand.Rand, bits int) bn.Nat {
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	rng.Read(buf)
+	excess := uint(nbytes*8 - bits)
+	buf[0] &= 0xff >> excess
+	buf[0] |= 0x80 >> excess
+	buf[nbytes-1] |= 1
+	return bn.FromBytes(buf)
+}
+
+func randBelow(rng *rand.Rand, m bn.Nat) bn.Nat {
+	for {
+		buf := make([]byte, (m.BitLen()+7)/8)
+		rng.Read(buf)
+		x := bn.FromBytes(buf)
+		if x.Cmp(m) < 0 {
+			return x
+		}
+	}
+}
+
+func TestNewCtxRejectsBadModuli(t *testing.T) {
+	for _, m := range []bn.Nat{bn.Zero(), bn.One(), bn.FromUint64(10)} {
+		if _, err := NewCtx(m, nil); err == nil {
+			t.Errorf("NewCtx(%s) should fail", m)
+		}
+	}
+	if _, err := NewCtx(bn.FromUint64(3), nil); err != nil {
+		t.Errorf("NewCtx(3): %v", err)
+	}
+}
+
+func TestNegInv32(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		v := rng.Uint32() | 1
+		ni := negInv32(v)
+		// v * (-v^-1) ≡ -1 mod 2^32.
+		if v*ni != 0xffffffff {
+			t.Fatalf("negInv32(%#x) = %#x, product %#x", v, ni, v*ni)
+		}
+	}
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bits := range []int{32, 64, 96, 512, 521, 1024, 2048} {
+		m := randOdd(rng, bits)
+		ctx, err := NewCtx(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ctx.K()
+		for trial := 0; trial < 10; trial++ {
+			a := randBelow(rng, m)
+			b := randBelow(rng, m)
+			am := ctx.ToMont(a)
+			bm := ctx.ToMont(b)
+			got := bn.FromLimbs(ctx.FromMont(ctx.Mul(am, bm)).Limbs())
+			want := a.ModMul(b, m)
+			if !got.Equal(want) {
+				t.Fatalf("bits=%d: mont mul = %s, want %s", bits, got, want)
+			}
+			if len(am) != k {
+				t.Fatalf("ToMont width %d, want %d", len(am), k)
+			}
+		}
+	}
+}
+
+func TestMulAgainstBigDirect(t *testing.T) {
+	// Direct check of the Montgomery identity: Mul(a,b) = a*b*R^-1 mod N.
+	rng := rand.New(rand.NewSource(3))
+	m := randOdd(rng, 256)
+	ctx, err := NewCtx(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ctx.K()
+	R := bn.One().Shl(uint(32 * k))
+	rInv, ok := R.ModInverse(m)
+	if !ok {
+		t.Fatal("R must be invertible mod odd m")
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := randBelow(rng, m)
+		b := randBelow(rng, m)
+		got := bn.FromLimbs(ctx.Mul(a.LimbsPadded(k), b.LimbsPadded(k)))
+		want := a.Mul(b).ModMul(rInv, m)
+		if !got.Equal(want) {
+			t.Fatalf("Mul identity: got %s want %s", got, want)
+		}
+	}
+}
+
+func TestOneAndDomainConversions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randOdd(rng, 512)
+	ctx, err := NewCtx(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := ctx.One()
+	// One() must be R mod N.
+	R := bn.One().Shl(uint(32 * ctx.K())).Mod(m)
+	if !bn.FromLimbs(one).Equal(R) {
+		t.Fatalf("One() = %s, want %s", bn.FromLimbs(one), R)
+	}
+	// FromMont(ToMont(x)) == x mod N.
+	for trial := 0; trial < 20; trial++ {
+		x := randBelow(rng, m)
+		if got := ctx.FromMont(ctx.ToMont(x)); !got.Equal(x) {
+			t.Fatalf("domain round trip: %s -> %s", x, got)
+		}
+	}
+	// ToMont reduces oversized inputs.
+	big := m.Mul(bn.FromUint64(7)).AddUint64(5)
+	if got := ctx.FromMont(ctx.ToMont(big)); !got.Equal(big.Mod(m)) {
+		t.Fatalf("oversized ToMont: %s", got)
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randOdd(rng, 384)
+	ctx, _ := NewCtx(m, nil)
+	for trial := 0; trial < 20; trial++ {
+		a := ctx.ToMont(randBelow(rng, m))
+		s := ctx.Sqr(a)
+		p := ctx.Mul(a, a)
+		if !bn.FromLimbs(s).Equal(bn.FromLimbs(p)) {
+			t.Fatal("Sqr != Mul(a,a)")
+		}
+	}
+}
+
+func TestMulResultFullyReduced(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		m := randOdd(rng, 128)
+		ctx, _ := NewCtx(m, nil)
+		a := ctx.ToMont(randBelow(rng, m))
+		b := ctx.ToMont(randBelow(rng, m))
+		got := bn.FromLimbs(ctx.Mul(a, b))
+		if got.Cmp(m) >= 0 {
+			t.Fatalf("result %s not reduced below %s", got, m)
+		}
+	}
+}
+
+func TestMulWidthMismatchPanics(t *testing.T) {
+	ctx, _ := NewCtx(bn.MustHex("10001"), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	ctx.Mul([]uint32{1, 2, 3}, []uint32{1})
+}
+
+func TestOpMetering(t *testing.T) {
+	var counts knc.ScalarCounts
+	m := randOdd(rand.New(rand.NewSource(7)), 512)
+	ctx, _ := NewCtx(m, &counts)
+	k := ctx.K()
+	a := ctx.ToMont(bn.FromUint64(12345))
+	counts = knc.ScalarCounts{} // ignore conversion cost
+	ctx.Mul(a, a)
+	// CIOS does 2k^2 + k multiply-accumulates per multiplication.
+	wantMulAdd := uint64(2*k*k + k)
+	if counts[knc.OpMulAdd32] != wantMulAdd {
+		t.Fatalf("OpMulAdd32 = %d, want %d (k=%d)", counts[knc.OpMulAdd32], wantMulAdd, k)
+	}
+	if counts[knc.OpMem] == 0 || counts[knc.OpAdd32] == 0 {
+		t.Error("memory/add traffic not metered")
+	}
+	// Counts must grow linearly in calls.
+	before := counts[knc.OpMulAdd32]
+	ctx.Mul(a, a)
+	if counts[knc.OpMulAdd32] != 2*before {
+		t.Fatalf("metering not additive: %d -> %d", before, counts[knc.OpMulAdd32])
+	}
+}
+
+func TestP256ModulusVector(t *testing.T) {
+	// Fixed known-answer check against math/big with the P-256 prime.
+	p := bn.MustHex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+	ctx, err := NewCtx(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bn.MustHex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+	b := bn.MustHex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+	got := ctx.FromMont(ctx.Mul(ctx.ToMont(a), ctx.ToMont(b)))
+	want := new(big.Int).Mul(
+		new(big.Int).SetBytes(a.Bytes()), new(big.Int).SetBytes(b.Bytes()))
+	want.Mod(want, new(big.Int).SetBytes(p.Bytes()))
+	if new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+		t.Fatalf("P-256 product mismatch: %s", got)
+	}
+}

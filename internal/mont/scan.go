@@ -1,0 +1,26 @@
+package mont
+
+import "phiopenssl/internal/knc"
+
+// ScanTable performs a constant-time table lookup: every entry is read and
+// conditionally accumulated, so the memory access pattern is independent of
+// idx. This is the scalar analogue of OpenSSL's BN_mod_exp_mont_consttime
+// scatter/gather and is what the baseline engines charge for fixed-window
+// exponentiation in constant-time mode.
+func (c *Ctx) ScanTable(table [][]uint32, idx int) []uint32 {
+	k := len(c.n)
+	out := make([]uint32, k)
+	for e, entry := range table {
+		// mask = all-ones iff e == idx, derived branch-free.
+		diff := uint32(e ^ idx)
+		mask := uint32(1) - ((diff | -diff) >> 31) // 1 if equal else 0
+		mask = -mask                               // all-ones or zero
+		for i := 0; i < k; i++ {
+			out[i] |= entry[i] & mask
+		}
+		c.tickMem(uint64(2 * k))
+		c.counts.Tick(knc.OpAdd32, uint64(k)) // and/or select per limb
+		c.counts.Tick(knc.OpMisc, 2)
+	}
+	return out
+}

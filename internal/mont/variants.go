@@ -1,0 +1,187 @@
+package mont
+
+import "phiopenssl/internal/knc"
+
+// Montgomery multiplication variants, following Koç, Acar and Kaliski,
+// "Analyzing and Comparing Montgomery Multiplication Algorithms" (IEEE
+// Micro, 1996). The engines use CIOS (Ctx.Mul) — the variant generic
+// OpenSSL implements — but the paper's design space includes the
+// separated (SOS) and finely integrated (FIOS) schedules; the ablation
+// experiment A1 compares their metered costs. All variants are validated
+// against each other and against the reference arithmetic.
+
+// Variant selects a Montgomery multiplication schedule.
+type Variant int
+
+// Montgomery multiplication schedules.
+const (
+	// CIOS is Coarsely Integrated Operand Scanning (the default).
+	CIOS Variant = iota
+	// SOS is Separated Operand Scanning: full product first, then a
+	// separate reduction sweep over a double-width temporary.
+	SOS
+	// FIOS is Finely Integrated Operand Scanning: multiplication and
+	// reduction fused within the inner loop, paying extra carry ripples.
+	FIOS
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case CIOS:
+		return "CIOS"
+	case SOS:
+		return "SOS"
+	case FIOS:
+		return "FIOS"
+	default:
+		return "unknown"
+	}
+}
+
+// MulVariant computes the Montgomery product with the chosen schedule.
+func (c *Ctx) MulVariant(v Variant, a, b []uint32) []uint32 {
+	switch v {
+	case CIOS:
+		return c.Mul(a, b)
+	case SOS:
+		return c.MulSOS(a, b)
+	case FIOS:
+		return c.MulFIOS(a, b)
+	default:
+		panic("mont: unknown variant")
+	}
+}
+
+// MulSOS is the Separated Operand Scanning schedule: t = a*b computed in
+// full (2k+1 limbs), then k reduction sweeps each zeroing one low limb,
+// then one shift and conditional subtraction. It does k more single-limb
+// multiplies than CIOS and roughly 1.5x the limb traffic (the double-width
+// temporary is walked twice).
+func (c *Ctx) MulSOS(a, b []uint32) []uint32 {
+	k := len(c.n)
+	if len(a) != k || len(b) != k {
+		panic("mont: operand limb width mismatch")
+	}
+	t := make([]uint32, 2*k+1)
+
+	// Phase 1: t = a * b.
+	for i := 0; i < k; i++ {
+		var carry uint64
+		av := uint64(a[i])
+		for j := 0; j < k; j++ {
+			p := av*uint64(b[j]) + uint64(t[i+j]) + carry
+			t[i+j] = uint32(p)
+			carry = p >> 32
+		}
+		t[i+k] = uint32(carry)
+	}
+	c.counts.Tick(knc.OpMulAdd32, uint64(k*k))
+	c.tickMem(uint64(3*k*k + k)) // inner traffic plus the carry-out column
+	c.counts.Tick(knc.OpMisc, uint64(k))
+
+	// Phase 2: for each low limb, add m*N so the limb becomes zero.
+	for i := 0; i < k; i++ {
+		m := t[i] * c.n0
+		c.counts.Tick(knc.OpMulAdd32, 1)
+		var carry uint64
+		for j := 0; j < k; j++ {
+			p := uint64(m)*uint64(c.n[j]) + uint64(t[i+j]) + carry
+			t[i+j] = uint32(p)
+			carry = p >> 32
+		}
+		c.counts.Tick(knc.OpMulAdd32, uint64(k))
+		c.tickMem(uint64(3 * k))
+		// Propagate the carry into the upper half.
+		c.addAt(t, carry, i+k)
+	}
+
+	// Phase 3: u = t / R (a k-limb copy out of the double-width
+	// temporary, traffic CIOS does not pay), then conditional subtraction.
+	c.tickMem(uint64(2 * k))
+	u := t[k:] // k+1 limbs
+	out := make([]uint32, k)
+	if u[k] != 0 {
+		c.subVV(out, u[:k], c.n)
+	} else {
+		copy(out, u[:k])
+		c.tickMem(uint64(k))
+	}
+	if c.cmpVV(out, c.n) >= 0 {
+		c.subVV(out, out, c.n)
+	}
+	return out
+}
+
+// MulFIOS is the Finely Integrated Operand Scanning schedule: the a[i]*b
+// and m*N accumulations share one inner loop, trading the second loop of
+// CIOS for per-step carry injections into the running tail (the ADD(t,..)
+// ripples that make FIOS memory-heavier on machines without a carry
+// flag register file, like the KNC scalar pipe).
+func (c *Ctx) MulFIOS(a, b []uint32) []uint32 {
+	k := len(c.n)
+	if len(a) != k || len(b) != k {
+		panic("mont: operand limb width mismatch")
+	}
+	t := make([]uint32, k+2)
+
+	for i := 0; i < k; i++ {
+		ai := uint64(a[i])
+
+		// Head column: S = t[0] + a[i]*b[0]; derive the quotient digit.
+		p := uint64(t[0]) + ai*uint64(b[0])
+		c.counts.Tick(knc.OpMulAdd32, 1)
+		c.tickMem(2)
+		c.addAt(t, p>>32, 1)
+		s := uint32(p)
+		m := s * c.n0
+		c.counts.Tick(knc.OpMulAdd32, 1)
+		p = uint64(s) + uint64(m)*uint64(c.n[0])
+		c.counts.Tick(knc.OpMulAdd32, 1)
+		carry := p >> 32 // low half is zero by construction
+
+		// Fused inner loop.
+		for j := 1; j < k; j++ {
+			p1 := uint64(t[j]) + ai*uint64(b[j])
+			c.addAt(t, p1>>32, j+1)
+			p2 := (p1 & 0xffffffff) + uint64(m)*uint64(c.n[j]) + carry
+			t[j-1] = uint32(p2)
+			carry = p2 >> 32
+		}
+		c.counts.Tick(knc.OpMulAdd32, uint64(2*(k-1)))
+		c.tickMem(uint64(4 * (k - 1)))
+
+		// Tail: fold the running carry and the overflow limb.
+		p = uint64(t[k]) + carry
+		t[k-1] = uint32(p)
+		t[k] = t[k+1] + uint32(p>>32)
+		t[k+1] = 0
+		c.counts.Tick(knc.OpAdd32, 2)
+		c.tickMem(4)
+	}
+
+	out := make([]uint32, k)
+	if t[k] != 0 {
+		c.subVV(out, t[:k], c.n)
+	} else {
+		copy(out, t[:k])
+		c.tickMem(uint64(k))
+	}
+	if c.cmpVV(out, c.n) >= 0 {
+		c.subVV(out, out, c.n)
+	}
+	return out
+}
+
+// addAt adds a small carry into t starting at position pos, rippling as
+// far as needed, and meters the limb traffic (this ripple is FIOS's
+// characteristic overhead).
+func (c *Ctx) addAt(t []uint32, carry uint64, pos int) {
+	for x := pos; carry != 0 && x < len(t); x++ {
+		s := uint64(t[x]) + carry
+		t[x] = uint32(s)
+		carry = s >> 32
+		c.counts.Tick(knc.OpAdd32, 1)
+		c.tickMem(2)
+	}
+}

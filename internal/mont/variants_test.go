@@ -1,0 +1,141 @@
+package mont
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+)
+
+func TestVariantStrings(t *testing.T) {
+	if CIOS.String() != "CIOS" || SOS.String() != "SOS" || FIOS.String() != "FIOS" {
+		t.Error("variant names wrong")
+	}
+	if Variant(42).String() != "unknown" {
+		t.Error("unknown variant name")
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, bits := range []int{32, 64, 512, 1024, 2048} {
+		m := randOdd(rng, bits)
+		ctx, err := NewCtx(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ctx.K()
+		for trial := 0; trial < 15; trial++ {
+			a := randBelow(rng, m).LimbsPadded(k)
+			b := randBelow(rng, m).LimbsPadded(k)
+			ref := bn.FromLimbs(ctx.Mul(a, b))
+			for _, v := range []Variant{SOS, FIOS} {
+				got := bn.FromLimbs(ctx.MulVariant(v, a, b))
+				if !got.Equal(ref) {
+					t.Fatalf("%s disagrees with CIOS at %d bits: %s vs %s",
+						v, bits, got, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantsNearModulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := randOdd(rng, 512)
+	ctx, _ := NewCtx(m, nil)
+	k := ctx.K()
+	edge := []bn.Nat{m.SubUint64(1), m.SubUint64(2), bn.One(), bn.Zero()}
+	for _, a := range edge {
+		for _, b := range edge {
+			ref := bn.FromLimbs(ctx.Mul(a.LimbsPadded(k), b.LimbsPadded(k)))
+			for _, v := range []Variant{SOS, FIOS} {
+				got := bn.FromLimbs(ctx.MulVariant(v, a.LimbsPadded(k), b.LimbsPadded(k)))
+				if !got.Equal(ref) {
+					t.Fatalf("%s near-modulus mismatch", v)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantAllOnesCarryTorture(t *testing.T) {
+	// Modulus and operands of all-ones limbs maximize the FIOS addAt
+	// ripples and the SOS phase-2 carries.
+	m := bn.One().Shl(512).SubUint64(1) // 2^512-1, odd
+	ctx, err := NewCtx(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ctx.K()
+	a := m.SubUint64(1).LimbsPadded(k)
+	ref := bn.FromLimbs(ctx.Mul(a, a))
+	for _, v := range []Variant{SOS, FIOS} {
+		if got := bn.FromLimbs(ctx.MulVariant(v, a, a)); !got.Equal(ref) {
+			t.Fatalf("%s all-ones mismatch", v)
+		}
+	}
+}
+
+func TestVariantUnknownPanics(t *testing.T) {
+	ctx, _ := NewCtx(bn.MustHex("10001"), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown variant should panic")
+		}
+	}()
+	ctx.MulVariant(Variant(9), make([]uint32, ctx.K()), make([]uint32, ctx.K()))
+}
+
+func TestVariantCostOrdering(t *testing.T) {
+	// The Koç et al. ordering on a machine without spare carry registers:
+	// CIOS cheapest, SOS pays the double-width temporary traffic, FIOS
+	// pays per-step carry injections. Verify the metered ordering.
+	rng := rand.New(rand.NewSource(62))
+	m := randOdd(rng, 1024)
+	cost := func(v Variant) float64 {
+		var counts knc.ScalarCounts
+		ctx, _ := NewCtx(m, &counts)
+		k := ctx.K()
+		a := randBelow(rng, m).LimbsPadded(k)
+		b := randBelow(rng, m).LimbsPadded(k)
+		counts = knc.ScalarCounts{}
+		ctx.MulVariant(v, a, b)
+		return knc.OpenSSLScalarCosts.ScalarCycles(counts)
+	}
+	cios, sos, fios := cost(CIOS), cost(SOS), cost(FIOS)
+	if !(cios < sos) {
+		t.Errorf("expected CIOS (%.0f) < SOS (%.0f)", cios, sos)
+	}
+	if !(cios < fios) {
+		t.Errorf("expected CIOS (%.0f) < FIOS (%.0f)", cios, fios)
+	}
+	// All within 2.5x of each other — they do the same multiplies.
+	for _, v := range []float64{sos, fios} {
+		if v > 2.5*cios {
+			t.Errorf("variant cost %.0f implausibly above CIOS %.0f", v, cios)
+		}
+	}
+}
+
+// Property: SOS/FIOS match CIOS on arbitrary reduced inputs.
+func TestQuickVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	m := randOdd(rng, 256)
+	ctx, _ := NewCtx(m, nil)
+	k := ctx.K()
+	f := func(aSeed, bSeed int64) bool {
+		ra := rand.New(rand.NewSource(aSeed))
+		rb := rand.New(rand.NewSource(bSeed))
+		a := randBelow(ra, m).LimbsPadded(k)
+		b := randBelow(rb, m).LimbsPadded(k)
+		ref := bn.FromLimbs(ctx.Mul(a, b))
+		return bn.FromLimbs(ctx.MulSOS(a, b)).Equal(ref) &&
+			bn.FromLimbs(ctx.MulFIOS(a, b)).Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package phipool executes independent cryptographic jobs on a pool of
+// simulated Xeon Phi hardware threads.
+//
+// Each worker owns a private engine instance (engines are not safe for
+// concurrent use — the same discipline as one OpenSSL context per pthread
+// in the paper's setup). Jobs run concurrently on the host for real; the
+// pool aggregates each worker's simulated cycles and converts them into
+// simulated-machine throughput with the KNC issue-efficiency model
+// (knc.Machine.Throughput), which is how the thread-scaling experiment E6
+// turns metered single-op costs into the paper's throughput curves.
+package phipool
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+)
+
+// Pool is a fixed set of simulated hardware threads.
+type Pool struct {
+	machine   knc.Machine
+	threads   int
+	newEngine func() engine.Engine
+
+	mu      sync.Mutex
+	started bool
+}
+
+// New creates a pool of `threads` simulated hardware threads on mach.
+// threads is clamped to [1, mach.MaxThreads()] — a physical card cannot
+// run more resident threads than it has.
+func New(mach knc.Machine, threads int, newEngine func() engine.Engine) (*Pool, error) {
+	if newEngine == nil {
+		return nil, fmt.Errorf("phipool: nil engine factory")
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if max := mach.MaxThreads(); threads > max {
+		threads = max
+	}
+	return &Pool{machine: mach, threads: threads, newEngine: newEngine}, nil
+}
+
+// Threads returns the pool's (clamped) thread count.
+func (p *Pool) Threads() int { return p.threads }
+
+// Report summarizes one Run.
+type Report struct {
+	// Threads is the number of simulated hardware threads used.
+	Threads int
+	// Jobs is the number of jobs executed.
+	Jobs int
+	// Wall is the host wall-clock time of the run (simulator speed; not
+	// paper-comparable).
+	Wall time.Duration
+	// TotalSimCycles is the sum of simulated cycles across workers.
+	TotalSimCycles float64
+	// CyclesPerJob is TotalSimCycles / Jobs.
+	CyclesPerJob float64
+	// SimThroughput is jobs/second on the simulated machine at this
+	// thread count, per the KNC issue-efficiency model.
+	SimThroughput float64
+	// SimLatency is the per-job latency in seconds observed by one of the
+	// concurrent threads on the simulated machine.
+	SimLatency float64
+	// PerWorkerCycles holds each worker's simulated cycles (load-balance
+	// inspection).
+	PerWorkerCycles []float64
+}
+
+// Run executes n identical jobs across the pool's threads and blocks until
+// all complete. The job receives the worker's private engine. Run may be
+// called repeatedly; each call uses fresh engines.
+func (p *Pool) Run(n int, job func(engine.Engine)) (Report, error) {
+	if n < 0 {
+		return Report{}, fmt.Errorf("phipool: negative job count %d", n)
+	}
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return Report{}, fmt.Errorf("phipool: Run already in progress")
+	}
+	p.started = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.started = false
+		p.mu.Unlock()
+	}()
+
+	jobs := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+
+	engines := make([]engine.Engine, p.threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < p.threads; w++ {
+		engines[w] = p.newEngine()
+		wg.Add(1)
+		go func(eng engine.Engine) {
+			defer wg.Done()
+			for range jobs {
+				job(eng)
+			}
+		}(engines[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{
+		Threads:         p.threads,
+		Jobs:            n,
+		Wall:            wall,
+		PerWorkerCycles: make([]float64, p.threads),
+	}
+	for w, eng := range engines {
+		rep.PerWorkerCycles[w] = eng.Cycles()
+		rep.TotalSimCycles += eng.Cycles()
+	}
+	if n > 0 {
+		rep.CyclesPerJob = rep.TotalSimCycles / float64(n)
+		rep.SimThroughput = p.machine.Throughput(p.threads, rep.CyclesPerJob)
+		rep.SimLatency = p.machine.Latency(p.threads, rep.CyclesPerJob)
+	}
+	return rep, nil
+}

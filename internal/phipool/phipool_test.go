@@ -1,0 +1,174 @@
+package phipool
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+)
+
+func newOpenSSL() engine.Engine { return baseline.NewOpenSSL() }
+
+func TestNewValidation(t *testing.T) {
+	mach := knc.Default()
+	if _, err := New(mach, 4, nil); err == nil {
+		t.Fatal("nil factory should fail")
+	}
+	p, err := New(mach, 0, newOpenSSL)
+	if err != nil || p.Threads() != 1 {
+		t.Fatalf("threads=0 should clamp to 1, got %d (%v)", p.Threads(), err)
+	}
+	p, err = New(mach, 10000, newOpenSSL)
+	if err != nil || p.Threads() != mach.MaxThreads() {
+		t.Fatalf("oversubscription should clamp to %d, got %d", mach.MaxThreads(), p.Threads())
+	}
+}
+
+func TestRunExecutesAllJobs(t *testing.T) {
+	p, err := New(knc.Default(), 7, newOpenSSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	rep, err := p.Run(100, func(e engine.Engine) {
+		count.Add(1)
+		e.MulMod(bn.FromUint64(3), bn.FromUint64(4), bn.FromUint64(101))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 || rep.Jobs != 100 {
+		t.Fatalf("executed %d jobs, report says %d", count.Load(), rep.Jobs)
+	}
+	if rep.Threads != 7 || len(rep.PerWorkerCycles) != 7 {
+		t.Fatalf("report threads %d", rep.Threads)
+	}
+	if rep.TotalSimCycles <= 0 || rep.CyclesPerJob <= 0 {
+		t.Fatal("no cycles aggregated")
+	}
+	if rep.SimThroughput <= 0 || rep.SimLatency <= 0 {
+		t.Fatal("simulated throughput/latency missing")
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	p, _ := New(knc.Default(), 2, newOpenSSL)
+	rep, err := p.Run(0, func(engine.Engine) { t.Error("job ran") })
+	if err != nil || rep.Jobs != 0 || rep.TotalSimCycles != 0 {
+		t.Fatalf("zero-job run: %+v, %v", rep, err)
+	}
+	if _, err := p.Run(-1, func(engine.Engine) {}); err == nil {
+		t.Fatal("negative job count should fail")
+	}
+}
+
+func TestCyclesMatchSingleThreadMeasurement(t *testing.T) {
+	// Metering is deterministic: per-job cycles from a concurrent pool
+	// run must equal a single-engine measurement exactly.
+	rng := rand.New(rand.NewSource(1))
+	nBytes := make([]byte, 64)
+	rng.Read(nBytes)
+	nBytes[0] |= 0x80
+	nBytes[63] |= 1
+	n := bn.FromBytes(nBytes)
+	base := bn.FromUint64(123456789)
+	exp := bn.FromUint64(65537)
+
+	single := newOpenSSL()
+	single.ModExp(base, exp, n)
+	want := single.Cycles()
+
+	p, _ := New(knc.Default(), 8, newOpenSSL)
+	rep, err := p.Run(32, func(e engine.Engine) { e.ModExp(base, exp, n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context caching makes repeat jobs on a worker cheaper than the
+	// first; per-job mean must be within the cold-cost bound and above
+	// the warm cost.
+	if rep.CyclesPerJob > want || rep.CyclesPerJob <= 0 {
+		t.Fatalf("per-job cycles %.0f outside (0, %.0f]", rep.CyclesPerJob, want)
+	}
+}
+
+func TestThroughputScalesWithThreads(t *testing.T) {
+	job := func(e engine.Engine) {
+		e.MulMod(bn.FromUint64(7), bn.FromUint64(9), bn.FromUint64(1000003))
+	}
+	runAt := func(threads int) float64 {
+		p, _ := New(knc.Default(), threads, newOpenSSL)
+		rep, err := p.Run(threads*4, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.SimThroughput
+	}
+	t1, t61, t244 := runAt(1), runAt(61), runAt(244)
+	if !(t1 < t61 && t61 < t244) {
+		t.Fatalf("throughput not increasing: %g, %g, %g", t1, t61, t244)
+	}
+}
+
+func TestConcurrentRunRejected(t *testing.T) {
+	p, _ := New(knc.Default(), 2, newOpenSSL)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = p.Run(2, func(engine.Engine) { <-release })
+	}()
+	// Wait until the first run is in flight, then a second must fail.
+	for {
+		p.mu.Lock()
+		started := p.started
+		p.mu.Unlock()
+		if started {
+			break
+		}
+	}
+	if _, err := p.Run(1, func(engine.Engine) {}); err == nil {
+		t.Error("concurrent Run should be rejected")
+	}
+	close(release)
+	wg.Wait()
+	// After completion, Run works again.
+	if _, err := p.Run(1, func(engine.Engine) {}); err != nil {
+		t.Fatalf("Run after completion: %v", err)
+	}
+}
+
+func TestLoadBalancing(t *testing.T) {
+	// With jobs that take non-trivial time (512-bit vector modexp, ~ms of
+	// host time each), every worker should pick up work.
+	rng := rand.New(rand.NewSource(2))
+	nBytes := make([]byte, 64)
+	rng.Read(nBytes)
+	nBytes[0] |= 0x80
+	nBytes[63] |= 1
+	n := bn.FromBytes(nBytes)
+	exp := bn.FromBytes(nBytes[:32])
+
+	p, _ := New(knc.Default(), 4, func() engine.Engine { return core.New() })
+	rep, err := p.Run(64, func(e engine.Engine) {
+		e.ModExp(bn.FromUint64(3), exp, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, cy := range rep.PerWorkerCycles {
+		if cy > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 4 workers did any work", busy)
+	}
+}

@@ -1,0 +1,51 @@
+package rsakit
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vbatch"
+	"phiopenssl/internal/vpu"
+)
+
+// Batch private-key operations: sixteen ciphertexts under one key,
+// processed with the lane-per-operation (vertical) vector kernels of
+// internal/vbatch. This is the throughput-oriented server mode quantified
+// by ablation A4 — all sixteen CRT exponentiations mod P run in one kernel
+// pass, then all sixteen mod Q, then the recombinations.
+
+// BatchSize is the number of ciphertexts per batch call.
+const BatchSize = vbatch.BatchSize
+
+// PrivateOpBatch computes c^D mod N for sixteen ciphertexts with CRT,
+// issuing all vector work on u. Every ciphertext must be in [0, N).
+func PrivateOpBatch(u *vpu.Unit, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {
+	for l, c := range cs {
+		if c.Cmp(key.N) >= 0 {
+			return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch ciphertext %d out of range", l)
+		}
+	}
+	ctxP, err := vbatch.NewCtx(key.P, u)
+	if err != nil {
+		return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch P context: %w", err)
+	}
+	ctxQ, err := vbatch.NewCtx(key.Q, u)
+	if err != nil {
+		return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch Q context: %w", err)
+	}
+
+	var cp, cq [BatchSize]bn.Nat
+	for l, c := range cs {
+		cp[l] = c.Mod(key.P)
+		cq[l] = c.Mod(key.Q)
+	}
+	m1 := ctxP.ModExpShared(&cp, key.Dp)
+	m2 := ctxQ.ModExpShared(&cq, key.Dq)
+
+	var out [BatchSize]bn.Nat
+	for l := 0; l < BatchSize; l++ {
+		h := key.Qinv.ModMul(m1[l].ModSub(m2[l], key.P), key.P)
+		out[l] = m2[l].Add(h.Mul(key.Q))
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package rsakit
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/vpu"
+)
+
+func TestPrivateOpBatchMatchesSingle(t *testing.T) {
+	key := testKey512
+	rng := mrand.New(mrand.NewSource(80))
+	var cs [BatchSize]bn.Nat
+	for l := range cs {
+		c, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[l] = c
+	}
+	u := vpu.New()
+	got, err := PrivateOpBatch(u, key, &cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := baseline.NewOpenSSL()
+	for l := 0; l < BatchSize; l++ {
+		want, err := PrivateOp(ref, key, cs[l], DefaultPrivateOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[l].Equal(want) {
+			t.Fatalf("lane %d: batch %s != single %s", l, got[l], want)
+		}
+	}
+	if u.Counts().Total() == 0 {
+		t.Fatal("batch issued no vector instructions")
+	}
+}
+
+func TestPrivateOpBatchRoundTrip(t *testing.T) {
+	key := testKey1024
+	rng := mrand.New(mrand.NewSource(81))
+	eng := baseline.NewMPSS()
+	var msgs, cs [BatchSize]bn.Nat
+	for l := range msgs {
+		m, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[l] = m
+		c, err := PublicOp(eng, &key.PublicKey, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[l] = c
+	}
+	got, err := PrivateOpBatch(vpu.New(), key, &cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range msgs {
+		if !got[l].Equal(msgs[l]) {
+			t.Fatalf("lane %d round trip failed", l)
+		}
+	}
+}
+
+func TestPrivateOpBatchRangeCheck(t *testing.T) {
+	key := testKey512
+	var cs [BatchSize]bn.Nat
+	cs[7] = key.N.AddUint64(1)
+	if _, err := PrivateOpBatch(vpu.New(), key, &cs); err == nil {
+		t.Fatal("out-of-range lane accepted")
+	}
+}
+
+// TestBatchCheaperPerOpThanHorizontal is the RSA-level A4 assertion: the
+// per-ciphertext vector cycle cost of the batch path must undercut the
+// single-op (horizontal) PhiOpenSSL engine.
+func TestBatchCheaperPerOpThanHorizontal(t *testing.T) {
+	key := testKey1024
+	rng := mrand.New(mrand.NewSource(82))
+	var cs [BatchSize]bn.Nat
+	for l := range cs {
+		c, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[l] = c
+	}
+	u := vpu.New()
+	if _, err := PrivateOpBatch(u, key, &cs); err != nil {
+		t.Fatal(err)
+	}
+	batchPerOp := knc.KNCVectorCosts.VectorCycles(u.Counts()) / BatchSize
+
+	phi := enginesPhi()
+	if _, err := PrivateOp(phi, key, cs[0], DefaultPrivateOpts()); err != nil {
+		t.Fatal(err)
+	}
+	single := phi.Cycles()
+	if batchPerOp >= single {
+		t.Fatalf("batch per-op %.0f cycles not below single-op %.0f", batchPerOp, single)
+	}
+}
+
+// enginesPhi returns a fresh PhiOpenSSL engine (helper keeping the import
+// local to batch tests).
+func enginesPhi() engine.Engine { return core.New() }

@@ -1,0 +1,102 @@
+package rsakit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+)
+
+// RSAES-OAEP (RFC 8017 section 7.1) with SHA-256 and MGF1-SHA-256 — the
+// modern encryption padding OpenSSL offers alongside PKCS#1 v1.5. The SSL
+// workload of the paper uses v1.5, but the library exposes both, matching
+// the surface of the libcrypto it reproduces.
+
+const hashLen = sha256.Size
+
+// mgf1XOR XORs MGF1-SHA-256(seed) into out (RFC 8017 appendix B.2.1).
+func mgf1XOR(out, seed []byte) {
+	var counter [4]byte
+	done := 0
+	for done < len(out) {
+		h := sha256.New()
+		h.Write(seed)
+		h.Write(counter[:])
+		block := h.Sum(nil)
+		for i := 0; i < len(block) && done < len(out); i++ {
+			out[done] ^= block[i]
+			done++
+		}
+		for i := 3; i >= 0; i-- {
+			counter[i]++
+			if counter[i] != 0 {
+				break
+			}
+		}
+	}
+}
+
+// EncryptOAEP encrypts msg under pub with optional label.
+func EncryptOAEP(eng engine.Engine, rng io.Reader, pub *PublicKey, msg, label []byte) ([]byte, error) {
+	k := pub.Size()
+	if len(msg) > k-2*hashLen-2 {
+		return nil, fmt.Errorf("rsakit: message too long for %d-byte modulus with OAEP", k)
+	}
+	em := make([]byte, k)
+	seed := em[1 : 1+hashLen]
+	db := em[1+hashLen:]
+
+	lHash := sha256.Sum256(label)
+	copy(db, lHash[:])
+	db[len(db)-len(msg)-1] = 0x01
+	copy(db[len(db)-len(msg):], msg)
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, fmt.Errorf("rsakit: OAEP seed: %w", err)
+	}
+	mgf1XOR(db, seed)
+	mgf1XOR(seed, db)
+
+	c, err := PublicOp(eng, pub, bn.FromBytes(em))
+	if err != nil {
+		return nil, err
+	}
+	return c.FillBytes(make([]byte, k)), nil
+}
+
+// DecryptOAEP decrypts an OAEP ciphertext. Padding failures return a
+// uniform error.
+func DecryptOAEP(eng engine.Engine, key *PrivateKey, ct, label []byte, opts PrivateOpts) ([]byte, error) {
+	k := key.Size()
+	if len(ct) != k || k < 2*hashLen+2 {
+		return nil, fmt.Errorf("rsakit: decryption error")
+	}
+	m, err := PrivateOp(eng, key, bn.FromBytes(ct), opts)
+	if err != nil {
+		return nil, err
+	}
+	em := m.FillBytes(make([]byte, k))
+
+	firstByteOK := subtle.ConstantTimeByteEq(em[0], 0)
+	seed := em[1 : 1+hashLen]
+	db := em[1+hashLen:]
+	mgf1XOR(seed, db)
+	mgf1XOR(db, seed)
+
+	lHash := sha256.Sum256(label)
+	lHashOK := subtle.ConstantTimeCompare(db[:hashLen], lHash[:])
+
+	// Scan for the 0x01 separator after the zero padding. (Production
+	// implementations do this scan in constant time; the reproduction
+	// favors clarity — the engine timing model is the object of study.)
+	rest := db[hashLen:]
+	sep := bytes.IndexByte(rest, 0x01)
+	zeroPadOK := sep >= 0 && len(bytes.TrimLeft(rest[:sep], "\x00")) == 0
+	if firstByteOK != 1 || lHashOK != 1 || !zeroPadOK {
+		return nil, fmt.Errorf("rsakit: decryption error")
+	}
+	return rest[sep+1:], nil
+}

@@ -1,0 +1,244 @@
+package rsakit
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"math/big"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/core"
+)
+
+func TestOAEPRoundTrip(t *testing.T) {
+	key := testKey1024
+	for _, eng := range engines() {
+		for _, label := range [][]byte{nil, []byte("ctx")} {
+			msg := []byte("oaep round trip message")
+			ct, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, msg, label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := DecryptOAEP(eng, key, ct, label, DefaultPrivateOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pt, msg) {
+				t.Fatalf("round trip mismatch: %q", pt)
+			}
+		}
+	}
+}
+
+func TestOAEPLabelBinding(t *testing.T) {
+	key := testKey1024
+	eng := baseline.NewOpenSSL()
+	ct, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, []byte("m"), []byte("label-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptOAEP(eng, key, ct, []byte("label-b"), DefaultPrivateOpts()); err == nil {
+		t.Fatal("wrong label accepted")
+	}
+	if _, err := DecryptOAEP(eng, key, ct, []byte("label-a"), DefaultPrivateOpts()); err != nil {
+		t.Fatalf("correct label rejected: %v", err)
+	}
+}
+
+func TestOAEPRejectsTamperAndBadSizes(t *testing.T) {
+	key := testKey1024
+	eng := baseline.NewMPSS()
+	ct, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, []byte("msg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)/2] ^= 1
+	if _, err := DecryptOAEP(eng, key, ct, nil, DefaultPrivateOpts()); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	if _, err := DecryptOAEP(eng, key, ct[:10], nil, DefaultPrivateOpts()); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+	// Message too long for the modulus.
+	tooLong := make([]byte, key.Size()-2*hashLen-1)
+	if _, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, tooLong, nil); err == nil {
+		t.Fatal("overlong message accepted")
+	}
+	// 512-bit modulus cannot carry OAEP-SHA256 at all (k < 2*32+2).
+	if _, err := EncryptOAEP(eng, rand.Reader, &testKey512.PublicKey,
+		make([]byte, 1), nil); err == nil {
+		t.Fatal("OAEP under tiny modulus should fail")
+	}
+}
+
+func TestOAEPMaxLengthMessage(t *testing.T) {
+	key := testKey1024
+	eng := baseline.NewOpenSSL()
+	msg := bytes.Repeat([]byte{0x5a}, key.Size()-2*hashLen-2)
+	ct, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptOAEP(eng, key, ct, nil, DefaultPrivateOpts())
+	if err != nil || !bytes.Equal(pt, msg) {
+		t.Fatalf("max-length round trip failed: %v", err)
+	}
+	// Empty message round trip.
+	ct, err = EncryptOAEP(eng, rand.Reader, &key.PublicKey, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err = DecryptOAEP(eng, key, ct, nil, DefaultPrivateOpts())
+	if err != nil || len(pt) != 0 {
+		t.Fatalf("empty round trip: %q %v", pt, err)
+	}
+}
+
+// TestOAEPInteropWithCryptoRSA decrypts crypto/rsa's OAEP output and has
+// crypto/rsa decrypt ours.
+func TestOAEPInteropWithCryptoRSA(t *testing.T) {
+	key := testKey1024
+	eng := baseline.NewOpenSSL()
+	stdPriv := stdKey(key)
+	label := []byte("interop")
+
+	ct, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, &stdPriv.PublicKey, []byte("from std"), label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptOAEP(eng, key, ct, label, DefaultPrivateOpts())
+	if err != nil || string(pt) != "from std" {
+		t.Fatalf("decrypting std ciphertext: %q %v", pt, err)
+	}
+
+	ct2, err := EncryptOAEP(eng, rand.Reader, &key.PublicKey, []byte("from phi"), label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, stdPriv, ct2, label)
+	if err != nil || string(pt2) != "from phi" {
+		t.Fatalf("std decrypting our ciphertext: %q %v", pt2, err)
+	}
+}
+
+func TestPSSRoundTrip(t *testing.T) {
+	key := testKey1024
+	for _, eng := range engines() {
+		msg := []byte("pss round trip")
+		sig, err := SignPSSSHA256(eng, rand.Reader, key, msg, DefaultPrivateOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyPSSSHA256(eng, &key.PublicKey, msg, sig); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		if err := VerifyPSSSHA256(eng, &key.PublicKey, []byte("other"), sig); err == nil {
+			t.Fatal("wrong message accepted")
+		}
+		sig[3] ^= 0x40
+		if err := VerifyPSSSHA256(eng, &key.PublicKey, msg, sig); err == nil {
+			t.Fatal("corrupted signature accepted")
+		}
+	}
+}
+
+func TestPSSSaltRandomization(t *testing.T) {
+	// Two signatures of the same message must differ (random salt) yet
+	// both verify.
+	key := testKey1024
+	eng := baseline.NewOpenSSL()
+	msg := []byte("same message")
+	s1, err := SignPSSSHA256(eng, rand.Reader, key, msg, DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SignPSSSHA256(eng, rand.Reader, key, msg, DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Fatal("PSS signatures should be randomized")
+	}
+	for _, s := range [][]byte{s1, s2} {
+		if err := VerifyPSSSHA256(eng, &key.PublicKey, msg, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPSSInteropWithCryptoRSA: our PSS signatures verify under crypto/rsa
+// and vice versa.
+func TestPSSInteropWithCryptoRSA(t *testing.T) {
+	key := testKey1024
+	eng := core.New()
+	stdPriv := stdKey(key)
+	msg := []byte("pss interop")
+	digest := sha256.Sum256(msg)
+	pssOpts := &rsa.PSSOptions{SaltLength: rsa.PSSSaltLengthEqualsHash, Hash: crypto.SHA256}
+
+	sig, err := SignPSSSHA256(eng, rand.Reader, key, msg, DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rsa.VerifyPSS(&stdPriv.PublicKey, crypto.SHA256, digest[:], sig, pssOpts); err != nil {
+		t.Fatalf("crypto/rsa rejects our PSS signature: %v", err)
+	}
+
+	stdSig, err := rsa.SignPSS(rand.Reader, stdPriv, crypto.SHA256, digest[:], pssOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPSSSHA256(eng, &key.PublicKey, msg, stdSig); err != nil {
+		t.Fatalf("we reject crypto/rsa's PSS signature: %v", err)
+	}
+}
+
+func TestPSSModulusTooSmall(t *testing.T) {
+	eng := baseline.NewOpenSSL()
+	if _, err := SignPSSSHA256(eng, rand.Reader, testKey512, []byte("m"),
+		DefaultPrivateOpts()); err == nil {
+		t.Fatal("512-bit modulus cannot carry PSS-SHA256 with full salt")
+	}
+}
+
+func TestMGF1KnownAnswer(t *testing.T) {
+	// MGF1 must be deterministic and length-exact; cross-check two calls
+	// and prefix consistency (MGF1 output is a prefix-stable stream).
+	seed := []byte{1, 2, 3, 4}
+	a := make([]byte, 40)
+	b := make([]byte, 64)
+	mgf1XOR(a, seed)
+	mgf1XOR(b, seed)
+	if !bytes.Equal(a, b[:40]) {
+		t.Fatal("MGF1 not prefix-stable")
+	}
+	allZero := true
+	for _, v := range a {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("MGF1 produced zeros")
+	}
+}
+
+// stdKey converts one of our private keys into a crypto/rsa key.
+func stdKey(k *PrivateKey) *rsa.PrivateKey {
+	std := &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{
+			N: new(big.Int).SetBytes(k.N.Bytes()),
+			E: DefaultExponent,
+		},
+		D: new(big.Int).SetBytes(k.D.Bytes()),
+		Primes: []*big.Int{
+			new(big.Int).SetBytes(k.P.Bytes()),
+			new(big.Int).SetBytes(k.Q.Bytes()),
+		},
+	}
+	std.Precompute()
+	return std
+}

@@ -1,0 +1,139 @@
+package rsakit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+)
+
+// PKCS#1 v1.5 padding and the message-level encrypt/decrypt/sign/verify
+// operations, as used by the SSL handshake (RSA key transport uses
+// encryption padding type 2; certificate signatures use type 1).
+
+// sha256DigestInfo is the DER prefix of the DigestInfo structure for
+// SHA-256 (RFC 8017, section 9.2 note 1).
+var sha256DigestInfo = []byte{
+	0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65,
+	0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+}
+
+// minPadLen is the minimum PS length required by PKCS#1 v1.5.
+const minPadLen = 8
+
+// EncryptPKCS1v15 encrypts msg with type-2 padding under pub.
+func EncryptPKCS1v15(eng engine.Engine, rng io.Reader, pub *PublicKey, msg []byte) ([]byte, error) {
+	k := pub.Size()
+	if len(msg) > k-minPadLen-3 {
+		return nil, fmt.Errorf("rsakit: message too long for %d-byte modulus", k)
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x02
+	ps := em[2 : k-len(msg)-1]
+	if err := fillNonZero(rng, ps); err != nil {
+		return nil, err
+	}
+	em[k-len(msg)-1] = 0x00
+	copy(em[k-len(msg):], msg)
+	c, err := PublicOp(eng, pub, bn.FromBytes(em))
+	if err != nil {
+		return nil, err
+	}
+	return c.FillBytes(make([]byte, k)), nil
+}
+
+// DecryptPKCS1v15 decrypts a type-2 padded ciphertext with key.
+func DecryptPKCS1v15(eng engine.Engine, key *PrivateKey, ct []byte, opts PrivateOpts) ([]byte, error) {
+	k := key.Size()
+	if len(ct) != k {
+		return nil, fmt.Errorf("rsakit: ciphertext length %d, want %d", len(ct), k)
+	}
+	m, err := PrivateOp(eng, key, bn.FromBytes(ct), opts)
+	if err != nil {
+		return nil, err
+	}
+	em := m.FillBytes(make([]byte, k))
+	if em[0] != 0x00 || em[1] != 0x02 {
+		return nil, fmt.Errorf("rsakit: decryption error")
+	}
+	sep := bytes.IndexByte(em[2:], 0x00)
+	if sep < minPadLen {
+		return nil, fmt.Errorf("rsakit: decryption error")
+	}
+	return em[2+sep+1:], nil
+}
+
+// SignPKCS1v15SHA256 signs msg: SHA-256, DigestInfo encoding, type-1
+// padding, private-key operation.
+func SignPKCS1v15SHA256(eng engine.Engine, key *PrivateKey, msg []byte, opts PrivateOpts) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	em, err := padSign(digest[:], key.Size())
+	if err != nil {
+		return nil, err
+	}
+	s, err := PrivateOp(eng, key, bn.FromBytes(em), opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.FillBytes(make([]byte, key.Size())), nil
+}
+
+// VerifyPKCS1v15SHA256 verifies a signature produced by
+// SignPKCS1v15SHA256.
+func VerifyPKCS1v15SHA256(eng engine.Engine, pub *PublicKey, msg, sig []byte) error {
+	k := pub.Size()
+	if len(sig) != k {
+		return fmt.Errorf("rsakit: signature length %d, want %d", len(sig), k)
+	}
+	m, err := PublicOp(eng, pub, bn.FromBytes(sig))
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(msg)
+	want, err := padSign(digest[:], k)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(m.FillBytes(make([]byte, k)), want) {
+		return fmt.Errorf("rsakit: verification failure")
+	}
+	return nil
+}
+
+// padSign builds the type-1 encoded message 00 01 FF..FF 00 DigestInfo.
+func padSign(digest []byte, k int) ([]byte, error) {
+	t := append(append([]byte{}, sha256DigestInfo...), digest...)
+	if k < len(t)+minPadLen+3 {
+		return nil, fmt.Errorf("rsakit: modulus too small for SHA-256 signature")
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x01
+	for i := 2; i < k-len(t)-1; i++ {
+		em[i] = 0xff
+	}
+	em[k-len(t)-1] = 0x00
+	copy(em[k-len(t):], t)
+	return em, nil
+}
+
+// fillNonZero fills buf with random nonzero bytes.
+func fillNonZero(rng io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return fmt.Errorf("rsakit: reading padding: %w", err)
+	}
+	for i := range buf {
+		for buf[i] == 0 {
+			var one [1]byte
+			if _, err := io.ReadFull(rng, one[:]); err != nil {
+				return fmt.Errorf("rsakit: reading padding: %w", err)
+			}
+			buf[i] = one[0]
+		}
+	}
+	return nil
+}

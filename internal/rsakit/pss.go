@@ -1,0 +1,121 @@
+package rsakit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+)
+
+// RSASSA-PSS (RFC 8017 section 8.1) with SHA-256 for both the message
+// hash and MGF1, salt length equal to the hash length — the parameter set
+// crypto/rsa calls PSSSaltLengthEqualsHash, used for cross-validation in
+// the tests.
+
+// emsaPSSEncode builds the encoded message EM for mHash over emBits bits.
+func emsaPSSEncode(rng io.Reader, mHash []byte, emBits int) ([]byte, error) {
+	emLen := (emBits + 7) / 8
+	if emLen < hashLen+hashLen+2 {
+		return nil, fmt.Errorf("rsakit: modulus too small for PSS")
+	}
+	salt := make([]byte, hashLen)
+	if _, err := io.ReadFull(rng, salt); err != nil {
+		return nil, fmt.Errorf("rsakit: PSS salt: %w", err)
+	}
+
+	// H = Hash(0x00*8 || mHash || salt)
+	h := sha256.New()
+	h.Write(make([]byte, 8))
+	h.Write(mHash)
+	h.Write(salt)
+	hVal := h.Sum(nil)
+
+	// DB = PS || 0x01 || salt, maskedDB = DB xor MGF1(H)
+	em := make([]byte, emLen)
+	db := em[:emLen-hashLen-1]
+	db[len(db)-hashLen-1] = 0x01
+	copy(db[len(db)-hashLen:], salt)
+	copy(em[emLen-hashLen-1:], hVal)
+	em[emLen-1] = 0xbc
+	mgf1XOR(db, hVal)
+	// Clear the excess leading bits so EM < 2^emBits.
+	em[0] &= 0xff >> uint(8*emLen-emBits)
+	return em, nil
+}
+
+// emsaPSSVerify checks EM against mHash.
+func emsaPSSVerify(mHash, em []byte, emBits int) error {
+	emLen := (emBits + 7) / 8
+	if len(em) != emLen || emLen < 2*hashLen+2 {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	if em[emLen-1] != 0xbc {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	if em[0]&^(0xff>>uint(8*emLen-emBits)) != 0 {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	maskedDB := make([]byte, emLen-hashLen-1)
+	copy(maskedDB, em[:len(maskedDB)])
+	hVal := em[emLen-hashLen-1 : emLen-1]
+
+	mgf1XOR(maskedDB, hVal)
+	maskedDB[0] &= 0xff >> uint(8*emLen-emBits)
+
+	// DB must be zeros, then 0x01, then the salt.
+	sep := len(maskedDB) - hashLen - 1
+	for _, b := range maskedDB[:sep] {
+		if b != 0 {
+			return fmt.Errorf("rsakit: PSS verification failure")
+		}
+	}
+	if maskedDB[sep] != 0x01 {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	salt := maskedDB[sep+1:]
+
+	h := sha256.New()
+	h.Write(make([]byte, 8))
+	h.Write(mHash)
+	h.Write(salt)
+	if !bytes.Equal(h.Sum(nil), hVal) {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	return nil
+}
+
+// SignPSSSHA256 signs msg with RSASSA-PSS (SHA-256, salt = hash length).
+func SignPSSSHA256(eng engine.Engine, rng io.Reader, key *PrivateKey, msg []byte, opts PrivateOpts) ([]byte, error) {
+	mHash := sha256.Sum256(msg)
+	emBits := key.N.BitLen() - 1
+	em, err := emsaPSSEncode(rng, mHash[:], emBits)
+	if err != nil {
+		return nil, err
+	}
+	s, err := PrivateOp(eng, key, bn.FromBytes(em), opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.FillBytes(make([]byte, key.Size())), nil
+}
+
+// VerifyPSSSHA256 verifies an RSASSA-PSS signature over msg.
+func VerifyPSSSHA256(eng engine.Engine, pub *PublicKey, msg, sig []byte) error {
+	if len(sig) != pub.Size() {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	m, err := PublicOp(eng, pub, bn.FromBytes(sig))
+	if err != nil {
+		return err
+	}
+	emBits := pub.N.BitLen() - 1
+	emLen := (emBits + 7) / 8
+	if m.BitLen() > emBits {
+		return fmt.Errorf("rsakit: PSS verification failure")
+	}
+	mHash := sha256.Sum256(msg)
+	return emsaPSSVerify(mHash[:], m.FillBytes(make([]byte, emLen)), emBits)
+}

@@ -1,0 +1,119 @@
+package rsakit
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+)
+
+func TestVerifyOptionPassesOnGoodKey(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(120))
+	c, err := bn.RandomRange(rng, bn.One(), key.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PrivateOpts{UseCRT: true, Verify: true}
+	got, err := PrivateOp(eng, key, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PrivateOp(eng, key, c, DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("verified result differs")
+	}
+}
+
+func TestVerifyDetectsFaultedCRT(t *testing.T) {
+	// Corrupt Dp: the CRT result is wrong, and publishing it would leak a
+	// factor of N (the Boneh-DeMillo-Lipton fault attack). The Verify
+	// option must catch it.
+	bad := *testKey512
+	bad.Dp = bad.Dp.AddUint64(2) // keep parity; wrong exponent
+	eng := baseline.NewMPSS()
+	rng := mrand.New(mrand.NewSource(121))
+	c, err := bn.RandomRange(rng, bn.One(), bad.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrivateOp(eng, &bad, c, PrivateOpts{UseCRT: true, Verify: true}); err == nil {
+		t.Fatal("faulted CRT result passed verification")
+	}
+	// Without Verify the wrong result sails through (demonstrating what
+	// the countermeasure is for).
+	if _, err := PrivateOp(eng, &bad, c, PrivateOpts{UseCRT: true}); err != nil {
+		t.Fatal("unexpected error without verification:", err)
+	}
+	// And the classic attack works: gcd(m^e - c, N) recovers a factor.
+	m, _ := PrivateOp(eng, &bad, c, PrivateOpts{UseCRT: true})
+	reenc := m.ModExp(bad.E, bad.N)
+	diff, ok := reenc.TrySub(c)
+	if !ok {
+		diff = c.Sub(reenc)
+	}
+	g := diff.GCD(bad.N)
+	if !g.Equal(bad.Q) && !g.Equal(bad.P) {
+		t.Fatalf("BDL factor extraction failed: gcd = %s", g)
+	}
+}
+
+func TestVerifyWithBlinding(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(122))
+	c, err := bn.RandomRange(rng, bn.One(), key.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PrivateOpts{UseCRT: true, Blinding: true, Rand: rng, Verify: true}
+	got, err := PrivateOp(eng, key, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := PrivateOp(eng, key, c, DefaultPrivateOpts())
+	if !got.Equal(want) {
+		t.Fatal("blinded+verified result differs")
+	}
+}
+
+func TestValidateRejectsCloseFactors(t *testing.T) {
+	// Construct a key whose factors are Fermat-factorably close.
+	rng := mrand.New(mrand.NewSource(123))
+	p, err := bn.GeneratePrime(rng, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a prime just above p: q = next prime after p+2.
+	q := p.AddUint64(2)
+	for {
+		ok, err := q.ProbablyPrime(rng, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		q = q.AddUint64(2)
+	}
+	pm1, qm1 := p.SubUint64(1), q.SubUint64(1)
+	e := bn.FromUint64(DefaultExponent)
+	d, ok := e.ModInverse(pm1.Lcm(qm1))
+	if !ok {
+		t.Skip("gcd(e, lambda) != 1 for this construction")
+	}
+	qinv, _ := q.ModInverse(p)
+	k := &PrivateKey{
+		PublicKey: PublicKey{N: p.Mul(q), E: e},
+		D:         d, P: p, Q: q,
+		Dp: d.Mod(pm1), Dq: d.Mod(qm1), Qinv: qinv,
+	}
+	if err := k.Validate(); err == nil {
+		t.Fatal("close-factor key passed validation")
+	}
+}

@@ -1,0 +1,92 @@
+// Package stats provides the small summary-statistics helpers the load
+// generators report with (mean, percentiles, rates). Kept dependency-free
+// so any tool can use it.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of durations.
+type Summary struct {
+	// Count is the sample size.
+	Count int
+	// Mean is the arithmetic mean.
+	Mean time.Duration
+	// Min and Max bound the sample.
+	Min, Max time.Duration
+	// P50, P90, P99 are order-statistic percentiles (nearest-rank).
+	P50, P90, P99 time.Duration
+	// Stddev is the population standard deviation.
+	Stddev time.Duration
+}
+
+// Summarize computes a Summary; it returns a zero Summary for an empty
+// sample. The input slice is not modified.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration{}, samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum, sumSq float64
+	for _, d := range sorted {
+		f := float64(d)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise on constant samples
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   time.Duration(mean),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentile(sorted, 50),
+		P90:    percentile(sorted, 90),
+		P99:    percentile(sorted, 99),
+		Stddev: time.Duration(math.Sqrt(variance)),
+	}
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted sample.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String implements fmt.Stringer with a single-line report.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// Rate returns events per second over an elapsed wall time.
+func Rate(events int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(events) / elapsed.Seconds()
+}

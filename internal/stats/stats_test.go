@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if s.String() != "no samples" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{ms(5)})
+	if s.Count != 1 || s.Mean != ms(5) || s.Min != ms(5) || s.Max != ms(5) ||
+		s.P50 != ms(5) || s.P99 != ms(5) || s.Stddev != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..100 ms.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = ms(i + 1)
+	}
+	// Shuffle to prove sorting happens internally.
+	rand.New(rand.NewSource(1)).Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+	s := Summarize(samples)
+	if s.Mean != ms(50)+500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != ms(50) || s.P90 != ms(90) || s.P99 != ms(99) {
+		t.Errorf("percentiles: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+	if s.Min != ms(1) || s.Max != ms(100) {
+		t.Errorf("min/max: %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{ms(3), ms(1), ms(2)}
+	Summarize(samples)
+	if samples[0] != ms(3) || samples[2] != ms(2) {
+		t.Fatal("input was sorted in place")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, 2*time.Second); got != 50 {
+		t.Errorf("Rate = %g", got)
+	}
+	if Rate(10, 0) != 0 || Rate(10, -time.Second) != 0 {
+		t.Error("degenerate elapsed should give 0")
+	}
+}
+
+// Property: percentiles are monotone and bracketed by min/max.
+func TestQuickPercentileOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v % 1_000_000)
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package tlssim
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Session resumption: after a full handshake the server issues a 32-byte
+// session ID bound to the master secret. A client presenting a cached ID
+// skips the RSA key exchange entirely — the abbreviated handshake costs
+// only two HMACs per side. This is the standard SSL optimization the
+// paper's handshake-throughput discussion presumes for repeat clients;
+// experiment E7 reports both costs.
+
+// sessionIDLen is the length of a session identifier.
+const sessionIDLen = 32
+
+// Ticket is a client's handle for resuming a session.
+type Ticket struct {
+	// ID is the server-issued session identifier.
+	ID [sessionIDLen]byte
+	// Master is the master secret of the original session.
+	Master [32]byte
+}
+
+// SessionCache is the server-side store of resumable sessions. It is a
+// bounded LRU and safe for concurrent use by the pool server's workers.
+type SessionCache struct {
+	mu    sync.Mutex
+	limit int
+	order *list.List // front = most recent; values are [sessionIDLen]byte
+	items map[[sessionIDLen]byte]cacheEntry
+}
+
+type cacheEntry struct {
+	master  [32]byte
+	element *list.Element
+}
+
+// NewSessionCache returns a cache bounded to limit sessions (minimum 1).
+func NewSessionCache(limit int) *SessionCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &SessionCache{
+		limit: limit,
+		order: list.New(),
+		items: make(map[[sessionIDLen]byte]cacheEntry),
+	}
+}
+
+// Put stores a resumable session, evicting the least recently used entry
+// when full.
+func (c *SessionCache) Put(id [sessionIDLen]byte, master [32]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[id]; ok {
+		c.order.MoveToFront(e.element)
+		e.master = master
+		c.items[id] = e
+		return
+	}
+	for len(c.items) >= c.limit {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.items, back.Value.([sessionIDLen]byte))
+	}
+	el := c.order.PushFront(id)
+	c.items[id] = cacheEntry{master: master, element: el}
+}
+
+// Get looks up a session, refreshing its recency. The second result
+// reports whether it was found.
+func (c *SessionCache) Get(id [sessionIDLen]byte) ([32]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[id]
+	if !ok {
+		return [32]byte{}, false
+	}
+	c.order.MoveToFront(e.element)
+	return e.master, true
+}
+
+// Len returns the number of cached sessions.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

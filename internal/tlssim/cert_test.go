@@ -1,0 +1,157 @@
+package tlssim
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/cert"
+	"phiopenssl/internal/rsakit"
+)
+
+const certTestNow = int64(1_700_000_000)
+
+// certSetup issues a root and a chain certifying serverKey.
+func certSetup(t *testing.T) (cert.Chain, *cert.Certificate) {
+	t.Helper()
+	eng := baseline.NewOpenSSL()
+	caKey := mustKey(512, 1234)
+	root, err := cert.SelfSign(eng, cert.Template{
+		Subject: "test-root", Serial: 1,
+		NotBefore: certTestNow - 100, NotAfter: certTestNow + 100,
+	}, caKey, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := cert.Sign(eng, cert.Template{
+		Subject: "server", Serial: 2,
+		NotBefore: certTestNow - 100, NotAfter: certTestNow + 100,
+	}, &serverKey.PublicKey, "test-root", caKey, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert.Chain{leaf}, root
+}
+
+func certHandshake(t *testing.T, srvCfg, cliCfg *Config) (*Session, error) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Server(sc, baseline.NewOpenSSL(), srvCfg)
+		if err != nil {
+			sc.Close() // unblock a client mid-write on the pipe
+		}
+		done <- err
+	}()
+	cli, cliErr := Client(cc, baseline.NewOpenSSL(), cliCfg)
+	srvErr := <-done
+	if cliErr != nil {
+		cc.Close()
+		return nil, cliErr
+	}
+	if srvErr != nil {
+		return nil, srvErr
+	}
+	return cli, nil
+}
+
+func TestCertifiedHandshake(t *testing.T) {
+	chain, root := certSetup(t)
+	srvCfg := testConfig()
+	srvCfg.Chain = chain
+	cliCfg := testConfig()
+	cliCfg.ServerPub = nil // trust comes from the chain, not pinning
+	cliCfg.Roots = []*cert.Certificate{root}
+	cliCfg.TimeNow = func() int64 { return certTestNow }
+
+	cli, err := certHandshake(t, srvCfg, cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+}
+
+func TestClientRequiresChainWhenRootsSet(t *testing.T) {
+	_, root := certSetup(t)
+	srvCfg := testConfig() // bare key, no chain
+	cliCfg := testConfig()
+	cliCfg.ServerPub = nil
+	cliCfg.Roots = []*cert.Certificate{root}
+	if _, err := certHandshake(t, srvCfg, cliCfg); err == nil ||
+		!strings.Contains(err.Error(), "requires a certificate") {
+		t.Fatalf("bare key accepted by root-requiring client: %v", err)
+	}
+}
+
+func TestWrongRootRejected(t *testing.T) {
+	chain, _ := certSetup(t)
+	otherCA := mustKey(512, 777)
+	otherRoot, err := cert.SelfSign(baseline.NewOpenSSL(), cert.Template{
+		Subject: "other-root", Serial: 9,
+		NotBefore: certTestNow - 100, NotAfter: certTestNow + 100,
+	}, otherCA, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := testConfig()
+	srvCfg.Chain = chain
+	cliCfg := testConfig()
+	cliCfg.ServerPub = nil
+	cliCfg.Roots = []*cert.Certificate{otherRoot}
+	cliCfg.TimeNow = func() int64 { return certTestNow }
+	if _, err := certHandshake(t, srvCfg, cliCfg); err == nil {
+		t.Fatal("chain accepted under wrong root")
+	}
+}
+
+func TestExpiredCertificateRejected(t *testing.T) {
+	chain, root := certSetup(t)
+	srvCfg := testConfig()
+	srvCfg.Chain = chain
+	cliCfg := testConfig()
+	cliCfg.ServerPub = nil
+	cliCfg.Roots = []*cert.Certificate{root}
+	cliCfg.TimeNow = func() int64 { return certTestNow + 10_000 } // past NotAfter
+	if _, err := certHandshake(t, srvCfg, cliCfg); err == nil {
+		t.Fatal("expired chain accepted")
+	}
+}
+
+func TestChainMustCertifyServerKey(t *testing.T) {
+	// A chain for a different key must be refused by the server itself.
+	otherKey := mustKey(512, 888)
+	eng := baseline.NewOpenSSL()
+	caKey := mustKey(512, 999)
+	leaf, err := cert.Sign(eng, cert.Template{
+		Subject: "server", Serial: 3,
+		NotBefore: certTestNow - 1, NotAfter: certTestNow + 1,
+	}, &otherKey.PublicKey, "ca", caKey, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := testConfig()
+	srvCfg.Chain = cert.Chain{leaf}
+	if _, err := certHandshake(t, srvCfg, testConfig()); err == nil ||
+		!strings.Contains(err.Error(), "does not certify") {
+		t.Fatalf("mismatched chain accepted: %v", err)
+	}
+}
+
+func TestCertifiedDHEHandshake(t *testing.T) {
+	// Certificates compose with the DHE suite: the chain's leaf key
+	// verifies the signed DH parameters.
+	chain, root := certSetup(t)
+	srvCfg := dheConfig()
+	srvCfg.Chain = chain
+	cliCfg := dheConfig()
+	cliCfg.ServerPub = nil
+	cliCfg.Roots = []*cert.Certificate{root}
+	cliCfg.TimeNow = func() int64 { return certTestNow }
+	cli, err := certHandshake(t, srvCfg, cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+}

@@ -1,0 +1,166 @@
+package tlssim
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/dh"
+	"phiopenssl/internal/engine"
+)
+
+// dheConfig returns a DHE test config (1536-bit group for speed).
+func dheConfig() *Config {
+	cfg := testConfig()
+	cfg.KeyExchange = KXDHE
+	g := dh.MODP1536()
+	cfg.DHGroup = &g
+	return cfg
+}
+
+func TestKeyExchangeStrings(t *testing.T) {
+	if KXRSA.String() != "RSA" || KXDHE.String() != "DHE-RSA" {
+		t.Error("kx names")
+	}
+	if KeyExchange(9).String() != "unknown" {
+		t.Error("unknown kx name")
+	}
+}
+
+func TestDHEHandshake(t *testing.T) {
+	for name, mk := range map[string]func() engine.Engine{
+		"ossl": func() engine.Engine { return baseline.NewOpenSSL() },
+		"phi":  func() engine.Engine { return core.New() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cli, srv := handshakePair(t, dheConfig(), mk(), mk())
+			defer cli.Close()
+			defer srv.Close()
+			if cli.Master() != srv.Master() {
+				t.Fatal("DHE master secrets differ")
+			}
+			// Record layer over the DHE session.
+			go func() {
+				if m, err := srv.Recv(); err == nil {
+					_ = srv.Send(m)
+				}
+			}()
+			if err := cli.Send([]byte("dhe data")); err != nil {
+				t.Fatal(err)
+			}
+			if echo, err := cli.Recv(); err != nil || string(echo) != "dhe data" {
+				t.Fatalf("echo %q %v", echo, err)
+			}
+		})
+	}
+}
+
+func TestKeyExchangeMismatchAlerts(t *testing.T) {
+	// Client asks for DHE, server serves RSA: alert.
+	cc, sc := net.Pipe()
+	srvErr := make(chan error, 1)
+	go func() {
+		_, err := Server(sc, baseline.NewOpenSSL(), testConfig()) // RSA server
+		srvErr <- err
+	}()
+	_, cliErr := Client(cc, baseline.NewOpenSSL(), dheConfig())
+	if cliErr == nil || !strings.Contains(cliErr.Error(), "alert") {
+		t.Fatalf("client error = %v, want peer alert", cliErr)
+	}
+	if err := <-srvErr; err == nil {
+		t.Fatal("server accepted mismatched kx")
+	}
+	cc.Close()
+}
+
+func TestDHEResumptionWorks(t *testing.T) {
+	// Resumption is kx-independent: a DHE session resumes without any DH
+	// or RSA work.
+	srvCfg := dheConfig()
+	srvCfg.Cache = NewSessionCache(8)
+	eng := core.New()
+
+	run := func(resume *Ticket) *Session {
+		cc, sc := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := Server(sc, eng, srvCfg); err != nil {
+				t.Errorf("server: %v", err)
+			}
+		}()
+		cliCfg := dheConfig()
+		cliCfg.Resume = resume
+		cli, err := Client(cc, baseline.NewOpenSSL(), cliCfg)
+		<-done
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cli
+	}
+	first := run(nil)
+	cyclesAfterFull := eng.Cycles()
+	second := run(first.Ticket())
+	if !second.Resumed() {
+		t.Fatal("DHE session did not resume")
+	}
+	if eng.Cycles() != cyclesAfterFull {
+		t.Fatal("resumed DHE handshake charged engine cycles")
+	}
+}
+
+// corruptingRelay forwards framed messages between client-facing and
+// server-facing pipes, flipping one bit inside the DH public value of
+// ServerKeyExchange — a man-in-the-middle rewriting the ephemeral key.
+func corruptingRelay(cliSide, srvSide net.Conn) {
+	go func() { // client -> server, untouched
+		for {
+			typ, p, err := readMessage(cliSide)
+			if err != nil {
+				srvSide.Close()
+				return
+			}
+			if writeMessage(srvSide, typ, p) != nil {
+				return
+			}
+		}
+	}()
+	for { // server -> client, corrupting SKE
+		typ, p, err := readMessage(srvSide)
+		if err != nil {
+			cliSide.Close()
+			return
+		}
+		if typ == msgServerKeyExchange && len(p) > 20 {
+			p[20] ^= 0x80 // inside the DH public value
+		}
+		if writeMessage(cliSide, typ, p) != nil {
+			return
+		}
+	}
+}
+
+func TestDHETamperedParamsRejected(t *testing.T) {
+	cliConn, relayCli := net.Pipe()
+	relaySrv, srvConn := net.Pipe()
+	srvErr := make(chan error, 1)
+	go func() {
+		_, err := Server(srvConn, baseline.NewOpenSSL(), dheConfig())
+		srvErr <- err
+	}()
+	go corruptingRelay(relayCli, relaySrv)
+
+	_, cliErr := Client(cliConn, baseline.NewOpenSSL(), dheConfig())
+	if cliErr == nil {
+		t.Fatal("client accepted tampered DHE parameters")
+	}
+	if !strings.Contains(cliErr.Error(), "signature") {
+		t.Fatalf("expected a signature failure, got: %v", cliErr)
+	}
+	if err := <-srvErr; err == nil {
+		t.Fatal("server completed against a failed client")
+	}
+	cliConn.Close()
+}

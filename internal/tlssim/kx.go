@@ -1,0 +1,166 @@
+package tlssim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/dh"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/rsakit"
+)
+
+// Key-exchange selection. The reproduction implements the two families the
+// paper's SSL context offers: RSA key transport (the client encrypts the
+// premaster under the server's key; the server's cost is one RSA private
+// decryption) and ephemeral Diffie-Hellman signed with RSA (the server's
+// cost is one RSA private signature plus two DH exponentiations — the
+// forward-secret suite, heavier per handshake).
+
+// KeyExchange selects the cipher-suite family.
+type KeyExchange byte
+
+// Key-exchange families.
+const (
+	// KXRSA is RSA key transport (TLS_RSA_*), the default.
+	KXRSA KeyExchange = 0
+	// KXDHE is ephemeral Diffie-Hellman signed with RSA (TLS_DHE_RSA_*).
+	KXDHE KeyExchange = 1
+)
+
+// String implements fmt.Stringer.
+func (k KeyExchange) String() string {
+	switch k {
+	case KXRSA:
+		return "RSA"
+	case KXDHE:
+		return "DHE-RSA"
+	default:
+		return "unknown"
+	}
+}
+
+// dheSignLabel domain-separates the ServerKeyExchange signature.
+const dheSignLabel = "tlssim dhe params v1"
+
+// dheGroup returns the configured or default DHE group.
+func (c *Config) dheGroup() dh.Group {
+	if c.DHGroup != nil {
+		return *c.DHGroup
+	}
+	return dh.MODP2048()
+}
+
+// dheSignedBlob builds the byte string the server signs.
+func dheSignedBlob(clientRandom, serverRandom []byte, groupName string, dhPub []byte) []byte {
+	blob := make([]byte, 0, len(dheSignLabel)+2*randomLen+len(groupName)+len(dhPub))
+	blob = append(blob, dheSignLabel...)
+	blob = append(blob, clientRandom...)
+	blob = append(blob, serverRandom...)
+	blob = append(blob, groupName...)
+	blob = append(blob, dhPub...)
+	return blob
+}
+
+// serverDHE performs the server half of the DHE key exchange: generate an
+// ephemeral key, sign the parameters (the RSA private operation), read the
+// client's public value and derive the premaster secret.
+func serverDHE(conn net.Conn, eng engine.Engine, cfg *Config, tr *transcript,
+	clientRandom, serverRandom []byte) ([]byte, error) {
+	group := cfg.dheGroup()
+	eph, err := dh.GenerateKey(eng, cfg.Rand, group)
+	if err != nil {
+		return nil, err
+	}
+	dhPub := eph.Public.Bytes()
+	blob := dheSignedBlob(clientRandom, serverRandom, group.Name, dhPub)
+	sig, err := rsakit.SignPKCS1v15SHA256(eng, cfg.Key, blob, cfg.PrivateOpts)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: signing DHE params: %w", err)
+	}
+
+	ske := make([]byte, 0, 1+len(group.Name)+4+len(dhPub)+len(sig))
+	ske = append(ske, byte(len(group.Name)))
+	ske = append(ske, group.Name...)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(dhPub)))
+	ske = append(ske, lenBuf[:]...)
+	ske = append(ske, dhPub...)
+	ske = append(ske, sig...)
+	if err := writeMessage(conn, msgServerKeyExchange, ske); err != nil {
+		return nil, err
+	}
+	tr.add(ske)
+
+	cke, err := expectMessage(conn, msgClientKeyExchange)
+	if err != nil {
+		return nil, err
+	}
+	tr.add(cke)
+	secret, err := dh.SharedSecret(eng, eph, bn.FromBytes(cke))
+	if err != nil {
+		sendAlert(conn, "bad dh public")
+		return nil, fmt.Errorf("tlssim: client DH public: %w", err)
+	}
+	return secret.Bytes(), nil
+}
+
+// clientDHE performs the client half: verify the signed parameters against
+// the server's RSA key, validate the server's DH public value, send our
+// ephemeral public and derive the premaster secret.
+func clientDHE(conn net.Conn, eng engine.Engine, cfg *Config, tr *transcript,
+	clientRandom, serverRandom []byte, serverRSA *rsakit.PublicKey) ([]byte, error) {
+	ske, err := expectMessage(conn, msgServerKeyExchange)
+	if err != nil {
+		return nil, err
+	}
+	tr.add(ske)
+	if len(ske) < 1 {
+		return nil, fmt.Errorf("tlssim: empty ServerKeyExchange")
+	}
+	nameLen := int(ske[0])
+	if len(ske) < 1+nameLen+4 {
+		return nil, fmt.Errorf("tlssim: truncated ServerKeyExchange")
+	}
+	groupName := string(ske[1 : 1+nameLen])
+	pubLen := int(binary.BigEndian.Uint32(ske[1+nameLen : 1+nameLen+4]))
+	rest := ske[1+nameLen+4:]
+	if pubLen < 1 || pubLen > len(rest) {
+		return nil, fmt.Errorf("tlssim: bad DH public length %d", pubLen)
+	}
+	dhPub, sig := rest[:pubLen], rest[pubLen:]
+
+	group, err := dh.GroupByName(groupName)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DHGroup != nil && group.Name != cfg.DHGroup.Name {
+		return nil, fmt.Errorf("tlssim: server chose group %q, want %q", group.Name, cfg.DHGroup.Name)
+	}
+	blob := dheSignedBlob(clientRandom, serverRandom, group.Name, dhPub)
+	if err := rsakit.VerifyPKCS1v15SHA256(eng, serverRSA, blob, sig); err != nil {
+		sendAlert(conn, "bad dhe signature")
+		return nil, fmt.Errorf("tlssim: DHE parameter signature: %w", err)
+	}
+	serverPub := bn.FromBytes(dhPub)
+	if err := dh.CheckPublic(group, serverPub); err != nil {
+		sendAlert(conn, "bad dh public")
+		return nil, err
+	}
+
+	eph, err := dh.GenerateKey(eng, cfg.Rand, group)
+	if err != nil {
+		return nil, err
+	}
+	cke := eph.Public.Bytes()
+	if err := writeMessage(conn, msgClientKeyExchange, cke); err != nil {
+		return nil, err
+	}
+	tr.add(cke)
+	secret, err := dh.SharedSecret(eng, eph, serverPub)
+	if err != nil {
+		return nil, err
+	}
+	return secret.Bytes(), nil
+}

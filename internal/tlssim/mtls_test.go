@@ -1,0 +1,139 @@
+package tlssim
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/cert"
+	"phiopenssl/internal/rsakit"
+)
+
+// mtlsSetup issues a client CA root and a chain certifying clientKey.
+func mtlsSetup(t *testing.T, clientKey *rsakit.PrivateKey) (cert.Chain, *cert.Certificate) {
+	t.Helper()
+	eng := baseline.NewOpenSSL()
+	caKey := mustKey(512, 4321)
+	root, err := cert.SelfSign(eng, cert.Template{
+		Subject: "client-ca", Serial: 1,
+		NotBefore: certTestNow - 100, NotAfter: certTestNow + 100,
+	}, caKey, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := cert.Sign(eng, cert.Template{
+		Subject: "alice", Serial: 2,
+		NotBefore: certTestNow - 100, NotAfter: certTestNow + 100,
+	}, &clientKey.PublicKey, "client-ca", caKey, rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert.Chain{leaf}, root
+}
+
+func TestMutualTLSHandshake(t *testing.T) {
+	clientKey := mustKey(512, 5555)
+	chain, root := mtlsSetup(t, clientKey)
+
+	srvCfg := testConfig()
+	srvCfg.RequireClientCert = true
+	srvCfg.ClientRoots = []*cert.Certificate{root}
+	srvCfg.TimeNow = func() int64 { return certTestNow }
+
+	cliCfg := testConfig()
+	cliCfg.ClientKey = clientKey
+	cliCfg.ClientChain = chain
+
+	cli, err := certHandshake(t, srvCfg, cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+}
+
+func TestMutualTLSOverDHE(t *testing.T) {
+	clientKey := mustKey(512, 5556)
+	chain, root := mtlsSetup(t, clientKey)
+	srvCfg := dheConfig()
+	srvCfg.RequireClientCert = true
+	srvCfg.ClientRoots = []*cert.Certificate{root}
+	srvCfg.TimeNow = func() int64 { return certTestNow }
+	cliCfg := dheConfig()
+	cliCfg.ClientKey = clientKey
+	cliCfg.ClientChain = chain
+	cli, err := certHandshake(t, srvCfg, cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+}
+
+func TestMutualTLSClientWithoutCertRejected(t *testing.T) {
+	_, root := mtlsSetup(t, mustKey(512, 5557))
+	srvCfg := testConfig()
+	srvCfg.RequireClientCert = true
+	srvCfg.ClientRoots = []*cert.Certificate{root}
+	if _, err := certHandshake(t, srvCfg, testConfig()); err == nil ||
+		!strings.Contains(err.Error(), "client certificate") {
+		t.Fatalf("certless client accepted: %v", err)
+	}
+}
+
+func TestMutualTLSWrongCARejected(t *testing.T) {
+	clientKey := mustKey(512, 5558)
+	chain, _ := mtlsSetup(t, clientKey)
+	otherRoot, err := cert.SelfSign(baseline.NewOpenSSL(), cert.Template{
+		Subject: "other-ca", Serial: 7,
+		NotBefore: certTestNow - 1, NotAfter: certTestNow + 1,
+	}, mustKey(512, 5559), rsakit.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := testConfig()
+	srvCfg.RequireClientCert = true
+	srvCfg.ClientRoots = []*cert.Certificate{otherRoot}
+	srvCfg.TimeNow = func() int64 { return certTestNow }
+	cliCfg := testConfig()
+	cliCfg.ClientKey = clientKey
+	cliCfg.ClientChain = chain
+	if _, err := certHandshake(t, srvCfg, cliCfg); err == nil {
+		t.Fatal("client chain under wrong CA accepted")
+	}
+}
+
+func TestMutualTLSStolenCertRejected(t *testing.T) {
+	// A client presenting alice's certificate but holding a different key
+	// must fail CertificateVerify (proof of possession).
+	realKey := mustKey(512, 5560)
+	chain, root := mtlsSetup(t, realKey)
+	srvCfg := testConfig()
+	srvCfg.RequireClientCert = true
+	srvCfg.ClientRoots = []*cert.Certificate{root}
+	srvCfg.TimeNow = func() int64 { return certTestNow }
+	cliCfg := testConfig()
+	cliCfg.ClientKey = mustKey(512, 5561) // not the certified key
+	cliCfg.ClientChain = chain
+	if _, err := certHandshake(t, srvCfg, cliCfg); err == nil {
+		t.Fatal("stolen certificate accepted")
+	}
+}
+
+func TestMutualTLSRequiresRootsConfigured(t *testing.T) {
+	srvCfg := testConfig()
+	srvCfg.RequireClientCert = true // no ClientRoots
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Server(sc, baseline.NewOpenSSL(), srvCfg)
+		errc <- err
+	}()
+	go func() { // drive a client so the server reads its hello
+		_, _ = Client(cc, baseline.NewOpenSSL(), testConfig())
+	}()
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "ClientRoots") {
+		t.Fatalf("misconfigured server did not fail cleanly: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package tlssim implements a minimal SSL/TLS-style handshake protocol
+// whose computational profile matches the workload that motivates the
+// paper: every connection setup costs the server one RSA private-key
+// operation (decrypting the client's premaster secret), plus cheap
+// symmetric crypto.
+//
+// The protocol is TLS-1.2-RSA-shaped but deliberately simplified (no
+// certificates chains, no negotiation, fixed cipher suite): ClientHello and
+// ServerHello exchange 32-byte randoms and the server's public key, the
+// client sends a PKCS#1 v1.5-encrypted 48-byte premaster secret, both sides
+// derive a master secret and verify HMAC "Finished" messages over the
+// handshake transcript, after which an encrypt-then-MAC record layer
+// (AES-256-CTR + HMAC-SHA256) carries application data.
+//
+// All RSA arithmetic goes through a pluggable engine (internal/engine), so
+// handshake throughput can be measured under PhiOpenSSL and under the
+// baselines (experiment E7).
+package tlssim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Message types.
+const (
+	msgClientHello       byte = 1
+	msgServerHello       byte = 2
+	msgClientKeyExchange byte = 3
+	msgFinished          byte = 4
+	msgAppData           byte = 5
+	msgAlert             byte = 6
+	msgServerKeyExchange byte = 7
+	msgCertificate       byte = 8
+	msgCertVerify        byte = 9
+)
+
+// maxMessageLen bounds a single protocol message (hostile-peer guard).
+const maxMessageLen = 1 << 20
+
+// premasterLen is the length of the premaster secret (TLS convention).
+const premasterLen = 48
+
+// randomLen is the length of the hello randoms.
+const randomLen = 32
+
+// writeMessage frames and writes one message: type byte, 4-byte big-endian
+// length, payload.
+func writeMessage(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxMessageLen {
+		return fmt.Errorf("tlssim: message too large (%d bytes)", len(payload))
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		return fmt.Errorf("tlssim: writing message type %d: %w", typ, err)
+	}
+	return nil
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("tlssim: reading header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > maxMessageLen {
+		return 0, nil, fmt.Errorf("tlssim: oversized message (%d bytes)", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("tlssim: reading payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// expectMessage reads a message and checks its type, surfacing peer alerts.
+func expectMessage(r io.Reader, want byte) ([]byte, error) {
+	typ, payload, err := readMessage(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ == msgAlert {
+		return nil, fmt.Errorf("tlssim: peer alert: %s", payload)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("tlssim: unexpected message type %d, want %d", typ, want)
+	}
+	return payload, nil
+}
+
+// sendAlert best-effort notifies the peer of a failure. The write is
+// bounded by a short deadline so an unreceptive peer (both sides mid-write
+// on an unbuffered pipe) cannot wedge the handshake goroutine.
+func sendAlert(w io.Writer, reason string) {
+	if conn, ok := w.(net.Conn); ok {
+		_ = conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_ = writeMessage(w, msgAlert, []byte(reason))
+}

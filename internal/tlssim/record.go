@@ -1,0 +1,119 @@
+package tlssim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// Record layer: AES-256-CTR with HMAC-SHA256 in encrypt-then-MAC
+// composition and explicit 64-bit sequence numbers. Keys and IVs are
+// derived from the master secret with direction labels, so the client's
+// write state is the server's read state and vice versa.
+
+// recordState is one direction's keys and sequence number.
+type recordState struct {
+	block  cipher.Block
+	iv     [16]byte
+	macKey [32]byte
+	seq    uint64
+}
+
+// deriveBytes expands the master secret with a label.
+func deriveBytes(master [32]byte, label string) [32]byte {
+	mac := hmac.New(sha256.New, master[:])
+	mac.Write([]byte(label))
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+func newRecordState(master [32]byte, dir string) *recordState {
+	key := deriveBytes(master, dir+" key")
+	ivFull := deriveBytes(master, dir+" iv")
+	macKey := deriveBytes(master, dir+" mac")
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("tlssim: aes key setup: " + err.Error())
+	}
+	st := &recordState{block: block, macKey: macKey}
+	copy(st.iv[:], ivFull[:16])
+	return st
+}
+
+// newSession builds the two directional states. isClient flips which
+// derivation labels map to in/out.
+func newSession(conn net.Conn, master [32]byte, isClient bool) *Session {
+	client := newRecordState(master, "client write")
+	server := newRecordState(master, "server write")
+	s := &Session{conn: conn, master: master}
+	if isClient {
+		s.out, s.in = client, server
+	} else {
+		s.out, s.in = server, client
+	}
+	return s
+}
+
+// seal encrypts and MACs plaintext under the state's current sequence
+// number, then advances it.
+func (st *recordState) seal(plaintext []byte) []byte {
+	out := make([]byte, 8+len(plaintext)+32)
+	binary.BigEndian.PutUint64(out[:8], st.seq)
+	stream := cipher.NewCTR(st.block, st.nonce())
+	stream.XORKeyStream(out[8:8+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, st.macKey[:])
+	mac.Write(out[:8+len(plaintext)])
+	mac.Sum(out[:8+len(plaintext)])
+	st.seq++
+	return out
+}
+
+// open verifies and decrypts a sealed record, enforcing the sequence
+// number.
+func (st *recordState) open(record []byte) ([]byte, error) {
+	if len(record) < 8+32 {
+		return nil, fmt.Errorf("tlssim: record too short")
+	}
+	body, tag := record[:len(record)-32], record[len(record)-32:]
+	mac := hmac.New(sha256.New, st.macKey[:])
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+		return nil, fmt.Errorf("tlssim: record MAC failure")
+	}
+	if seq := binary.BigEndian.Uint64(body[:8]); seq != st.seq {
+		return nil, fmt.Errorf("tlssim: record sequence %d, want %d (replay?)", seq, st.seq)
+	}
+	plaintext := make([]byte, len(body)-8)
+	stream := cipher.NewCTR(st.block, st.nonce())
+	stream.XORKeyStream(plaintext, body[8:])
+	st.seq++
+	return plaintext, nil
+}
+
+// nonce builds the CTR IV for the current sequence number.
+func (st *recordState) nonce() []byte {
+	n := make([]byte, 16)
+	copy(n, st.iv[:8])
+	binary.BigEndian.PutUint64(n[8:], st.seq)
+	return n
+}
+
+// Send encrypts and writes one application-data record.
+func (s *Session) Send(plaintext []byte) error {
+	return writeMessage(s.conn, msgAppData, s.out.seal(plaintext))
+}
+
+// Recv reads and decrypts one application-data record.
+func (s *Session) Recv() ([]byte, error) {
+	payload, err := expectMessage(s.conn, msgAppData)
+	if err != nil {
+		return nil, err
+	}
+	return s.in.open(payload)
+}

@@ -1,0 +1,298 @@
+package tlssim
+
+import (
+	"net"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+)
+
+func TestSessionCacheBasics(t *testing.T) {
+	c := NewSessionCache(2)
+	var id1, id2, id3 [sessionIDLen]byte
+	id1[0], id2[0], id3[0] = 1, 2, 3
+	c.Put(id1, [32]byte{11})
+	c.Put(id2, [32]byte{22})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if m, ok := c.Get(id1); !ok || m[0] != 11 {
+		t.Fatal("Get(id1) failed")
+	}
+	// id1 is now most recent; inserting id3 evicts id2.
+	c.Put(id3, [32]byte{33})
+	if _, ok := c.Get(id2); ok {
+		t.Fatal("LRU eviction failed: id2 still present")
+	}
+	if _, ok := c.Get(id1); !ok {
+		t.Fatal("recently-used id1 was evicted")
+	}
+	// Overwrite refreshes, does not grow.
+	c.Put(id1, [32]byte{99})
+	if m, _ := c.Get(id1); m[0] != 99 {
+		t.Fatal("Put overwrite failed")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d", c.Len())
+	}
+	// Minimum capacity clamp.
+	tiny := NewSessionCache(0)
+	tiny.Put(id1, [32]byte{1})
+	if tiny.Len() != 1 {
+		t.Fatal("zero-limit cache should clamp to 1")
+	}
+}
+
+// resumePair performs a full handshake and then a resumed one over pipes,
+// returning both server sessions and the engine used by the server.
+func resumePair(t *testing.T, srvEng engine.Engine) (full, resumed *Session, srvErr2 error) {
+	t.Helper()
+	cache := NewSessionCache(16)
+	srvCfg := testConfig()
+	srvCfg.Cache = cache
+	cliCfg := testConfig()
+
+	// Full handshake.
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var err error
+		full, err = Server(sc, srvEng, srvCfg)
+		if err != nil {
+			t.Errorf("full handshake server: %v", err)
+		}
+	}()
+	cli, err := Client(cc, baseline.NewOpenSSL(), cliCfg)
+	<-done
+	if err != nil {
+		t.Fatalf("full handshake client: %v", err)
+	}
+	if cli.Resumed() || cli.Ticket() == nil {
+		t.Fatal("full handshake should issue a ticket and not be resumed")
+	}
+
+	// Abbreviated handshake with the ticket.
+	cliCfg2 := testConfig()
+	cliCfg2.Resume = cli.Ticket()
+	cc2, sc2 := net.Pipe()
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		resumed, srvErr2 = Server(sc2, srvEng, srvCfg)
+	}()
+	cli2, err := Client(cc2, baseline.NewOpenSSL(), cliCfg2)
+	<-done2
+	if err != nil {
+		t.Fatalf("resumed handshake client: %v", err)
+	}
+	if srvErr2 != nil {
+		t.Fatalf("resumed handshake server: %v", srvErr2)
+	}
+	if !cli2.Resumed() || !resumed.Resumed() {
+		t.Fatal("second handshake should be resumed on both sides")
+	}
+	if cli2.Master() != resumed.Master() {
+		t.Fatal("resumed master secrets differ")
+	}
+	if cli2.Master() == cli.Master() {
+		t.Fatal("resumed session must derive fresh keys")
+	}
+	// Record layer must work on the resumed session.
+	go func() {
+		msg, err := resumed.Recv()
+		if err == nil {
+			_ = resumed.Send(msg)
+		}
+	}()
+	if err := cli2.Send([]byte("over resumed")); err != nil {
+		t.Fatal(err)
+	}
+	if echo, err := cli2.Recv(); err != nil || string(echo) != "over resumed" {
+		t.Fatalf("resumed echo: %q %v", echo, err)
+	}
+	return full, resumed, nil
+}
+
+func TestResumptionSkipsRSA(t *testing.T) {
+	eng := core.New()
+	resumePair(t, eng)
+	fullCycles := eng.Cycles()
+	eng.Reset()
+
+	// Measure just a resumed handshake: the engine must charge nothing
+	// (no RSA on the abbreviated path).
+	cache := NewSessionCache(4)
+	srvCfg := testConfig()
+	srvCfg.Cache = cache
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Server(sc, eng, srvCfg); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}()
+	cli, err := Client(cc, baseline.NewOpenSSL(), testConfig())
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOnly := eng.Cycles()
+	cliCfg := testConfig()
+	cliCfg.Resume = cli.Ticket()
+	cc2, sc2 := net.Pipe()
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		if _, err := Server(sc2, eng, srvCfg); err != nil {
+			t.Errorf("resumed server: %v", err)
+		}
+	}()
+	if _, err := Client(cc2, baseline.NewOpenSSL(), cliCfg); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+	if eng.Cycles() != fullOnly {
+		t.Fatalf("resumed handshake charged %0.f engine cycles", eng.Cycles()-fullOnly)
+	}
+	if fullCycles <= 0 {
+		t.Fatal("full handshake charged nothing")
+	}
+}
+
+func TestResumptionUnknownIDFallsBack(t *testing.T) {
+	srvCfg := testConfig()
+	srvCfg.Cache = NewSessionCache(4)
+	cliCfg := testConfig()
+	cliCfg.Resume = &Ticket{ID: [sessionIDLen]byte{9, 9, 9}, Master: [32]byte{1}}
+
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	var srv *Session
+	go func() {
+		defer close(done)
+		var err error
+		srv, err = Server(sc, baseline.NewOpenSSL(), srvCfg)
+		if err != nil {
+			t.Errorf("server fallback: %v", err)
+		}
+	}()
+	cli, err := Client(cc, baseline.NewOpenSSL(), cliCfg)
+	<-done
+	if err != nil {
+		t.Fatalf("client fallback: %v", err)
+	}
+	if cli.Resumed() || srv.Resumed() {
+		t.Fatal("unknown session id must fall back to a full handshake")
+	}
+	if cli.Master() != srv.Master() {
+		t.Fatal("fallback master mismatch")
+	}
+}
+
+func TestResumptionDisabledWithoutCache(t *testing.T) {
+	// Server without a cache ignores offered session ids.
+	cliCfg := testConfig()
+	cliCfg.Resume = &Ticket{ID: [sessionIDLen]byte{1}, Master: [32]byte{2}}
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Server(sc, baseline.NewOpenSSL(), testConfig()); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}()
+	cli, err := Client(cc, baseline.NewOpenSSL(), cliCfg)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Resumed() {
+		t.Fatal("resumption without server cache")
+	}
+}
+
+func TestResumptionWrongMasterFails(t *testing.T) {
+	// A client holding the right ID but wrong master must fail the
+	// Finished exchange.
+	cache := NewSessionCache(4)
+	srvCfg := testConfig()
+	srvCfg.Cache = cache
+
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Server(sc, baseline.NewOpenSSL(), srvCfg); err != nil {
+			t.Errorf("setup server: %v", err)
+		}
+	}()
+	cli, err := Client(cc, baseline.NewOpenSSL(), testConfig())
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *cli.Ticket()
+	bad.Master[0] ^= 1
+	cliCfg := testConfig()
+	cliCfg.Resume = &bad
+	cc2, sc2 := net.Pipe()
+	srvErr := make(chan error, 1)
+	go func() {
+		_, err := Server(sc2, baseline.NewOpenSSL(), srvCfg)
+		srvErr <- err
+	}()
+	_, cliErr := Client(cc2, baseline.NewOpenSSL(), cliCfg)
+	if cliErr == nil {
+		t.Fatal("client accepted resumption with wrong master")
+	}
+	if err := <-srvErr; err == nil {
+		t.Fatal("server accepted resumption with wrong master")
+	}
+	cc2.Close()
+}
+
+func TestPoolServerCountsResumed(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := testConfig()
+	srvCfg.Cache = NewSessionCache(16)
+	srv := Serve(l, srvCfg, func() engine.Engine { return baseline.NewOpenSSL() }, 2)
+
+	dial := func(resume *Ticket) *Session {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		cfg.Resume = resume
+		sess, err := Client(conn, baseline.NewOpenSSL(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	first := dial(nil)
+	ticket := first.Ticket()
+	first.Close()
+	for i := 0; i < 3; i++ {
+		s := dial(ticket)
+		if !s.Resumed() {
+			t.Fatal("expected resumed session")
+		}
+		s.Close()
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Handshakes != 4 || st.Resumed != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,130 @@
+package tlssim
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"phiopenssl/internal/engine"
+)
+
+// PoolServer accepts connections and handshakes them on a fixed pool of
+// workers, each owning a private engine instance — the paper's server
+// architecture, where each Phi hardware thread runs its own OpenSSL
+// context. After the handshake each connection is served as an echo
+// session (application records are decrypted and sent back) until the
+// client closes it.
+type PoolServer struct {
+	listener net.Listener
+	conns    chan net.Conn
+	wg       sync.WaitGroup
+
+	handshakes atomic.Uint64
+	resumed    atomic.Uint64
+	errors     atomic.Uint64
+
+	mu           sync.Mutex
+	engineCycles float64
+}
+
+// Serve starts a pool server on l with the given worker count. newEngine is
+// called once per worker.
+func Serve(l net.Listener, cfg *Config, newEngine func() engine.Engine, workers int) *PoolServer {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &PoolServer{
+		listener: l,
+		conns:    make(chan net.Conn, workers),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(newEngine(), cfg)
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p
+}
+
+func (p *PoolServer) acceptLoop() {
+	defer p.wg.Done()
+	defer close(p.conns)
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.conns <- conn
+	}
+}
+
+func (p *PoolServer) worker(eng engine.Engine, cfg *Config) {
+	defer p.wg.Done()
+	for conn := range p.conns {
+		p.handle(conn, eng, cfg)
+	}
+	p.mu.Lock()
+	p.engineCycles += eng.Cycles()
+	p.mu.Unlock()
+}
+
+func (p *PoolServer) handle(conn net.Conn, eng engine.Engine, cfg *Config) {
+	defer conn.Close()
+	sess, err := Server(conn, eng, cfg)
+	if err != nil {
+		p.errors.Add(1)
+		return
+	}
+	p.handshakes.Add(1)
+	if sess.Resumed() {
+		p.resumed.Add(1)
+	}
+	for {
+		msg, err := sess.Recv()
+		if err != nil {
+			return // client closed or record error
+		}
+		if err := sess.Send(msg); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, waits for in-flight connections, and returns the
+// listener's close error if any.
+func (p *PoolServer) Close() error {
+	err := p.listener.Close()
+	p.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Handshakes is the number of completed handshakes (full + resumed).
+	Handshakes uint64
+	// Resumed is the number of handshakes completed via session
+	// resumption (no RSA).
+	Resumed uint64
+	// Errors is the number of failed handshakes.
+	Errors uint64
+	// EngineCycles is the total simulated cycles charged by worker
+	// engines (complete only after Close).
+	EngineCycles float64
+}
+
+// Stats returns a snapshot of the server counters.
+func (p *PoolServer) Stats() Stats {
+	p.mu.Lock()
+	cycles := p.engineCycles
+	p.mu.Unlock()
+	return Stats{
+		Handshakes:   p.handshakes.Load(),
+		Resumed:      p.resumed.Load(),
+		Errors:       p.errors.Load(),
+		EngineCycles: cycles,
+	}
+}

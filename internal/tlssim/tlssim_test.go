@@ -1,0 +1,323 @@
+package tlssim
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/core"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/rsakit"
+)
+
+var serverKey = mustKey(512, 99)
+
+func mustKey(bits int, seed int64) *rsakit.PrivateKey {
+	k, err := rsakit.GenerateKey(mrand.New(mrand.NewSource(seed)), bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func testConfig() *Config {
+	return &Config{
+		Key:         serverKey,
+		ServerPub:   &serverKey.PublicKey,
+		Rand:        rand.Reader,
+		PrivateOpts: rsakit.DefaultPrivateOpts(),
+	}
+}
+
+// handshakePair runs client and server over a pipe and returns both
+// sessions.
+func handshakePair(t *testing.T, cfg *Config, seng, ceng engine.Engine) (*Session, *Session) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	var srv *Session
+	var srvErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv, srvErr = Server(sc, seng, cfg)
+	}()
+	cli, cliErr := Client(cc, ceng, cfg)
+	<-done
+	if srvErr != nil {
+		t.Fatalf("server handshake: %v", srvErr)
+	}
+	if cliErr != nil {
+		t.Fatalf("client handshake: %v", cliErr)
+	}
+	return cli, srv
+}
+
+func TestHandshakeAllEngines(t *testing.T) {
+	engs := map[string]func() engine.Engine{
+		"phi":  func() engine.Engine { return core.New() },
+		"ossl": func() engine.Engine { return baseline.NewOpenSSL() },
+		"mpss": func() engine.Engine { return baseline.NewMPSS() },
+	}
+	for name, mk := range engs {
+		t.Run(name, func(t *testing.T) {
+			cli, srv := handshakePair(t, testConfig(), mk(), mk())
+			defer cli.Close()
+			defer srv.Close()
+			if cli.Master() != srv.Master() {
+				t.Fatal("master secrets differ")
+			}
+		})
+	}
+}
+
+func TestApplicationData(t *testing.T) {
+	cli, srv := handshakePair(t, testConfig(), baseline.NewOpenSSL(), baseline.NewOpenSSL())
+	defer cli.Close()
+	defer srv.Close()
+
+	msgs := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xab}, 10000),
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range msgs {
+			m, err := srv.Recv()
+			if err != nil {
+				t.Errorf("server recv: %v", err)
+				return
+			}
+			if err := srv.Send(m); err != nil {
+				t.Errorf("server send: %v", err)
+				return
+			}
+		}
+	}()
+	for _, m := range msgs {
+		if err := cli.Send(m); err != nil {
+			t.Fatalf("client send: %v", err)
+		}
+		echo, err := cli.Recv()
+		if err != nil {
+			t.Fatalf("client recv: %v", err)
+		}
+		if !bytes.Equal(echo, m) {
+			t.Fatalf("echo mismatch: %d vs %d bytes", len(echo), len(m))
+		}
+	}
+	wg.Wait()
+}
+
+func TestRecordTamperDetected(t *testing.T) {
+	master := [32]byte{1, 2, 3}
+	out := newRecordState(master, "client write")
+	in := newRecordState(master, "client write")
+	rec := out.seal([]byte("secret"))
+	rec[9] ^= 1
+	if _, err := in.open(rec); err == nil {
+		t.Fatal("tampered record accepted")
+	}
+}
+
+func TestRecordReplayDetected(t *testing.T) {
+	master := [32]byte{9}
+	out := newRecordState(master, "server write")
+	in := newRecordState(master, "server write")
+	rec := out.seal([]byte("msg0"))
+	if _, err := in.open(rec); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, err := in.open(rec); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+}
+
+func TestRecordShortRejected(t *testing.T) {
+	in := newRecordState([32]byte{}, "client write")
+	if _, err := in.open(make([]byte, 10)); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestDirectionalKeysDiffer(t *testing.T) {
+	cli, srv := handshakePair(t, testConfig(), baseline.NewMPSS(), baseline.NewMPSS())
+	defer cli.Close()
+	defer srv.Close()
+	// A record sealed for client->server must not open as server->client.
+	rec := cli.out.seal([]byte("x"))
+	if _, err := cli.in.open(rec); err == nil {
+		t.Fatal("cross-direction record accepted")
+	}
+}
+
+func TestClientRejectsWrongPinnedKey(t *testing.T) {
+	otherKey := mustKey(512, 7)
+	cfg := testConfig()
+	cfg.ServerPub = &otherKey.PublicKey // pin a different key
+
+	cc, sc := net.Pipe()
+	go func() {
+		// Server uses serverKey; client pinned otherKey.
+		srvCfg := testConfig()
+		_, _ = Server(sc, baseline.NewOpenSSL(), srvCfg)
+		sc.Close()
+	}()
+	if _, err := Client(cc, baseline.NewOpenSSL(), cfg); err == nil ||
+		!strings.Contains(err.Error(), "pinned") {
+		t.Fatalf("client should reject mismatched key, got %v", err)
+	}
+}
+
+func TestServerRequiresKey(t *testing.T) {
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	if _, err := Server(sc, baseline.NewOpenSSL(), &Config{Rand: rand.Reader}); err == nil {
+		t.Fatal("server without key should fail")
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, msgAppData, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readMessage(&buf)
+	if err != nil || typ != msgAppData || string(payload) != "payload" {
+		t.Fatalf("frame round trip: %d %q %v", typ, payload, err)
+	}
+	// Oversized declared length is rejected.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{msgAppData, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := readMessage(&hdr); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestAlertSurfacesToPeer(t *testing.T) {
+	var buf bytes.Buffer
+	sendAlert(&buf, "boom")
+	if _, err := expectMessage(&buf, msgFinished); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("alert not surfaced: %v", err)
+	}
+}
+
+func TestPoolServerThroughput(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	srv := Serve(l, cfg, func() engine.Engine { return baseline.NewOpenSSL() }, 4)
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			sess, err := Client(conn, baseline.NewOpenSSL(), cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := sess.Send([]byte("ping")); err != nil {
+				errs <- err
+				return
+			}
+			echo, err := sess.Recv()
+			if err != nil || string(echo) != "ping" {
+				errs <- fmt.Errorf("echo: %q %v", echo, err)
+				return
+			}
+			sess.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Handshakes != clients {
+		t.Fatalf("handshakes = %d, want %d", st.Handshakes, clients)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d", st.Errors)
+	}
+	if st.EngineCycles <= 0 {
+		t.Fatal("no engine cycles recorded")
+	}
+}
+
+func TestHandshakeTamperedFinishedFails(t *testing.T) {
+	// A man-in-the-middle flipping the encrypted premaster must be caught
+	// by the Finished exchange (the server decrypts garbage) or padding.
+	cc, sc := net.Pipe()
+	cfg := testConfig()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := Server(sc, baseline.NewOpenSSL(), cfg)
+		srvDone <- err
+	}()
+
+	// Drive the client side manually, corrupting ClientKeyExchange.
+	hello := make([]byte, 1+randomLen) // kx byte (KXRSA) + zero random
+	if err := writeMessage(cc, msgClientHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expectMessage(cc, msgServerHello); err != nil {
+		t.Fatal(err)
+	}
+	bogus := make([]byte, serverKey.Size())
+	bogus[0] = 0x00
+	bogus[1] = 0x01 // valid range but wrong padding type after decryption
+	if err := writeMessage(cc, msgClientKeyExchange, bogus); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the server's alert (net.Pipe writes are synchronous).
+	if typ, _, err := readMessage(cc); err != nil || typ != msgAlert {
+		t.Fatalf("expected alert, got type %d err %v", typ, err)
+	}
+	if err := <-srvDone; err == nil {
+		t.Fatal("server accepted bogus premaster")
+	}
+	cc.Close()
+}
+
+// Ensure master secret depends on both randoms and premaster.
+func TestDeriveMasterSensitivity(t *testing.T) {
+	pm := bytes.Repeat([]byte{1}, premasterLen)
+	cr := bytes.Repeat([]byte{2}, randomLen)
+	sr := bytes.Repeat([]byte{3}, randomLen)
+	base := deriveMaster(pm, cr, sr)
+	for name, alt := range map[string][32]byte{
+		"premaster": deriveMaster(bytes.Repeat([]byte{9}, premasterLen), cr, sr),
+		"client":    deriveMaster(pm, bytes.Repeat([]byte{9}, randomLen), sr),
+		"server":    deriveMaster(pm, cr, bytes.Repeat([]byte{9}, randomLen)),
+	} {
+		if alt == base {
+			t.Errorf("master secret insensitive to %s", name)
+		}
+	}
+}

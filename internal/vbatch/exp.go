@@ -1,0 +1,120 @@
+package vbatch
+
+import (
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+// ModExpShared computes base[l]^exp mod N for all sixteen lanes at once,
+// with one exponent shared across lanes — the RSA-server case, where every
+// private operation under the same key raises to the same (CRT) exponent.
+// Fixed 5-bit windows; because the exponent is shared, the window schedule
+// is identical in every lane and the operation sequence is inherently
+// exponent-uniform across the batch.
+func (c *Ctx) ModExpShared(bases *[BatchSize]bn.Nat, exp bn.Nat) [BatchSize]bn.Nat {
+	if exp.IsZero() {
+		var out [BatchSize]bn.Nat
+		one := bn.One().Mod(c.modulus)
+		for l := range out {
+			out[l] = one
+		}
+		return out
+	}
+	var reduced [BatchSize]bn.Nat
+	for l, b := range bases {
+		reduced[l] = b.Mod(c.modulus)
+	}
+	xm := c.ToMont(c.Pack(&reduced))
+
+	const w = 5
+	table := make([]Batch, 1<<w)
+	table[0] = c.One()
+	table[1] = xm
+	for i := 2; i < len(table); i++ {
+		table[i] = c.Mul(table[i-1], xm)
+	}
+
+	windows := (exp.BitLen() + w - 1) / w
+	acc := table[exp.Bits((windows-1)*w, w)]
+	for wi := windows - 2; wi >= 0; wi-- {
+		for s := 0; s < w; s++ {
+			acc = c.Sqr(acc)
+		}
+		if d := exp.Bits(wi*w, w); d != 0 {
+			acc = c.Mul(acc, table[d])
+		}
+	}
+	return c.Unpack(c.FromMont(acc))
+}
+
+// ModExpMulti computes base[l]^exp[l] mod N with an independent exponent
+// per lane. The window schedule runs to the longest exponent; each digit's
+// multiplicand is selected per lane with a masked scan over the window
+// table (every lane multiplies every window, including zero digits, so the
+// schedule is uniform — the batch analogue of the constant-time fixed
+// window). Needed when lanes carry different keys' blinding factors or
+// mixed workloads.
+func (c *Ctx) ModExpMulti(bases, exps *[BatchSize]bn.Nat) [BatchSize]bn.Nat {
+	u := c.unit
+	maxBits := 0
+	for _, e := range exps {
+		if e.BitLen() > maxBits {
+			maxBits = e.BitLen()
+		}
+	}
+	if maxBits == 0 {
+		var out [BatchSize]bn.Nat
+		one := bn.One().Mod(c.modulus)
+		for l := range out {
+			out[l] = one
+		}
+		return out
+	}
+	var reduced [BatchSize]bn.Nat
+	for l, b := range bases {
+		reduced[l] = b.Mod(c.modulus)
+	}
+	xm := c.ToMont(c.Pack(&reduced))
+
+	const w = 4
+	table := make([]Batch, 1<<w)
+	table[0] = c.One()
+	table[1] = xm
+	for i := 2; i < len(table); i++ {
+		table[i] = c.Mul(table[i-1], xm)
+	}
+
+	// selectEntries builds the per-lane multiplicand: lane l takes
+	// table[digit_l], assembled with one compare+blend pass per entry.
+	selectEntries := func(digits vpu.Vec) Batch {
+		out := make(Batch, c.k)
+		for e := range table {
+			ev := u.Broadcast(uint32(e))
+			mask := u.CmpEq(digits, ev)
+			if mask == 0 {
+				continue
+			}
+			for j := 0; j < c.k; j++ {
+				out[j] = u.Blend(mask, out[j], table[e][j])
+			}
+		}
+		return out
+	}
+	digitsAt := func(wi int) vpu.Vec {
+		var d vpu.Vec
+		for l, e := range exps {
+			d[l] = e.Bits(wi*w, w)
+		}
+		return u.Load(d[:], 0) // the digit vector arrives from memory
+	}
+
+	windows := (maxBits + w - 1) / w
+	acc := selectEntries(digitsAt(windows - 1))
+	for wi := windows - 2; wi >= 0; wi-- {
+		for s := 0; s < w; s++ {
+			acc = c.Sqr(acc)
+		}
+		acc = c.Mul(acc, selectEntries(digitsAt(wi)))
+	}
+	return c.Unpack(c.FromMont(acc))
+}

@@ -1,0 +1,96 @@
+package vbatch
+
+import "phiopenssl/internal/vpu"
+
+// Batch Montgomery multiplication: the scalar CIOS schedule with every
+// word replaced by a 16-lane vector. No cross-lane data movement occurs;
+// per-lane carries ride the vpaddsetcd masks and re-enter as 0/1 vectors
+// in the *same* lane.
+
+// Mul returns the lane-wise Montgomery product a*b*R^-1 mod N for batches
+// holding values < N. Inputs are not modified; the result is fully reduced
+// in every lane.
+func (c *Ctx) Mul(a, b Batch) Batch {
+	u := c.unit
+	k := c.k
+	if len(a) != k || len(b) != k {
+		panic("vbatch: batch width mismatch")
+	}
+	z := make([]vpu.Vec, 2*k)
+	carryFlag := vpu.Vec{} // 0/1 per lane
+	for i := 0; i < k; i++ {
+		c2 := c.addMulVVW(z[i:k+i], a, b[i])
+		q := u.MulLo(z[i], c.n0Splat)
+		c3 := c.addMulVVW(z[i:k+i], c.nSplat, q)
+		cx, m1 := u.AddSetC(carryFlag, c2)
+		cy, m2 := u.AddSetC(cx, c3)
+		z[k+i] = cy
+		carryFlag = u.MaskToVec(u.MaskOr(m1, m2))
+	}
+
+	// Lane-wise conditional subtraction: compute z[k:] - N with a borrow
+	// chain, then blend per lane on (overflowed OR did-not-borrow).
+	diff := make([]vpu.Vec, k)
+	var borrow vpu.Mask
+	for j := 0; j < k; j++ {
+		diff[j], borrow = u.Sbb(z[k+j], c.nSplat[j], borrow)
+	}
+	overflow := u.CmpEq(carryFlag, c.oneVec)
+	noBorrow := borrow ^ vpu.MaskAll // free: kxnor folds into the blend
+	sel := u.MaskOr(overflow, noBorrow)
+	out := make(Batch, k)
+	for j := 0; j < k; j++ {
+		out[j] = u.Blend(sel, z[k+j], diff[j])
+	}
+	return out
+}
+
+// Sqr returns the lane-wise Montgomery square.
+func (c *Ctx) Sqr(a Batch) Batch { return c.Mul(a, a) }
+
+// addMulVVW is the batch inner kernel: z += x*y lane-wise over k vectors,
+// returning the per-lane carry word. Each step performs the 32x32
+// multiply-accumulate of scalar CIOS in all sixteen lanes at once:
+// low/high partial products, two carry-detecting adds, and carry-word
+// reconstruction (hi never overflows from adding two carry bits since
+// hi <= 2^32 - 2).
+func (c *Ctx) addMulVVW(z []vpu.Vec, x Batch, y vpu.Vec) vpu.Vec {
+	u := c.unit
+	carry := vpu.Vec{}
+	for j := range x {
+		lo := u.MulLo(y, x[j])
+		hi := u.MulHi(y, x[j])
+		s1, m1 := u.AddSetC(z[j], lo)
+		s2, m2 := u.AddSetC(s1, carry)
+		z[j] = s2
+		carry = u.Add(u.Add(hi, u.MaskToVec(m1)), u.MaskToVec(m2))
+	}
+	return carry
+}
+
+// ToMont converts a packed batch of raw values into Montgomery form.
+func (c *Ctx) ToMont(a Batch) Batch {
+	rr := make(Batch, c.k)
+	copy(rr, c.rrSplat)
+	return c.Mul(a, rr)
+}
+
+// FromMont converts a Montgomery-form batch back to raw values.
+func (c *Ctx) FromMont(a Batch) Batch {
+	one := c.oneBatch()
+	return c.Mul(a, one)
+}
+
+// One returns the Montgomery form of 1 (R mod N) in every lane.
+func (c *Ctx) One() Batch {
+	rr := make(Batch, c.k)
+	copy(rr, c.rrSplat)
+	return c.Mul(rr, c.oneBatch())
+}
+
+// oneBatch returns the batch with value 1 in every lane.
+func (c *Ctx) oneBatch() Batch {
+	out := make(Batch, c.k)
+	out[0] = c.oneVec
+	return out
+}

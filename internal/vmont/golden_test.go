@@ -1,0 +1,82 @@
+package vmont
+
+import (
+	"testing"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+// Golden instruction-count regression: the per-class instruction counts of
+// one Montgomery multiplication with a fixed modulus are deterministic and
+// pin the kernel's structure. A change here means the kernel's instruction
+// sequence changed — intentional changes must re-derive the constants
+// below (run with -v to print the new counts) and re-run the calibration
+// check in EXPERIMENTS.md.
+func TestGoldenInstructionCounts(t *testing.T) {
+	// Fixed 512-bit odd modulus (the P-521 prime truncated to 512 bits,
+	// forced odd) and a fixed operand.
+	m := bn.MustHex(
+		"f0e0d0c0b0a090807060504030201000ffeeddccbbaa99887766554433221101" +
+			"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	u := vpu.New()
+	ctx, err := NewCtx(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ctx.ToMont(bn.FromUint64(0xdeadbeef))
+	b := ctx.ToMont(bn.FromUint64(0x12345678))
+	u.Reset()
+	ctx.Mul(a, b)
+	got := u.Counts()
+	t.Logf("counts: alu=%d mul=%d shuffle=%d mem=%d mask=%d scalar=%d cross=%d stall=%d",
+		got[vpu.ClassALU], got[vpu.ClassMul], got[vpu.ClassShuffle],
+		got[vpu.ClassMem], got[vpu.ClassMask], got[vpu.ClassScalar],
+		got[vpu.ClassCross], got[vpu.ClassStall])
+
+	// Structural invariants that must hold for any 512-bit (16-limb,
+	// 1-vector) CIOS multiplication regardless of data:
+	k := 16
+	if got[vpu.ClassMul] != uint64(2*2*k) { // 2 accumulates x (lo+hi) x k digits
+		t.Errorf("mul count %d, want %d", got[vpu.ClassMul], 4*k)
+	}
+	if got[vpu.ClassScalar] != uint64(k) { // one quotient multiply per digit
+		t.Errorf("scalar count %d, want %d", got[vpu.ClassScalar], k)
+	}
+	if got[vpu.ClassCross] != uint64(2*k+1) { // extract+broadcastScalar per digit, +1 top-limb extract
+		t.Errorf("cross count %d, want %d", got[vpu.ClassCross], 2*k+1)
+	}
+	if got[vpu.ClassStall] != uint64(k)*latencyStall(1) {
+		t.Errorf("stall count %d, want %d", got[vpu.ClassStall], uint64(k)*latencyStall(1))
+	}
+	// Data-dependent classes (carry ripples) are bounded: at least the
+	// mandatory adds, at most a small multiple.
+	minALU := uint64(2 * 2 * k) // two AddSetC rounds per accumulate
+	if got[vpu.ClassALU] < minALU || got[vpu.ClassALU] > 12*minALU {
+		t.Errorf("alu count %d outside [%d, %d]", got[vpu.ClassALU], minALU, 12*minALU)
+	}
+	if got[vpu.ClassShuffle] == 0 || got[vpu.ClassMask] == 0 {
+		t.Error("shuffle/mask classes unexpectedly empty")
+	}
+}
+
+// TestCountsDeterministic pins that identical inputs charge identical
+// counts (the property EXPERIMENTS.md's reproducibility claim rests on).
+func TestCountsDeterministic(t *testing.T) {
+	m := bn.MustHex("e3779b97f4a7c15f39cc0605cedc834f" +
+		"9e3779b97f4a7c15f39cc0605cedc835")
+	run := func() vpu.Counts {
+		u := vpu.New()
+		ctx, err := NewCtx(m, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ctx.ToMont(bn.FromUint64(777))
+		u.Reset()
+		ctx.Mul(a, a)
+		return u.Counts()
+	}
+	if run() != run() {
+		t.Fatal("instruction counts are not deterministic")
+	}
+}

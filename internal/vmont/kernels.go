@@ -1,0 +1,139 @@
+package vmont
+
+import "phiopenssl/internal/vpu"
+
+// Shared vector sub-kernels. All operate on accumulators laid out as
+// consecutive limbs in consecutive lanes.
+//
+// Carry propagation uses the native IMCI idiom: vpaddsetcd produces a
+// per-lane carry mask, the mask is shifted one bit (one lane) with cheap
+// mask-register ops, and vpadcd re-injects it with carry-out detection.
+// Carries crossing a vector-register boundary travel through bit 15 of the
+// previous register's mask. The loop repeats until kortest reports no
+// outstanding carries; for random operands one round almost always
+// suffices (a second round requires a lane at 0xffffffff).
+
+// addVecs adds the addend vectors into acc lane-aligned, propagating
+// carries across lanes and vectors. len(addend) <= len(acc); carries out of
+// the top lane of acc are dropped (callers size acc so they cannot occur).
+func addVecs(u *vpu.Unit, acc, addend []vpu.Vec) {
+	masks := make([]vpu.Mask, len(acc))
+	for j := range addend {
+		acc[j], masks[j] = u.AddSetC(acc[j], addend[j])
+	}
+	rippleCarries(u, acc, masks)
+}
+
+// rippleCarries repeatedly re-injects carry masks one lane up until no lane
+// overflows.
+func rippleCarries(u *vpu.Unit, acc []vpu.Vec, masks []vpu.Mask) {
+	zero := vpu.Vec{}
+	for anyMask(u, masks) {
+		next := make([]vpu.Mask, len(acc))
+		for j := range acc {
+			carryIn := u.MaskShiftL(masks[j], 1)
+			if j > 0 {
+				carryIn = u.MaskOr(carryIn, u.MaskShiftR(masks[j-1], vpu.Lanes-1))
+			}
+			if carryIn == 0 {
+				continue // kortest-guarded skip, as in the real kernel
+			}
+			acc[j], next[j] = u.Adc(acc[j], zero, carryIn)
+		}
+		masks = next
+	}
+}
+
+// anyMask models a kortest over the combined masks.
+func anyMask(u *vpu.Unit, masks []vpu.Mask) bool {
+	var all vpu.Mask
+	for _, m := range masks {
+		all |= m // kor folding is free alongside the kortest
+	}
+	return u.MaskNonzero(all)
+}
+
+// subVecs computes acc -= sub lane-aligned with borrow rippling, returning
+// the final borrow out of the top lane of acc (1 if sub > acc). At most one
+// borrow can exit the top lane for in-range operands.
+func subVecs(u *vpu.Unit, acc, sub []vpu.Vec) uint32 {
+	masks := make([]vpu.Mask, len(acc))
+	for j := range sub {
+		acc[j], masks[j] = u.SubSetB(acc[j], sub[j])
+	}
+	zero := vpu.Vec{}
+	var borrowOut uint32
+	for {
+		top := len(acc) - 1
+		borrowOut ^= uint32(masks[top] >> (vpu.Lanes - 1) & 1)
+		if !anyMask(u, masks) {
+			break
+		}
+		next := make([]vpu.Mask, len(acc))
+		for j := range acc {
+			borrowIn := u.MaskShiftL(masks[j], 1)
+			if j > 0 {
+				borrowIn = u.MaskOr(borrowIn, u.MaskShiftR(masks[j-1], vpu.Lanes-1))
+			}
+			if borrowIn == 0 {
+				continue
+			}
+			acc[j], next[j] = u.Sbb(acc[j], zero, borrowIn)
+		}
+		masks = next
+	}
+	return borrowOut
+}
+
+// mulAccumulate adds digit*b into acc: the low partial products are added
+// lane-aligned and the high partial products one lane up. acc must have
+// len(b)+1 vectors.
+func mulAccumulate(u *vpu.Unit, acc []vpu.Vec, digit vpu.Vec, b []vpu.Vec) {
+	v := len(b)
+	lo := make([]vpu.Vec, v)
+	hi := make([]vpu.Vec, v)
+	for j := 0; j < v; j++ {
+		lo[j] = u.MulLo(digit, b[j])
+		hi[j] = u.MulHi(digit, b[j])
+	}
+	addVecs(u, acc, lo)
+	// Shift the high products one lane left: limb i+j+1 receives
+	// hi(a_i * b_j). valignd with imm=15 pulls lane 15 of the previous
+	// vector into lane 0.
+	hiShifted := make([]vpu.Vec, v+1)
+	var prev vpu.Vec
+	for j := 0; j < v; j++ {
+		hiShifted[j] = u.Align(hi[j], prev, vpu.Lanes-1)
+		prev = hi[j]
+	}
+	hiShifted[v] = u.Align(vpu.Vec{}, prev, vpu.Lanes-1)
+	addVecs(u, acc, hiShifted)
+}
+
+// latencyStall returns the dependency-stall cycles charged per digit of an
+// operand-scanning loop working on v vectors. The KNC VPU has a 4-cycle
+// result latency; with a single hardware thread the accumulate chain of a
+// digit only has v independent vector operations per dependent stage, so
+// with fewer than 4 vectors in flight the pipe exposes (4 - v) bubbles per
+// stage. Six dependent stages per digit (two multiplies, two adds, ripple,
+// window shift) give the charge below; with v >= 4 the latency is fully
+// hidden. This is the microarchitectural reason the paper's speedups grow
+// with operand size.
+func latencyStall(v int) uint64 {
+	if v >= 4 {
+		return 0
+	}
+	return uint64(4-v) * 8
+}
+
+// shiftDownOneLimb shifts the accumulator window one limb toward zero:
+// lane i receives lane i+1, pulling lane 0 of the next vector into lane 15.
+func shiftDownOneLimb(u *vpu.Unit, acc []vpu.Vec) {
+	for j := 0; j < len(acc); j++ {
+		next := vpu.Vec{}
+		if j+1 < len(acc) {
+			next = acc[j+1]
+		}
+		acc[j] = u.Align(next, acc[j], 1)
+	}
+}

@@ -1,0 +1,57 @@
+package vmont
+
+import "phiopenssl/internal/vpu"
+
+// Mul returns the Montgomery product a*b*R^-1 mod N for kp-limb operands
+// holding values < N. The result is a fresh, fully reduced kp-limb slice.
+//
+// This is the vectorized CIOS loop: per digit a[i] it accumulates a[i]*B,
+// derives the quotient digit with one scalar multiply against n0', then
+// accumulates q*N — which zeroes the low limb — and shifts the window down
+// one limb. After kp digits the window holds T = a*b*R^-1 in [0, 2N); a
+// vector subtraction with borrow rippling performs the final conditional
+// reduction branch-free (both candidate results are computed and blended).
+func (c *Ctx) Mul(a, b []uint32) []uint32 {
+	u := c.unit
+	kp := c.kp
+	if len(a) != kp || len(b) != kp {
+		panic("vmont: operand limb width mismatch")
+	}
+	v := kp / vpu.Lanes
+	bv := u.LoadAll(b)
+	acc := make([]vpu.Vec, v+1)
+
+	stall := latencyStall(v)
+	for i := 0; i < kp; i++ {
+		digit := u.Broadcast(a[i])
+		mulAccumulate(u, acc, digit, bv)
+		t0 := u.Extract(acc[0], 0)
+		q := u.ScalarMul32(t0, c.n0)
+		qv := u.BroadcastScalar(q)
+		mulAccumulate(u, acc, qv, c.nVecs)
+		shiftDownOneLimb(u, acc)
+		u.Stall(stall)
+	}
+
+	// T occupies limbs 0..kp of the window; limb kp is 0 or 1.
+	topLimb := u.Extract(acc[v], 0)
+	low := make([]vpu.Vec, v)
+	copy(low, acc[:v])
+	borrow := subVecs(u, low, c.nVecs)
+
+	// T >= N iff the top limb is set (the borrow then cancels against it)
+	// or the kp-limb subtraction did not borrow.
+	var sel vpu.Mask
+	if topLimb != 0 || borrow == 0 {
+		sel = vpu.MaskAll
+	}
+	out := make([]vpu.Vec, v)
+	for j := 0; j < v; j++ {
+		out[j] = u.Blend(sel, acc[j], low[j])
+	}
+	return u.StoreAll(out, kp)
+}
+
+// Sqr returns the Montgomery square of a (delegates to Mul; see VecSqr for
+// why the vector kernel has no dedicated squaring path).
+func (c *Ctx) Sqr(a []uint32) []uint32 { return c.Mul(a, a) }

@@ -1,0 +1,43 @@
+package vmont
+
+import "phiopenssl/internal/vpu"
+
+// VecMul computes the full product a*b with the vectorized operand-scanning
+// schoolbook kernel (experiment E2's PhiOpenSSL series), issuing all work on
+// u. The result has len(a) + padLimbs(len(b)) limbs (unnormalized).
+//
+// Structure per digit a[i]: broadcast, 16-way low/high partial products,
+// carry-rippled accumulation, extract the completed limb, shift the window.
+func VecMul(u *vpu.Unit, a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	kb := padLimbs(len(b))
+	bPad := make([]uint32, kb)
+	copy(bPad, b)
+	bv := u.LoadAll(bPad)
+	v := kb / vpu.Lanes
+
+	acc := make([]vpu.Vec, v+1)
+	out := make([]uint32, len(a)+kb)
+	stall := latencyStall(v)
+	for i := range a {
+		digit := u.Broadcast(a[i])
+		mulAccumulate(u, acc, digit, bv)
+		out[i] = u.Extract(acc[0], 0)
+		shiftDownOneLimb(u, acc)
+		u.Stall(stall / 2) // one accumulate per digit (vs two in CIOS)
+	}
+	// Drain the remaining kb limbs of the window.
+	rem := u.StoreAll(acc[:v], kb)
+	copy(out[len(a):], rem)
+	return out
+}
+
+// VecSqr computes a*a. The vector kernel gains little from a dedicated
+// squaring path (the partial-product doubling trick does not map onto the
+// lane-aligned accumulation), so PhiOpenSSL squares with the general
+// multiply; kept as its own entry point for the benchmarks.
+func VecSqr(u *vpu.Unit, a []uint32) []uint32 {
+	return VecMul(u, a, a)
+}

@@ -1,0 +1,25 @@
+package vmont
+
+import "phiopenssl/internal/vpu"
+
+// ScanTable performs a constant-time table lookup with vector loads and
+// masked blends: every entry is loaded and blended under an
+// equality-derived mask, so the access pattern is independent of idx. This
+// is the KNC analogue of the scatter/gather in constant-time fixed-window
+// exponentiation and is charged per entry at V loads + 1 broadcast +
+// 1 compare + V blends.
+func (c *Ctx) ScanTable(table [][]uint32, idx int) []uint32 {
+	u := c.unit
+	v := c.kp / vpu.Lanes
+	acc := make([]vpu.Vec, v)
+	want := u.Broadcast(uint32(idx))
+	for e, entry := range table {
+		ev := u.Broadcast(uint32(e))
+		m := u.CmpEq(ev, want) // all lanes equal or none
+		vecs := u.LoadAll(entry)
+		for j := 0; j < v; j++ {
+			acc[j] = u.Blend(m, acc[j], vecs[j])
+		}
+	}
+	return u.StoreAll(acc, c.kp)
+}

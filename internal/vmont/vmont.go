@@ -1,0 +1,117 @@
+// Package vmont implements the PhiOpenSSL vector kernels: big-integer
+// multiplication and Montgomery multiplication expressed as instruction
+// sequences for the simulated KNC vector unit (internal/vpu).
+//
+// Data layout: a multi-precision value of kp limbs (kp a multiple of 16) is
+// held in kp/16 vector registers with limb L in lane L mod 16 of vector
+// L/16 — consecutive limbs in consecutive lanes. Both kernels are
+// operand-scanning loops over the digits of one operand:
+//
+//   - the digit a[i] is broadcast (vpbroadcastd from memory),
+//   - vpmulld/vpmulhud form the 16-way low/high partial products against
+//     the vector-resident second operand,
+//   - the low parts are added lane-aligned and the high parts are added
+//     shifted one lane left (valignd), with carries propagated through the
+//     vpaddsetcd/valignd ripple idiom,
+//   - the accumulator window is shifted down one limb per digit (valignd).
+//
+// The Montgomery kernel interleaves the CIOS reduction: after accumulating
+// a[i]*B it derives the quotient digit q = acc0 * n0' with one scalar
+// multiply, accumulates q*N the same way, and shifts the (now zero) low
+// limb out. This is, step for step, the kernel structure of the published
+// KNC Montgomery implementations the paper builds on; because the simulator
+// is bit-exact, results are validated limb-for-limb against internal/bn and
+// math/big.
+package vmont
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+// padLimbs returns k rounded up to a whole number of vector registers.
+func padLimbs(k int) int {
+	if k == 0 {
+		return vpu.Lanes
+	}
+	return (k + vpu.Lanes - 1) / vpu.Lanes * vpu.Lanes
+}
+
+// Ctx holds per-modulus constants for the vector Montgomery kernel.
+//
+// The modulus is padded to kp limbs (whole vectors); the Montgomery radix
+// is R = 2^(32*kp). Padding to the vector width is exactly what the real
+// KNC kernels do, at the cost of processing a few zero limbs for moduli
+// that are not a multiple of 512 bits.
+type Ctx struct {
+	modulus bn.Nat
+	kp      int       // padded limb count (multiple of 16)
+	nVecs   []vpu.Vec // modulus in vector layout, kp/16 vectors
+	nLimbs  []uint32  // modulus limbs, kp limbs
+	n0      uint32    // -N^-1 mod 2^32
+	rr      []uint32  // R^2 mod N, kp limbs
+	unit    *vpu.Unit
+}
+
+// NewCtx prepares a vector Montgomery context for the odd modulus m > 1,
+// issuing instructions (including the one-time modulus load) on u.
+// A nil u executes unmetered.
+func NewCtx(m bn.Nat, u *vpu.Unit) (*Ctx, error) {
+	if m.IsZero() || m.IsOne() {
+		return nil, fmt.Errorf("vmont: modulus must be > 1, got %s", m)
+	}
+	if !m.IsOdd() {
+		return nil, fmt.Errorf("vmont: modulus must be odd, got %s", m)
+	}
+	kp := padLimbs(m.LimbLen())
+	nLimbs := m.LimbsPadded(kp)
+	ctx := &Ctx{
+		modulus: m,
+		kp:      kp,
+		nVecs:   u.LoadAll(nLimbs),
+		nLimbs:  nLimbs,
+		n0:      negInv32(nLimbs[0]),
+		rr:      bn.One().Shl(uint(64 * kp)).Mod(m).LimbsPadded(kp),
+		unit:    u,
+	}
+	return ctx, nil
+}
+
+// K returns the padded limb width of the context.
+func (c *Ctx) K() int { return c.kp }
+
+// Modulus returns N.
+func (c *Ctx) Modulus() bn.Nat { return c.modulus }
+
+// Unit returns the vector unit the context issues instructions on.
+func (c *Ctx) Unit() *vpu.Unit { return c.unit }
+
+// negInv32 returns -v^-1 mod 2^32 for odd v.
+func negInv32(v uint32) uint32 {
+	inv := v
+	for i := 0; i < 5; i++ {
+		inv *= 2 - v*inv
+	}
+	return -inv
+}
+
+// ToMont converts x into Montgomery form (x*R mod N) as kp limbs.
+func (c *Ctx) ToMont(x bn.Nat) []uint32 {
+	return c.Mul(x.Mod(c.modulus).LimbsPadded(c.kp), c.rr)
+}
+
+// FromMont converts a kp-limb Montgomery-form value back to a Nat.
+func (c *Ctx) FromMont(a []uint32) bn.Nat {
+	one := make([]uint32, c.kp)
+	one[0] = 1
+	return bn.FromLimbs(c.Mul(a, one))
+}
+
+// One returns R mod N (the Montgomery form of 1) as kp limbs.
+func (c *Ctx) One() []uint32 {
+	one := make([]uint32, c.kp)
+	one[0] = 1
+	return c.Mul(c.rr, one)
+}

@@ -1,0 +1,270 @@
+package vmont
+
+import (
+	"math/rand"
+	"testing"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+func randOdd(rng *rand.Rand, bits int) bn.Nat {
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	rng.Read(buf)
+	excess := uint(nbytes*8 - bits)
+	buf[0] &= 0xff >> excess
+	buf[0] |= 0x80 >> excess
+	buf[nbytes-1] |= 1
+	return bn.FromBytes(buf)
+}
+
+func randBelow(rng *rand.Rand, m bn.Nat) bn.Nat {
+	for {
+		buf := make([]byte, (m.BitLen()+7)/8)
+		rng.Read(buf)
+		x := bn.FromBytes(buf)
+		if x.Cmp(m) < 0 {
+			return x
+		}
+	}
+}
+
+func TestPadLimbs(t *testing.T) {
+	cases := map[int]int{0: 16, 1: 16, 15: 16, 16: 16, 17: 32, 32: 32, 33: 48, 64: 64}
+	for in, want := range cases {
+		if got := padLimbs(in); got != want {
+			t.Errorf("padLimbs(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestVecMulMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := vpu.New()
+	sizes := [][2]int{
+		{32, 32}, {512, 512}, {513, 511}, {1024, 1024}, {2048, 2048},
+		{1024, 32}, {32, 1024}, {100, 700},
+	}
+	for _, sz := range sizes {
+		a := randOdd(rng, sz[0])
+		b := randOdd(rng, sz[1])
+		got := bn.FromLimbs(VecMul(u, a.Limbs(), b.Limbs()))
+		want := a.Mul(b)
+		if !got.Equal(want) {
+			t.Fatalf("VecMul %dx%d bits: got %s, want %s", sz[0], sz[1], got, want)
+		}
+	}
+}
+
+func TestVecMulCarryTorture(t *testing.T) {
+	// All-ones operands force maximal carry rippling through every lane.
+	u := vpu.New()
+	for _, bits := range []int{512, 1024, 2048} {
+		a := bn.One().Shl(uint(bits)).SubUint64(1)
+		got := bn.FromLimbs(VecMul(u, a.Limbs(), a.Limbs()))
+		want := a.Mul(a)
+		if !got.Equal(want) {
+			t.Fatalf("all-ones %d bits: mismatch", bits)
+		}
+	}
+}
+
+func TestVecMulEdges(t *testing.T) {
+	u := vpu.New()
+	if VecMul(u, nil, []uint32{1}) != nil {
+		t.Error("empty operand should give nil")
+	}
+	got := bn.FromLimbs(VecMul(u, []uint32{7}, []uint32{6}))
+	if got.CmpUint64(42) != 0 {
+		t.Errorf("7*6 = %s", got)
+	}
+}
+
+func TestVecSqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := vpu.New()
+	a := randOdd(rng, 1024)
+	got := bn.FromLimbs(VecSqr(u, a.Limbs()))
+	if !got.Equal(a.Sqr()) {
+		t.Fatal("VecSqr mismatch")
+	}
+}
+
+func TestNewCtxValidation(t *testing.T) {
+	for _, m := range []bn.Nat{bn.Zero(), bn.One(), bn.FromUint64(8)} {
+		if _, err := NewCtx(m, nil); err == nil {
+			t.Errorf("NewCtx(%s) should fail", m)
+		}
+	}
+	ctx, err := NewCtx(bn.MustHex("10001"), vpu.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.K() != 16 {
+		t.Errorf("K = %d, want padded 16", ctx.K())
+	}
+}
+
+func TestMontMulMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := vpu.New()
+	for _, bits := range []int{64, 512, 521, 1024, 2048} {
+		m := randOdd(rng, bits)
+		ctx, err := NewCtx(m, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			a := randBelow(rng, m)
+			b := randBelow(rng, m)
+			got := ctx.FromMont(ctx.Mul(ctx.ToMont(a), ctx.ToMont(b)))
+			want := a.ModMul(b, m)
+			if !got.Equal(want) {
+				t.Fatalf("bits=%d trial=%d: got %s, want %s", bits, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMontMulIdentity(t *testing.T) {
+	// Mul(a, b) must equal a*b*R^-1 mod N with R = 2^(32*kp).
+	rng := rand.New(rand.NewSource(4))
+	m := randOdd(rng, 300) // padded to 512 bits: exercises zero top limbs
+	ctx, err := NewCtx(m, vpu.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := bn.One().Shl(uint(32 * ctx.K()))
+	rInv, ok := R.ModInverse(m)
+	if !ok {
+		t.Fatal("R not invertible")
+	}
+	for trial := 0; trial < 30; trial++ {
+		a := randBelow(rng, m)
+		b := randBelow(rng, m)
+		got := bn.FromLimbs(ctx.Mul(a.LimbsPadded(ctx.K()), b.LimbsPadded(ctx.K())))
+		want := a.Mul(b).ModMul(rInv, m)
+		if !got.Equal(want) {
+			t.Fatalf("identity failed: got %s want %s", got, want)
+		}
+	}
+}
+
+func TestMontMulFullyReduced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		m := randOdd(rng, 96+rng.Intn(512))
+		ctx, _ := NewCtx(m, vpu.New())
+		a := ctx.ToMont(randBelow(rng, m))
+		b := ctx.ToMont(randBelow(rng, m))
+		got := bn.FromLimbs(ctx.Mul(a, b))
+		if got.Cmp(m) >= 0 {
+			t.Fatalf("unreduced result %s for modulus %s", got, m)
+		}
+	}
+}
+
+func TestMontMulNearModulusOperands(t *testing.T) {
+	// Operands at N-1 and N-2 stress the conditional-subtract path.
+	rng := rand.New(rand.NewSource(6))
+	m := randOdd(rng, 512)
+	ctx, _ := NewCtx(m, vpu.New())
+	cases := []bn.Nat{m.SubUint64(1), m.SubUint64(2), bn.One(), bn.Zero()}
+	for _, a := range cases {
+		for _, b := range cases {
+			got := ctx.FromMont(ctx.Mul(ctx.ToMont(a), ctx.ToMont(b)))
+			want := a.ModMul(b, m)
+			if !got.Equal(want) {
+				t.Fatalf("near-modulus: a=%s b=%s got %s want %s", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMontMulAgainstScalarMontPackageParity(t *testing.T) {
+	// The vector context must agree with bn's reference ModExp semantics
+	// through a short exponent chain (catches domain-conversion bugs that
+	// single multiplications hide).
+	rng := rand.New(rand.NewSource(7))
+	m := randOdd(rng, 1024)
+	ctx, _ := NewCtx(m, vpu.New())
+	base := randBelow(rng, m)
+	x := ctx.ToMont(base)
+	acc := ctx.One()
+	for i := 0; i < 17; i++ { // acc = base^17 in Montgomery form
+		acc = ctx.Mul(acc, x)
+	}
+	got := ctx.FromMont(acc)
+	want := base.ModExp(bn.FromUint64(17), m)
+	if !got.Equal(want) {
+		t.Fatalf("base^17: got %s, want %s", got, want)
+	}
+}
+
+func TestDomainConversions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randOdd(rng, 768)
+	ctx, _ := NewCtx(m, vpu.New())
+	for trial := 0; trial < 20; trial++ {
+		x := randBelow(rng, m)
+		if got := ctx.FromMont(ctx.ToMont(x)); !got.Equal(x) {
+			t.Fatalf("round trip %s -> %s", x, got)
+		}
+	}
+	// One() is R mod N.
+	R := bn.One().Shl(uint(32 * ctx.K())).Mod(m)
+	if !bn.FromLimbs(ctx.One()).Equal(R) {
+		t.Fatal("One() != R mod N")
+	}
+}
+
+func TestMulWidthMismatchPanics(t *testing.T) {
+	ctx, _ := NewCtx(bn.MustHex("10001"), vpu.New())
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	ctx.Mul(make([]uint32, 3), make([]uint32, 16))
+}
+
+func TestInstructionCountsScaleWithSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	measure := func(bits int) uint64 {
+		u := vpu.New()
+		m := randOdd(rng, bits)
+		ctx, _ := NewCtx(m, u)
+		a := ctx.ToMont(randBelow(rng, m))
+		u.Reset()
+		ctx.Mul(a, a)
+		return u.Counts().Total()
+	}
+	c512 := measure(512)
+	c1024 := measure(1024)
+	c2048 := measure(2048)
+	// Operand scanning is O(k * V): doubling the size should roughly
+	// quadruple the instruction count (between 2.5x and 5x, allowing for
+	// the per-digit fixed overhead at small sizes).
+	for _, r := range []float64{float64(c1024) / float64(c512), float64(c2048) / float64(c1024)} {
+		if r < 2.5 || r > 5.0 {
+			t.Fatalf("scaling ratio %.2f outside [2.5,5] (counts %d/%d/%d)", r, c512, c1024, c2048)
+		}
+	}
+}
+
+func TestMeteringAdditive(t *testing.T) {
+	u := vpu.New()
+	rng := rand.New(rand.NewSource(10))
+	m := randOdd(rng, 512)
+	ctx, _ := NewCtx(m, u)
+	a := ctx.ToMont(randBelow(rng, m))
+	u.Reset()
+	ctx.Mul(a, a)
+	one := u.Counts().Total()
+	ctx.Mul(a, a)
+	two := u.Counts().Total()
+	if two <= one || two > 2*one+16 {
+		t.Fatalf("metering not additive: %d then %d", one, two)
+	}
+}

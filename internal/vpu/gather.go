@@ -1,0 +1,73 @@
+package vpu
+
+// Gather/scatter. KNC's vgatherdd/vscatterdd are iterative: each issue of
+// the instruction services the lanes whose indices fall in one cache line
+// and clears their mask bits, so the cost is one memory op per *distinct
+// cache line* touched rather than per lane. That cost model is what made
+// the cache-line-interleaved table layouts of constant-time
+// exponentiation attractive on the Phi, and it is reproduced here: both
+// ops charge ClassMem once per distinct 64-byte line covered by the
+// selected lanes (minimum one).
+
+// cacheLineDwords is the number of 32-bit elements per 64-byte line.
+const cacheLineDwords = 16
+
+// distinctLines counts the distinct cache lines covered by the selected
+// indices.
+func distinctLines(idx Vec, m Mask) uint64 {
+	var lines [Lanes]int64
+	n := 0
+	for i := 0; i < Lanes; i++ {
+		if m>>i&1 == 0 {
+			continue
+		}
+		line := int64(idx[i] / cacheLineDwords)
+		seen := false
+		for j := 0; j < n; j++ {
+			if lines[j] == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			lines[n] = line
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1 // the instruction still issues once
+	}
+	return uint64(n)
+}
+
+// Gather models vgatherdd: out[i] = base[idx[i]] for lanes selected by m;
+// unselected lanes are zero. Indices past the end of base read zero (the
+// simulator's segments are bounds-checked; real code never does this).
+func (u *Unit) Gather(base []uint32, idx Vec, m Mask) Vec {
+	u.tick(ClassMem, distinctLines(idx, m))
+	var out Vec
+	for i := 0; i < Lanes; i++ {
+		if m>>i&1 == 0 {
+			continue
+		}
+		if int(idx[i]) < len(base) {
+			out[i] = base[idx[i]]
+		}
+	}
+	return out
+}
+
+// Scatter models vscatterdd: base[idx[i]] = v[i] for lanes selected by m.
+// Lanes with equal indices write in ascending lane order (the architectural
+// tie-break). Out-of-range indices are dropped.
+func (u *Unit) Scatter(base []uint32, idx Vec, v Vec, m Mask) {
+	u.tick(ClassMem, distinctLines(idx, m))
+	for i := 0; i < Lanes; i++ {
+		if m>>i&1 == 0 {
+			continue
+		}
+		if int(idx[i]) < len(base) {
+			base[idx[i]] = v[i]
+		}
+	}
+}

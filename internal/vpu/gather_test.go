@@ -1,0 +1,130 @@
+package vpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGatherBasics(t *testing.T) {
+	u := New()
+	base := make([]uint32, 100)
+	for i := range base {
+		base[i] = uint32(1000 + i)
+	}
+	var idx Vec
+	for i := range idx {
+		idx[i] = uint32(i * 3)
+	}
+	out := u.Gather(base, idx, MaskAll)
+	for i := 0; i < Lanes; i++ {
+		if out[i] != uint32(1000+i*3) {
+			t.Fatalf("lane %d = %d", i, out[i])
+		}
+	}
+	// Masked-off lanes read zero.
+	out = u.Gather(base, idx, 0b101)
+	if out[0] == 0 || out[1] != 0 || out[2] == 0 || out[3] != 0 {
+		t.Fatalf("masked gather = %v", out)
+	}
+	// Out-of-range indices read zero.
+	idx[5] = 1 << 20
+	out = u.Gather(base, idx, MaskAll)
+	if out[5] != 0 {
+		t.Fatal("out-of-range index should read zero")
+	}
+}
+
+func TestScatterBasics(t *testing.T) {
+	u := New()
+	base := make([]uint32, 64)
+	var idx, v Vec
+	for i := range idx {
+		idx[i] = uint32(63 - i)
+		v[i] = uint32(i + 1)
+	}
+	u.Scatter(base, idx, v, MaskAll)
+	for i := 0; i < Lanes; i++ {
+		if base[63-i] != uint32(i+1) {
+			t.Fatalf("base[%d] = %d", 63-i, base[63-i])
+		}
+	}
+	// Duplicate indices: ascending lane order wins (last lane).
+	base2 := make([]uint32, 8)
+	var dupIdx, dupV Vec
+	for i := range dupIdx {
+		dupIdx[i] = 3
+		dupV[i] = uint32(i)
+	}
+	u.Scatter(base2, dupIdx, dupV, MaskAll)
+	if base2[3] != Lanes-1 {
+		t.Fatalf("duplicate-index tie-break: base[3] = %d, want %d", base2[3], Lanes-1)
+	}
+	// Masked and out-of-range lanes do not write.
+	before := append([]uint32{}, base2...)
+	dupIdx[0] = 1 << 20
+	u.Scatter(base2, dupIdx, dupV, 0b1)
+	for i := range base2 {
+		if base2[i] != before[i] {
+			t.Fatal("masked/oob scatter wrote")
+		}
+	}
+}
+
+func TestGatherCostModel(t *testing.T) {
+	// All indices in one cache line: one memory op. Spread across 16
+	// lines: 16 memory ops. This is the KNC vgatherdd iteration rule.
+	u := New()
+	var sameLine Vec
+	for i := range sameLine {
+		sameLine[i] = uint32(i) // indices 0..15 = one 64-byte line
+	}
+	base := make([]uint32, 1024)
+	u.Gather(base, sameLine, MaskAll)
+	if got := u.Counts()[ClassMem]; got != 1 {
+		t.Fatalf("same-line gather cost %d mem ops, want 1", got)
+	}
+	u.Reset()
+	var spread Vec
+	for i := range spread {
+		spread[i] = uint32(i * cacheLineDwords)
+	}
+	u.Gather(base, spread, MaskAll)
+	if got := u.Counts()[ClassMem]; got != Lanes {
+		t.Fatalf("spread gather cost %d mem ops, want %d", got, Lanes)
+	}
+	// Empty mask still issues once.
+	u.Reset()
+	u.Gather(base, spread, 0)
+	if got := u.Counts()[ClassMem]; got != 1 {
+		t.Fatalf("empty-mask gather cost %d, want 1", got)
+	}
+	// Scatter uses the same rule.
+	u.Reset()
+	u.Scatter(base, spread, Vec{}, MaskAll)
+	if got := u.Counts()[ClassMem]; got != Lanes {
+		t.Fatalf("spread scatter cost %d, want %d", got, Lanes)
+	}
+}
+
+// Property: scatter followed by gather round-trips for distinct in-range
+// indices.
+func TestQuickScatterGatherRoundTrip(t *testing.T) {
+	u := New()
+	rng := rand.New(rand.NewSource(1))
+	f := func(v Vec, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		perm := r.Perm(256)
+		var idx Vec
+		for i := range idx {
+			idx[i] = uint32(perm[i]) // distinct indices
+		}
+		base := make([]uint32, 256)
+		u.Scatter(base, idx, v, MaskAll)
+		out := u.Gather(base, idx, MaskAll)
+		return out == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

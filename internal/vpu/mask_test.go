@@ -1,0 +1,79 @@
+package vpu
+
+import "testing"
+
+func TestMaskShifts(t *testing.T) {
+	u := New()
+	m := Mask(0b1000_0000_0000_0001)
+	if got := u.MaskShiftL(m, 1); got != 0b0000_0000_0000_0010 {
+		t.Errorf("MaskShiftL = %#b", got)
+	}
+	if got := u.MaskShiftR(m, 15); got != 0b1 {
+		t.Errorf("MaskShiftR = %#b", got)
+	}
+	if got := u.MaskShiftL(m, 16); got != 0 {
+		t.Errorf("MaskShiftL(16) = %#b", got)
+	}
+	if got := u.MaskShiftR(m, 20); got != 0 {
+		t.Errorf("MaskShiftR(20) = %#b", got)
+	}
+	// Shifted-out bits vanish; MaskAll invariants.
+	if got := u.MaskShiftL(MaskAll, 4); got != Mask(0b1111_1111_1111_0000) {
+		t.Errorf("MaskShiftL(all,4) = %#b", got)
+	}
+}
+
+func TestMaskLogic(t *testing.T) {
+	u := New()
+	if u.MaskAnd(0b1100, 0b1010) != 0b1000 {
+		t.Error("MaskAnd")
+	}
+	if u.MaskOr(0b1100, 0b0011) != 0b1111 {
+		t.Error("MaskOr")
+	}
+	if u.MaskNonzero(0) || !u.MaskNonzero(0b10) {
+		t.Error("MaskNonzero")
+	}
+	// All mask ops are metered in ClassMask.
+	u.Reset()
+	u.MaskAnd(1, 2)
+	u.MaskOr(1, 2)
+	u.MaskShiftL(1, 1)
+	u.MaskShiftR(1, 1)
+	u.MaskNonzero(1)
+	if got := u.Counts()[ClassMask]; got != 5 {
+		t.Errorf("mask ops metered %d, want 5", got)
+	}
+}
+
+func TestCrossRegisterOpsMetered(t *testing.T) {
+	u := New()
+	v := u.BroadcastScalar(7)
+	for i := range v {
+		if v[i] != 7 {
+			t.Fatal("BroadcastScalar lanes wrong")
+		}
+	}
+	u.Extract(v, 3)
+	u.Insert(v, 2, 9)
+	if got := u.Counts()[ClassCross]; got != 3 {
+		t.Errorf("cross ops metered %d, want 3", got)
+	}
+	// Memory-operand broadcast is NOT a crossing op.
+	u.Reset()
+	u.Broadcast(1)
+	if u.Counts()[ClassCross] != 0 || u.Counts()[ClassShuffle] != 1 {
+		t.Error("Broadcast should be shuffle-class")
+	}
+}
+
+func TestStall(t *testing.T) {
+	u := New()
+	u.Stall(24)
+	u.Stall(0)
+	if got := u.Counts()[ClassStall]; got != 24 {
+		t.Errorf("stall cycles = %d", got)
+	}
+	var nilU *Unit
+	nilU.Stall(5) // must not panic
+}

@@ -1,0 +1,63 @@
+package vpu
+
+// Memory operations. KNC vector loads/stores move 16 aligned dwords; lane
+// extraction/insertion goes through memory (IMCI has no register extract).
+
+// Load models vmovdqa32 from memory: it reads 16 limbs starting at
+// src[off], zero-padding past the end of src.
+func (u *Unit) Load(src []uint32, off int) Vec {
+	u.tick(ClassMem, 1)
+	var out Vec
+	for i := 0; i < Lanes; i++ {
+		if off+i < len(src) {
+			out[i] = src[off+i]
+		}
+	}
+	return out
+}
+
+// Store models vmovdqa32 to memory: it writes the lanes of v into
+// dst[off:off+16], ignoring lanes past the end of dst.
+func (u *Unit) Store(dst []uint32, off int, v Vec) {
+	u.tick(ClassMem, 1)
+	for i := 0; i < Lanes; i++ {
+		if off+i < len(dst) {
+			dst[off+i] = v[i]
+		}
+	}
+}
+
+// Extract reads a single lane into a scalar register. KNC has no direct
+// vector-to-scalar move: the lane round-trips through the L1 (vector store,
+// scalar load), a ClassCross operation.
+func (u *Unit) Extract(v Vec, lane int) uint32 {
+	u.tick(ClassCross, 1)
+	return v[lane&(Lanes-1)]
+}
+
+// Insert writes a single lane from a scalar register (scalar store, masked
+// vector load), a ClassCross operation.
+func (u *Unit) Insert(v Vec, lane int, x uint32) Vec {
+	u.tick(ClassCross, 1)
+	v[lane&(Lanes-1)] = x
+	return v
+}
+
+// LoadAll loads an entire limb slice as ceil(len/16) vectors.
+func (u *Unit) LoadAll(src []uint32) []Vec {
+	n := (len(src) + Lanes - 1) / Lanes
+	out := make([]Vec, n)
+	for j := 0; j < n; j++ {
+		out[j] = u.Load(src, j*Lanes)
+	}
+	return out
+}
+
+// StoreAll writes vectors back into a limb slice of the given length.
+func (u *Unit) StoreAll(vs []Vec, limbs int) []uint32 {
+	out := make([]uint32, limbs)
+	for j := range vs {
+		u.Store(out, j*Lanes, vs[j])
+	}
+	return out
+}

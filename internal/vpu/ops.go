@@ -1,0 +1,188 @@
+package vpu
+
+// Lane-wise arithmetic and logic (IMCI vector ALU and multiplier).
+
+// Add models vpaddd: lane-wise 32-bit addition, carries discarded.
+func (u *Unit) Add(a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AddSetC models vpaddsetcd: lane-wise addition returning the sum and a
+// mask of lanes that produced a carry out of bit 31.
+func (u *Unit) AddSetC(a, b Vec) (Vec, Mask) {
+	u.tick(ClassALU, 1)
+	var out Vec
+	var m Mask
+	for i := range out {
+		s := uint64(a[i]) + uint64(b[i])
+		out[i] = uint32(s)
+		m |= Mask(s>>32) << i
+	}
+	return out, m
+}
+
+// Adc models vpadcd: lane-wise a + b + carryIn(lane), where carryIn
+// contributes 1 to each lane whose mask bit is set, returning the sum and
+// the carry-out mask.
+func (u *Unit) Adc(a, b Vec, carryIn Mask) (Vec, Mask) {
+	u.tick(ClassALU, 1)
+	var out Vec
+	var m Mask
+	for i := range out {
+		s := uint64(a[i]) + uint64(b[i]) + uint64((carryIn>>i)&1)
+		out[i] = uint32(s)
+		m |= Mask(s>>32) << i
+	}
+	return out, m
+}
+
+// Sub models vpsubd: lane-wise subtraction a - b, borrows discarded.
+func (u *Unit) Sub(a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// SubSetB models vpsubsetbd: lane-wise a - b returning the difference and a
+// mask of lanes that borrowed.
+func (u *Unit) SubSetB(a, b Vec) (Vec, Mask) {
+	u.tick(ClassALU, 1)
+	var out Vec
+	var m Mask
+	for i := range out {
+		d := uint64(a[i]) - uint64(b[i])
+		out[i] = uint32(d)
+		m |= Mask((d>>32)&1) << i
+	}
+	return out, m
+}
+
+// Sbb models vpsbbd: lane-wise a - b - borrowIn(lane) with borrow-out mask.
+func (u *Unit) Sbb(a, b Vec, borrowIn Mask) (Vec, Mask) {
+	u.tick(ClassALU, 1)
+	var out Vec
+	var m Mask
+	for i := range out {
+		d := uint64(a[i]) - uint64(b[i]) - uint64((borrowIn>>i)&1)
+		out[i] = uint32(d)
+		m |= Mask((d>>32)&1) << i
+	}
+	return out, m
+}
+
+// MulLo models vpmulld: lane-wise low 32 bits of a*b.
+func (u *Unit) MulLo(a, b Vec) Vec {
+	u.tick(ClassMul, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// MulHi models vpmulhud: lane-wise high 32 bits of the unsigned product a*b.
+func (u *Unit) MulHi(a, b Vec) Vec {
+	u.tick(ClassMul, 1)
+	var out Vec
+	for i := range out {
+		out[i] = uint32(uint64(a[i]) * uint64(b[i]) >> 32)
+	}
+	return out
+}
+
+// And models vpandd.
+func (u *Unit) And(a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// Or models vpord.
+func (u *Unit) Or(a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// Xor models vpxord.
+func (u *Unit) Xor(a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// ShlI models vpslld: lane-wise left shift by an immediate.
+func (u *Unit) ShlI(a Vec, s uint) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	if s >= 32 {
+		return out
+	}
+	for i := range out {
+		out[i] = a[i] << s
+	}
+	return out
+}
+
+// ShrI models vpsrld: lane-wise logical right shift by an immediate.
+func (u *Unit) ShrI(a Vec, s uint) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	if s >= 32 {
+		return out
+	}
+	for i := range out {
+		out[i] = a[i] >> s
+	}
+	return out
+}
+
+// CmpEq models vpcmpeqd with a mask destination: mask bit i set where
+// a[i] == b[i].
+func (u *Unit) CmpEq(a, b Vec) Mask {
+	u.tick(ClassALU, 1)
+	var m Mask
+	for i := range a {
+		if a[i] == b[i] {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// CmpLtU models vpcmpltud: mask bit i set where a[i] < b[i] (unsigned).
+func (u *Unit) CmpLtU(a, b Vec) Mask {
+	u.tick(ClassALU, 1)
+	var m Mask
+	for i := range a {
+		if a[i] < b[i] {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// ScalarMul32 models the scalar 32x32→32 multiply the Montgomery kernels
+// issue once per digit to form the quotient (executed on the scalar
+// pipeline, metered in ClassScalar).
+func (u *Unit) ScalarMul32(a, b uint32) uint32 {
+	u.tick(ClassScalar, 1)
+	return a * b
+}

@@ -1,0 +1,124 @@
+package vpu
+
+// Cross-lane data movement (IMCI shuffle unit).
+
+// Align models valignd dst, hi, lo, imm: the 32-lane concatenation hi:lo is
+// shifted right by imm lanes and the low 16 lanes are kept. Lane i of the
+// result is lo[i+imm] when i+imm < 16, otherwise hi[i+imm-16].
+// imm must be in [0, 16].
+func (u *Unit) Align(hi, lo Vec, imm int) Vec {
+	if imm < 0 || imm > Lanes {
+		panic("vpu: Align immediate out of range")
+	}
+	u.tick(ClassShuffle, 1)
+	var out Vec
+	for i := 0; i < Lanes; i++ {
+		j := i + imm
+		if j < Lanes {
+			out[i] = lo[j]
+		} else {
+			out[i] = hi[j-Lanes]
+		}
+	}
+	return out
+}
+
+// Broadcast models the 1-to-16 broadcast with a memory operand
+// (vbroadcastss {1to16}-style): the digit is read from memory and splatted
+// in one shuffle-class op. Use BroadcastScalar for a value living in a
+// scalar register.
+func (u *Unit) Broadcast(x uint32) Vec {
+	u.tick(ClassShuffle, 1)
+	var out Vec
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+// BroadcastScalar broadcasts from a scalar register. Like Extract, the
+// value must cross register files through the L1, a ClassCross operation.
+func (u *Unit) BroadcastScalar(x uint32) Vec {
+	u.tick(ClassCross, 1)
+	var out Vec
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+// Permute models vpermd: out[i] = a[idx[i] & 15].
+func (u *Unit) Permute(a, idx Vec) Vec {
+	u.tick(ClassShuffle, 1)
+	var out Vec
+	for i := range out {
+		out[i] = a[idx[i]&(Lanes-1)]
+	}
+	return out
+}
+
+// Blend models a masked vmovdqa32: lane i of the result is b[i] where the
+// mask bit is set, a[i] otherwise.
+func (u *Unit) Blend(m Mask, a, b Vec) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		if m>>i&1 == 1 {
+			out[i] = b[i]
+		} else {
+			out[i] = a[i]
+		}
+	}
+	return out
+}
+
+// MaskToVec materializes a carry mask as a vector with 1 in selected lanes
+// and 0 elsewhere (vpsubrd with mask in real IMCI; one ALU op).
+func (u *Unit) MaskToVec(m Mask) Vec {
+	u.tick(ClassALU, 1)
+	var out Vec
+	for i := range out {
+		out[i] = uint32(m >> i & 1)
+	}
+	return out
+}
+
+// Mask-register helpers (kand / kor / kortest equivalents).
+
+// MaskAnd models kand.
+func (u *Unit) MaskAnd(a, b Mask) Mask {
+	u.tick(ClassMask, 1)
+	return a & b
+}
+
+// MaskOr models kor.
+func (u *Unit) MaskOr(a, b Mask) Mask {
+	u.tick(ClassMask, 1)
+	return a | b
+}
+
+// MaskShiftL models the KNC mask shift (kshiftl-equivalent via kmov +
+// scalar shl on IMCI): shift the mask left by s bits (toward higher
+// lanes), dropping bits past lane 15.
+func (u *Unit) MaskShiftL(m Mask, s uint) Mask {
+	u.tick(ClassMask, 1)
+	if s >= Lanes {
+		return 0
+	}
+	return (m << s) & MaskAll
+}
+
+// MaskShiftR models the right mask shift: toward lower lanes.
+func (u *Unit) MaskShiftR(m Mask, s uint) Mask {
+	u.tick(ClassMask, 1)
+	if s >= Lanes {
+		return 0
+	}
+	return m >> s
+}
+
+// MaskNonzero models kortest: reports whether any bit of m is set.
+func (u *Unit) MaskNonzero(m Mask) bool {
+	u.tick(ClassMask, 1)
+	return m != 0
+}

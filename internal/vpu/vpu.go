@@ -1,0 +1,138 @@
+// Package vpu simulates the 512-bit vector processing unit of the Intel Xeon
+// Phi (Knights Corner) coprocessor.
+//
+// KNC's vector ISA (IMCI, the pre-AVX-512 "Initial Many Core Instructions")
+// operates on sixteen 32-bit lanes per register with 16-bit write/carry
+// masks. This package models the subset of IMCI that the PhiOpenSSL kernels
+// use: lane-wise integer arithmetic including the carry-producing adds
+// (vpaddsetcd / vpadcd), 32x32 high/low multiplies (vpmulhud / vpmulld),
+// the lane-concatenating shift (valignd), broadcasts, blends and permutes.
+//
+// Every operation executed through a Unit is metered: the Unit records how
+// many instructions of each Class were issued. internal/knc converts those
+// counts into simulated cycles using a calibrated cost table, which is how
+// the reproduction compares the vectorized PhiOpenSSL kernels against the
+// scalar baselines without KNC hardware. The simulation is bit-exact: the
+// kernels built on this package are validated limb-for-limb against the
+// scalar reference in internal/bn.
+package vpu
+
+// Lanes is the number of 32-bit lanes in a 512-bit vector register.
+const Lanes = 16
+
+// Vec is one 512-bit vector register: sixteen 32-bit lanes, lane 0 first.
+type Vec [Lanes]uint32
+
+// Mask is a 16-bit lane mask (bit i corresponds to lane i), as produced by
+// the carry/borrow-generating instructions and consumed by masked ops.
+type Mask uint16
+
+// MaskAll has every lane selected.
+const MaskAll Mask = 1<<Lanes - 1
+
+// Class partitions instructions by their execution cost on KNC's vector
+// pipeline. internal/knc assigns per-class cycle costs.
+type Class uint8
+
+// Instruction classes.
+const (
+	// ClassALU covers single-cycle lane-wise integer ops (add, sub, logic).
+	ClassALU Class = iota
+	// ClassMul covers the 32x32 multiply ops, which have longer latency on
+	// KNC's VPU.
+	ClassMul
+	// ClassShuffle covers cross-lane data movement (valignd, vpermd,
+	// broadcast from register).
+	ClassShuffle
+	// ClassMem covers vector loads/stores and lane extraction through
+	// memory (KNC has no direct register lane extract).
+	ClassMem
+	// ClassMask covers mask-register manipulation (kand, kshift, kortest).
+	ClassMask
+	// ClassScalar covers scalar helper ops issued by the vector kernels
+	// (e.g. the single 32x32 scalar multiply computing the Montgomery
+	// quotient digit), which stall KNC's in-order pipe.
+	ClassScalar
+	// ClassCross covers vector<->scalar register transfers. KNC has no
+	// direct move between the register files: the value round-trips
+	// through the L1, costing a store-to-load forward plus pipeline
+	// bubbles. The per-digit quotient extraction of the Montgomery kernel
+	// lives here, which is why small operands vectorize poorly.
+	ClassCross
+	// ClassStall accounts dependency-stall cycles explicitly charged by a
+	// kernel (e.g. vector-latency exposure when too few independent
+	// vectors are in flight to cover the 4-cycle VPU latency).
+	ClassStall
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassShuffle:
+		return "shuffle"
+	case ClassMem:
+		return "mem"
+	case ClassMask:
+		return "mask"
+	case ClassScalar:
+		return "scalar"
+	case ClassCross:
+		return "cross"
+	case ClassStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// Counts records the number of instructions issued per class.
+type Counts [NumClasses]uint64
+
+// Total returns the total instruction count across classes.
+func (c Counts) Total() uint64 {
+	var sum uint64
+	for _, v := range c {
+		sum += v
+	}
+	return sum
+}
+
+// Add returns the element-wise sum of two count vectors.
+func (c Counts) Add(o Counts) Counts {
+	for i := range c {
+		c[i] += o[i]
+	}
+	return c
+}
+
+// Unit is one simulated VPU. A Unit is not safe for concurrent use; each
+// simulated hardware thread owns its own Unit.
+type Unit struct {
+	counts Counts
+}
+
+// New returns a fresh VPU with zeroed meters.
+func New() *Unit { return &Unit{} }
+
+// Counts returns the instruction counts issued so far.
+func (u *Unit) Counts() Counts { return u.counts }
+
+// Reset zeroes the meters.
+func (u *Unit) Reset() { u.counts = Counts{} }
+
+// tick records n instructions of class c. A nil Unit executes unmetered,
+// which keeps pure-function tests cheap.
+func (u *Unit) tick(c Class, n uint64) {
+	if u != nil {
+		u.counts[c] += n
+	}
+}
+
+// Stall charges n explicit dependency-stall cycles (see ClassStall).
+func (u *Unit) Stall(n uint64) { u.tick(ClassStall, n) }

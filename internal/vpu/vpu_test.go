@@ -1,0 +1,333 @@
+package vpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand) Vec {
+	var v Vec
+	for i := range v {
+		v[i] = rng.Uint32()
+	}
+	return v
+}
+
+func TestAddAndAddSetC(t *testing.T) {
+	u := New()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(rng), randVec(rng)
+		sum, m := u.AddSetC(a, b)
+		plain := u.Add(a, b)
+		for i := 0; i < Lanes; i++ {
+			want := uint64(a[i]) + uint64(b[i])
+			if sum[i] != uint32(want) || plain[i] != uint32(want) {
+				t.Fatalf("lane %d: sum %#x, want %#x", i, sum[i], uint32(want))
+			}
+			if got := m >> i & 1; got != Mask(want>>32) {
+				t.Fatalf("lane %d: carry %d, want %d", i, got, want>>32)
+			}
+		}
+	}
+}
+
+func TestAdcPropagatesCarryIn(t *testing.T) {
+	u := New()
+	var a Vec
+	for i := range a {
+		a[i] = 0xffffffff
+	}
+	b := Vec{} // zero
+	sum, m := u.Adc(a, b, MaskAll)
+	for i := 0; i < Lanes; i++ {
+		if sum[i] != 0 {
+			t.Fatalf("lane %d: %#x, want 0", i, sum[i])
+		}
+	}
+	if m != MaskAll {
+		t.Fatalf("carry-out mask %#x, want all", m)
+	}
+	// No carry-in: no overflow.
+	sum, m = u.Adc(a, b, 0)
+	if m != 0 || sum != a {
+		t.Fatalf("Adc without carry-in changed value: %v mask %#x", sum, m)
+	}
+}
+
+func TestSubSetBAndSbb(t *testing.T) {
+	u := New()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(rng), randVec(rng)
+		var borrowIn Mask
+		if trial%2 == 1 {
+			borrowIn = Mask(rng.Uint32())
+		}
+		diff, m := u.Sbb(a, b, borrowIn)
+		for i := 0; i < Lanes; i++ {
+			want := uint64(a[i]) - uint64(b[i]) - uint64(borrowIn>>i&1)
+			if diff[i] != uint32(want) {
+				t.Fatalf("lane %d: diff %#x, want %#x", i, diff[i], uint32(want))
+			}
+			if got := m >> i & 1; got != Mask(want>>32&1) {
+				t.Fatalf("lane %d: borrow %d", i, got)
+			}
+		}
+	}
+}
+
+func TestMulHiLo(t *testing.T) {
+	u := New()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(rng), randVec(rng)
+		lo, hi := u.MulLo(a, b), u.MulHi(a, b)
+		for i := 0; i < Lanes; i++ {
+			p := uint64(a[i]) * uint64(b[i])
+			if lo[i] != uint32(p) || hi[i] != uint32(p>>32) {
+				t.Fatalf("lane %d: %#x:%#x, want %#x", i, hi[i], lo[i], p)
+			}
+		}
+	}
+}
+
+func TestAlignSemantics(t *testing.T) {
+	u := New()
+	var lo, hi Vec
+	for i := range lo {
+		lo[i] = uint32(i)
+		hi[i] = uint32(16 + i)
+	}
+	// Shift right by 1: lane i = combined[i+1].
+	out := u.Align(hi, lo, 1)
+	for i := 0; i < Lanes; i++ {
+		want := uint32(i + 1)
+		if out[i] != want {
+			t.Fatalf("Align imm=1 lane %d = %d, want %d", i, out[i], want)
+		}
+	}
+	// imm 0 is identity on lo; imm 16 is identity on hi.
+	if u.Align(hi, lo, 0) != lo {
+		t.Error("Align imm=0 should return lo")
+	}
+	if u.Align(hi, lo, Lanes) != hi {
+		t.Error("Align imm=16 should return hi")
+	}
+	// Left-shift by one lane: Align(v, prev, 15).
+	out = u.Align(lo, hi, 15)
+	if out[0] != hi[15] {
+		t.Errorf("left shift lane0 = %d, want %d", out[0], hi[15])
+	}
+	for i := 1; i < Lanes; i++ {
+		if out[i] != lo[i-1] {
+			t.Fatalf("left shift lane %d = %d, want %d", i, out[i], lo[i-1])
+		}
+	}
+}
+
+func TestAlignOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Align(17) should panic")
+		}
+	}()
+	New().Align(Vec{}, Vec{}, 17)
+}
+
+func TestBroadcastPermuteBlend(t *testing.T) {
+	u := New()
+	bc := u.Broadcast(0xdead)
+	for i := range bc {
+		if bc[i] != 0xdead {
+			t.Fatal("broadcast lane mismatch")
+		}
+	}
+	var v, idx Vec
+	for i := range v {
+		v[i] = uint32(100 + i)
+		idx[i] = uint32(Lanes - 1 - i)
+	}
+	p := u.Permute(v, idx)
+	for i := range p {
+		if p[i] != uint32(100+Lanes-1-i) {
+			t.Fatal("permute mismatch")
+		}
+	}
+	a, b := u.Broadcast(1), u.Broadcast(2)
+	bl := u.Blend(0b0000000000000101, a, b)
+	if bl[0] != 2 || bl[1] != 1 || bl[2] != 2 || bl[3] != 1 {
+		t.Fatalf("blend = %v", bl)
+	}
+}
+
+func TestMaskToVec(t *testing.T) {
+	u := New()
+	v := u.MaskToVec(0b1010)
+	for i := range v {
+		want := uint32(0)
+		if i == 1 || i == 3 {
+			want = 1
+		}
+		if v[i] != want {
+			t.Fatalf("lane %d = %d, want %d", i, v[i], want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	u := New()
+	v := u.Broadcast(0x80000001)
+	if got := u.ShlI(v, 1); got[0] != 2 {
+		t.Errorf("ShlI = %#x", got[0])
+	}
+	if got := u.ShrI(v, 31); got[0] != 1 {
+		t.Errorf("ShrI = %#x", got[0])
+	}
+	if got := u.ShlI(v, 32); got[0] != 0 {
+		t.Errorf("ShlI 32 = %#x", got[0])
+	}
+}
+
+func TestCompares(t *testing.T) {
+	u := New()
+	var a, b Vec
+	a[0], b[0] = 1, 1
+	a[1], b[1] = 1, 2
+	a[2], b[2] = 3, 2
+	if m := u.CmpEq(a, b); m&0b111 != 0b001 {
+		t.Errorf("CmpEq low bits = %#b", m&7)
+	}
+	if m := u.CmpLtU(a, b); m&0b111 != 0b010 {
+		t.Errorf("CmpLtU low bits = %#b", m&7)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	u := New()
+	src := make([]uint32, 37) // not a multiple of 16: exercises padding
+	for i := range src {
+		src[i] = uint32(i * 3)
+	}
+	vs := u.LoadAll(src)
+	if len(vs) != 3 {
+		t.Fatalf("LoadAll produced %d vectors", len(vs))
+	}
+	// Padding lanes must be zero.
+	for i := 37 % Lanes; i < Lanes; i++ {
+		if vs[2][i] != 0 {
+			t.Fatalf("padding lane %d nonzero", i)
+		}
+	}
+	back := u.StoreAll(vs, 37)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("round trip limb %d: %d != %d", i, back[i], src[i])
+		}
+	}
+}
+
+func TestExtractInsert(t *testing.T) {
+	u := New()
+	v := u.Broadcast(7)
+	v = u.Insert(v, 5, 99)
+	if u.Extract(v, 5) != 99 || u.Extract(v, 4) != 7 {
+		t.Fatal("Extract/Insert mismatch")
+	}
+}
+
+func TestMetering(t *testing.T) {
+	u := New()
+	a, b := u.Broadcast(1), u.Broadcast(2) // 2 shuffle
+	u.Add(a, b)                            // 1 alu
+	u.MulLo(a, b)                          // 1 mul
+	u.MulHi(a, b)                          // 1 mul
+	u.Align(a, b, 3)                       // 1 shuffle
+	u.Load([]uint32{1}, 0)                 // 1 mem
+	u.MaskAnd(1, 2)                        // 1 mask
+	u.ScalarMul32(3, 4)                    // 1 scalar
+	c := u.Counts()
+	want := Counts{}
+	want[ClassALU] = 1
+	want[ClassMul] = 2
+	want[ClassShuffle] = 3
+	want[ClassMem] = 1
+	want[ClassMask] = 1
+	want[ClassScalar] = 1
+	if c != want {
+		t.Fatalf("counts = %v, want %v", c, want)
+	}
+	if c.Total() != 9 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	u.Reset()
+	if u.Counts().Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNilUnitUnmetered(t *testing.T) {
+	var u *Unit
+	// Must not panic; results still correct.
+	v := u.Add(u.Broadcast(1), u.Broadcast(2))
+	if v[0] != 3 {
+		t.Fatalf("nil-unit Add = %d", v[0])
+	}
+}
+
+// Property: AddSetC followed by subtraction recovers the operand, with the
+// carry mask matching 64-bit reference arithmetic.
+func TestQuickAddSubInverse(t *testing.T) {
+	u := New()
+	f := func(a, b Vec) bool {
+		sum, _ := u.AddSetC(a, b)
+		diff, _ := u.SubSetB(sum, b)
+		return diff == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Align(hi, lo, k) then Align back reconstructs lo's upper lanes.
+func TestQuickAlignConsistency(t *testing.T) {
+	u := New()
+	f := func(hi, lo Vec, kRaw uint8) bool {
+		k := int(kRaw) % (Lanes + 1)
+		out := u.Align(hi, lo, k)
+		for i := 0; i < Lanes; i++ {
+			j := i + k
+			var want uint32
+			if j < Lanes {
+				want = lo[j]
+			} else {
+				want = hi[j-Lanes]
+			}
+			if out[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulLo/MulHi reconstruct the full 64-bit product.
+func TestQuickMulReconstruct(t *testing.T) {
+	u := New()
+	f := func(a, b Vec) bool {
+		lo, hi := u.MulLo(a, b), u.MulHi(a, b)
+		for i := 0; i < Lanes; i++ {
+			if uint64(hi[i])<<32|uint64(lo[i]) != uint64(a[i])*uint64(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package phiopenssl_test
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"net"
+	"testing"
+
+	"phiopenssl"
+	"phiopenssl/internal/bench"
+)
+
+func TestEngineKindStrings(t *testing.T) {
+	cases := map[phiopenssl.EngineKind]string{
+		phiopenssl.EnginePhi:     "PhiOpenSSL",
+		phiopenssl.EngineOpenSSL: "OpenSSL-default",
+		phiopenssl.EngineMPSS:    "MPSS-libcrypto",
+	}
+	for kind, want := range cases {
+		if kind.String() != want {
+			t.Errorf("EngineKind(%d).String() = %q, want %q", kind, kind.String(), want)
+		}
+		if got := phiopenssl.NewEngine(kind).Name(); got != want {
+			t.Errorf("NewEngine(%v).Name() = %q", kind, got)
+		}
+	}
+	if phiopenssl.EngineKind(99).String() != "unknown" {
+		t.Error("unknown kind should stringify to unknown")
+	}
+}
+
+func TestNewEngineUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine(99) should panic")
+		}
+	}()
+	phiopenssl.NewEngine(phiopenssl.EngineKind(99))
+}
+
+func TestEnginesAgreeViaFacade(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	n := benchRandOdd(rng, 512)
+	base := benchRandNat(rng, 511)
+	exp := benchRandNat(rng, 512)
+	var results []phiopenssl.Nat
+	for _, kind := range engineKinds {
+		eng := phiopenssl.NewEngine(kind)
+		results = append(results, eng.ModExp(base, exp, n))
+		if eng.Cycles() <= 0 {
+			t.Errorf("%v charged no cycles", kind)
+		}
+	}
+	if !results[0].Equal(results[1]) || !results[1].Equal(results[2]) {
+		t.Fatal("engines disagree on ModExp")
+	}
+}
+
+func TestNewPhiEngineWindows(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	n := benchRandOdd(rng, 512)
+	base := benchRandNat(rng, 511)
+	exp := benchRandNat(rng, 512)
+	want := phiopenssl.NewEngine(phiopenssl.EnginePhi).ModExp(base, exp, n)
+	for _, w := range []int{1, 3, 6} {
+		for _, ct := range []bool{true, false} {
+			eng := phiopenssl.NewPhiEngine(w, ct)
+			if got := eng.ModExp(base, exp, n); !got.Equal(want) {
+				t.Fatalf("w=%d ct=%v: mismatch", w, ct)
+			}
+		}
+	}
+}
+
+func TestFacadeRSARoundTrip(t *testing.T) {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EnginePhi)
+	msg := []byte("facade round trip")
+	ct, err := phiopenssl.EncryptPKCS1v15(eng, rand.Reader, &key.PublicKey, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := phiopenssl.DecryptPKCS1v15(eng, key, ct, phiopenssl.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != string(msg) {
+		t.Fatalf("round trip: %q", pt)
+	}
+	sig, err := phiopenssl.SignPKCS1v15SHA256(eng, key, msg, phiopenssl.DefaultPrivateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phiopenssl.VerifyPKCS1v15SHA256(eng, &key.PublicKey, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeKeyMarshal(t *testing.T) {
+	key := bench.FixedKey(512)
+	k2, err := phiopenssl.UnmarshalPrivateKey(phiopenssl.MarshalPrivateKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k2.N.Equal(key.N) {
+		t.Fatal("key round trip mismatch")
+	}
+	p2, err := phiopenssl.UnmarshalPublicKey(phiopenssl.MarshalPublicKey(&key.PublicKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.E.Equal(key.E) {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestFacadeGenerateKey(t *testing.T) {
+	key, err := phiopenssl.GenerateKey(mrand.New(mrand.NewSource(3)), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.N.BitLen() != 256 {
+		t.Fatalf("modulus %d bits", key.N.BitLen())
+	}
+	if err := key.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSSLHandshake(t *testing.T) {
+	key := bench.FixedKey(512)
+	cc, sc := net.Pipe()
+	srvCfg := &phiopenssl.SSLConfig{
+		Key: key, Rand: rand.Reader,
+		PrivateOpts: phiopenssl.DefaultPrivateOpts(),
+	}
+	cliCfg := &phiopenssl.SSLConfig{ServerPub: &key.PublicKey, Rand: rand.Reader}
+	done := make(chan error, 1)
+	var srv *phiopenssl.SSLSession
+	go func() {
+		var err error
+		srv, err = phiopenssl.SSLServer(sc, phiopenssl.NewEngine(phiopenssl.EnginePhi), srvCfg)
+		done <- err
+	}()
+	cli, err := phiopenssl.SSLClient(cc, phiopenssl.NewEngine(phiopenssl.EngineMPSS), cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+	if cli.Master() != srv.Master() {
+		t.Fatal("master secret mismatch")
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m := phiopenssl.DefaultMachine()
+	if m.MaxThreads() != 244 {
+		t.Fatalf("MaxThreads = %d", m.MaxThreads())
+	}
+	if m.Throughput(244, 1e6) <= m.Throughput(1, 1e6) {
+		t.Fatal("throughput model broken")
+	}
+}
+
+func TestNatConstructors(t *testing.T) {
+	if v, _ := phiopenssl.NatFromUint64(42).Uint64(); v != 42 {
+		t.Fatal("NatFromUint64")
+	}
+	n, err := phiopenssl.NatFromHex("ff")
+	if err != nil || n.CmpUint64(255) != 0 {
+		t.Fatal("NatFromHex")
+	}
+	if phiopenssl.NatFromBytes([]byte{1, 0}).CmpUint64(256) != 0 {
+		t.Fatal("NatFromBytes")
+	}
+}

@@ -1,0 +1,84 @@
+package phiopenssl
+
+import (
+	"net"
+
+	"phiopenssl/internal/dh"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/tlssim"
+)
+
+// SSL handshake substrate, re-exported from internal/tlssim. The protocol
+// is a minimal TLS-1.2-RSA-shaped handshake whose expensive step is the
+// server's RSA private-key operation, matching the workload the paper
+// accelerates.
+
+type (
+	// SSLConfig carries handshake parameters (key, pinned peer key,
+	// randomness, private-op options).
+	SSLConfig = tlssim.Config
+	// SSLSession is an established connection with an encrypt-then-MAC
+	// record layer.
+	SSLSession = tlssim.Session
+	// SSLPoolServer serves handshakes on a fixed worker pool, one engine
+	// per worker.
+	SSLPoolServer = tlssim.PoolServer
+	// SSLStats is a snapshot of pool-server counters.
+	SSLStats = tlssim.Stats
+	// SSLSessionCache is the server-side store enabling session
+	// resumption (set it on SSLConfig.Cache).
+	SSLSessionCache = tlssim.SessionCache
+	// SSLTicket is a client's resumption handle (from
+	// SSLSession.Ticket; set it on SSLConfig.Resume).
+	SSLTicket = tlssim.Ticket
+)
+
+// NewSSLSessionCache returns a bounded LRU session cache.
+func NewSSLSessionCache(limit int) *SSLSessionCache {
+	return tlssim.NewSessionCache(limit)
+}
+
+// SSLKeyExchange selects the cipher-suite family on SSLConfig.KeyExchange.
+type SSLKeyExchange = tlssim.KeyExchange
+
+// Key-exchange families.
+const (
+	// SSLKeyExchangeRSA is RSA key transport (the default; the server's
+	// per-handshake cost is one RSA private decryption).
+	SSLKeyExchangeRSA = tlssim.KXRSA
+	// SSLKeyExchangeDHE is ephemeral Diffie-Hellman signed with RSA (one
+	// RSA private signature plus two DH exponentiations per handshake).
+	SSLKeyExchangeDHE = tlssim.KXDHE
+)
+
+// DHGroup is a finite-field Diffie-Hellman group for the DHE suite.
+type DHGroup = dh.Group
+
+// DHModp2048 returns RFC 3526 group 14 (the default DHE group).
+func DHModp2048() DHGroup { return dh.MODP2048() }
+
+// DHModp1536 returns RFC 3526 group 5 (smaller, for fast tests).
+func DHModp1536() DHGroup { return dh.MODP1536() }
+
+// DHGenerateKey draws an ephemeral DH key on eng.
+var DHGenerateKey = dh.GenerateKey
+
+// DHSharedSecret derives the shared secret after validating the peer's
+// public value.
+var DHSharedSecret = dh.SharedSecret
+
+// SSLServer runs the server side of one handshake on conn.
+func SSLServer(conn net.Conn, eng Engine, cfg *SSLConfig) (*SSLSession, error) {
+	return tlssim.Server(conn, eng, cfg)
+}
+
+// SSLClient runs the client side of one handshake on conn.
+func SSLClient(conn net.Conn, eng Engine, cfg *SSLConfig) (*SSLSession, error) {
+	return tlssim.Client(conn, eng, cfg)
+}
+
+// SSLServe starts a pool server on l with `workers` workers; newEngine is
+// invoked once per worker.
+func SSLServe(l net.Listener, cfg *SSLConfig, newEngine func() Engine, workers int) *SSLPoolServer {
+	return tlssim.Serve(l, cfg, func() engine.Engine { return newEngine() }, workers)
+}
