@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test check race bench quick clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet everything, then run the full suite under the
+# race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# race hammers the concurrent packages (the worker pool and the streaming
+# batch scheduler) with repeated runs and a short timeout, the
+# configuration that shakes out scheduling-order bugs.
+race:
+	$(GO) test -race -count=4 -timeout=120s ./internal/phipool ./internal/phiserve
+
+quick:
+	$(GO) run ./cmd/phibench -quick
+
+bench:
+	$(GO) run ./cmd/phibench
+
+clean:
+	$(GO) clean ./...

@@ -15,12 +15,28 @@ const RSABatchSize = rsakit.BatchSize
 // alternative to the per-operation PhiOpenSSL engine (see ablation A4 in
 // EXPERIMENTS.md). It returns the plaintexts and the total simulated KNC
 // cycles of the batch pass; divide by RSABatchSize for the amortized
-// per-operation cost.
+// per-operation cost. It is a thin wrapper over the partial-batch path
+// (RSAPrivateBatchN) with all sixteen lanes live.
 func RSAPrivateBatch(key *PrivateKey, cs *[RSABatchSize]Nat) ([RSABatchSize]Nat, float64, error) {
-	u := vpu.New()
-	res, err := rsakit.PrivateOpBatch(u, key, cs)
+	res, cycles, err := RSAPrivateBatchN(key, cs[:])
 	if err != nil {
 		return [RSABatchSize]Nat{}, 0, err
+	}
+	var out [RSABatchSize]Nat
+	copy(out[:], res)
+	return out, cycles, nil
+}
+
+// RSAPrivateBatchN decrypts 1..RSABatchSize ciphertexts under one key in
+// a single kernel pass, padding the unused lanes with a duplicated
+// operand. A partial batch therefore costs one full pass — the charged
+// cycles do not shrink with the live-lane count — which is exactly the
+// waste the streaming scheduler's fill deadline trades against latency.
+func RSAPrivateBatchN(key *PrivateKey, cs []Nat) ([]Nat, float64, error) {
+	u := vpu.New()
+	res, err := rsakit.PrivateOpBatchN(u, key, cs)
+	if err != nil {
+		return nil, 0, err
 	}
 	return res, knc.KNCVectorCosts.VectorCycles(u.Counts()), nil
 }

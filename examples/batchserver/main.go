@@ -1,65 +1,130 @@
-// Batchserver: the throughput-oriented server mode — sixteen RSA private
-// operations per vector-kernel pass (one per lane, ablation A4) compared
-// against the paper's per-operation engine.
+// Batchserver: the throughput-oriented server mode. Single RSA private
+// requests stream into a BatchServer, which aggregates them per key into
+// sixteen-lane batches for the vector kernels (one request per lane,
+// ablation A4) and dispatches each batch when its lanes fill or its fill
+// deadline fires. The demo drives the scheduler with mixed traffic —
+// steady single requests plus handshake-style bursts under a second key —
+// then compares the achieved amortized cost against the paper's
+// per-operation engine.
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"phiopenssl"
 )
 
+func encrypt(key *phiopenssl.PrivateKey, eng phiopenssl.Engine) (phiopenssl.Nat, phiopenssl.Nat) {
+	buf := make([]byte, key.Size()-2)
+	if _, err := rand.Read(buf); err != nil {
+		log.Fatal(err)
+	}
+	m := phiopenssl.NatFromBytes(buf).Mod(key.N)
+	c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m, c
+}
+
 func main() {
-	fmt.Println("generating an RSA-1024 key...")
-	key, err := phiopenssl.GenerateKey(rand.Reader, 1024)
+	fmt.Println("generating two RSA-1024 keys...")
+	keyA, err := phiopenssl.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keyB, err := phiopenssl.GenerateKey(rand.Reader, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mach := phiopenssl.DefaultMachine()
 
-	// A batch of sixteen ciphertexts, as an RSA server terminating many
-	// handshakes under one key would accumulate.
-	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
-	var msgs, cts [phiopenssl.RSABatchSize]phiopenssl.Nat
-	for i := range msgs {
-		buf := make([]byte, key.Size()-2)
-		if _, err := rand.Read(buf); err != nil {
-			log.Fatal(err)
-		}
-		msgs[i] = phiopenssl.NatFromBytes(buf).Mod(key.N)
-		ct, err := phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		cts[i] = ct
-	}
-
-	// Per-operation PhiOpenSSL engine (the paper's latency mode).
+	// Per-operation PhiOpenSSL engine: the latency-mode floor the
+	// scheduler has to beat once its lanes fill.
 	phi := phiopenssl.NewEngine(phiopenssl.EnginePhi)
-	if _, err := phiopenssl.RSAPrivate(phi, key, cts[0], phiopenssl.DefaultPrivateOpts()); err != nil {
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+	_, warm := encrypt(keyA, eng)
+	if _, err := phiopenssl.RSAPrivate(phi, keyA, warm, phiopenssl.DefaultPrivateOpts()); err != nil {
 		log.Fatal(err)
 	}
 	perOp := phi.Cycles()
 
-	// Batch mode: all sixteen in one kernel pass.
-	res, batchCycles, err := phiopenssl.RSAPrivateBatch(key, &cts)
+	srv, err := phiopenssl.NewBatchServer(phiopenssl.BatchServerConfig{
+		Machine:      mach,
+		Workers:      4,
+		FillDeadline: 20 * time.Millisecond,
+		QueueDepth:   8,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := range res {
-		if !res[i].Equal(msgs[i]) {
-			log.Fatalf("lane %d: wrong plaintext", i)
+	srv.Start(context.Background())
+
+	// Mixed traffic: 96 steady singles under key A interleaved with three
+	// 16-request handshake bursts under key B — the shape of a TLS
+	// terminator holding two certificates.
+	type pendingReq struct {
+		want phiopenssl.Nat
+		resp <-chan phiopenssl.BatchResult
+	}
+	var reqs []pendingReq
+	var wg sync.WaitGroup
+	submit := func(key *phiopenssl.PrivateKey) {
+		m, c := encrypt(key, eng)
+		resp, err := srv.Submit(context.Background(), key, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs = append(reqs, pendingReq{want: m, resp: resp})
+	}
+	fmt.Println("streaming 149 requests (singles under key A, bursts under key B)...")
+	for i := 0; i < 96; i++ {
+		submit(keyA)
+		if i%32 == 31 {
+			for j := 0; j < 16; j++ {
+				submit(keyB)
+			}
 		}
 	}
-	batchPerOp := batchCycles / phiopenssl.RSABatchSize
+	// A trailing trickle that cannot fill a batch: the fill deadline
+	// dispatches it as a padded partial pass.
+	for i := 0; i < 5; i++ {
+		submit(keyA)
+	}
+	// Receivers drain asynchronously, like connection handlers would.
+	bad := 0
+	var mu sync.Mutex
+	for _, r := range reqs {
+		wg.Add(1)
+		go func(r pendingReq) {
+			defer wg.Done()
+			res := <-r.resp
+			if res.Err != nil || !res.M.Equal(r.want) {
+				mu.Lock()
+				bad++
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	srv.Close()
+	if bad > 0 {
+		log.Fatalf("%d requests came back wrong", bad)
+	}
 
+	st := srv.Stats()
+	fmt.Printf("\nscheduler: %s\n", st)
 	fmt.Printf("\nRSA-1024 private operation on %s:\n\n", mach)
-	fmt.Printf("  per-op engine : %10.0f cycles/op  (%.2f ms, %8.0f ops/s at 244 threads)\n",
-		perOp, 1e3*mach.Seconds(perOp), mach.Throughput(244, perOp))
-	fmt.Printf("  batch engine  : %10.0f cycles/op  (%.2f ms, %8.0f ops/s at 244 threads)\n",
-		batchPerOp, 1e3*mach.Seconds(batchPerOp), mach.Throughput(244, batchPerOp))
-	fmt.Printf("\nbatch advantage: %.1fx throughput (at ~16x the single-result latency)\n",
-		perOp/batchPerOp)
+	fmt.Printf("  per-op engine    : %10.0f cycles/op  (%8.0f ops/s at 244 threads)\n",
+		perOp, mach.Throughput(244, perOp))
+	fmt.Printf("  streamed batches : %10.0f cycles/op  (%8.0f ops/s at 244 threads, mean fill %.1f)\n",
+		st.CyclesPerOp, mach.Throughput(244, st.CyclesPerOp), st.MeanFill)
+	fmt.Printf("\nadvantage: %.1fx throughput; deadline-dispatched batches: %d of %d\n",
+		perOp/st.CyclesPerOp, st.DeadlineFires, st.Batches)
+	fmt.Println("\n(sweep the fill-deadline/load trade-off with: go run ./cmd/phibench -exp a6)")
 }

@@ -13,6 +13,7 @@ package phipool
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phiopenssl/internal/engine"
@@ -31,15 +32,22 @@ type Pool struct {
 
 // New creates a pool of `threads` simulated hardware threads on mach.
 // threads is clamped to [1, mach.MaxThreads()] — a physical card cannot
-// run more resident threads than it has.
+// run more resident threads than it has. A machine with no hardware
+// threads at all (e.g. a zero-value knc.Machine) is rejected: clamping
+// against it would yield a pool that reports success while executing
+// nothing.
 func New(mach knc.Machine, threads int, newEngine func() engine.Engine) (*Pool, error) {
 	if newEngine == nil {
 		return nil, fmt.Errorf("phipool: nil engine factory")
 	}
+	max := mach.MaxThreads()
+	if max < 1 {
+		return nil, fmt.Errorf("phipool: machine %q has no hardware threads", mach.Name)
+	}
 	if threads < 1 {
 		threads = 1
 	}
-	if max := mach.MaxThreads(); threads > max {
+	if threads > max {
 		threads = max
 	}
 	return &Pool{machine: mach, threads: threads, newEngine: newEngine}, nil
@@ -92,21 +100,23 @@ func (p *Pool) Run(n int, job func(engine.Engine)) (Report, error) {
 		p.mu.Unlock()
 	}()
 
-	jobs := make(chan struct{}, n)
-	for i := 0; i < n; i++ {
-		jobs <- struct{}{}
-	}
-	close(jobs)
-
+	// Engines are constructed before the wall-clock timer starts so that
+	// Report.Wall measures job execution only, not engine setup.
 	engines := make([]engine.Engine, p.threads)
+	for w := range engines {
+		engines[w] = p.newEngine()
+	}
+
+	// Ticket dispenser: workers claim job indices from an atomic counter
+	// (O(1) in n, unlike a pre-filled job channel).
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < p.threads; w++ {
-		engines[w] = p.newEngine()
 		wg.Add(1)
 		go func(eng engine.Engine) {
 			defer wg.Done()
-			for range jobs {
+			for next.Add(1) <= int64(n) {
 				job(eng)
 			}
 		}(engines[w])

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"phiopenssl/internal/baseline"
 	"phiopenssl/internal/bn"
@@ -27,6 +28,65 @@ func TestNewValidation(t *testing.T) {
 	p, err = New(mach, 10000, newOpenSSL)
 	if err != nil || p.Threads() != mach.MaxThreads() {
 		t.Fatalf("oversubscription should clamp to %d, got %d", mach.MaxThreads(), p.Threads())
+	}
+}
+
+// Regression: a zero-capacity machine (zero-value knc.Machine has
+// MaxThreads()==0) must be rejected. Previously the thread count clamped
+// to 0 and Run returned a success Report claiming Jobs: n while spawning
+// zero workers and executing nothing.
+func TestNewRejectsZeroCapacityMachine(t *testing.T) {
+	if _, err := New(knc.Machine{}, 4, newOpenSSL); err == nil {
+		t.Fatal("zero-value machine should be rejected")
+	}
+	if _, err := New(knc.Machine{Name: "cores-only", ThreadsPerCore: 4}, 1, newOpenSSL); err == nil {
+		t.Fatal("machine with zero cores should be rejected")
+	}
+}
+
+// Regression: engine construction must not pollute Report.Wall. A factory
+// that takes ~200ms across 4 workers must leave the wall clock of a run of
+// trivial jobs far below that.
+func TestRunWallExcludesEngineConstruction(t *testing.T) {
+	slowFactory := func() engine.Engine {
+		time.Sleep(50 * time.Millisecond)
+		return newOpenSSL()
+	}
+	p, err := New(knc.Default(), 4, slowFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(8, func(engine.Engine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall >= 50*time.Millisecond {
+		t.Fatalf("wall %v includes engine construction (4 x 50ms factory)", rep.Wall)
+	}
+}
+
+// Regression: job dispatch must not allocate O(n). The old implementation
+// pre-filled a buffered channel with n empty structs; the ticket dispenser
+// keeps allocations flat as the job count grows 1000x.
+func TestRunAllocationsIndependentOfJobCount(t *testing.T) {
+	p, err := New(knc.Default(), 4, newOpenSSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(engine.Engine) {}
+	allocsAt := func(n int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := p.Run(n, noop); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := allocsAt(64), allocsAt(64000)
+	// Both runs allocate per-worker structures only (engines, goroutines,
+	// report slices); allow a little scheduler noise but nothing that
+	// scales with n.
+	if large > small+16 {
+		t.Fatalf("allocations grew with job count: %.0f at n=64 vs %.0f at n=64000", small, large)
 	}
 }
 

@@ -1,0 +1,242 @@
+package phipool
+
+// Persistent serving mode: unlike Pool.Run, which spins up workers for one
+// fixed job count and tears them down, a Server keeps a fixed set of
+// simulated hardware threads alive for the lifetime of a context and feeds
+// them jobs from a bounded queue. This is the execution substrate of the
+// streaming batch scheduler (internal/phiserve): long-lived workers, each
+// owning private per-worker state (an engine, a vector unit), backpressure
+// when the queue is full, graceful drain on Close, and fail-fast rejection
+// of queued jobs when the context is canceled.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+)
+
+// Errors returned by Server.Submit.
+var (
+	// ErrCanceled reports that the server's context was canceled before
+	// the job could be enqueued (or while it waited in the queue — then
+	// delivered through the reject callback instead).
+	ErrCanceled = errors.New("phipool: server canceled")
+	// ErrClosed reports that Close was called.
+	ErrClosed = errors.New("phipool: server closed")
+	// ErrNotStarted reports a Submit before Start.
+	ErrNotStarted = errors.New("phipool: server not started")
+)
+
+// Server is a persistent pool of simulated hardware threads executing jobs
+// of type J, each worker owning private state S (one engine or vector unit
+// per thread — the same discipline as Pool). Jobs are taken from a bounded
+// queue; Submit blocks when the queue is full, which is how backpressure
+// propagates to producers.
+//
+// Lifecycle: New -> Start(ctx) -> Submit... -> Close. Close stops intake
+// and drains the queue gracefully (every queued job still runs). Canceling
+// ctx instead fails fast: workers finish the job they are executing, and
+// every job still waiting in the queue is handed to the reject callback.
+// Either way every submitted job is resolved exactly once: run or
+// rejected.
+type Server[S, J any] struct {
+	machine  knc.Machine
+	threads  int
+	newState func() S
+	run      func(S, J)
+	reject   func(J)
+
+	queue chan J
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	workers sync.WaitGroup // worker goroutines
+	janitor sync.WaitGroup // queue-drain goroutine
+	inFlight sync.WaitGroup // Submit calls between intake check and enqueue
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+
+	jobsRun      atomic.Int64
+	jobsRejected atomic.Int64
+}
+
+// NewServer creates a persistent pool of `threads` simulated hardware
+// threads on mach with a bounded queue of `queue` jobs. newState is called
+// once per worker at Start; run executes one job on a worker; reject is
+// called (from the server's goroutines) for jobs abandoned by context
+// cancellation and may be nil if jobs need no failure notification.
+func NewServer[S, J any](mach knc.Machine, threads, queue int, newState func() S, run func(S, J), reject func(J)) (*Server[S, J], error) {
+	if newState == nil || run == nil {
+		return nil, fmt.Errorf("phipool: nil state factory or run func")
+	}
+	max := mach.MaxThreads()
+	if max < 1 {
+		return nil, fmt.Errorf("phipool: machine %q has no hardware threads", mach.Name)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > max {
+		threads = max
+	}
+	if queue < 1 {
+		queue = threads
+	}
+	if reject == nil {
+		reject = func(J) {}
+	}
+	return &Server[S, J]{
+		machine:  mach,
+		threads:  threads,
+		newState: newState,
+		run:      run,
+		reject:   reject,
+		queue:    make(chan J, queue),
+	}, nil
+}
+
+// Threads returns the server's (clamped) worker count.
+func (s *Server[S, J]) Threads() int { return s.threads }
+
+// Machine returns the simulated machine the server runs on.
+func (s *Server[S, J]) Machine() knc.Machine { return s.machine }
+
+// QueueDepth returns the number of jobs currently waiting in the queue.
+func (s *Server[S, J]) QueueDepth() int { return len(s.queue) }
+
+// JobsRun returns the number of jobs executed so far.
+func (s *Server[S, J]) JobsRun() int64 { return s.jobsRun.Load() }
+
+// JobsRejected returns the number of queued jobs handed to the reject
+// callback after cancellation.
+func (s *Server[S, J]) JobsRejected() int64 { return s.jobsRejected.Load() }
+
+// Start launches the workers. It may be called once; jobs submitted before
+// Start fail with ErrNotStarted.
+func (s *Server[S, J]) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("phipool: Server started twice")
+	}
+	s.started = true
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.mu.Unlock()
+
+	for w := 0; w < s.threads; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			state := s.newState()
+			for {
+				select {
+				case <-s.ctx.Done():
+					return
+				case j, ok := <-s.queue:
+					if !ok {
+						return
+					}
+					s.run(state, j)
+					s.jobsRun.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Janitor: after cancellation, rejects everything left in the queue
+	// (including jobs that race into the queue as workers exit) until
+	// Close closes it.
+	s.janitor.Add(1)
+	go func() {
+		defer s.janitor.Done()
+		<-s.ctx.Done()
+		for j := range s.queue {
+			s.reject(j)
+			s.jobsRejected.Add(1)
+		}
+	}()
+}
+
+// Submit enqueues one job, blocking while the queue is full (backpressure).
+// ctx bounds only this call's wait; the server's own context governs the
+// job once enqueued. A nil return guarantees the job will be resolved:
+// executed by a worker, or handed to the reject callback after
+// cancellation.
+func (s *Server[S, J]) Submit(ctx context.Context, job J) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return ErrNotStarted
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+
+	// Fail fast if the server is already canceled, so a ready queue slot
+	// cannot win the select below against an already-dead server.
+	select {
+	case <-s.ctx.Done():
+		return ErrCanceled
+	default:
+	}
+	select {
+	case s.queue <- job:
+		return nil
+	case <-s.ctx.Done():
+		return ErrCanceled
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops intake and shuts the server down. If the server's context is
+// still alive this is a graceful drain: every queued job executes before
+// Close returns. If the context was canceled, queued jobs are rejected
+// instead. Close is idempotent and safe to call concurrently with Submit.
+func (s *Server[S, J]) Close() {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		if s.started {
+			s.workers.Wait()
+			s.janitor.Wait()
+		}
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.inFlight.Wait() // every racing Submit has enqueued or given up
+	close(s.queue)    // workers (or the janitor) consume what remains
+	s.workers.Wait()
+	s.cancel() // wake the janitor if the parent context never fired
+	s.janitor.Wait()
+}
+
+// EngineServer is the engine-job instantiation used by the public facade:
+// a persistent pool whose jobs receive the worker's private engine.
+type EngineServer = Server[engine.Engine, func(engine.Engine)]
+
+// NewEngineServer creates a persistent pool whose workers each own a
+// private engine from newEngine and whose jobs are closures over it.
+func NewEngineServer(mach knc.Machine, threads, queue int, newEngine func() engine.Engine) (*EngineServer, error) {
+	if newEngine == nil {
+		return nil, fmt.Errorf("phipool: nil engine factory")
+	}
+	return NewServer(mach, threads, queue,
+		func() engine.Engine { return newEngine() },
+		func(e engine.Engine, job func(engine.Engine)) { job(e) },
+		nil)
+}

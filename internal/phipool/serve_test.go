@@ -1,0 +1,229 @@
+package phipool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/knc"
+)
+
+// counterServer builds a Server whose jobs are ints recorded into run/rej
+// sets, with per-worker state counting jobs on that worker.
+func counterServer(t *testing.T, threads, queue int, run, rej *sync.Map) *Server[*int, int] {
+	t.Helper()
+	s, err := NewServer(knc.Default(), threads, queue,
+		func() *int { return new(int) },
+		func(state *int, j int) { *state++; run.Store(j, true) },
+		func(j int) { rej.Store(j, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerValidation(t *testing.T) {
+	ok := func() *int { return new(int) }
+	runOK := func(*int, int) {}
+	if _, err := NewServer[*int, int](knc.Default(), 1, 1, nil, runOK, nil); err == nil {
+		t.Fatal("nil state factory accepted")
+	}
+	if _, err := NewServer[*int, int](knc.Default(), 1, 1, ok, nil, nil); err == nil {
+		t.Fatal("nil run func accepted")
+	}
+	if _, err := NewServer(knc.Machine{}, 1, 1, ok, runOK, nil); err == nil {
+		t.Fatal("zero-capacity machine accepted")
+	}
+	s, err := NewServer(knc.Default(), 0, 0, ok, runOK, nil)
+	if err != nil || s.Threads() != 1 {
+		t.Fatalf("threads=0 should clamp to 1, got %d (%v)", s.Threads(), err)
+	}
+	if err := s.Submit(context.Background(), 1); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Submit before Start: %v", err)
+	}
+}
+
+func TestServerRunsAllJobsAndDrainsOnClose(t *testing.T) {
+	var run, rej sync.Map
+	s := counterServer(t, 4, 2, &run, &rej)
+	s.Start(context.Background())
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := s.Submit(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	for i := 0; i < n; i++ {
+		if _, ok := run.Load(i); !ok {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+	if got := s.JobsRun(); got != n {
+		t.Fatalf("JobsRun = %d, want %d", got, n)
+	}
+	if got := s.JobsRejected(); got != 0 {
+		t.Fatalf("graceful close rejected %d jobs", got)
+	}
+	if err := s.Submit(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestServerCancelRejectsQueuedResolvesEverything(t *testing.T) {
+	// One slow worker, deep queue: cancel mid-stream and verify every
+	// submitted job is resolved exactly once (run or rejected) and that
+	// at least one job was rejected.
+	var run, rej sync.Map
+	gate := make(chan struct{})
+	var started atomic.Int64
+	s, err := NewServer(knc.Default(), 1, 64,
+		func() *int { return new(int) },
+		func(_ *int, j int) {
+			if started.Add(1) == 1 {
+				<-gate // hold the worker so the queue backs up
+			}
+			run.Store(j, true)
+		},
+		func(j int) { rej.Store(j, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+
+	submitted := 0
+	for i := 0; i < 40; i++ {
+		if err := s.Submit(context.Background(), i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		submitted++
+	}
+	cancel()
+	if err := s.Submit(context.Background(), 99); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Submit after cancel: %v", err)
+	}
+	close(gate)
+	s.Close()
+
+	resolved := 0
+	for i := 0; i < submitted; i++ {
+		_, ranOK := run.Load(i)
+		_, rejOK := rej.Load(i)
+		if ranOK && rejOK {
+			t.Fatalf("job %d both ran and was rejected", i)
+		}
+		if ranOK || rejOK {
+			resolved++
+		}
+	}
+	if resolved != submitted {
+		t.Fatalf("resolved %d of %d jobs", resolved, submitted)
+	}
+	if s.JobsRejected() == 0 {
+		t.Fatal("cancellation rejected nothing despite a backed-up queue")
+	}
+}
+
+func TestServerBackpressureBlocksSubmit(t *testing.T) {
+	gate := make(chan struct{})
+	var run sync.Map
+	s, err := NewServer(knc.Default(), 1, 1,
+		func() *int { return new(int) },
+		func(_ *int, j int) { <-gate; run.Store(j, true) },
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	// First job occupies the worker, second fills the queue; the third
+	// must block until its per-call context expires.
+	if err := s.Submit(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Submit(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full queue should block until ctx deadline, got %v", err)
+	}
+	close(gate)
+	s.Close()
+	if _, ok := run.Load(1); !ok {
+		t.Fatal("queued job lost")
+	}
+}
+
+func TestServerWorkersOwnPrivateState(t *testing.T) {
+	// Worker state is private: total jobs counted across states must equal
+	// jobs run, with no data race (this test is the -race canary).
+	type state struct{ n int }
+	var mu sync.Mutex
+	states := make(map[*state]bool)
+	s, err := NewServer(knc.Default(), 8, 8,
+		func() *state {
+			st := &state{}
+			mu.Lock()
+			states[st] = true
+			mu.Unlock()
+			return st
+		},
+		func(st *state, _ int) { st.n++ },
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := s.Submit(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	total := 0
+	mu.Lock()
+	for st := range states {
+		total += st.n
+	}
+	mu.Unlock()
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestEngineServer(t *testing.T) {
+	s, err := NewEngineServer(knc.Default(), 4, 4, newOpenSSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngineServer(knc.Default(), 4, 4, nil); err == nil {
+		t.Fatal("nil engine factory accepted")
+	}
+	s.Start(context.Background())
+	var cycles atomic.Int64
+	for i := 0; i < 32; i++ {
+		err := s.Submit(context.Background(), func(e engine.Engine) {
+			before := e.Cycles()
+			e.MulMod(bn.FromUint64(3), bn.FromUint64(4), bn.FromUint64(101))
+			if e.Cycles() > before {
+				cycles.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if cycles.Load() != 32 {
+		t.Fatalf("only %d of 32 engine jobs metered cycles", cycles.Load())
+	}
+}

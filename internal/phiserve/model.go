@@ -1,0 +1,168 @@
+package phiserve
+
+// Virtual-time load model of the streaming batch scheduler.
+//
+// The live Server batches by host wall clock, which makes its
+// latency/throughput behaviour non-deterministic and unsuitable for the
+// reproducible experiment tables. The load model replays the same policy
+// — open a batch on first arrival, dispatch on the sixteenth request or
+// at the fill deadline — in simulated machine time with a seeded Poisson
+// arrival process, and costs every kernel pass with real metered cycle
+// counts supplied by the caller (one rsakit.PrivateOpBatchN measurement
+// per fill count). Experiment A6 sweeps offered load against fill
+// deadline with it; the model ignores the live server's bounded dispatch
+// queue (arrivals queue without limit), so heavily overloaded points
+// report unbounded latency growth rather than backpressure.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"phiopenssl/internal/knc"
+)
+
+// LoadModel fixes the machine, the worker count, and the measured cost of
+// one kernel pass at every fill count.
+type LoadModel struct {
+	// Machine is the simulated card.
+	Machine knc.Machine
+	// Workers is the number of concurrent batch executors.
+	Workers int
+	// CostPerFill[f] is the simulated cycle cost of one kernel pass with
+	// f live lanes (index 1..BatchSize; partial passes cost the same as
+	// full ones, but measuring each fill keeps the model honest about
+	// it).
+	CostPerFill [BatchSize + 1]float64
+}
+
+// LoadPoint is one cell of the load/deadline sweep.
+type LoadPoint struct {
+	// Offered is the arrival rate in requests per simulated second.
+	Offered float64
+	// FillDeadline is the scheduler deadline in simulated time.
+	FillDeadline time.Duration
+	// Requests is the number of simulated arrivals.
+	Requests int
+	// MeanFill is the mean live lanes per batch; FillHist[f] counts
+	// batches with f live lanes.
+	MeanFill float64
+	FillHist [BatchSize + 1]int
+	// CyclesPerOp is the amortized simulated cost per request.
+	CyclesPerOp float64
+	// Throughput is achieved requests per simulated second (arrival of
+	// the first request to completion of the last).
+	Throughput float64
+	// MeanLatency/P50/P99 are request latencies in simulated time:
+	// arrival to batch completion, so fill waiting, queueing and the
+	// kernel pass are all included.
+	MeanLatency, P50Latency, P99Latency time.Duration
+	// Utilization is the fraction of worker-time spent executing passes.
+	Utilization float64
+}
+
+// Simulate runs n Poisson arrivals at `offered` requests/second through
+// the batching policy with the given fill deadline and returns the
+// resulting operating point. The rng makes runs reproducible.
+func (m LoadModel) Simulate(rng *rand.Rand, n int, offered float64, deadline time.Duration) (LoadPoint, error) {
+	if n < 1 || offered <= 0 {
+		return LoadPoint{}, fmt.Errorf("phiserve: need n >= 1 arrivals at positive load")
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for f := 1; f <= BatchSize; f++ {
+		if m.CostPerFill[f] <= 0 {
+			return LoadPoint{}, fmt.Errorf("phiserve: CostPerFill[%d] not measured", f)
+		}
+	}
+	dl := deadline.Seconds()
+
+	// Poisson arrivals.
+	arrivals := make([]float64, n)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / offered
+		arrivals[i] = t
+	}
+
+	pt := LoadPoint{Offered: offered, FillDeadline: deadline, Requests: n}
+
+	// Greedy batching: a batch opens at its first arrival and closes at
+	// the earlier of deadline expiry and the sixteenth request.
+	type simBatch struct {
+		first, size int
+		ready       float64 // earliest possible dispatch time
+	}
+	var batches []simBatch
+	for i := 0; i < n; {
+		closeAt := arrivals[i] + dl
+		j := i + 1
+		for j < n && j-i < BatchSize && arrivals[j] <= closeAt {
+			j++
+		}
+		ready := closeAt
+		if j-i == BatchSize {
+			ready = arrivals[j-1]
+		}
+		if j == n && arrivals[n-1] < closeAt {
+			// The trace ends inside the fill window; treat trace end as a
+			// graceful Close and flush immediately (like Server.Close),
+			// so the last batch's deadline wait cannot distort the
+			// aggregate throughput of a finite trace.
+			ready = arrivals[n-1]
+		}
+		batches = append(batches, simBatch{first: i, size: j - i, ready: ready})
+		i = j
+	}
+
+	// FIFO service on `workers` executors; one pass occupies one executor
+	// for the pass's simulated latency at this worker count.
+	free := make([]float64, workers)
+	latencies := make([]float64, 0, n)
+	var busy, lastDone, cycles float64
+	for _, b := range batches {
+		w := 0
+		for k := 1; k < workers; k++ {
+			if free[k] < free[w] {
+				w = k
+			}
+		}
+		start := b.ready
+		if free[w] > start {
+			start = free[w]
+		}
+		dur := m.Machine.Latency(workers, m.CostPerFill[b.size])
+		done := start + dur
+		free[w] = done
+		busy += dur
+		cycles += m.CostPerFill[b.size]
+		if done > lastDone {
+			lastDone = done
+		}
+		pt.FillHist[b.size]++
+		for r := b.first; r < b.first+b.size; r++ {
+			latencies = append(latencies, done-arrivals[r])
+		}
+	}
+
+	pt.MeanFill = float64(n) / float64(len(batches))
+	pt.CyclesPerOp = cycles / float64(n)
+	span := lastDone - arrivals[0]
+	if span > 0 {
+		pt.Throughput = float64(n) / span
+		pt.Utilization = busy / (span * float64(workers))
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	secs := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	pt.MeanLatency = secs(sum / float64(n))
+	pt.P50Latency = secs(latencies[(50*n+99)/100-1])
+	pt.P99Latency = secs(latencies[(99*n+99)/100-1])
+	return pt, nil
+}

@@ -1,0 +1,150 @@
+package phiserve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"phiopenssl/internal/knc"
+)
+
+// modelCosts is a synthetic lane-uniform cost table: every fill charges
+// the same full-pass price, like the real padded kernel.
+func modelCosts(pass float64) [BatchSize + 1]float64 {
+	var c [BatchSize + 1]float64
+	for f := 1; f <= BatchSize; f++ {
+		c[f] = pass
+	}
+	return c
+}
+
+func testModel() LoadModel {
+	return LoadModel{Machine: knc.Default(), Workers: 8, CostPerFill: modelCosts(2e6)}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := testModel()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := m.Simulate(rng, 0, 100, time.Millisecond); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := m.Simulate(rng, 10, 0, time.Millisecond); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	bad := m
+	bad.CostPerFill[9] = 0
+	if _, err := bad.Simulate(rng, 10, 100, time.Millisecond); err == nil {
+		t.Fatal("unmeasured fill cost accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := testModel()
+	a, err := m.Simulate(rand.New(rand.NewSource(42)), 2000, 5000, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate(rand.New(rand.NewSource(42)), 2000, 5000, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := m.Simulate(rand.New(rand.NewSource(43)), 2000, 5000, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical points")
+	}
+}
+
+// TestSimulateFillTracksLoad: heavy traffic fills every lane, starved
+// traffic with a short deadline dispatches near-singleton batches.
+func TestSimulateFillTracksLoad(t *testing.T) {
+	m := testModel()
+	// One full pass takes latency(8 workers, 2e6 cycles); offer requests
+	// far faster than 16 per pass.
+	pass := m.Machine.Latency(m.Workers, m.CostPerFill[BatchSize])
+	heavy, err := m.Simulate(rand.New(rand.NewSource(7)), 4000, 200*BatchSize/pass, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MeanFill < 15 {
+		t.Fatalf("heavy load mean fill %.2f, want ~16", heavy.MeanFill)
+	}
+	// Starved: mean inter-arrival 100x the deadline → batches dispatch
+	// alone.
+	light, err := m.Simulate(rand.New(rand.NewSource(7)), 400, 10, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.MeanFill > 1.5 {
+		t.Fatalf("starved load mean fill %.2f, want ~1", light.MeanFill)
+	}
+	// Lane-uniform pass cost: fuller batches amortize to cheaper ops.
+	if heavy.CyclesPerOp >= light.CyclesPerOp {
+		t.Fatalf("full batches cost %.0f cycles/op, singletons %.0f; batching should amortize",
+			heavy.CyclesPerOp, light.CyclesPerOp)
+	}
+}
+
+// TestSimulateDeadlineTradeoff: at moderate load, stretching the fill
+// deadline buys fill (throughput) and pays latency — the A6 knob.
+func TestSimulateDeadlineTradeoff(t *testing.T) {
+	m := testModel()
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	// Moderate load: a few arrivals per short deadline.
+	short, err := m.Simulate(rngA, 3000, 5000, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := m.Simulate(rngB, 3000, 5000, 16*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MeanFill <= short.MeanFill {
+		t.Fatalf("longer deadline fill %.2f not above shorter %.2f", long.MeanFill, short.MeanFill)
+	}
+	if long.CyclesPerOp >= short.CyclesPerOp {
+		t.Fatalf("longer deadline cycles/op %.0f not below shorter %.0f", long.CyclesPerOp, short.CyclesPerOp)
+	}
+	if long.MeanLatency <= short.MeanLatency {
+		t.Fatalf("longer deadline latency %v not above shorter %v", long.MeanLatency, short.MeanLatency)
+	}
+}
+
+func TestSimulateSanity(t *testing.T) {
+	m := testModel()
+	pt, err := m.Simulate(rand.New(rand.NewSource(3)), 1000, 20000, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Requests != 1000 || pt.Offered != 20000 || pt.FillDeadline != time.Millisecond {
+		t.Fatalf("point echo wrong: %+v", pt)
+	}
+	var batches, reqs int
+	for f := 1; f <= BatchSize; f++ {
+		batches += pt.FillHist[f]
+		reqs += f * pt.FillHist[f]
+	}
+	if reqs != 1000 || batches < 1000/BatchSize {
+		t.Fatalf("fill histogram inconsistent: %v", pt.FillHist)
+	}
+	if pt.FillHist[0] != 0 {
+		t.Fatal("zero-fill batch recorded")
+	}
+	if pt.Throughput <= 0 || pt.Utilization <= 0 || pt.Utilization > 1 {
+		t.Fatalf("implausible throughput/utilization: %+v", pt)
+	}
+	if pt.P50Latency > pt.P99Latency || pt.MeanLatency <= 0 {
+		t.Fatalf("latency ordering wrong: %+v", pt)
+	}
+	// Every request waits at least one kernel pass.
+	minPass := time.Duration(m.Machine.Latency(m.Workers, m.CostPerFill[1]) * float64(time.Second))
+	if pt.P50Latency < minPass {
+		t.Fatalf("p50 %v below a single pass %v", pt.P50Latency, minPass)
+	}
+}

@@ -1,0 +1,418 @@
+// Package phiserve is the streaming batch scheduler: it accepts single RSA
+// private-key requests one at a time — the shape of live server traffic —
+// and aggregates them per key into vbatch.BatchSize-lane batches for the
+// lane-per-operation vector kernels, which ablation A4 shows are cheaper
+// per operation than the per-op (horizontal) engine once the lanes are
+// full.
+//
+// The scheduling policy is the classic batch-server trade: a request that
+// arrives into an empty per-key buffer opens a batch and arms a fill
+// deadline; the batch dispatches when the sixteenth request arrives or
+// when the deadline fires, whichever is first. Partial batches pad their
+// unused lanes with a duplicated operand (rsakit.PrivateOpBatchN), so a
+// partial dispatch costs a full kernel pass — the deadline is literally
+// the knob trading latency (dispatch early, waste lanes) against
+// throughput (wait for fills, queue longer).
+//
+// Execution runs on a persistent phipool.Server: long-lived workers each
+// owning a private vector unit, a bounded batch queue whose fullness
+// propagates as backpressure to Submit, graceful drain on Close, and
+// fail-fast rejection of queued batches when the context is canceled.
+// Results return asynchronously on a per-request channel together with
+// the simulated per-request latency; Stats aggregates queue depth, the
+// batch fill-rate histogram, cycles/op and simulated throughput.
+package phiserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phipool"
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/vpu"
+)
+
+// BatchSize is the number of lanes in one batch (one request per lane).
+const BatchSize = rsakit.BatchSize
+
+// Errors returned by Submit or delivered in Result.Err.
+var (
+	// ErrCanceled marks requests abandoned by context cancellation:
+	// requests still waiting in a per-key buffer or in a batch that was
+	// queued but never executed. In-flight batches are drained, so their
+	// requests complete normally.
+	ErrCanceled = errors.New("phiserve: canceled")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("phiserve: server closed")
+	// ErrNotStarted reports a Submit before Start.
+	ErrNotStarted = errors.New("phiserve: server not started")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Machine is the simulated card; the zero value means knc.Default().
+	Machine knc.Machine
+	// Workers is the number of concurrent batch executors (simulated
+	// hardware threads running kernel passes). Defaults to 4, clamped to
+	// the machine's capacity.
+	Workers int
+	// FillDeadline is the host time a partial batch waits for more
+	// requests before dispatching. Defaults to 2ms.
+	FillDeadline time.Duration
+	// QueueDepth bounds the dispatch queue between the scheduler and the
+	// workers; a full queue blocks dispatch and, transitively, Submit
+	// (backpressure). Defaults to 2*Workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == (knc.Machine{}) {
+		c.Machine = knc.Default()
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if max := c.Machine.MaxThreads(); c.Workers > max {
+		c.Workers = max
+	}
+	if c.FillDeadline <= 0 {
+		c.FillDeadline = 2 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	return c
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	// M is the plaintext (c^D mod N); valid when Err is nil.
+	M bn.Nat
+	// Err is ErrCanceled for abandoned requests, or the batch-level
+	// failure that poisoned this request's batch.
+	Err error
+	// BatchFill is the number of live lanes in the batch that served this
+	// request (1..BatchSize).
+	BatchFill int
+	// BatchCycles is the simulated cycle cost of that batch's kernel
+	// pass.
+	BatchCycles float64
+	// SimLatency is this request's service latency in seconds on the
+	// simulated machine: one kernel pass at the server's worker count
+	// (queueing delay is host-side and reported by the A6 load model).
+	SimLatency float64
+}
+
+// request is one queued private-key operation.
+type request struct {
+	key  *rsakit.PrivateKey
+	c    bn.Nat
+	resp chan Result // buffered(1); receives exactly one Result
+}
+
+// batch is the scheduler's dispatch unit.
+type batch struct {
+	key  *rsakit.PrivateKey
+	reqs []*request
+}
+
+// pending is one key's open batch: requests accumulated since the buffer
+// was last empty, plus the deadline timer and the generation guarding it.
+type pending struct {
+	reqs  []*request
+	gen   uint64
+	timer *time.Timer
+}
+
+// flushMsg asks the scheduler to dispatch a key's open batch if it still
+// belongs to the generation whose timer fired.
+type flushMsg struct {
+	key *rsakit.PrivateKey
+	gen uint64
+}
+
+// Server is the streaming batch scheduler. Requests for the same key must
+// be submitted with the same *rsakit.PrivateKey pointer — the scheduler
+// aggregates by identity, the natural shape for a server holding a fixed
+// key set.
+type Server struct {
+	cfg  Config
+	pool *phipool.Server[*vpu.Unit, *batch]
+
+	intake chan *request
+	flush  chan flushMsg
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	schedDone chan struct{}
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	inFlight sync.WaitGroup // Submits between the closed check and the enqueue
+
+	stats statsAcc
+}
+
+// New validates cfg (applying defaults) and builds a stopped server; call
+// Start before Submit.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Machine.MaxThreads() < 1 {
+		return nil, fmt.Errorf("phiserve: machine %q has no hardware threads", cfg.Machine.Name)
+	}
+	s := &Server{
+		cfg:       cfg,
+		intake:    make(chan *request, BatchSize),
+		flush:     make(chan flushMsg, 1),
+		schedDone: make(chan struct{}),
+	}
+	pool, err := phipool.NewServer(cfg.Machine, cfg.Workers, cfg.QueueDepth,
+		vpu.New, s.runBatch, s.rejectBatch)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the workers and the scheduler goroutine. Canceling ctx
+// fails fast: in-flight batches drain, buffered and queued requests
+// resolve with ErrCanceled. Close must still be called afterwards to
+// release the server's goroutines.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("phiserve: Server started twice")
+	}
+	s.started = true
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.mu.Unlock()
+
+	s.pool.Start(s.ctx)
+	go s.schedule()
+}
+
+// Submit enqueues one private-key operation c^D mod N and returns the
+// channel its Result will arrive on. ctx bounds only this call's wait
+// (backpressure can block it); once nil is returned, exactly one Result
+// is guaranteed to arrive. c must be in [0, key.N).
+func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan Result, error) {
+	if key == nil {
+		return nil, fmt.Errorf("phiserve: nil key")
+	}
+	if c.Cmp(key.N) >= 0 {
+		return nil, fmt.Errorf("phiserve: ciphertext out of range")
+	}
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil, ErrNotStarted
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+
+	// Fail fast once canceled, so a free intake slot cannot win the
+	// select against an already-dead server.
+	select {
+	case <-s.ctx.Done():
+		return nil, ErrCanceled
+	default:
+	}
+	req := &request{key: key, c: c, resp: make(chan Result, 1)}
+	select {
+	case s.intake <- req:
+		s.stats.submitted.Add(1)
+		return req.resp, nil
+	case <-s.ctx.Done():
+		return nil, ErrCanceled
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Do is the synchronous convenience wrapper: Submit then wait.
+func (s *Server) Do(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (Result, error) {
+	ch, err := s.Submit(ctx, key, c)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close shuts the server down. If the context is still alive this is a
+// graceful drain: open partial batches dispatch immediately and every
+// queued batch executes. After cancellation it instead reaps the
+// goroutines and fails any straggling requests with ErrCanceled. Close is
+// idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-s.schedDone
+			s.pool.Close()
+		}
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.inFlight.Wait() // racing Submits have enqueued or given up
+	close(s.intake)   // scheduler flushes pending and exits
+	<-s.schedDone
+	// After cancellation the scheduler exits without draining the intake
+	// buffer; resolve whatever it left behind.
+	for req := range s.intake {
+		req.resp <- Result{Err: ErrCanceled}
+		s.stats.failed.Add(1)
+	}
+	s.pool.Close()
+	s.cancel()
+}
+
+// schedule is the single goroutine that owns the per-key buffers.
+func (s *Server) schedule() {
+	defer close(s.schedDone)
+	open := make(map[*rsakit.PrivateKey]*pending)
+	var gen uint64
+
+	dispatch := func(key *rsakit.PrivateKey) {
+		p := open[key]
+		delete(open, key)
+		p.timer.Stop()
+		s.stats.pendingLanes.Add(int64(-len(p.reqs)))
+		b := &batch{key: key, reqs: p.reqs}
+		if err := s.pool.Submit(s.ctx, b); err != nil {
+			// The pool's context is a child of s.ctx, so cancellation can
+			// surface either as the pool's sentinel or as the caller
+			// context's own error, depending on which select case wins.
+			if errors.Is(err, phipool.ErrCanceled) || errors.Is(err, context.Canceled) {
+				err = ErrCanceled
+			}
+			for _, r := range b.reqs {
+				r.resp <- Result{Err: err}
+			}
+			s.stats.failed.Add(int64(len(b.reqs)))
+		}
+	}
+	failAll := func() {
+		for key, p := range open {
+			p.timer.Stop()
+			for _, r := range p.reqs {
+				r.resp <- Result{Err: ErrCanceled}
+			}
+			s.stats.failed.Add(int64(len(p.reqs)))
+			s.stats.pendingLanes.Add(int64(-len(p.reqs)))
+			delete(open, key)
+		}
+	}
+
+	for {
+		select {
+		case <-s.ctx.Done():
+			failAll()
+			return
+		case msg := <-s.flush:
+			if p, ok := open[msg.key]; ok && p.gen == msg.gen {
+				s.stats.deadlineFires.Add(1)
+				dispatch(msg.key)
+			}
+		case req, ok := <-s.intake:
+			if !ok {
+				// Graceful close: dispatch every open partial batch.
+				for key := range open {
+					dispatch(key)
+				}
+				return
+			}
+			p := open[req.key]
+			if p == nil {
+				gen++
+				p = &pending{gen: gen, timer: s.armDeadline(req.key, gen)}
+				open[req.key] = p
+			}
+			p.reqs = append(p.reqs, req)
+			s.stats.pendingLanes.Add(1)
+			if len(p.reqs) == BatchSize {
+				dispatch(req.key)
+			}
+		}
+	}
+}
+
+// armDeadline schedules a flush for (key, gen) after the fill deadline.
+// The generation guard makes a timer that races its own Stop harmless:
+// the scheduler ignores flushes whose generation is stale.
+func (s *Server) armDeadline(key *rsakit.PrivateKey, gen uint64) *time.Timer {
+	return time.AfterFunc(s.cfg.FillDeadline, func() {
+		select {
+		case s.flush <- flushMsg{key: key, gen: gen}:
+		case <-s.ctx.Done():
+		case <-s.schedDone:
+		}
+	})
+}
+
+// runBatch executes one batch on a worker's private vector unit.
+func (s *Server) runBatch(u *vpu.Unit, b *batch) {
+	u.Reset()
+	cs := make([]bn.Nat, len(b.reqs))
+	for i, r := range b.reqs {
+		cs[i] = r.c
+	}
+	out, err := rsakit.PrivateOpBatchN(u, b.key, cs)
+	if err != nil {
+		for _, r := range b.reqs {
+			r.resp <- Result{Err: err}
+		}
+		s.stats.failed.Add(int64(len(b.reqs)))
+		return
+	}
+	fill := len(b.reqs)
+	cycles := knc.KNCVectorCosts.VectorCycles(u.Counts())
+	simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
+	for i, r := range b.reqs {
+		r.resp <- Result{
+			M:           out[i],
+			BatchFill:   fill,
+			BatchCycles: cycles,
+			SimLatency:  simLat,
+		}
+	}
+	s.stats.recordBatch(fill, cycles, simLat)
+}
+
+// rejectBatch fails a batch abandoned in the dispatch queue by
+// cancellation.
+func (s *Server) rejectBatch(b *batch) {
+	for _, r := range b.reqs {
+		r.resp <- Result{Err: ErrCanceled}
+	}
+	s.stats.failed.Add(int64(len(b.reqs)))
+}
+
+// Stats returns a consistent snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(s.cfg, s.pool.QueueDepth())
+}

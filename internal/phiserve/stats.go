@@ -1,0 +1,112 @@
+package phiserve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of the scheduler's aggregate behaviour.
+type Stats struct {
+	// Submitted / Completed / Failed count requests accepted by Submit,
+	// resolved with a plaintext, and resolved with an error
+	// (cancellation included).
+	Submitted, Completed, Failed int64
+	// Batches is the number of kernel passes executed.
+	Batches int64
+	// DeadlineFires counts batches dispatched by the fill deadline rather
+	// than by filling all lanes.
+	DeadlineFires int64
+	// FillHist[f] is the number of executed batches with f live lanes
+	// (index 1..BatchSize; index 0 is unused).
+	FillHist [BatchSize + 1]int64
+	// MeanFill is the mean number of live lanes per executed batch.
+	MeanFill float64
+	// PendingLanes is the number of requests currently buffered in open
+	// (not yet dispatched) batches.
+	PendingLanes int
+	// QueueDepth is the number of batches currently waiting in the
+	// dispatch queue.
+	QueueDepth int
+	// TotalSimCycles is the sum of simulated cycles across kernel passes.
+	TotalSimCycles float64
+	// CyclesPerOp is TotalSimCycles / Completed: the amortized simulated
+	// cost of one request, the figure to compare against the per-op
+	// engine (ablation A4).
+	CyclesPerOp float64
+	// SimThroughput is ops/second on the simulated machine at the
+	// configured worker count, per the KNC issue-efficiency model.
+	SimThroughput float64
+	// MeanSimLatency is the mean per-request service latency in seconds
+	// on the simulated machine (one kernel pass; queueing excluded).
+	MeanSimLatency float64
+}
+
+// String renders a one-line summary.
+func (st Stats) String() string {
+	var fills []string
+	for f := 1; f <= BatchSize; f++ {
+		if st.FillHist[f] > 0 {
+			fills = append(fills, fmt.Sprintf("%d:%d", f, st.FillHist[f]))
+		}
+	}
+	return fmt.Sprintf(
+		"submitted=%d completed=%d failed=%d batches=%d meanFill=%.1f cycles/op=%.0f simThroughput=%.0f fills[%s]",
+		st.Submitted, st.Completed, st.Failed, st.Batches, st.MeanFill,
+		st.CyclesPerOp, st.SimThroughput, strings.Join(fills, " "))
+}
+
+// statsAcc is the internal accumulator. Counters touched on the Submit
+// path are atomics; per-batch aggregates share one mutex taken once per
+// kernel pass.
+type statsAcc struct {
+	submitted     atomic.Int64
+	failed        atomic.Int64
+	pendingLanes  atomic.Int64
+	deadlineFires atomic.Int64
+
+	mu        sync.Mutex
+	completed int64
+	batches   int64
+	fillHist  [BatchSize + 1]int64
+	cycles    float64
+	latencySum float64 // sum over requests of their batch's sim latency
+}
+
+func (a *statsAcc) recordBatch(fill int, cycles, simLat float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.batches++
+	a.fillHist[fill]++
+	a.completed += int64(fill)
+	a.cycles += cycles
+	a.latencySum += simLat * float64(fill)
+}
+
+func (a *statsAcc) snapshot(cfg Config, queueDepth int) Stats {
+	a.mu.Lock()
+	st := Stats{
+		Submitted:      a.submitted.Load(),
+		Completed:      a.completed,
+		Failed:         a.failed.Load(),
+		Batches:        a.batches,
+		DeadlineFires:  a.deadlineFires.Load(),
+		FillHist:       a.fillHist,
+		PendingLanes:   int(a.pendingLanes.Load()),
+		QueueDepth:     queueDepth,
+		TotalSimCycles: a.cycles,
+	}
+	latencySum := a.latencySum
+	a.mu.Unlock()
+
+	if st.Batches > 0 {
+		st.MeanFill = float64(st.Completed) / float64(st.Batches)
+	}
+	if st.Completed > 0 {
+		st.CyclesPerOp = st.TotalSimCycles / float64(st.Completed)
+		st.SimThroughput = cfg.Machine.Throughput(cfg.Workers, st.CyclesPerOp)
+		st.MeanSimLatency = latencySum / float64(st.Completed)
+	}
+	return st
+}

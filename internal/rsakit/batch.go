@@ -17,35 +17,56 @@ import (
 // BatchSize is the number of ciphertexts per batch call.
 const BatchSize = vbatch.BatchSize
 
-// PrivateOpBatch computes c^D mod N for sixteen ciphertexts with CRT,
-// issuing all vector work on u. Every ciphertext must be in [0, N).
-func PrivateOpBatch(u *vpu.Unit, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {
+// PrivateOpBatchN computes c^D mod N with CRT for 1..BatchSize live
+// ciphertexts, issuing all vector work on u. Unused lanes are padded with
+// a duplicate of the last live operand and discarded, so a partial batch
+// charges exactly the cycles of a full kernel pass — this is the entry
+// point a streaming scheduler uses when its fill deadline fires before
+// sixteen requests accumulate. Every ciphertext must be in [0, N). The
+// result has len(cs) elements, lane-aligned with cs.
+func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error) {
 	for l, c := range cs {
 		if c.Cmp(key.N) >= 0 {
-			return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch ciphertext %d out of range", l)
+			return nil, fmt.Errorf("rsakit: batch ciphertext %d out of range", l)
 		}
+	}
+	lanes, live, err := vbatch.PadLanes(cs)
+	if err != nil {
+		return nil, fmt.Errorf("rsakit: %w", err)
 	}
 	ctxP, err := vbatch.NewCtx(key.P, u)
 	if err != nil {
-		return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch P context: %w", err)
+		return nil, fmt.Errorf("rsakit: batch P context: %w", err)
 	}
 	ctxQ, err := vbatch.NewCtx(key.Q, u)
 	if err != nil {
-		return [BatchSize]bn.Nat{}, fmt.Errorf("rsakit: batch Q context: %w", err)
+		return nil, fmt.Errorf("rsakit: batch Q context: %w", err)
 	}
 
 	var cp, cq [BatchSize]bn.Nat
-	for l, c := range cs {
+	for l, c := range lanes {
 		cp[l] = c.Mod(key.P)
 		cq[l] = c.Mod(key.Q)
 	}
 	m1 := ctxP.ModExpShared(&cp, key.Dp)
 	m2 := ctxQ.ModExpShared(&cq, key.Dq)
 
-	var out [BatchSize]bn.Nat
-	for l := 0; l < BatchSize; l++ {
+	out := make([]bn.Nat, live)
+	for l := 0; l < live; l++ {
 		h := key.Qinv.ModMul(m1[l].ModSub(m2[l], key.P), key.P)
 		out[l] = m2[l].Add(h.Mul(key.Q))
 	}
+	return out, nil
+}
+
+// PrivateOpBatch computes c^D mod N for sixteen ciphertexts with CRT — a
+// thin wrapper over the partial-batch path with all lanes live.
+func PrivateOpBatch(u *vpu.Unit, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {
+	res, err := PrivateOpBatchN(u, key, cs[:])
+	if err != nil {
+		return [BatchSize]bn.Nat{}, err
+	}
+	var out [BatchSize]bn.Nat
+	copy(out[:], res)
 	return out, nil
 }

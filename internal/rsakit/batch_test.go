@@ -113,3 +113,192 @@ func TestBatchCheaperPerOpThanHorizontal(t *testing.T) {
 // enginesPhi returns a fresh PhiOpenSSL engine (helper keeping the import
 // local to batch tests).
 func enginesPhi() engine.Engine { return core.New() }
+
+// TestPrivateOpBatchNMatchesSingle drives every partial fill 1..15: each
+// live lane must match the per-op PrivateOp answer bit-exactly.
+func TestPrivateOpBatchNMatchesSingle(t *testing.T) {
+	key := testKey512
+	rng := mrand.New(mrand.NewSource(83))
+	ref := baseline.NewOpenSSL()
+	for live := 1; live < BatchSize; live++ {
+		cs := make([]bn.Nat, live)
+		for l := range cs {
+			c, err := bn.RandomRange(rng, bn.One(), key.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs[l] = c
+		}
+		got, err := PrivateOpBatchN(vpu.New(), key, cs)
+		if err != nil {
+			t.Fatalf("live=%d: %v", live, err)
+		}
+		if len(got) != live {
+			t.Fatalf("live=%d: got %d results", live, len(got))
+		}
+		for l := range cs {
+			want, err := PrivateOp(ref, key, cs[l], DefaultPrivateOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[l].Equal(want) {
+				t.Fatalf("live=%d lane %d: batch %s != single %s", live, l, got[l], want)
+			}
+		}
+	}
+}
+
+func TestPrivateOpBatchNValidation(t *testing.T) {
+	key := testKey512
+	if _, err := PrivateOpBatchN(vpu.New(), key, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := PrivateOpBatchN(vpu.New(), key, make([]bn.Nat, BatchSize+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if _, err := PrivateOpBatchN(vpu.New(), key, []bn.Nat{key.N}); err == nil {
+		t.Fatal("out-of-range lane accepted")
+	}
+}
+
+// TestPartialBatchChargesNoMoreThanFull: padding lanes ride the same
+// lane-uniform kernel pass, so a 1-lane batch must charge no more cycles
+// than a full 16-lane batch.
+func TestPartialBatchChargesNoMoreThanFull(t *testing.T) {
+	key := testKey512
+	rng := mrand.New(mrand.NewSource(84))
+	var cs [BatchSize]bn.Nat
+	for l := range cs {
+		c, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[l] = c
+	}
+	uFull := vpu.New()
+	if _, err := PrivateOpBatch(uFull, key, &cs); err != nil {
+		t.Fatal(err)
+	}
+	full := knc.KNCVectorCosts.VectorCycles(uFull.Counts())
+	for _, live := range []int{1, 7, 15} {
+		u := vpu.New()
+		if _, err := PrivateOpBatchN(u, key, cs[:live]); err != nil {
+			t.Fatal(err)
+		}
+		partial := knc.KNCVectorCosts.VectorCycles(u.Counts())
+		if partial > full {
+			t.Fatalf("live=%d charged %.0f cycles > full batch %.0f", live, partial, full)
+		}
+	}
+}
+
+// TestDecryptPKCS1v15BatchN exercises the PKCS#1 v1.5 decrypt path over
+// partial batches, including a poisoned lane that must fail without
+// affecting its neighbors.
+func TestDecryptPKCS1v15BatchN(t *testing.T) {
+	key := testKey512
+	rng := mrand.New(mrand.NewSource(85))
+	pub := &key.PublicKey
+	eng := baseline.NewOpenSSL()
+	for _, live := range []int{1, 3, BatchSize} {
+		msgs := make([][]byte, live)
+		cts := make([][]byte, live)
+		for l := 0; l < live; l++ {
+			msg := make([]byte, 16)
+			rng.Read(msg)
+			msgs[l] = msg
+			ct, err := EncryptPKCS1v15(eng, rng, pub, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cts[l] = ct
+		}
+		bad := -1
+		if live >= 3 {
+			bad = 1
+			cts[bad] = make([]byte, key.Size()) // decrypts to garbage padding
+		}
+		got, errs, err := DecryptPKCS1v15Batch(vpu.New(), key, cts)
+		if err != nil {
+			t.Fatalf("live=%d: %v", live, err)
+		}
+		for l := 0; l < live; l++ {
+			if l == bad {
+				if errs[l] == nil {
+					t.Fatalf("live=%d: poisoned lane %d decrypted", live, l)
+				}
+				continue
+			}
+			if errs[l] != nil {
+				t.Fatalf("live=%d lane %d: %v", live, l, errs[l])
+			}
+			want, err := DecryptPKCS1v15(eng, key, cts[l], DefaultPrivateOpts())
+			if err != nil || !bytesEqual(got[l], want) || !bytesEqual(want, msgs[l]) {
+				t.Fatalf("live=%d lane %d: batch %x != single %x (%v)", live, l, got[l], want, err)
+			}
+		}
+	}
+}
+
+// TestDecryptOAEPBatchN exercises the OAEP decrypt path over partial
+// batches, including a wrong-length lane.
+func TestDecryptOAEPBatchN(t *testing.T) {
+	key := testKey1024 // OAEP-SHA256 needs k >= 2*32+2
+	rng := mrand.New(mrand.NewSource(86))
+	pub := &key.PublicKey
+	eng := baseline.NewOpenSSL()
+	label := []byte("phiserve")
+	for _, live := range []int{1, 5} {
+		msgs := make([][]byte, live)
+		cts := make([][]byte, live)
+		for l := 0; l < live; l++ {
+			msg := make([]byte, 24)
+			rng.Read(msg)
+			msgs[l] = msg
+			ct, err := EncryptOAEP(eng, rng, pub, msg, label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cts[l] = ct
+		}
+		bad := -1
+		if live > 1 {
+			bad = live - 1
+			cts[bad] = cts[bad][:7] // wrong length
+		}
+		got, errs, err := DecryptOAEPBatch(vpu.New(), key, cts, label)
+		if err != nil {
+			t.Fatalf("live=%d: %v", live, err)
+		}
+		for l := 0; l < live; l++ {
+			if l == bad {
+				if errs[l] == nil {
+					t.Fatalf("live=%d: truncated lane %d decrypted", live, l)
+				}
+				continue
+			}
+			if errs[l] != nil {
+				t.Fatalf("live=%d lane %d: %v", live, l, errs[l])
+			}
+			want, err := DecryptOAEP(eng, key, cts[l], label, DefaultPrivateOpts())
+			if err != nil || !bytesEqual(got[l], want) || !bytesEqual(want, msgs[l]) {
+				t.Fatalf("live=%d lane %d: batch %x != single %x (%v)", live, l, got[l], want, err)
+			}
+		}
+	}
+	if _, _, err := DecryptOAEPBatch(vpu.New(), key, nil, label); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,6 +9,7 @@ import (
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/engine"
+	"phiopenssl/internal/vpu"
 )
 
 // RSAES-OAEP (RFC 8017 section 7.1) with SHA-256 and MGF1-SHA-256 — the
@@ -78,8 +79,12 @@ func DecryptOAEP(eng engine.Engine, key *PrivateKey, ct, label []byte, opts Priv
 	if err != nil {
 		return nil, err
 	}
-	em := m.FillBytes(make([]byte, k))
+	return oaepUnpad(m.FillBytes(make([]byte, k)), label)
+}
 
+// oaepUnpad reverses the OAEP encoding of one decrypted message block.
+// Padding failures return a uniform error.
+func oaepUnpad(em, label []byte) ([]byte, error) {
 	firstByteOK := subtle.ConstantTimeByteEq(em[0], 0)
 	seed := em[1 : 1+hashLen]
 	db := em[1+hashLen:]
@@ -99,4 +104,57 @@ func DecryptOAEP(eng engine.Engine, key *PrivateKey, ct, label []byte, opts Priv
 		return nil, fmt.Errorf("rsakit: decryption error")
 	}
 	return rest[sep+1:], nil
+}
+
+// DecryptOAEPBatch decrypts 1..BatchSize OAEP ciphertexts under one key
+// with the partial-batch vector path (one kernel pass for every live
+// lane), issuing all vector work on u. The returned slices are
+// lane-aligned with cts; a lane whose ciphertext is malformed or whose
+// padding fails gets a nil plaintext and a per-lane error without
+// affecting its neighbors. The second return is the batch-level error
+// (bad lane count or broken key).
+func DecryptOAEPBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, label []byte) ([][]byte, []error, error) {
+	return decryptBatch(u, key, cts, func(em []byte) ([]byte, error) {
+		if key.Size() < 2*hashLen+2 {
+			return nil, fmt.Errorf("rsakit: decryption error")
+		}
+		return oaepUnpad(em, label)
+	})
+}
+
+// decryptBatch runs the shared batch-decrypt schedule: one
+// PrivateOpBatchN pass over all lanes, then a per-lane unpad. Lanes with
+// an invalid ciphertext length decrypt a zero block (the kernel pass is
+// lane-uniform regardless) and report a per-lane error.
+func decryptBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, unpad func([]byte) ([]byte, error)) ([][]byte, []error, error) {
+	if len(cts) == 0 || len(cts) > BatchSize {
+		return nil, nil, fmt.Errorf("rsakit: %d ciphertexts, want 1..%d", len(cts), BatchSize)
+	}
+	k := key.Size()
+	lanes := make([]bn.Nat, len(cts))
+	errs := make([]error, len(cts))
+	for l, ct := range cts {
+		if len(ct) != k {
+			errs[l] = fmt.Errorf("rsakit: decryption error")
+			continue // lane decrypts zero; result discarded below
+		}
+		c := bn.FromBytes(ct)
+		if c.Cmp(key.N) >= 0 {
+			errs[l] = fmt.Errorf("rsakit: decryption error")
+			c = bn.Nat{}
+		}
+		lanes[l] = c
+	}
+	ms, err := PrivateOpBatchN(u, key, lanes)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]byte, len(cts))
+	for l, m := range ms {
+		if errs[l] != nil {
+			continue
+		}
+		out[l], errs[l] = unpad(m.FillBytes(make([]byte, k)))
+	}
+	return out, errs, nil
 }

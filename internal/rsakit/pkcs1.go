@@ -8,6 +8,7 @@ import (
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/engine"
+	"phiopenssl/internal/vpu"
 )
 
 // PKCS#1 v1.5 padding and the message-level encrypt/decrypt/sign/verify
@@ -56,7 +57,11 @@ func DecryptPKCS1v15(eng engine.Engine, key *PrivateKey, ct []byte, opts Private
 	if err != nil {
 		return nil, err
 	}
-	em := m.FillBytes(make([]byte, k))
+	return pkcs1v15Unpad(m.FillBytes(make([]byte, k)))
+}
+
+// pkcs1v15Unpad strips type-2 padding from one decrypted message block.
+func pkcs1v15Unpad(em []byte) ([]byte, error) {
 	if em[0] != 0x00 || em[1] != 0x02 {
 		return nil, fmt.Errorf("rsakit: decryption error")
 	}
@@ -65,6 +70,14 @@ func DecryptPKCS1v15(eng engine.Engine, key *PrivateKey, ct []byte, opts Private
 		return nil, fmt.Errorf("rsakit: decryption error")
 	}
 	return em[2+sep+1:], nil
+}
+
+// DecryptPKCS1v15Batch decrypts 1..BatchSize type-2 padded ciphertexts
+// under one key with the partial-batch vector path, issuing all vector
+// work on u. Results and per-lane errors are lane-aligned with cts; the
+// final error is batch-level (bad lane count or broken key).
+func DecryptPKCS1v15Batch(u *vpu.Unit, key *PrivateKey, cts [][]byte) ([][]byte, []error, error) {
+	return decryptBatch(u, key, cts, pkcs1v15Unpad)
 }
 
 // SignPKCS1v15SHA256 signs msg: SHA-256, DigestInfo encoding, type-1

@@ -129,6 +129,25 @@ func (c *Ctx) Unpack(b Batch) [BatchSize]bn.Nat {
 	return out
 }
 
+// PadLanes expands 1..BatchSize live operands into a full per-lane array
+// by duplicating the last live operand into the unused lanes. This is how
+// a partial batch rides the full-width kernels: the padding lanes execute
+// the same schedule (the kernels are lane-uniform, so they cost nothing
+// extra) and their results are discarded by the caller. The returned count
+// is the number of live lanes.
+func PadLanes(vals []bn.Nat) ([BatchSize]bn.Nat, int, error) {
+	var out [BatchSize]bn.Nat
+	if len(vals) == 0 || len(vals) > BatchSize {
+		return out, 0, fmt.Errorf("vbatch: %d operands, want 1..%d", len(vals), BatchSize)
+	}
+	copy(out[:], vals)
+	last := vals[len(vals)-1]
+	for l := len(vals); l < BatchSize; l++ {
+		out[l] = last
+	}
+	return out, len(vals), nil
+}
+
 // Splat returns the batch holding the same value x in every lane.
 func (c *Ctx) Splat(x bn.Nat) Batch {
 	limbs := x.Mod(c.modulus).LimbsPadded(c.k)

@@ -1,0 +1,52 @@
+package phiopenssl
+
+import (
+	"phiopenssl/internal/phiserve"
+)
+
+// BatchServer is the streaming batch scheduler: it accepts single RSA
+// private-key requests — the shape of live server traffic — and
+// aggregates them per key into RSABatchSize-lane batches for the vector
+// kernels, dispatching each batch when its sixteenth request arrives or
+// when the fill deadline fires, whichever is first. Partial batches pad
+// unused lanes, so the deadline is the knob trading latency against lane
+// utilization (see internal/phiserve and experiment A6).
+type BatchServer = phiserve.Server
+
+// BatchServerConfig parameterizes a BatchServer: machine, worker count,
+// fill deadline, and dispatch-queue depth.
+type BatchServerConfig = phiserve.Config
+
+// BatchResult is the outcome of one scheduled request: the plaintext (or
+// error), the fill of the batch that served it, and its simulated cost.
+type BatchResult = phiserve.Result
+
+// BatchServerStats is an aggregate snapshot: request counters, batch
+// fill-rate histogram, queue depth, amortized cycles/op, and simulated
+// throughput.
+type BatchServerStats = phiserve.Stats
+
+// BatchLoadModel is the deterministic virtual-time model of the
+// scheduler used by experiment A6 to sweep offered load against fill
+// deadline.
+type BatchLoadModel = phiserve.LoadModel
+
+// BatchLoadPoint is one operating point of a BatchLoadModel sweep.
+type BatchLoadPoint = phiserve.LoadPoint
+
+// Errors surfaced by the BatchServer.
+var (
+	// ErrServerCanceled marks requests abandoned by context cancellation.
+	ErrServerCanceled = phiserve.ErrCanceled
+	// ErrServerClosed reports a Submit after Close.
+	ErrServerClosed = phiserve.ErrClosed
+	// ErrServerNotStarted reports a Submit before Start.
+	ErrServerNotStarted = phiserve.ErrNotStarted
+)
+
+// NewBatchServer validates cfg (zero values get defaults: knc.Default()
+// machine, 4 workers, 2ms fill deadline, 2x workers queue depth) and
+// builds a stopped server; call Start, Submit/Do, then Close.
+func NewBatchServer(cfg BatchServerConfig) (*BatchServer, error) {
+	return phiserve.New(cfg)
+}

@@ -1,0 +1,111 @@
+package phiopenssl_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"phiopenssl"
+	"phiopenssl/internal/bench"
+)
+
+func TestFacadeRSAPrivateBatchN(t *testing.T) {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+	msgs := make([]phiopenssl.Nat, 5)
+	cts := make([]phiopenssl.Nat, 5)
+	for i := range msgs {
+		msgs[i] = phiopenssl.NatFromUint64(uint64(2000 + i))
+		c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = c
+	}
+	res, cycles, err := phiopenssl.RSAPrivateBatchN(key, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || cycles <= 0 {
+		t.Fatalf("got %d results, %.0f cycles", len(res), cycles)
+	}
+	for i := range res {
+		if !res[i].Equal(msgs[i]) {
+			t.Fatalf("lane %d mismatch", i)
+		}
+	}
+
+	// The full-batch wrapper must charge the same pass as sixteen live
+	// lanes through the partial path.
+	var full [phiopenssl.RSABatchSize]phiopenssl.Nat
+	for i := range full {
+		c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, phiopenssl.NatFromUint64(uint64(3000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full[i] = c
+	}
+	_, viaWrapper, err := phiopenssl.RSAPrivateBatch(key, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, viaN, err := phiopenssl.RSAPrivateBatchN(key, full[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaWrapper != viaN {
+		t.Fatalf("wrapper charged %.0f cycles, partial path %.0f", viaWrapper, viaN)
+	}
+}
+
+func TestFacadeBatchServer(t *testing.T) {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+
+	srv, err := phiopenssl.NewBatchServer(phiopenssl.BatchServerConfig{
+		Workers:      2,
+		FillDeadline: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), key, phiopenssl.NatFromUint64(1)); !errors.Is(err, phiopenssl.ErrServerNotStarted) {
+		t.Fatalf("Submit before Start: %v", err)
+	}
+	srv.Start(context.Background())
+
+	const n = 20
+	msgs := make([]phiopenssl.Nat, n)
+	resps := make([]<-chan phiopenssl.BatchResult, n)
+	for i := range msgs {
+		msgs[i] = phiopenssl.NatFromUint64(uint64(5000 + i))
+		c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := srv.Submit(context.Background(), key, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps[i] = ch
+	}
+	for i, ch := range resps {
+		res := <-ch
+		if res.Err != nil || !res.M.Equal(msgs[i]) {
+			t.Fatalf("request %d: %+v", i, res)
+		}
+	}
+	srv.Close()
+	if _, err := srv.Submit(context.Background(), key, phiopenssl.NatFromUint64(1)); !errors.Is(err, phiopenssl.ErrServerClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.Submitted != n || st.Completed != n || st.Failed != 0 || st.Batches < 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.CyclesPerOp <= 0 || st.SimThroughput <= 0 {
+		t.Fatalf("no simulated costs reported: %+v", st)
+	}
+}
