@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench quick clean
+.PHONY: all build test check race faults bench quick clean
 
 all: check
 
@@ -21,6 +21,14 @@ check:
 # configuration that shakes out scheduling-order bugs.
 race:
 	$(GO) test -race -count=4 -timeout=120s ./internal/phipool ./internal/phiserve
+
+# faults runs the fault-injection acceptance gate: the full resilience
+# suite plus the env-gated 10k-operation hammer (TestFaultHammer) that
+# injects lane bit-flips at a 1e-3 per-pass rate and requires that not one
+# corrupted plaintext escapes the Bellcore verifier.
+faults:
+	PHIOPENSSL_FAULTS=1 $(GO) test -race -timeout=900s -run 'Fault|Breaker|Stall|Injected|KernelFail' \
+		./internal/faultsim ./internal/phiserve ./internal/rsakit
 
 quick:
 	$(GO) run ./cmd/phibench -quick

@@ -10,33 +10,46 @@ import (
 // operation (one per vector lane).
 const RSABatchSize = rsakit.BatchSize
 
+// ErrFaultDetected marks a private-key result that failed the Bellcore
+// re-encryption check; the corrupted plaintext is withheld because
+// releasing it would leak a factor of N. Match with errors.Is.
+var ErrFaultDetected = rsakit.ErrFaultDetected
+
 // RSAPrivateBatch decrypts sixteen ciphertexts under one key with the
 // batch (lane-per-operation) vector kernels — the throughput-oriented
 // alternative to the per-operation PhiOpenSSL engine (see ablation A4 in
-// EXPERIMENTS.md). It returns the plaintexts and the total simulated KNC
-// cycles of the batch pass; divide by RSABatchSize for the amortized
+// EXPERIMENTS.md). Execution is verified: each lane is re-encrypted and
+// checked against its ciphertext before release (the Bellcore
+// countermeasure), and a lane that fails gets a zero Nat plus an entry
+// wrapping ErrFaultDetected in the lane-aligned error slice (all-nil on a
+// clean pass). The cycle figure is the total simulated KNC cost of the
+// batch including verification; divide by RSABatchSize for the amortized
 // per-operation cost. It is a thin wrapper over the partial-batch path
 // (RSAPrivateBatchN) with all sixteen lanes live.
-func RSAPrivateBatch(key *PrivateKey, cs *[RSABatchSize]Nat) ([RSABatchSize]Nat, float64, error) {
-	res, cycles, err := RSAPrivateBatchN(key, cs[:])
+func RSAPrivateBatch(key *PrivateKey, cs *[RSABatchSize]Nat) ([RSABatchSize]Nat, []error, float64, error) {
+	res, laneErrs, cycles, err := RSAPrivateBatchN(key, cs[:])
 	if err != nil {
-		return [RSABatchSize]Nat{}, 0, err
+		return [RSABatchSize]Nat{}, nil, 0, err
 	}
 	var out [RSABatchSize]Nat
 	copy(out[:], res)
-	return out, cycles, nil
+	return out, laneErrs, cycles, nil
 }
 
 // RSAPrivateBatchN decrypts 1..RSABatchSize ciphertexts under one key in
-// a single kernel pass, padding the unused lanes with a duplicated
-// operand. A partial batch therefore costs one full pass — the charged
-// cycles do not shrink with the live-lane count — which is exactly the
-// waste the streaming scheduler's fill deadline trades against latency.
-func RSAPrivateBatchN(key *PrivateKey, cs []Nat) ([]Nat, float64, error) {
+// a single verified kernel pass, padding the unused lanes with a
+// duplicated operand. A partial batch therefore costs one full pass — the
+// charged cycles do not shrink with the live-lane count — which is exactly
+// the waste the streaming scheduler's fill deadline trades against
+// latency. The per-lane error slice is lane-aligned with cs: nil for clean
+// lanes, an error wrapping ErrFaultDetected for lanes whose result failed
+// the re-encryption check (such lanes return a zero Nat, never a corrupted
+// plaintext). The final error is batch-level (malformed inputs).
+func RSAPrivateBatchN(key *PrivateKey, cs []Nat) ([]Nat, []error, float64, error) {
 	u := vpu.New()
-	res, err := rsakit.PrivateOpBatchN(u, key, cs)
+	res, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(u, key, cs)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return res, knc.KNCVectorCosts.VectorCycles(u.Counts()), nil
+	return res, laneErrs, knc.KNCVectorCosts.VectorCycles(u.Counts()), nil
 }

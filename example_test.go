@@ -47,10 +47,10 @@ func ExampleRSAPrivateBatch() {
 		msgs[i] = phiopenssl.NatFromUint64(uint64(1000 + i))
 		cts[i], _ = phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
 	}
-	res, cycles, _ := phiopenssl.RSAPrivateBatch(key, &cts)
+	res, laneErrs, cycles, _ := phiopenssl.RSAPrivateBatch(key, &cts)
 	allMatch := true
 	for i := range res {
-		allMatch = allMatch && res[i].Equal(msgs[i])
+		allMatch = allMatch && laneErrs[i] == nil && res[i].Equal(msgs[i])
 	}
 	fmt.Println(allMatch, cycles > 0)
 	// Output: true true

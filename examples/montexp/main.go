@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"phiopenssl"
 )
@@ -46,7 +47,10 @@ func main() {
 			cycles[i] = eng.Cycles()
 		}
 		if !result[0].Equal(result[1]) || !result[1].Equal(result[2]) {
-			panic("engines disagree") // cross-engine check, never fires
+			fmt.Fprintf(os.Stderr,
+				"montexp: engines disagree at %d bits (phi=%v openssl=%v mpss=%v): file a bug with this seed\n",
+				bits, result[0], result[1], result[2])
+			os.Exit(1)
 		}
 		fmt.Printf("%8d  %11.2f ms  %11.2f ms  %11.2f ms  %7.1fx\n",
 			bits,

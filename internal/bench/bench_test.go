@@ -9,7 +9,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"a1", "a2", "a3", "a4", "a5", "a6", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	wantIDs := []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
 	}
@@ -111,6 +111,42 @@ func TestE9CRTWins(t *testing.T) {
 	}
 	if noCRT/ref < 2 || noCRT/ref > 6 {
 		t.Errorf("CRT benefit %.1fx outside expected 3-4x band", noCRT/ref)
+	}
+}
+
+func TestA7FaultSweepShape(t *testing.T) {
+	tab := runA7(Options{Quick: true, Seed: 13})
+	// Row 0 is the clean baseline: no faults, no retries, no fallback.
+	if tab.Rows[0][1] != "0" || tab.Rows[0][2] != "0" || tab.Rows[0][3] != "0.0%" {
+		t.Fatalf("clean row shows fault activity: %v", tab.Rows[0])
+	}
+	// While the breaker stays closed, faulted lanes must grow with the
+	// injected rate. (Once it trips, most traffic degrades to the scalar
+	// path and observed vector faults drop — that is the point.)
+	prev := int64(-1)
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			break
+		}
+		v, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad faulted-lanes cell %q", row[1])
+		}
+		if v < prev {
+			t.Fatalf("faulted lanes not monotone in fault rate: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	// The highest rate must trip the breaker and push a visible fraction
+	// of traffic onto the fallback.
+	last := tab.Rows[len(tab.Rows)-1]
+	trips, err := strconv.ParseInt(last[4], 10, 64)
+	if err != nil || trips < 1 {
+		t.Fatalf("highest fault rate never tripped the breaker: %v", last)
+	}
+	frac, err := strconv.ParseFloat(strings.TrimSuffix(last[3], "%"), 64)
+	if err != nil || frac <= 0 {
+		t.Fatalf("highest fault rate shows no fallback traffic: %v", last)
 	}
 }
 

@@ -39,9 +39,10 @@ func runA6(o Options) *Table {
 	key := keyFor(bits)
 	m := machine()
 
-	// Cost every fill count with a real metered kernel pass. Padding makes
-	// the pass lane-uniform, but measuring each fill keeps the model
-	// honest about it.
+	// Cost every fill count with a real metered *verified* kernel pass
+	// (CRT batch + Bellcore re-encryption check) — the cost the resilient
+	// server actually pays. Padding makes the pass lane-uniform, but
+	// measuring each fill keeps the model honest about it.
 	var costs [phiserve.BatchSize + 1]float64
 	for fill := 1; fill <= phiserve.BatchSize; fill++ {
 		cs := make([]bn.Nat, fill)
@@ -53,8 +54,14 @@ func runA6(o Options) *Table {
 			cs[l] = c
 		}
 		u := vpu.New()
-		if _, err := rsakit.PrivateOpBatchN(u, key, cs); err != nil {
+		_, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(u, key, cs)
+		if err != nil {
 			panic(err)
+		}
+		for l, lerr := range laneErrs {
+			if lerr != nil {
+				panic(fmt.Sprintf("bench: clean pass failed verification at lane %d: %v", l, lerr))
+			}
 		}
 		costs[fill] = knc.KNCVectorCosts.VectorCycles(u.Counts())
 	}
@@ -102,7 +109,7 @@ func runA6(o Options) *Table {
 		}
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("one full 16-lane pass: %.0f cycles (%.2f ms at %d workers); full-fill capacity %.0f req/s",
+		fmt.Sprintf("one full verified 16-lane pass: %.0f cycles (%.2f ms at %d workers); full-fill capacity %.0f req/s",
 			costs[phiserve.BatchSize], 1e3*pass, a6Workers, capacity),
 		fmt.Sprintf("per-op horizontal engine: %.0f cycles/op — streaming batches beat it once mean fill > %.1f",
 			perOp, costs[phiserve.BatchSize]/perOp),

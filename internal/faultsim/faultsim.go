@@ -1,0 +1,212 @@
+// Package faultsim is a deterministic, seedable fault injector for the
+// simulated Xeon Phi coprocessor.
+//
+// A real offload engine fails in ways the host must survive: soft errors
+// flip bits in the VPU's lane datapaths, a hardware thread wedges and its
+// job never completes, or the uploaded kernel dies with a transient error
+// and must be re-run. This package models all three:
+//
+//   - per-lane bit-flips: the injector implements vpu.Corruptor, so once
+//     attached to a Unit (vpu.AttachFaults) every vector instruction result
+//     may have one random bit of one random lane flipped. Flips are drawn
+//     by a geometric countdown, making the per-instruction cost O(1) and
+//     the whole schedule a pure function of the seed.
+//   - per-pass stall: NextPass returns PassStall, and the executor is
+//     expected to block as if the hardware thread wedged (internal/phiserve
+//     parks the worker until shutdown or an execution timeout respawns it).
+//   - transient kernel failure: NextPass returns PassKernelFail, modelling
+//     a whole-kernel abort where no lane of the pass produced a result.
+//
+// Everything is driven by a single math/rand source per injector, so a
+// given Config replays the exact same fault schedule every run — tests and
+// benches (the A7 sweep) are bit-reproducible. Script entries override the
+// random rates for the first len(Script) passes, which is how tests replay
+// a hand-written schedule (e.g. "fail six passes, then recover") against
+// the live server.
+//
+// An Injector is not safe for concurrent use; like the vpu.Unit it wraps,
+// each simulated hardware thread owns its own. ForWorker derives
+// per-worker seeds from one top-level seed.
+package faultsim
+
+import (
+	"math"
+	"math/rand"
+
+	"phiopenssl/internal/vpu"
+)
+
+// PassOutcome is the injector's verdict for one kernel pass.
+type PassOutcome int
+
+// Pass outcomes.
+const (
+	// PassOK runs the pass normally (lane flips may still occur).
+	PassOK PassOutcome = iota
+	// PassKernelFail aborts the whole pass: no lane produces a result.
+	PassKernelFail
+	// PassStall wedges the hardware thread: the pass never completes and
+	// the executor must block until respawned or released.
+	PassStall
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (o PassOutcome) String() string {
+	switch o {
+	case PassOK:
+		return "ok"
+	case PassKernelFail:
+		return "kernel-fail"
+	case PassStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes one fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives the whole schedule; the same Config replays the same
+	// faults. Use ForWorker to derive distinct per-worker schedules.
+	Seed int64
+
+	// LaneFlipRate is the per-instruction probability that one vector
+	// result has a single random bit of a single random lane flipped.
+	// Use PerInstrRate to convert from a per-pass-per-lane rate.
+	LaneFlipRate float64
+
+	// KernelFailRate is the per-pass probability of a transient
+	// whole-kernel failure (NextPass returns PassKernelFail).
+	KernelFailRate float64
+
+	// StallRate is the per-pass probability that the hardware thread
+	// wedges (NextPass returns PassStall).
+	StallRate float64
+
+	// Script, when non-empty, overrides the random pass outcomes: pass i
+	// gets Script[i] for i < len(Script), after which the rates above take
+	// over. Lane flips still follow LaneFlipRate during scripted passes.
+	Script []PassOutcome
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.LaneFlipRate > 0 || c.KernelFailRate > 0 || c.StallRate > 0 ||
+		len(c.Script) > 0
+}
+
+// ForWorker derives the schedule for worker w: same rates and script, seed
+// mixed with the worker index (splitmix64 finalizer) so workers draw
+// independent, individually reproducible streams.
+func (c Config) ForWorker(w int) Config {
+	z := uint64(c.Seed) + 0x9e3779b97f4a7c15*uint64(w+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	c.Seed = int64(z ^ (z >> 31))
+	return c
+}
+
+// PerInstrRate converts a per-pass-per-lane fault rate into the
+// per-instruction LaneFlipRate that produces it. A pass issuing I vector
+// instructions exposes 16·I lane results; one flip hits one lane, so a
+// per-instruction rate p gives an expected p·I lane faults per pass and a
+// per-lane rate of p·I/16.
+func PerInstrRate(perLanePerPass float64, instrPerPass uint64) float64 {
+	if instrPerPass == 0 {
+		return 0
+	}
+	return perLanePerPass * float64(vpu.Lanes) / float64(instrPerPass)
+}
+
+// Injector replays the fault schedule described by a Config. It implements
+// vpu.Corruptor for the bit-flip channel; executors poll NextPass for the
+// pass-level channels.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	countdown int64 // instructions until the next bit-flip; -1 = never
+	pass      int64
+
+	flips       int64
+	kernelFails int64
+	stalls      int64
+}
+
+// New returns an injector replaying cfg's schedule from cfg.Seed.
+func New(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in.reload()
+	return in
+}
+
+// reload draws the geometric gap to the next bit-flip.
+func (in *Injector) reload() {
+	p := in.cfg.LaneFlipRate
+	switch {
+	case p <= 0:
+		in.countdown = -1
+	case p >= 1:
+		in.countdown = 0
+	default:
+		// Geometric(p): floor(log(U)/log(1-p)) with U in (0, 1].
+		u := 1 - in.rng.Float64()
+		in.countdown = int64(math.Log(u) / math.Log(1-p))
+	}
+}
+
+// CorruptVec implements vpu.Corruptor: when the countdown expires, flip one
+// random bit of one random lane of this instruction's result.
+func (in *Injector) CorruptVec(v *vpu.Vec) {
+	if in == nil || in.countdown < 0 {
+		return
+	}
+	if in.countdown > 0 {
+		in.countdown--
+		return
+	}
+	lane := in.rng.Intn(vpu.Lanes)
+	bit := uint(in.rng.Intn(32))
+	v[lane] ^= 1 << bit
+	in.flips++
+	in.reload()
+}
+
+// NextPass returns the outcome for the next kernel pass: the next Script
+// entry while the script lasts, then draws from the configured rates.
+func (in *Injector) NextPass() PassOutcome {
+	i := in.pass
+	in.pass++
+	var out PassOutcome
+	if i < int64(len(in.cfg.Script)) {
+		out = in.cfg.Script[i]
+	} else {
+		switch r := in.rng.Float64(); {
+		case in.cfg.StallRate > 0 && r < in.cfg.StallRate:
+			out = PassStall
+		case in.cfg.KernelFailRate > 0 && r < in.cfg.StallRate+in.cfg.KernelFailRate:
+			out = PassKernelFail
+		default:
+			out = PassOK
+		}
+	}
+	switch out {
+	case PassKernelFail:
+		in.kernelFails++
+	case PassStall:
+		in.stalls++
+	}
+	return out
+}
+
+// Passes returns how many pass outcomes have been drawn.
+func (in *Injector) Passes() int64 { return in.pass }
+
+// Flips returns how many lane bit-flips have been injected.
+func (in *Injector) Flips() int64 { return in.flips }
+
+// KernelFails returns how many PassKernelFail outcomes have been drawn.
+func (in *Injector) KernelFails() int64 { return in.kernelFails }
+
+// Stalls returns how many PassStall outcomes have been drawn.
+func (in *Injector) Stalls() int64 { return in.stalls }

@@ -1,0 +1,172 @@
+package faultsim
+
+import (
+	"testing"
+
+	"phiopenssl/internal/vpu"
+)
+
+// TestDeterministicReplay: the same Config must replay bit-identical fault
+// schedules — same flips in the same places, same pass outcomes.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 42, LaneFlipRate: 0.05, KernelFailRate: 0.1, StallRate: 0.05}
+	run := func() ([]vpu.Vec, []PassOutcome) {
+		in := New(cfg)
+		u := vpu.New()
+		u.AttachFaults(in)
+		var vecs []vpu.Vec
+		var passes []PassOutcome
+		for p := 0; p < 50; p++ {
+			passes = append(passes, in.NextPass())
+			for i := 0; i < 40; i++ {
+				vecs = append(vecs, u.Add(vpu.Vec{uint32(i)}, vpu.Vec{uint32(p)}))
+			}
+		}
+		return vecs, passes
+	}
+	v1, p1 := run()
+	v2, p2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("replay diverged at vec %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("replay diverged at pass %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestBitFlipsInjected: with a high flip rate attached to a Unit, results
+// must diverge from clean execution by exactly single-bit lane flips, and
+// the counter must track them.
+func TestBitFlipsInjected(t *testing.T) {
+	in := New(Config{Seed: 7, LaneFlipRate: 0.2})
+	u := vpu.New()
+	u.AttachFaults(in)
+	a := vpu.Vec{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	corrupted := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		got := u.And(a, a) // clean result would be a itself
+		diff := 0
+		for l := range got {
+			x := got[l] ^ a[l]
+			if x != 0 {
+				if x&(x-1) != 0 {
+					t.Fatalf("op %d lane %d: multi-bit corruption %#x", i, l, x)
+				}
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("op %d: %d lanes corrupted, want at most 1 per flip", i, diff)
+		}
+		corrupted += diff
+	}
+	if corrupted == 0 {
+		t.Fatalf("no corruption in %d ops at rate 0.2", n)
+	}
+	if in.Flips() != int64(corrupted) {
+		t.Fatalf("Flips() = %d, observed %d corrupted results", in.Flips(), corrupted)
+	}
+	// Loose two-sided bound around the expected n*rate flips.
+	if corrupted < n/10 || corrupted > n/2 {
+		t.Fatalf("flip count %d implausible for rate 0.2 over %d ops", corrupted, n)
+	}
+	// Detaching restores clean execution.
+	u.AttachFaults(nil)
+	for i := 0; i < 100; i++ {
+		if got := u.And(a, a); got != a {
+			t.Fatalf("corruption after detach: %v", got)
+		}
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero Config must be a no-op.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	in := New(Config{})
+	u := vpu.New()
+	u.AttachFaults(in)
+	a := vpu.Vec{0xdead, 0xbeef}
+	for i := 0; i < 1000; i++ {
+		if got := u.Or(a, a); got != a {
+			t.Fatalf("zero config corrupted a result: %v", got)
+		}
+		if out := in.NextPass(); out != PassOK {
+			t.Fatalf("zero config pass outcome %v", out)
+		}
+	}
+	if in.Flips() != 0 || in.KernelFails() != 0 || in.Stalls() != 0 {
+		t.Fatal("zero config counted faults")
+	}
+}
+
+// TestScriptOverridesRates: scripted outcomes replay verbatim before the
+// rates take over.
+func TestScriptOverridesRates(t *testing.T) {
+	script := []PassOutcome{PassKernelFail, PassOK, PassStall, PassKernelFail}
+	in := New(Config{Seed: 1, Script: script})
+	for i, want := range script {
+		if got := in.NextPass(); got != want {
+			t.Fatalf("pass %d: got %v, want %v", i, got, want)
+		}
+	}
+	// Script exhausted, no rates configured: everything is OK from here.
+	for i := 0; i < 100; i++ {
+		if got := in.NextPass(); got != PassOK {
+			t.Fatalf("post-script pass %d: got %v", i, got)
+		}
+	}
+	if in.KernelFails() != 2 || in.Stalls() != 1 || in.Passes() != 104 {
+		t.Fatalf("counters: fails=%d stalls=%d passes=%d",
+			in.KernelFails(), in.Stalls(), in.Passes())
+	}
+}
+
+// TestForWorkerDerivation: per-worker configs are deterministic and
+// distinct.
+func TestForWorkerDerivation(t *testing.T) {
+	base := Config{Seed: 99, LaneFlipRate: 0.01}
+	seen := map[int64]bool{}
+	for w := 0; w < 8; w++ {
+		c1, c2 := base.ForWorker(w), base.ForWorker(w)
+		if c1.Seed != c2.Seed {
+			t.Fatalf("worker %d derivation not deterministic", w)
+		}
+		if c1.LaneFlipRate != base.LaneFlipRate {
+			t.Fatalf("worker %d rate changed", w)
+		}
+		if seen[c1.Seed] {
+			t.Fatalf("worker %d seed collides", w)
+		}
+		seen[c1.Seed] = true
+	}
+}
+
+// TestPerInstrRate: converting back recovers the per-lane-per-pass rate.
+func TestPerInstrRate(t *testing.T) {
+	p := PerInstrRate(1e-3, 32000)
+	perLane := p * 32000 / 16
+	if perLane < 0.99e-3 || perLane > 1.01e-3 {
+		t.Fatalf("round trip gave %g", perLane)
+	}
+	if PerInstrRate(1e-3, 0) != 0 {
+		t.Fatal("zero instructions should give rate 0")
+	}
+}
+
+// TestNilInjectorSafe: a nil *Injector is a usable no-op Corruptor (the
+// vpu hook may see one through a nil-valued interface field).
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	v := vpu.Vec{1}
+	in.CorruptVec(&v)
+	if v != (vpu.Vec{1}) {
+		t.Fatal("nil injector mutated the vector")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phiopenssl/internal/engine"
 	"phiopenssl/internal/knc"
@@ -53,12 +54,20 @@ type Server[S, J any] struct {
 
 	queue chan J
 
+	// Stall detection (SetJobTimeout): jobs exceeding jobTimeout abandon
+	// their worker state — the simulated hardware thread wedged — and the
+	// worker respawns with fresh state; onTimeout lets the scheduler
+	// re-dispatch the abandoned job.
+	jobTimeout time.Duration
+	onTimeout  func(J)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	workers sync.WaitGroup // worker goroutines
-	janitor sync.WaitGroup // queue-drain goroutine
+	workers  sync.WaitGroup // worker goroutines
+	janitor  sync.WaitGroup // queue-drain goroutine
 	inFlight sync.WaitGroup // Submit calls between intake check and enqueue
+	zombies  sync.WaitGroup // abandoned (timed-out) job executions
 
 	mu      sync.Mutex
 	started bool
@@ -66,6 +75,8 @@ type Server[S, J any] struct {
 
 	jobsRun      atomic.Int64
 	jobsRejected atomic.Int64
+	jobsTimedOut atomic.Int64
+	respawns     atomic.Int64
 }
 
 // NewServer creates a persistent pool of `threads` simulated hardware
@@ -119,6 +130,37 @@ func (s *Server[S, J]) JobsRun() int64 { return s.jobsRun.Load() }
 // callback after cancellation.
 func (s *Server[S, J]) JobsRejected() int64 { return s.jobsRejected.Load() }
 
+// JobsTimedOut returns the number of job executions that exceeded the
+// timeout set by SetJobTimeout.
+func (s *Server[S, J]) JobsTimedOut() int64 { return s.jobsTimedOut.Load() }
+
+// WorkerRespawns returns how many times a worker abandoned a stalled job
+// and respawned with fresh state.
+func (s *Server[S, J]) WorkerRespawns() int64 { return s.respawns.Load() }
+
+// SetJobTimeout bounds each job execution by d: a job still running after d
+// is declared stalled, its worker state is abandoned (the simulated
+// hardware thread wedged), the worker respawns with fresh state from the
+// state factory, and onTimeout (if non-nil) is called with the job so the
+// scheduler can re-dispatch or fail it. d <= 0 disables the bound.
+//
+// The abandoned execution keeps running on its old state in a zombie
+// goroutine — Go cannot kill it — so run functions must eventually return
+// once the server shuts down (e.g. by watching a release channel). Close
+// waits for zombies after the drain. onTimeout must not call Submit (it
+// can deadlock a full queue against the stalled worker); use TrySubmit.
+//
+// SetJobTimeout must be called before Start.
+func (s *Server[S, J]) SetJobTimeout(d time.Duration, onTimeout func(J)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("phipool: SetJobTimeout after Start")
+	}
+	s.jobTimeout = d
+	s.onTimeout = onTimeout
+}
+
 // Start launches the workers. It may be called once; jobs submitted before
 // Start fail with ErrNotStarted.
 func (s *Server[S, J]) Start(ctx context.Context) {
@@ -144,8 +186,9 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 					if !ok {
 						return
 					}
-					s.run(state, j)
-					s.jobsRun.Add(1)
+					if s.runMonitored(&state, j) {
+						s.jobsRun.Add(1)
+					}
 				}
 			}
 		}()
@@ -163,6 +206,66 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 			s.jobsRejected.Add(1)
 		}
 	}()
+}
+
+// runMonitored executes one job, bounding it by the job timeout when one is
+// set. It reports whether the job completed; on timeout it swaps in fresh
+// worker state and leaves the old execution running as a tracked zombie.
+func (s *Server[S, J]) runMonitored(state *S, j J) bool {
+	if s.jobTimeout <= 0 {
+		s.run(*state, j)
+		return true
+	}
+	done := make(chan struct{})
+	s.zombies.Add(1)
+	go func(st S) {
+		defer s.zombies.Done()
+		s.run(st, j)
+		close(done)
+	}(*state)
+	t := time.NewTimer(s.jobTimeout)
+	select {
+	case <-done:
+		t.Stop()
+		return true
+	case <-t.C:
+		s.jobsTimedOut.Add(1)
+		s.respawns.Add(1)
+		*state = s.newState() // the wedged thread's state is abandoned
+		if s.onTimeout != nil {
+			s.onTimeout(j)
+		}
+		return false
+	}
+}
+
+// TrySubmit enqueues one job without blocking: it reports false when the
+// queue is full (or the server is not started, closed, or canceled)
+// instead of waiting for a slot. This is the safe way to re-dispatch from
+// server callbacks, where blocking on a full queue could deadlock against
+// the very worker executing the callback. A true return carries Submit's
+// guarantee: the job will be run or rejected, exactly once.
+func (s *Server[S, J]) TrySubmit(job J) bool {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+
+	select {
+	case <-s.ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case s.queue <- job:
+		return true
+	default:
+		return false
+	}
 }
 
 // Submit enqueues one job, blocking while the queue is full (backpressure).
@@ -212,6 +315,7 @@ func (s *Server[S, J]) Close() {
 		if s.started {
 			s.workers.Wait()
 			s.janitor.Wait()
+			s.zombies.Wait()
 		}
 		return
 	}
@@ -223,6 +327,7 @@ func (s *Server[S, J]) Close() {
 	s.workers.Wait()
 	s.cancel() // wake the janitor if the parent context never fired
 	s.janitor.Wait()
+	s.zombies.Wait() // abandoned executions must unwedge on shutdown
 }
 
 // EngineServer is the engine-job instantiation used by the public facade:

@@ -1,0 +1,234 @@
+package phiserve
+
+// Virtual-time fault model of the resilient scheduler.
+//
+// FaultModel extends the A6 load model with the failure machinery of the
+// live server: per-lane per-pass fault probability, bounded vector
+// retries, degradation to the scalar non-CRT fallback, and the circuit
+// breaker (driven by the simulated clock, so runs replay exactly).
+// Experiment A7 sweeps the lane fault rate against goodput, latency and
+// the fallback fraction with it.
+//
+// Divergences from the live Server, chosen to keep the model
+// deterministic: retry passes run back-to-back on the batch's executor
+// (no re-queueing, no backoff — backoff is host-time hygiene, invisible
+// in simulated time), and the breaker is consulted at execution rather
+// than admission, so while it is open whole batches degrade instead of
+// being split into scalar singletons.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultModel fixes the machine, the measured pass costs, the fault rate
+// and the resilience policy for a virtual-time sweep.
+type FaultModel struct {
+	LoadModel
+	// LaneFaultRate is the probability that one live lane of one kernel
+	// pass is corrupted (and caught by the re-encryption check).
+	LaneFaultRate float64
+	// MaxRetries is the vector retry budget per lane before it degrades
+	// to the scalar fallback (same meaning as Resilience.MaxRetries;
+	// here 0 really is 0).
+	MaxRetries int
+	// ScalarCost is the measured simulated cycle cost of one scalar
+	// non-CRT verified private op — the fallback path's price.
+	ScalarCost float64
+	// Breaker parameters (same semantics as Resilience; cooldown elapses
+	// in simulated time).
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+}
+
+// FaultPoint is one cell of the fault-rate sweep.
+type FaultPoint struct {
+	LoadPoint
+	// LaneFaultRate echoes the model's per-lane per-pass fault rate.
+	LaneFaultRate float64
+	// FaultedLanes counts lane-passes that failed verification.
+	FaultedLanes int64
+	// RetryPasses counts extra kernel passes spent re-running faulted
+	// lanes.
+	RetryPasses int64
+	// FallbackOps counts requests served by the scalar path;
+	// FallbackFraction is their share of all requests.
+	FallbackOps      int64
+	FallbackFraction float64
+	// BreakerTrips counts closed->open transitions (failed probes
+	// included).
+	BreakerTrips int64
+	// MeanAttempts is the mean number of failed vector passes survived
+	// per request.
+	MeanAttempts float64
+}
+
+// Simulate runs n Poisson arrivals at `offered` requests/second through
+// the batching policy and the fault/retry/fallback pipeline. The rng
+// drives arrivals and lane faults; identical inputs replay identically.
+func (m FaultModel) Simulate(rng *rand.Rand, n int, offered float64, deadline time.Duration) (FaultPoint, error) {
+	if n < 1 || offered <= 0 {
+		return FaultPoint{}, fmt.Errorf("phiserve: need n >= 1 arrivals at positive load")
+	}
+	if m.LaneFaultRate < 0 || m.LaneFaultRate > 1 {
+		return FaultPoint{}, fmt.Errorf("phiserve: lane fault rate %g out of [0,1]", m.LaneFaultRate)
+	}
+	if m.ScalarCost <= 0 {
+		return FaultPoint{}, fmt.Errorf("phiserve: ScalarCost not measured")
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for f := 1; f <= BatchSize; f++ {
+		if m.CostPerFill[f] <= 0 {
+			return FaultPoint{}, fmt.Errorf("phiserve: CostPerFill[%d] not measured", f)
+		}
+	}
+
+	arrivals := poissonArrivals(rng, n, offered)
+	batches := formBatches(arrivals, deadline)
+	pt := FaultPoint{
+		LoadPoint:     LoadPoint{Offered: offered, FillDeadline: deadline, Requests: n},
+		LaneFaultRate: m.LaneFaultRate,
+	}
+
+	// Zero breaker fields take the Resilience defaults (MaxRetries stays
+	// literal: a model sweep may genuinely want zero retries).
+	bw, bt, bm, bc := m.BreakerWindow, m.BreakerThreshold, m.BreakerMinSamples, m.BreakerCooldown
+	if bw < 1 {
+		bw = 32
+	}
+	if bt <= 0 {
+		bt = 0.5
+	}
+	if bm < 1 {
+		bm = 8
+	}
+	if bc <= 0 {
+		bc = 100 * time.Millisecond
+	}
+
+	// The live breaker, driven by the simulated clock: the model is
+	// single-threaded, so a shared virtual-now variable is race-free.
+	vnow := 0.0
+	brk := newBreaker(bw, bt, bm, bc)
+	epoch := time.Unix(0, 0)
+	brk.now = func() time.Time {
+		return epoch.Add(time.Duration(vnow * float64(time.Second)))
+	}
+	scalarLat := m.Machine.Latency(workers, m.ScalarCost)
+
+	free := make([]float64, workers)
+	latencies := make([]float64, 0, n)
+	var busy, lastDone, cycles, attemptsSum float64
+	for _, b := range batches {
+		w := 0
+		for k := 1; k < workers; k++ {
+			if free[k] < free[w] {
+				w = k
+			}
+		}
+		start := b.ready
+		if free[w] > start {
+			start = free[w]
+		}
+		vnow = start
+		t := start
+		// resolve attributes completion times to lanes back-to-front:
+		// when a pass faults some of its lanes, the model keeps the last
+		// `faults` arrivals pending — which lanes fault is symmetric, and
+		// a fixed rule keeps the replay deterministic.
+		unresolved := b.size
+		resolve := func(k int, at, attempts float64) {
+			for i := 0; i < k; i++ {
+				unresolved--
+				latencies = append(latencies, at-arrivals[b.first+unresolved])
+			}
+			attemptsSum += attempts * float64(k)
+		}
+		serveScalar := func(k int, attempts float64) {
+			for i := 0; i < k; i++ {
+				t += scalarLat
+				resolve(1, t, attempts)
+			}
+			pt.FallbackOps += int64(k)
+			cycles += float64(k) * m.ScalarCost
+		}
+
+		allow, probe := brk.allowVector()
+		if !allow {
+			serveScalar(b.size, 0)
+		} else {
+			pending := b.size
+			attempt := 0
+			for {
+				faults := 0
+				for l := 0; l < pending; l++ {
+					if rng.Float64() < m.LaneFaultRate {
+						faults++
+					}
+				}
+				t += m.Machine.Latency(workers, m.CostPerFill[pending])
+				vnow = t
+				cycles += m.CostPerFill[pending]
+				pt.FillHist[pending]++
+				if attempt > 0 {
+					pt.RetryPasses++
+				}
+				brk.record(faults > 0, probe)
+				probe = false
+				resolve(pending-faults, t, float64(attempt))
+				pt.FaultedLanes += int64(faults)
+				if faults == 0 {
+					break
+				}
+				attempt++
+				if attempt > m.MaxRetries || !brk.healthy() {
+					serveScalar(faults, float64(attempt))
+					break
+				}
+				pending = faults
+			}
+		}
+		free[w] = t
+		busy += t - start
+		if t > lastDone {
+			lastDone = t
+		}
+	}
+
+	totalPasses := 0
+	for f := 1; f <= BatchSize; f++ {
+		totalPasses += pt.FillHist[f]
+	}
+	if totalPasses > 0 {
+		// MeanFill counts first-attempt fills only when nothing retries;
+		// with retries in the histogram it is the mean live lanes per
+		// executed pass — the honest lane-utilization figure.
+		pt.MeanFill = float64(n) / float64(len(batches))
+	}
+	pt.CyclesPerOp = cycles / float64(n)
+	pt.FallbackFraction = float64(pt.FallbackOps) / float64(n)
+	pt.MeanAttempts = attemptsSum / float64(n)
+	_, pt.BreakerTrips = brk.snapshot()
+	span := lastDone - arrivals[0]
+	if span > 0 {
+		pt.Throughput = float64(n) / span
+		pt.Utilization = busy / (span * float64(workers))
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	secs := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	pt.MeanLatency = secs(sum / float64(n))
+	pt.P50Latency = secs(latencies[(50*n+99)/100-1])
+	pt.P99Latency = secs(latencies[(99*n+99)/100-1])
+	return pt, nil
+}

@@ -37,6 +37,54 @@ type LoadModel struct {
 	CostPerFill [BatchSize + 1]float64
 }
 
+// simBatch is one dispatched batch in the virtual-time models.
+type simBatch struct {
+	first, size int
+	ready       float64 // earliest possible dispatch time
+}
+
+// poissonArrivals draws n Poisson arrival times at `offered` requests per
+// simulated second.
+func poissonArrivals(rng *rand.Rand, n int, offered float64) []float64 {
+	arrivals := make([]float64, n)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / offered
+		arrivals[i] = t
+	}
+	return arrivals
+}
+
+// formBatches replays the scheduler's batching policy over an arrival
+// trace: a batch opens at its first arrival and closes at the earlier of
+// deadline expiry and the sixteenth request.
+func formBatches(arrivals []float64, deadline time.Duration) []simBatch {
+	n := len(arrivals)
+	dl := deadline.Seconds()
+	var batches []simBatch
+	for i := 0; i < n; {
+		closeAt := arrivals[i] + dl
+		j := i + 1
+		for j < n && j-i < BatchSize && arrivals[j] <= closeAt {
+			j++
+		}
+		ready := closeAt
+		if j-i == BatchSize {
+			ready = arrivals[j-1]
+		}
+		if j == n && arrivals[n-1] < closeAt {
+			// The trace ends inside the fill window; treat trace end as a
+			// graceful Close and flush immediately (like Server.Close),
+			// so the last batch's deadline wait cannot distort the
+			// aggregate throughput of a finite trace.
+			ready = arrivals[n-1]
+		}
+		batches = append(batches, simBatch{first: i, size: j - i, ready: ready})
+		i = j
+	}
+	return batches
+}
+
 // LoadPoint is one cell of the load/deadline sweep.
 type LoadPoint struct {
 	// Offered is the arrival rate in requests per simulated second.
@@ -78,45 +126,9 @@ func (m LoadModel) Simulate(rng *rand.Rand, n int, offered float64, deadline tim
 			return LoadPoint{}, fmt.Errorf("phiserve: CostPerFill[%d] not measured", f)
 		}
 	}
-	dl := deadline.Seconds()
-
-	// Poisson arrivals.
-	arrivals := make([]float64, n)
-	t := 0.0
-	for i := range arrivals {
-		t += rng.ExpFloat64() / offered
-		arrivals[i] = t
-	}
-
+	arrivals := poissonArrivals(rng, n, offered)
+	batches := formBatches(arrivals, deadline)
 	pt := LoadPoint{Offered: offered, FillDeadline: deadline, Requests: n}
-
-	// Greedy batching: a batch opens at its first arrival and closes at
-	// the earlier of deadline expiry and the sixteenth request.
-	type simBatch struct {
-		first, size int
-		ready       float64 // earliest possible dispatch time
-	}
-	var batches []simBatch
-	for i := 0; i < n; {
-		closeAt := arrivals[i] + dl
-		j := i + 1
-		for j < n && j-i < BatchSize && arrivals[j] <= closeAt {
-			j++
-		}
-		ready := closeAt
-		if j-i == BatchSize {
-			ready = arrivals[j-1]
-		}
-		if j == n && arrivals[n-1] < closeAt {
-			// The trace ends inside the fill window; treat trace end as a
-			// graceful Close and flush immediately (like Server.Close),
-			// so the last batch's deadline wait cannot distort the
-			// aggregate throughput of a finite trace.
-			ready = arrivals[n-1]
-		}
-		batches = append(batches, simBatch{first: i, size: j - i, ready: ready})
-		i = j
-	}
 
 	// FIFO service on `workers` executors; one pass occupies one executor
 	// for the pass's simulated latency at this worker count.

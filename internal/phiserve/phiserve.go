@@ -20,7 +20,16 @@
 // fail-fast rejection of queued batches when the context is canceled.
 // Results return asynchronously on a per-request channel together with
 // the simulated per-request latency; Stats aggregates queue depth, the
-// batch fill-rate histogram, cycles/op and simulated throughput.
+// batch fill-rate histogram, cycles/op, simulated throughput and the
+// resilience counters.
+//
+// Execution is verified and survivable (see resilience.go): every pass
+// runs the Bellcore re-encryption check per lane, fault-detected lanes
+// retry on fresh batches with exponential backoff and degrade to the
+// scalar non-CRT baseline path after MaxRetries, stalled workers are
+// detected by an execution timeout and respawned, and a circuit breaker
+// trips on the rolling pass-fault rate — while open, submissions bypass
+// the vector path entirely and half-open probe batches test recovery.
 package phiserve
 
 import (
@@ -28,13 +37,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/phipool"
 	"phiopenssl/internal/rsakit"
-	"phiopenssl/internal/vpu"
 )
 
 // BatchSize is the number of lanes in one batch (one request per lane).
@@ -68,6 +77,11 @@ type Config struct {
 	// workers; a full queue blocks dispatch and, transitively, Submit
 	// (backpressure). Defaults to 2*Workers.
 	QueueDepth int
+	// Resilience configures verified execution's retry/fallback policy,
+	// the circuit breaker, the stall timeout and (for tests/benches) fault
+	// injection. The zero value gives the defaults documented on the
+	// Resilience type; execution is always verified regardless.
+	Resilience Resilience
 }
 
 func (c Config) withDefaults() Config {
@@ -86,26 +100,36 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 2 * c.Workers
 	}
+	c.Resilience = c.Resilience.withDefaults()
 	return c
 }
 
 // Result is the outcome of one request.
 type Result struct {
-	// M is the plaintext (c^D mod N); valid when Err is nil.
+	// M is the plaintext (c^D mod N); valid when Err is nil. Every
+	// plaintext released here passed the Bellcore re-encryption check
+	// (m^E mod N == c) on the path that produced it.
 	M bn.Nat
 	// Err is ErrCanceled for abandoned requests, or the batch-level
 	// failure that poisoned this request's batch.
 	Err error
 	// BatchFill is the number of live lanes in the batch that served this
-	// request (1..BatchSize).
+	// request (1..BatchSize; always 1 on the scalar fallback path).
 	BatchFill int
-	// BatchCycles is the simulated cycle cost of that batch's kernel
-	// pass.
+	// BatchCycles is the simulated cycle cost of the kernel pass (or
+	// scalar op) that served this request.
 	BatchCycles float64
 	// SimLatency is this request's service latency in seconds on the
 	// simulated machine: one kernel pass at the server's worker count
 	// (queueing delay is host-side and reported by the A6 load model).
 	SimLatency float64
+	// Fallback reports that the request was served by the scalar non-CRT
+	// baseline path: the breaker was open, or retries were exhausted.
+	Fallback bool
+	// Attempts is the number of failed vector passes this request survived
+	// before the pass (or fallback) that resolved it; 0 on a clean first
+	// pass.
+	Attempts int
 }
 
 // request is one queued private-key operation.
@@ -113,12 +137,31 @@ type request struct {
 	key  *rsakit.PrivateKey
 	c    bn.Nat
 	resp chan Result // buffered(1); receives exactly one Result
+	done atomic.Bool // set by resolve; guards exactly-once delivery
+}
+
+// resolve delivers the request's Result exactly once: with stalled-batch
+// respawns and retried passes, more than one execution path can race to
+// answer the same request, and only the first wins. It reports whether
+// this call was the winner (callers count stats only then).
+func (r *request) resolve(res Result) bool {
+	if !r.done.CompareAndSwap(false, true) {
+		return false
+	}
+	r.resp <- res
+	return true
 }
 
 // batch is the scheduler's dispatch unit.
 type batch struct {
 	key  *rsakit.PrivateKey
 	reqs []*request
+	// fallback routes the batch straight to the scalar path (breaker open
+	// at admission).
+	fallback bool
+	// attempts counts execution attempts already spent on this batch's
+	// requests (stall-timeout re-dispatches).
+	attempts int
 }
 
 // pending is one key's open batch: requests accumulated since the buffer
@@ -142,7 +185,7 @@ type flushMsg struct {
 // key set.
 type Server struct {
 	cfg  Config
-	pool *phipool.Server[*vpu.Unit, *batch]
+	pool *phipool.Server[*worker, *batch]
 
 	intake chan *request
 	flush  chan flushMsg
@@ -150,6 +193,17 @@ type Server struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	schedDone chan struct{}
+
+	// breaker gates the vector path on the rolling fault rate.
+	breaker *breaker
+	// release is closed by Close before the pool drains: workers parked on
+	// an injected stall wake up and serve their leftovers via the scalar
+	// path so the drain can finish.
+	release     chan struct{}
+	releaseOnce sync.Once
+	// workerSeq numbers worker states for per-worker fault/jitter seeds;
+	// respawned workers get fresh numbers (fresh schedules).
+	workerSeq atomic.Int64
 
 	mu       sync.Mutex
 	started  bool
@@ -166,16 +220,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Machine.MaxThreads() < 1 {
 		return nil, fmt.Errorf("phiserve: machine %q has no hardware threads", cfg.Machine.Name)
 	}
+	r := cfg.Resilience
 	s := &Server{
 		cfg:       cfg,
 		intake:    make(chan *request, BatchSize),
 		flush:     make(chan flushMsg, 1),
 		schedDone: make(chan struct{}),
+		breaker: newBreaker(r.BreakerWindow, r.BreakerThreshold,
+			r.BreakerMinSamples, r.BreakerCooldown),
+		release: make(chan struct{}),
 	}
 	pool, err := phipool.NewServer(cfg.Machine, cfg.Workers, cfg.QueueDepth,
-		vpu.New, s.runBatch, s.rejectBatch)
+		s.newWorker, s.runBatch, s.rejectBatch)
 	if err != nil {
 		return nil, err
+	}
+	if r.ExecTimeout > 0 {
+		pool.SetJobTimeout(r.ExecTimeout, s.retryTimedOut)
 	}
 	s.pool = pool
 	return s, nil
@@ -284,9 +345,13 @@ func (s *Server) Close() {
 	// After cancellation the scheduler exits without draining the intake
 	// buffer; resolve whatever it left behind.
 	for req := range s.intake {
-		req.resp <- Result{Err: ErrCanceled}
-		s.stats.failed.Add(1)
+		if req.resolve(Result{Err: ErrCanceled}) {
+			s.stats.failed.Add(1)
+		}
 	}
+	// Wake workers parked on injected stalls before draining the pool, or
+	// the drain would wait on them forever.
+	s.releaseOnce.Do(func() { close(s.release) })
 	s.pool.Close()
 	s.cancel()
 }
@@ -302,27 +367,16 @@ func (s *Server) schedule() {
 		delete(open, key)
 		p.timer.Stop()
 		s.stats.pendingLanes.Add(int64(-len(p.reqs)))
-		b := &batch{key: key, reqs: p.reqs}
-		if err := s.pool.Submit(s.ctx, b); err != nil {
-			// The pool's context is a child of s.ctx, so cancellation can
-			// surface either as the pool's sentinel or as the caller
-			// context's own error, depending on which select case wins.
-			if errors.Is(err, phipool.ErrCanceled) || errors.Is(err, context.Canceled) {
-				err = ErrCanceled
-			}
-			for _, r := range b.reqs {
-				r.resp <- Result{Err: err}
-			}
-			s.stats.failed.Add(int64(len(b.reqs)))
-		}
+		s.submitBatch(&batch{key: key, reqs: p.reqs})
 	}
 	failAll := func() {
 		for key, p := range open {
 			p.timer.Stop()
 			for _, r := range p.reqs {
-				r.resp <- Result{Err: ErrCanceled}
+				if r.resolve(Result{Err: ErrCanceled}) {
+					s.stats.failed.Add(1)
+				}
 			}
-			s.stats.failed.Add(int64(len(p.reqs)))
 			s.stats.pendingLanes.Add(int64(-len(p.reqs)))
 			delete(open, key)
 		}
@@ -346,6 +400,13 @@ func (s *Server) schedule() {
 				}
 				return
 			}
+			if s.breaker.degraded() {
+				// Breaker open: don't buffer toward a vector batch that
+				// will not run — dispatch straight to the scalar fallback,
+				// one request per job.
+				s.submitBatch(&batch{key: req.key, reqs: []*request{req}, fallback: true})
+				continue
+			}
 			p := open[req.key]
 			if p == nil {
 				gen++
@@ -356,6 +417,24 @@ func (s *Server) schedule() {
 			s.stats.pendingLanes.Add(1)
 			if len(p.reqs) == BatchSize {
 				dispatch(req.key)
+			}
+		}
+	}
+}
+
+// submitBatch hands a batch to the pool, failing its requests if the pool
+// is already dead.
+func (s *Server) submitBatch(b *batch) {
+	if err := s.pool.Submit(s.ctx, b); err != nil {
+		// The pool's context is a child of s.ctx, so cancellation can
+		// surface either as the pool's sentinel or as the caller
+		// context's own error, depending on which select case wins.
+		if errors.Is(err, phipool.ErrCanceled) || errors.Is(err, context.Canceled) {
+			err = ErrCanceled
+		}
+		for _, r := range b.reqs {
+			if r.resolve(Result{Err: err}) {
+				s.stats.failed.Add(1)
 			}
 		}
 	}
@@ -374,45 +453,19 @@ func (s *Server) armDeadline(key *rsakit.PrivateKey, gen uint64) *time.Timer {
 	})
 }
 
-// runBatch executes one batch on a worker's private vector unit.
-func (s *Server) runBatch(u *vpu.Unit, b *batch) {
-	u.Reset()
-	cs := make([]bn.Nat, len(b.reqs))
-	for i, r := range b.reqs {
-		cs[i] = r.c
-	}
-	out, err := rsakit.PrivateOpBatchN(u, b.key, cs)
-	if err != nil {
-		for _, r := range b.reqs {
-			r.resp <- Result{Err: err}
-		}
-		s.stats.failed.Add(int64(len(b.reqs)))
-		return
-	}
-	fill := len(b.reqs)
-	cycles := knc.KNCVectorCosts.VectorCycles(u.Counts())
-	simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
-	for i, r := range b.reqs {
-		r.resp <- Result{
-			M:           out[i],
-			BatchFill:   fill,
-			BatchCycles: cycles,
-			SimLatency:  simLat,
-		}
-	}
-	s.stats.recordBatch(fill, cycles, simLat)
-}
-
 // rejectBatch fails a batch abandoned in the dispatch queue by
 // cancellation.
 func (s *Server) rejectBatch(b *batch) {
 	for _, r := range b.reqs {
-		r.resp <- Result{Err: ErrCanceled}
+		if r.resolve(Result{Err: ErrCanceled}) {
+			s.stats.failed.Add(1)
+		}
 	}
-	s.stats.failed.Add(int64(len(b.reqs)))
 }
 
 // Stats returns a consistent snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot(s.cfg, s.pool.QueueDepth())
+	bstate, trips := s.breaker.snapshot()
+	return s.stats.snapshot(s.cfg, s.pool.QueueDepth(),
+		s.pool.JobsTimedOut(), s.pool.WorkerRespawns(), bstate, trips)
 }

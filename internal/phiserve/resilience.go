@@ -1,0 +1,351 @@
+package phiserve
+
+import (
+	mrand "math/rand"
+	"time"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
+	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/vpu"
+)
+
+// Resilience is the server's survival policy for a faulty coprocessor.
+// Execution is always verified (the Bellcore re-encryption check runs on
+// every pass); Resilience decides what happens when verification fails,
+// when a worker stalls, and when faults become frequent enough that the
+// vector path should be abandoned wholesale.
+//
+// All randomness — fault schedules and retry jitter — is seeded, so a
+// given configuration replays bit-identically.
+type Resilience struct {
+	// MaxRetries is how many fresh-batch vector retries a fault-detected
+	// lane gets before degrading to the scalar fallback. 0 means the
+	// default (2); -1 disables retries (first fault degrades).
+	MaxRetries int
+	// RetryBackoff is the base host-time delay before the first retry
+	// pass; it doubles per attempt, with seeded jitter drawn from
+	// [base/2, base] of the doubled value. 0 retries immediately.
+	RetryBackoff time.Duration
+	// ExecTimeout bounds one batch execution on a worker. A batch still
+	// running after it is declared stalled: the worker respawns with a
+	// fresh vector unit (and fresh fault schedule), and the batch is
+	// re-dispatched or served by the fallback. It must comfortably exceed
+	// the host time of one kernel pass at the configured key size. 0
+	// disables stall detection — an injected stall then parks its worker
+	// until Close.
+	ExecTimeout time.Duration
+	// BreakerWindow is the rolling window of pass outcomes the circuit
+	// breaker watches. Default 32.
+	BreakerWindow int
+	// BreakerThreshold is the faulty-pass fraction that trips the breaker
+	// once BreakerMinSamples outcomes are in the window. Default 0.5; set
+	// above 1 to disable tripping.
+	BreakerThreshold float64
+	// BreakerMinSamples gates tripping until the window has evidence.
+	// Default 8.
+	BreakerMinSamples int
+	// BreakerCooldown is how long the breaker stays open before
+	// half-opening with a probe batch. Default 100ms (host time).
+	BreakerCooldown time.Duration
+	// Seed drives retry jitter (per-worker streams derived from it). The
+	// fault schedule has its own seed inside Faults.
+	Seed int64
+	// Faults, when non-nil and enabled, attaches a deterministic fault
+	// injector to every worker's vector unit, with per-worker schedules
+	// derived from Faults.Seed. Respawned workers draw fresh schedules.
+	Faults *faultsim.Config
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = 2
+	}
+	if r.MaxRetries < 0 {
+		r.MaxRetries = 0 // -1 sentinel: no retries
+	}
+	if r.BreakerWindow < 1 {
+		r.BreakerWindow = 32
+	}
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = 0.5
+	}
+	if r.BreakerMinSamples < 1 {
+		r.BreakerMinSamples = 8
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = 100 * time.Millisecond
+	}
+	return r
+}
+
+// jitterSeedOffset separates the retry-jitter seed stream from the fault
+// stream when both derive from the same top-level seed.
+const jitterSeedOffset = 0x6a69747465 // "jitte"
+
+// worker is one simulated hardware thread's private state: its vector
+// unit, its (optional) fault injector, a lazily built scalar engine for
+// the fallback path, and a seeded jitter source. Respawned workers get a
+// fresh index, hence fresh deterministic streams.
+type worker struct {
+	unit   *vpu.Unit
+	inj    *faultsim.Injector
+	scalar engine.Engine
+	rng    *mrand.Rand
+}
+
+func (w *worker) scalarEngine() engine.Engine {
+	if w.scalar == nil {
+		// The card's stock scalar library: non-CRT ops on it never touch
+		// the vector unit, so injected VPU faults cannot reach them.
+		w.scalar = baseline.NewMPSS()
+	}
+	return w.scalar
+}
+
+// newWorker is the pool's state factory.
+func (s *Server) newWorker() *worker {
+	idx := int(s.workerSeq.Add(1)) - 1
+	r := s.cfg.Resilience
+	w := &worker{
+		unit: vpu.New(),
+		rng: mrand.New(mrand.NewSource(
+			faultsim.Config{Seed: r.Seed + jitterSeedOffset}.ForWorker(idx).Seed)),
+	}
+	if r.Faults != nil && r.Faults.Enabled() {
+		w.inj = faultsim.New(r.Faults.ForWorker(idx))
+		w.unit.AttachFaults(w.inj)
+	}
+	return w
+}
+
+// liveReqs filters out requests that were already resolved (a stalled
+// batch's requests may have been answered by a re-dispatch racing the
+// zombie execution).
+func liveReqs(reqs []*request) []*request {
+	out := make([]*request, 0, len(reqs))
+	for _, q := range reqs {
+		if !q.done.Load() {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// runBatch executes one batch on a worker. This is where the whole
+// resilience policy lives:
+//
+//	fallback batch, or breaker open  -> scalar path
+//	injected stall                   -> park until release/timeout respawn
+//	kernel failure / faulted lanes   -> breaker feedback, bounded retries
+//	                                    with backoff, then scalar fallback
+//
+// Clean lanes resolve as soon as their pass verifies; only faulted lanes
+// ride into the retry passes.
+func (s *Server) runBatch(w *worker, b *batch) {
+	if b.fallback {
+		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts)
+		return
+	}
+	allow, probe := s.breaker.allowVector()
+	if !allow {
+		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts)
+		return
+	}
+	pending := liveReqs(b.reqs)
+	if len(pending) == 0 {
+		return
+	}
+	attempt := b.attempts
+	for {
+		outcome := faultsim.PassOK
+		if w.inj != nil {
+			outcome = w.inj.NextPass()
+		}
+		if outcome == faultsim.PassStall {
+			// The hardware thread wedged mid-pass. The pool's ExecTimeout
+			// monitor (if configured) has respawned the worker and
+			// re-dispatched the batch; this goroutine is the zombie. Park
+			// until shutdown, then serve whatever is still unresolved.
+			s.stats.stalledPasses.Add(1)
+			s.breaker.record(true, probe)
+			if s.awaitStallRelease() {
+				// Graceful drain: the vector unit is gone but the scalar
+				// path still works; no request is left behind.
+				s.runScalarOn(w.scalarEngine(), pending, attempt+1)
+			} else {
+				for _, q := range pending {
+					if q.resolve(Result{Err: ErrCanceled}) {
+						s.stats.failed.Add(1)
+					}
+				}
+			}
+			return
+		}
+
+		var faulted []*request
+		if outcome == faultsim.PassKernelFail {
+			// Transient whole-kernel failure: the pass aborted, no lane
+			// produced a result.
+			s.stats.kernelFaults.Add(1)
+			s.breaker.record(true, probe)
+			faulted = pending
+		} else {
+			w.unit.Reset()
+			cs := make([]bn.Nat, len(pending))
+			for i, q := range pending {
+				cs[i] = q.c
+			}
+			out, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(w.unit, b.key, cs)
+			if err != nil {
+				for _, q := range pending {
+					if q.resolve(Result{Err: err}) {
+						s.stats.failed.Add(1)
+					}
+				}
+				s.breaker.record(true, probe)
+				return
+			}
+			fill := len(pending)
+			cycles := knc.KNCVectorCosts.VectorCycles(w.unit.Counts())
+			simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
+			served := 0
+			for i, q := range pending {
+				if laneErrs[i] != nil {
+					faulted = append(faulted, q)
+					continue
+				}
+				if q.resolve(Result{
+					M:           out[i],
+					BatchFill:   fill,
+					BatchCycles: cycles,
+					SimLatency:  simLat,
+					Attempts:    attempt,
+				}) {
+					served++
+				}
+			}
+			s.stats.recordBatch(fill, served, cycles, simLat)
+			s.stats.faultsDetected.Add(int64(len(faulted)))
+			s.breaker.record(len(faulted) > 0, probe)
+		}
+		probe = false // only this batch's first pass can be the probe
+		if len(faulted) == 0 {
+			return
+		}
+		attempt++
+		if attempt > s.cfg.Resilience.MaxRetries || !s.breaker.healthy() {
+			s.runScalarOn(w.scalarEngine(), faulted, attempt)
+			return
+		}
+		s.stats.retries.Add(int64(len(faulted)))
+		if !s.backoff(w, attempt) {
+			for _, q := range faulted {
+				if q.resolve(Result{Err: ErrCanceled}) {
+					s.stats.failed.Add(1)
+				}
+			}
+			return
+		}
+		pending = faulted
+	}
+}
+
+// awaitStallRelease parks a stalled execution. It returns true when Close
+// released it for a graceful drain (serve leftovers via the scalar path)
+// and false when the server was canceled (fail leftovers).
+func (s *Server) awaitStallRelease() bool {
+	select {
+	case <-s.release:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// backoff sleeps before retry pass `attempt` (1-based): exponential in the
+// attempt with jitter drawn from the worker's seeded stream. It returns
+// false when the server was canceled mid-sleep; a graceful Close instead
+// cuts the sleep short and retries immediately.
+func (s *Server) backoff(w *worker, attempt int) bool {
+	base := s.cfg.Resilience.RetryBackoff
+	if base <= 0 {
+		return true
+	}
+	d := base << uint(attempt-1)
+	half := d / 2
+	j := d
+	if half > 0 {
+		j = half + time.Duration(w.rng.Int63n(int64(half)+1))
+	}
+	t := time.NewTimer(j)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.release:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// runScalarOn serves requests one at a time on the scalar non-CRT baseline
+// path — the degraded mode. Non-CRT means a fault cannot leak a factor of
+// N even in principle, and the scalar engine never touches the (possibly
+// sick) vector unit; verification stays on as defense in depth.
+func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int) {
+	opts := rsakit.PrivateOpts{UseCRT: false, Verify: true}
+	for _, q := range reqs {
+		if q.done.Load() {
+			continue
+		}
+		eng.Reset()
+		m, err := rsakit.PrivateOp(eng, q.key, q.c, opts)
+		cycles := eng.Cycles()
+		simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
+		if err != nil {
+			if q.resolve(Result{Err: err, Fallback: true, Attempts: attempts}) {
+				s.stats.failed.Add(1)
+			}
+			continue
+		}
+		if q.resolve(Result{
+			M:           m,
+			BatchFill:   1,
+			BatchCycles: cycles,
+			SimLatency:  simLat,
+			Fallback:    true,
+			Attempts:    attempts,
+		}) {
+			s.stats.recordFallback(cycles, simLat)
+		}
+	}
+}
+
+// retryTimedOut is the pool's onTimeout callback: the batch exceeded
+// ExecTimeout (a stalled worker was just respawned). Re-dispatch it
+// non-blockingly while retry budget remains; otherwise — or when the
+// dispatch queue is full — serve the leftovers inline on a fresh scalar
+// engine. Runs on the (respawned) worker's monitor goroutine, so inline
+// scalar work here occupies exactly the hardware thread that stalled.
+func (s *Server) retryTimedOut(b *batch) {
+	nb := &batch{
+		key:      b.key,
+		reqs:     liveReqs(b.reqs),
+		fallback: b.fallback,
+		attempts: b.attempts + 1,
+	}
+	if len(nb.reqs) == 0 {
+		return
+	}
+	if !nb.fallback && nb.attempts <= s.cfg.Resilience.MaxRetries && s.breaker.healthy() {
+		if s.pool.TrySubmit(nb) {
+			return
+		}
+	}
+	s.runScalarOn(baseline.NewMPSS(), nb.reqs, nb.attempts)
+}

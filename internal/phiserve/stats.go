@@ -11,9 +11,10 @@ import (
 type Stats struct {
 	// Submitted / Completed / Failed count requests accepted by Submit,
 	// resolved with a plaintext, and resolved with an error
-	// (cancellation included).
+	// (cancellation included). Completed includes fallback-served ops.
 	Submitted, Completed, Failed int64
-	// Batches is the number of kernel passes executed.
+	// Batches is the number of kernel passes executed (retry passes
+	// included; scalar fallback ops are not batches).
 	Batches int64
 	// DeadlineFires counts batches dispatched by the fill deadline rather
 	// than by filling all lanes.
@@ -31,9 +32,9 @@ type Stats struct {
 	QueueDepth int
 	// TotalSimCycles is the sum of simulated cycles across kernel passes.
 	TotalSimCycles float64
-	// CyclesPerOp is TotalSimCycles / Completed: the amortized simulated
-	// cost of one request, the figure to compare against the per-op
-	// engine (ablation A4).
+	// CyclesPerOp is (TotalSimCycles + FallbackCycles) / Completed: the
+	// amortized simulated cost of one request, including what faults made
+	// the server spend on retries and the scalar path.
 	CyclesPerOp float64
 	// SimThroughput is ops/second on the simulated machine at the
 	// configured worker count, per the KNC issue-efficiency model.
@@ -41,6 +42,32 @@ type Stats struct {
 	// MeanSimLatency is the mean per-request service latency in seconds
 	// on the simulated machine (one kernel pass; queueing excluded).
 	MeanSimLatency float64
+
+	// FaultsDetected counts lanes whose pass failed the Bellcore
+	// re-encryption check (each retry pass can add more).
+	FaultsDetected int64
+	// KernelFaults counts whole-pass transient kernel failures.
+	KernelFaults int64
+	// StalledPasses counts passes that wedged their worker (injected
+	// stalls observed by the execution path).
+	StalledPasses int64
+	// TimedOutBatches counts batch executions abandoned by the
+	// ExecTimeout monitor.
+	TimedOutBatches int64
+	// WorkerRespawns counts workers rebuilt after a stall.
+	WorkerRespawns int64
+	// Retries counts lane-operations re-executed on the vector path after
+	// a detected fault.
+	Retries int64
+	// FallbackOps counts requests served by the scalar non-CRT path
+	// (breaker open, retries exhausted, or drain of a stalled batch).
+	FallbackOps int64
+	// FallbackCycles is the simulated cycle sum spent on the scalar path.
+	FallbackCycles float64
+	// BreakerTrips counts closed->open (and failed-probe) transitions.
+	BreakerTrips int64
+	// BreakerState is "closed", "open" or "half-open" at snapshot time.
+	BreakerState string
 }
 
 // String renders a one-line summary.
@@ -51,60 +78,100 @@ func (st Stats) String() string {
 			fills = append(fills, fmt.Sprintf("%d:%d", f, st.FillHist[f]))
 		}
 	}
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"submitted=%d completed=%d failed=%d batches=%d meanFill=%.1f cycles/op=%.0f simThroughput=%.0f fills[%s]",
 		st.Submitted, st.Completed, st.Failed, st.Batches, st.MeanFill,
 		st.CyclesPerOp, st.SimThroughput, strings.Join(fills, " "))
+	if st.FaultsDetected+st.KernelFaults+st.StalledPasses+st.FallbackOps+st.BreakerTrips > 0 {
+		line += fmt.Sprintf(
+			" faults=%d kernelFaults=%d stalls=%d retries=%d fallback=%d trips=%d breaker=%s",
+			st.FaultsDetected, st.KernelFaults, st.StalledPasses, st.Retries,
+			st.FallbackOps, st.BreakerTrips, st.BreakerState)
+	}
+	return line
 }
 
 // statsAcc is the internal accumulator. Counters touched on the Submit
-// path are atomics; per-batch aggregates share one mutex taken once per
-// kernel pass.
+// and fault paths are atomics; per-batch aggregates share one mutex taken
+// once per kernel pass.
 type statsAcc struct {
 	submitted     atomic.Int64
 	failed        atomic.Int64
 	pendingLanes  atomic.Int64
 	deadlineFires atomic.Int64
 
-	mu        sync.Mutex
-	completed int64
-	batches   int64
-	fillHist  [BatchSize + 1]int64
-	cycles    float64
-	latencySum float64 // sum over requests of their batch's sim latency
+	faultsDetected atomic.Int64
+	kernelFaults   atomic.Int64
+	stalledPasses  atomic.Int64
+	retries        atomic.Int64
+
+	mu             sync.Mutex
+	completed      int64
+	batches        int64
+	fillSum        int64
+	fillHist       [BatchSize + 1]int64
+	cycles         float64
+	latencySum     float64 // sum over requests of their pass's sim latency
+	fallbackOps    int64
+	fallbackCycles float64
 }
 
-func (a *statsAcc) recordBatch(fill int, cycles, simLat float64) {
+// recordBatch accounts one executed kernel pass: fill live lanes packed,
+// of which `served` resolved their request here (faulted lanes and lanes
+// whose request a racing path already answered are excluded).
+func (a *statsAcc) recordBatch(fill, served int, cycles, simLat float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.batches++
 	a.fillHist[fill]++
-	a.completed += int64(fill)
+	a.fillSum += int64(fill)
+	a.completed += int64(served)
 	a.cycles += cycles
-	a.latencySum += simLat * float64(fill)
+	a.latencySum += simLat * float64(served)
 }
 
-func (a *statsAcc) snapshot(cfg Config, queueDepth int) Stats {
+// recordFallback accounts one request served by the scalar path.
+func (a *statsAcc) recordFallback(cycles, simLat float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.completed++
+	a.fallbackOps++
+	a.fallbackCycles += cycles
+	a.latencySum += simLat
+}
+
+func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64, bstate breakerState, trips int64) Stats {
 	a.mu.Lock()
 	st := Stats{
-		Submitted:      a.submitted.Load(),
-		Completed:      a.completed,
-		Failed:         a.failed.Load(),
-		Batches:        a.batches,
-		DeadlineFires:  a.deadlineFires.Load(),
-		FillHist:       a.fillHist,
-		PendingLanes:   int(a.pendingLanes.Load()),
-		QueueDepth:     queueDepth,
-		TotalSimCycles: a.cycles,
+		Submitted:       a.submitted.Load(),
+		Completed:       a.completed,
+		Failed:          a.failed.Load(),
+		Batches:         a.batches,
+		DeadlineFires:   a.deadlineFires.Load(),
+		FillHist:        a.fillHist,
+		PendingLanes:    int(a.pendingLanes.Load()),
+		QueueDepth:      queueDepth,
+		TotalSimCycles:  a.cycles,
+		FaultsDetected:  a.faultsDetected.Load(),
+		KernelFaults:    a.kernelFaults.Load(),
+		StalledPasses:   a.stalledPasses.Load(),
+		TimedOutBatches: timedOut,
+		WorkerRespawns:  respawns,
+		Retries:         a.retries.Load(),
+		FallbackOps:     a.fallbackOps,
+		FallbackCycles:  a.fallbackCycles,
+		BreakerTrips:    trips,
+		BreakerState:    bstate.String(),
 	}
+	fillSum := a.fillSum
 	latencySum := a.latencySum
 	a.mu.Unlock()
 
 	if st.Batches > 0 {
-		st.MeanFill = float64(st.Completed) / float64(st.Batches)
+		st.MeanFill = float64(fillSum) / float64(st.Batches)
 	}
 	if st.Completed > 0 {
-		st.CyclesPerOp = st.TotalSimCycles / float64(st.Completed)
+		st.CyclesPerOp = (st.TotalSimCycles + st.FallbackCycles) / float64(st.Completed)
 		st.SimThroughput = cfg.Machine.Throughput(cfg.Workers, st.CyclesPerOp)
 		st.MeanSimLatency = latencySum / float64(st.Completed)
 	}

@@ -59,6 +59,52 @@ func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error
 	return out, nil
 }
 
+// PrivateOpBatchVerifiedN is PrivateOpBatchN followed by the batch Bellcore
+// countermeasure: every lane's result is re-encrypted in one shared-exponent
+// vector pass mod N (m^E) and compared against its ciphertext before
+// release. Lanes that fail the check — including results a fault pushed out
+// of [0, N) — come back as a zero Nat with a per-lane error wrapping
+// ErrFaultDetected; clean lanes have a nil entry. The error slice is
+// lane-aligned with cs. The second return is the batch-level error
+// (malformed inputs), under which no per-lane results exist.
+//
+// The verification pass runs on the same unit u and is metered there, so
+// schedulers charge the countermeasure's cycles to the batch that incurred
+// them. A fault striking the verification pass itself can only flag a good
+// lane (fail-safe — the caller retries); for it to mask a bad lane the
+// corrupted re-encryption would have to collide with the ciphertext.
+func PrivateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, error) {
+	out, err := PrivateOpBatchN(u, key, cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctxN, err := vbatch.NewCtx(key.N, u)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rsakit: batch N context: %w", err)
+	}
+	laneErrs := make([]error, len(out))
+	var ms [BatchSize]bn.Nat
+	for l, m := range out {
+		if m.Cmp(key.N) >= 0 {
+			// Out of range is already proof of a fault; leave the lane's
+			// slot zero so the verification pass stays well-formed.
+			laneErrs[l] = fmt.Errorf("%w (lane %d result out of range)", ErrFaultDetected, l)
+			continue
+		}
+		ms[l] = m
+	}
+	re := ctxN.ModExpShared(&ms, key.E)
+	for l := range out {
+		if laneErrs[l] == nil && !re[l].Equal(cs[l]) {
+			laneErrs[l] = fmt.Errorf("%w (lane %d re-encryption mismatch)", ErrFaultDetected, l)
+		}
+		if laneErrs[l] != nil {
+			out[l] = bn.Nat{} // never release a corrupted plaintext
+		}
+	}
+	return out, laneErrs, nil
+}
+
 // PrivateOpBatch computes c^D mod N for sixteen ciphertexts with CRT — a
 // thin wrapper over the partial-batch path with all lanes live.
 func PrivateOpBatch(u *vpu.Unit, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {

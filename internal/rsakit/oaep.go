@@ -122,10 +122,12 @@ func DecryptOAEPBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, label []byte) 
 	})
 }
 
-// decryptBatch runs the shared batch-decrypt schedule: one
-// PrivateOpBatchN pass over all lanes, then a per-lane unpad. Lanes with
-// an invalid ciphertext length decrypt a zero block (the kernel pass is
-// lane-uniform regardless) and report a per-lane error.
+// decryptBatch runs the shared batch-decrypt schedule: one verified
+// PrivateOpBatchVerifiedN pass over all lanes, then a per-lane unpad. Lanes
+// with an invalid ciphertext length decrypt a zero block (the kernel pass
+// is lane-uniform regardless) and report a per-lane error; lanes whose
+// private op failed the Bellcore check surface their ErrFaultDetected so
+// faulted lanes can't be confused with padding failures.
 func decryptBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, unpad func([]byte) ([]byte, error)) ([][]byte, []error, error) {
 	if len(cts) == 0 || len(cts) > BatchSize {
 		return nil, nil, fmt.Errorf("rsakit: %d ciphertexts, want 1..%d", len(cts), BatchSize)
@@ -145,13 +147,17 @@ func decryptBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, unpad func([]byte)
 		}
 		lanes[l] = c
 	}
-	ms, err := PrivateOpBatchN(u, key, lanes)
+	ms, laneErrs, err := PrivateOpBatchVerifiedN(u, key, lanes)
 	if err != nil {
 		return nil, nil, err
 	}
 	out := make([][]byte, len(cts))
 	for l, m := range ms {
 		if errs[l] != nil {
+			continue
+		}
+		if laneErrs[l] != nil {
+			errs[l] = laneErrs[l]
 			continue
 		}
 		out[l], errs[l] = unpad(m.FillBytes(make([]byte, k)))

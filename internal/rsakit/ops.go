@@ -1,12 +1,21 @@
 package rsakit
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/engine"
 )
+
+// ErrFaultDetected marks a private-key result that failed the Bellcore
+// re-encryption check (m^e mod n != c): the computation was faulted and the
+// corrupted plaintext is withheld, because for CRT-RSA releasing it would
+// leak a factor of N (Boneh-DeMillo-Lipton). Callers match it with
+// errors.Is and should retry on fresh hardware state or fall back to a
+// non-CRT path.
+var ErrFaultDetected = errors.New("rsakit: fault detected in private-key operation")
 
 // PrivateOpts configures the raw private-key operation.
 type PrivateOpts struct {
@@ -78,7 +87,7 @@ func PrivateOp(eng engine.Engine, key *PrivateKey, c bn.Nat, opts PrivateOpts) (
 	}
 	if opts.Verify {
 		if !eng.ModExp(m, key.E, key.N).Equal(origC) {
-			return bn.Nat{}, fmt.Errorf("rsakit: private-key result failed verification (fault?)")
+			return bn.Nat{}, fmt.Errorf("%w (re-encryption mismatch)", ErrFaultDetected)
 		}
 	}
 	return m, nil

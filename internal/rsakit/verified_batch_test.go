@@ -1,0 +1,162 @@
+package rsakit
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/vpu"
+)
+
+// TestPrivateOpBatchVerifiedNClean: on fault-free hardware every lane
+// verifies, errors are all nil, and the results match the scalar reference.
+func TestPrivateOpBatchVerifiedNClean(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(300))
+	for _, live := range []int{1, 5, BatchSize} {
+		cs := make([]bn.Nat, live)
+		want := make([]bn.Nat, live)
+		for l := range cs {
+			m, err := bn.RandomRange(rng, bn.One(), key.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[l] = m
+			cs[l] = eng.ModExp(m, key.E, key.N)
+		}
+		out, laneErrs, err := PrivateOpBatchVerifiedN(vpu.New(), key, cs)
+		if err != nil {
+			t.Fatalf("live=%d: %v", live, err)
+		}
+		if len(out) != live || len(laneErrs) != live {
+			t.Fatalf("live=%d: got %d results, %d errors", live, len(out), len(laneErrs))
+		}
+		for l := range out {
+			if laneErrs[l] != nil {
+				t.Fatalf("live=%d lane %d: unexpected error %v", live, l, laneErrs[l])
+			}
+			if !out[l].Equal(want[l]) {
+				t.Fatalf("live=%d lane %d: wrong plaintext", live, l)
+			}
+		}
+	}
+}
+
+// TestPrivateOpBatchVerifiedNCatchesInjectedFaults is the unit-level form
+// of the PR's core guarantee: with lane bit-flips injected into the vector
+// unit, no corrupted plaintext ever escapes — every lane either verifies
+// and equals the true plaintext, or comes back zero with an error wrapping
+// ErrFaultDetected.
+func TestPrivateOpBatchVerifiedNCatchesInjectedFaults(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(301))
+
+	cs := make([]bn.Nat, BatchSize)
+	want := make([]bn.Nat, BatchSize)
+	for l := range cs {
+		m, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[l] = m
+		cs[l] = eng.ModExp(m, key.E, key.N)
+	}
+
+	faulted, clean := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		u := vpu.New()
+		u.AttachFaults(faultsim.New(faultsim.Config{
+			Seed:         int64(1000 + trial),
+			LaneFlipRate: 2e-5, // a few flips per CRT+verify pass at 512-bit
+		}))
+		out, laneErrs, err := PrivateOpBatchVerifiedN(u, key, cs)
+		if err != nil {
+			t.Fatalf("trial %d: batch error %v", trial, err)
+		}
+		for l := range out {
+			if laneErrs[l] != nil {
+				if !errors.Is(laneErrs[l], ErrFaultDetected) {
+					t.Fatalf("trial %d lane %d: error %v does not wrap ErrFaultDetected",
+						trial, l, laneErrs[l])
+				}
+				if !out[l].IsZero() {
+					t.Fatalf("trial %d lane %d: fault-detected lane released a plaintext",
+						trial, l)
+				}
+				faulted++
+				continue
+			}
+			if !out[l].Equal(want[l]) {
+				t.Fatalf("trial %d lane %d: CORRUPTED PLAINTEXT ESCAPED VERIFICATION",
+					trial, l)
+			}
+			clean++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("injection produced no detected faults; rate too low for the test to bite")
+	}
+	if clean == 0 {
+		t.Fatal("no lane survived; rate too high for the test to distinguish")
+	}
+	t.Logf("lanes: %d clean, %d fault-detected", clean, faulted)
+}
+
+// TestPrivateOpVerifyTypedError: the single-op Verify failure must wrap the
+// typed ErrFaultDetected.
+func TestPrivateOpVerifyTypedError(t *testing.T) {
+	bad := *testKey512
+	bad.Dp = bad.Dp.AddUint64(2)
+	eng := baseline.NewMPSS()
+	rng := mrand.New(mrand.NewSource(302))
+	c, err := bn.RandomRange(rng, bn.One(), bad.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PrivateOp(eng, &bad, c, PrivateOpts{UseCRT: true, Verify: true})
+	if !errors.Is(err, ErrFaultDetected) {
+		t.Fatalf("got %v, want ErrFaultDetected", err)
+	}
+}
+
+// TestDecryptBatchSurfacesFaultErrors: a fault-detected lane in the batch
+// decrypt paths must surface ErrFaultDetected, distinguishable from the
+// uniform padding error of malformed lanes.
+func TestDecryptBatchSurfacesFaultErrors(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(303))
+	msg := []byte("batch fault channel")
+	ct, err := EncryptPKCS1v15(eng, rng, &key.PublicKey, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy injection: essentially every lane faults.
+	u := vpu.New()
+	u.AttachFaults(faultsim.New(faultsim.Config{Seed: 9, LaneFlipRate: 1e-3}))
+	pts, laneErrs, err := DecryptPKCS1v15Batch(u, key, [][]byte{ct, ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for l := range pts {
+		if laneErrs[l] == nil {
+			if string(pts[l]) != string(msg) {
+				t.Fatalf("lane %d: wrong plaintext escaped", l)
+			}
+			continue
+		}
+		if errors.Is(laneErrs[l], ErrFaultDetected) {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Skip("injection happened to miss both lanes; covered by the hammer")
+	}
+}

@@ -54,7 +54,7 @@ func (u *Unit) Gather(base []uint32, idx Vec, m Mask) Vec {
 			out[i] = base[idx[i]]
 		}
 	}
-	return out
+	return u.inject(out)
 }
 
 // Scatter models vscatterdd: base[idx[i]] = v[i] for lanes selected by m.
@@ -62,6 +62,7 @@ func (u *Unit) Gather(base []uint32, idx Vec, m Mask) Vec {
 // tie-break). Out-of-range indices are dropped.
 func (u *Unit) Scatter(base []uint32, idx Vec, v Vec, m Mask) {
 	u.tick(ClassMem, distinctLines(idx, m))
+	v = u.inject(v) // a flip on the store port corrupts the scattered data
 	for i := 0; i < Lanes; i++ {
 		if m>>i&1 == 0 {
 			continue

@@ -13,13 +13,14 @@ func (u *Unit) Load(src []uint32, off int) Vec {
 			out[i] = src[off+i]
 		}
 	}
-	return out
+	return u.inject(out)
 }
 
 // Store models vmovdqa32 to memory: it writes the lanes of v into
 // dst[off:off+16], ignoring lanes past the end of dst.
 func (u *Unit) Store(dst []uint32, off int, v Vec) {
 	u.tick(ClassMem, 1)
+	v = u.inject(v) // a flip on the store port corrupts the written data
 	for i := 0; i < Lanes; i++ {
 		if off+i < len(dst) {
 			dst[off+i] = v[i]
@@ -40,7 +41,7 @@ func (u *Unit) Extract(v Vec, lane int) uint32 {
 func (u *Unit) Insert(v Vec, lane int, x uint32) Vec {
 	u.tick(ClassCross, 1)
 	v[lane&(Lanes-1)] = x
-	return v
+	return u.inject(v)
 }
 
 // LoadAll loads an entire limb slice as ceil(len/16) vectors.

@@ -1,6 +1,9 @@
 package vpu
 
 // Lane-wise arithmetic and logic (IMCI vector ALU and multiplier).
+//
+// Every vector result is routed through u.inject, the fault-injection hook
+// (a no-op unless a Corruptor is attached; see AttachFaults).
 
 // Add models vpaddd: lane-wise 32-bit addition, carries discarded.
 func (u *Unit) Add(a, b Vec) Vec {
@@ -9,7 +12,7 @@ func (u *Unit) Add(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] + b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // AddSetC models vpaddsetcd: lane-wise addition returning the sum and a
@@ -23,7 +26,7 @@ func (u *Unit) AddSetC(a, b Vec) (Vec, Mask) {
 		out[i] = uint32(s)
 		m |= Mask(s>>32) << i
 	}
-	return out, m
+	return u.inject(out), m
 }
 
 // Adc models vpadcd: lane-wise a + b + carryIn(lane), where carryIn
@@ -38,7 +41,7 @@ func (u *Unit) Adc(a, b Vec, carryIn Mask) (Vec, Mask) {
 		out[i] = uint32(s)
 		m |= Mask(s>>32) << i
 	}
-	return out, m
+	return u.inject(out), m
 }
 
 // Sub models vpsubd: lane-wise subtraction a - b, borrows discarded.
@@ -48,7 +51,7 @@ func (u *Unit) Sub(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] - b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // SubSetB models vpsubsetbd: lane-wise a - b returning the difference and a
@@ -62,7 +65,7 @@ func (u *Unit) SubSetB(a, b Vec) (Vec, Mask) {
 		out[i] = uint32(d)
 		m |= Mask((d>>32)&1) << i
 	}
-	return out, m
+	return u.inject(out), m
 }
 
 // Sbb models vpsbbd: lane-wise a - b - borrowIn(lane) with borrow-out mask.
@@ -75,7 +78,7 @@ func (u *Unit) Sbb(a, b Vec, borrowIn Mask) (Vec, Mask) {
 		out[i] = uint32(d)
 		m |= Mask((d>>32)&1) << i
 	}
-	return out, m
+	return u.inject(out), m
 }
 
 // MulLo models vpmulld: lane-wise low 32 bits of a*b.
@@ -85,7 +88,7 @@ func (u *Unit) MulLo(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] * b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // MulHi models vpmulhud: lane-wise high 32 bits of the unsigned product a*b.
@@ -95,7 +98,7 @@ func (u *Unit) MulHi(a, b Vec) Vec {
 	for i := range out {
 		out[i] = uint32(uint64(a[i]) * uint64(b[i]) >> 32)
 	}
-	return out
+	return u.inject(out)
 }
 
 // And models vpandd.
@@ -105,7 +108,7 @@ func (u *Unit) And(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] & b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // Or models vpord.
@@ -115,7 +118,7 @@ func (u *Unit) Or(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] | b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // Xor models vpxord.
@@ -125,7 +128,7 @@ func (u *Unit) Xor(a, b Vec) Vec {
 	for i := range out {
 		out[i] = a[i] ^ b[i]
 	}
-	return out
+	return u.inject(out)
 }
 
 // ShlI models vpslld: lane-wise left shift by an immediate.
@@ -133,12 +136,12 @@ func (u *Unit) ShlI(a Vec, s uint) Vec {
 	u.tick(ClassALU, 1)
 	var out Vec
 	if s >= 32 {
-		return out
+		return u.inject(out)
 	}
 	for i := range out {
 		out[i] = a[i] << s
 	}
-	return out
+	return u.inject(out)
 }
 
 // ShrI models vpsrld: lane-wise logical right shift by an immediate.
@@ -146,12 +149,12 @@ func (u *Unit) ShrI(a Vec, s uint) Vec {
 	u.tick(ClassALU, 1)
 	var out Vec
 	if s >= 32 {
-		return out
+		return u.inject(out)
 	}
 	for i := range out {
 		out[i] = a[i] >> s
 	}
-	return out
+	return u.inject(out)
 }
 
 // CmpEq models vpcmpeqd with a mask destination: mask bit i set where

@@ -20,7 +20,7 @@ func (u *Unit) Align(hi, lo Vec, imm int) Vec {
 			out[i] = hi[j-Lanes]
 		}
 	}
-	return out
+	return u.inject(out)
 }
 
 // Broadcast models the 1-to-16 broadcast with a memory operand
@@ -33,7 +33,7 @@ func (u *Unit) Broadcast(x uint32) Vec {
 	for i := range out {
 		out[i] = x
 	}
-	return out
+	return u.inject(out)
 }
 
 // BroadcastScalar broadcasts from a scalar register. Like Extract, the
@@ -44,7 +44,7 @@ func (u *Unit) BroadcastScalar(x uint32) Vec {
 	for i := range out {
 		out[i] = x
 	}
-	return out
+	return u.inject(out)
 }
 
 // Permute models vpermd: out[i] = a[idx[i] & 15].
@@ -54,7 +54,7 @@ func (u *Unit) Permute(a, idx Vec) Vec {
 	for i := range out {
 		out[i] = a[idx[i]&(Lanes-1)]
 	}
-	return out
+	return u.inject(out)
 }
 
 // Blend models a masked vmovdqa32: lane i of the result is b[i] where the
@@ -69,7 +69,7 @@ func (u *Unit) Blend(m Mask, a, b Vec) Vec {
 			out[i] = a[i]
 		}
 	}
-	return out
+	return u.inject(out)
 }
 
 // MaskToVec materializes a carry mask as a vector with 1 in selected lanes
@@ -80,7 +80,7 @@ func (u *Unit) MaskToVec(m Mask) Vec {
 	for i := range out {
 		out[i] = uint32(m >> i & 1)
 	}
-	return out
+	return u.inject(out)
 }
 
 // Mask-register helpers (kand / kor / kortest equivalents).

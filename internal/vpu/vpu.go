@@ -111,10 +111,39 @@ func (c Counts) Add(o Counts) Counts {
 	return c
 }
 
+// Corruptor observes every vector result the Unit produces and may mutate
+// it in place. It is the hook through which internal/faultsim injects
+// per-lane bit-flips: the injector decides (deterministically, from its
+// seed) which instruction results to corrupt, modelling soft errors in the
+// VPU's lane datapaths. A nil Corruptor means fault-free execution.
+type Corruptor interface {
+	CorruptVec(v *Vec)
+}
+
 // Unit is one simulated VPU. A Unit is not safe for concurrent use; each
 // simulated hardware thread owns its own Unit.
 type Unit struct {
 	counts Counts
+	fault  Corruptor
+}
+
+// AttachFaults installs a fault injector on the Unit (nil detaches). Every
+// subsequent vector result — arithmetic, shuffle, load and store data —
+// passes through the injector before the kernel sees it.
+func (u *Unit) AttachFaults(c Corruptor) {
+	if u != nil {
+		u.fault = c
+	}
+}
+
+// inject routes one instruction's vector result through the attached fault
+// injector. Mask results are not corruptible: IMCI mask registers live in
+// the scalar core's k-file, outside the modelled lane datapaths.
+func (u *Unit) inject(v Vec) Vec {
+	if u != nil && u.fault != nil {
+		u.fault.CorruptVec(&v)
+	}
+	return v
 }
 
 // New returns a fresh VPU with zeroed meters.

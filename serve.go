@@ -1,6 +1,7 @@
 package phiopenssl
 
 import (
+	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/phiserve"
 )
 
@@ -22,9 +23,42 @@ type BatchServerConfig = phiserve.Config
 type BatchResult = phiserve.Result
 
 // BatchServerStats is an aggregate snapshot: request counters, batch
-// fill-rate histogram, queue depth, amortized cycles/op, and simulated
-// throughput.
+// fill-rate histogram, queue depth, amortized cycles/op, simulated
+// throughput, and the resilience counters (faults detected, retries,
+// stalls, respawns, fallback ops, breaker state and trips).
 type BatchServerStats = phiserve.Stats
+
+// BatchServerResilience is the server's survival policy for a faulty
+// coprocessor: retry budget and backoff for fault-detected lanes, the
+// stall-detection execution timeout, circuit-breaker parameters, and
+// (for tests and experiments) deterministic fault injection. The zero
+// value gives sensible defaults; execution is always verified — every
+// plaintext a BatchServer releases passed the Bellcore re-encryption
+// check — regardless of this policy.
+type BatchServerResilience = phiserve.Resilience
+
+// FaultInjection deterministically corrupts a simulated vector unit:
+// seeded lane bit-flips, transient whole-kernel failures, worker stalls,
+// or an explicit scripted schedule of pass outcomes. Attach one to a
+// BatchServer via BatchServerResilience.Faults to rehearse hardware
+// failures; identical seeds replay identical fault schedules.
+type FaultInjection = faultsim.Config
+
+// FaultPassOutcome is one scripted kernel-pass outcome for
+// FaultInjection.Script.
+type FaultPassOutcome = faultsim.PassOutcome
+
+// Scripted pass outcomes for FaultInjection.Script.
+const (
+	// FaultPassOK is a clean kernel pass.
+	FaultPassOK = faultsim.PassOK
+	// FaultPassKernelFail aborts the pass with no results (transient
+	// kernel failure).
+	FaultPassKernelFail = faultsim.PassKernelFail
+	// FaultPassStall wedges the executing worker (recovered by the
+	// resilience policy's ExecTimeout).
+	FaultPassStall = faultsim.PassStall
+)
 
 // BatchLoadModel is the deterministic virtual-time model of the
 // scheduler used by experiment A6 to sweep offered load against fill
@@ -33,6 +67,15 @@ type BatchLoadModel = phiserve.LoadModel
 
 // BatchLoadPoint is one operating point of a BatchLoadModel sweep.
 type BatchLoadPoint = phiserve.LoadPoint
+
+// BatchFaultModel extends BatchLoadModel with the resilience machinery —
+// per-lane fault probability, bounded retries, scalar fallback and the
+// circuit breaker — in deterministic virtual time; experiment A7 sweeps
+// the fault rate with it.
+type BatchFaultModel = phiserve.FaultModel
+
+// BatchFaultPoint is one operating point of a BatchFaultModel sweep.
+type BatchFaultPoint = phiserve.FaultPoint
 
 // Errors surfaced by the BatchServer.
 var (

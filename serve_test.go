@@ -23,14 +23,17 @@ func TestFacadeRSAPrivateBatchN(t *testing.T) {
 		}
 		cts[i] = c
 	}
-	res, cycles, err := phiopenssl.RSAPrivateBatchN(key, cts)
+	res, laneErrs, cycles, err := phiopenssl.RSAPrivateBatchN(key, cts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 5 || cycles <= 0 {
-		t.Fatalf("got %d results, %.0f cycles", len(res), cycles)
+	if len(res) != 5 || len(laneErrs) != 5 || cycles <= 0 {
+		t.Fatalf("got %d results, %d lane errors, %.0f cycles", len(res), len(laneErrs), cycles)
 	}
 	for i := range res {
+		if laneErrs[i] != nil {
+			t.Fatalf("lane %d error on clean pass: %v", i, laneErrs[i])
+		}
 		if !res[i].Equal(msgs[i]) {
 			t.Fatalf("lane %d mismatch", i)
 		}
@@ -46,11 +49,11 @@ func TestFacadeRSAPrivateBatchN(t *testing.T) {
 		}
 		full[i] = c
 	}
-	_, viaWrapper, err := phiopenssl.RSAPrivateBatch(key, &full)
+	_, _, viaWrapper, err := phiopenssl.RSAPrivateBatch(key, &full)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, viaN, err := phiopenssl.RSAPrivateBatchN(key, full[:])
+	_, _, viaN, err := phiopenssl.RSAPrivateBatchN(key, full[:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,5 +110,70 @@ func TestFacadeBatchServer(t *testing.T) {
 	}
 	if st.CyclesPerOp <= 0 || st.SimThroughput <= 0 {
 		t.Fatalf("no simulated costs reported: %+v", st)
+	}
+	if st.BreakerState != "closed" || st.FaultsDetected != 0 || st.FallbackOps != 0 {
+		t.Fatalf("clean run shows fault activity: %+v", st)
+	}
+}
+
+// TestFacadeBatchServerResilience drives the resilience surface through
+// the public facade: a scripted transient kernel failure must be retried
+// and healed with correct plaintexts and visible counters.
+func TestFacadeBatchServerResilience(t *testing.T) {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+
+	srv, err := phiopenssl.NewBatchServer(phiopenssl.BatchServerConfig{
+		Workers:      1,
+		FillDeadline: 5 * time.Millisecond,
+		Resilience: phiopenssl.BatchServerResilience{
+			MaxRetries: 2,
+			Seed:       1,
+			Faults: &phiopenssl.FaultInjection{
+				Seed:   2,
+				Script: []phiopenssl.FaultPassOutcome{phiopenssl.FaultPassKernelFail},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+
+	const n = 8
+	msgs := make([]phiopenssl.Nat, n)
+	resps := make([]<-chan phiopenssl.BatchResult, n)
+	for i := range msgs {
+		msgs[i] = phiopenssl.NatFromUint64(uint64(7000 + i))
+		c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := srv.Submit(context.Background(), key, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps[i] = ch
+	}
+	sawRetry := false
+	for i, ch := range resps {
+		res := <-ch
+		if res.Err != nil || !res.M.Equal(msgs[i]) {
+			t.Fatalf("request %d: %+v", i, res)
+		}
+		if res.Attempts > 0 {
+			sawRetry = true
+		}
+	}
+	srv.Close()
+	if !sawRetry {
+		t.Fatal("scripted kernel failure left no Attempts trace on any result")
+	}
+	st := srv.Stats()
+	if st.KernelFaults != 1 || st.Retries == 0 {
+		t.Fatalf("kernel-fault accounting: %+v", st)
+	}
+	if st.Completed != n || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
 	}
 }
