@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race faults bench quick clean
+.PHONY: all build test check race faults telemetry bench quick clean
 
 all: check
 
@@ -29,6 +29,16 @@ race:
 faults:
 	PHIOPENSSL_FAULTS=1 $(GO) test -race -timeout=900s -run 'Fault|Breaker|Stall|Injected|KernelFail' \
 		./internal/faultsim ./internal/phiserve ./internal/rsakit
+
+# telemetry is the observability smoke gate: a race-enabled thousand-op
+# traced run whose Chrome trace must parse with exactly one resolve span
+# per request and whose /metrics scrape must show per-phase cycle
+# attribution summing to the meter total, plus the telemetry unit suite
+# and the <2% enabled-overhead budget check.
+telemetry:
+	$(GO) test -race -timeout=300s -run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -timeout=300s -run 'TestTelemetryOverhead' ./internal/bench
 
 quick:
 	$(GO) run ./cmd/phibench -quick

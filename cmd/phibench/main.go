@@ -8,24 +8,30 @@
 //	phibench -quick          # reduced size grid (seconds instead of minutes)
 //	phibench -list           # list experiment ids and titles
 //	phibench -seed 42        # change the workload seed
+//	phibench -json           # machine-comparable JSON on stdout
+//	phibench -metrics :9090  # live /metrics, /vars and /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"phiopenssl/internal/bench"
+	"phiopenssl/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (e1..e9) or 'all'")
-		quick  = flag.Bool("quick", false, "reduced size grid for a fast run")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		format = flag.String("format", "text", "output format: text|markdown|csv")
+		exp     = flag.String("exp", "all", "experiment id (e1..e9) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced size grid for a fast run")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "text", "output format: text|markdown|csv")
+		asJSON  = flag.Bool("json", false, "emit one machine-comparable JSON report on stdout (overrides -format)")
+		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -34,6 +40,22 @@ func main() {
 			fmt.Printf("  %s  %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	// Run-progress telemetry: how far the suite is and where the wall time
+	// went, scrapeable while a full-size run grinds. pprof rides along on
+	// the same mux for profiling the heavy experiments.
+	tel := telemetry.New()
+	expDone := tel.Registry.Counter("phibench_experiments_completed_total",
+		"experiments finished in this run")
+	expSecs := tel.Registry.Histogram("phibench_experiment_seconds",
+		"host wall time per experiment", telemetry.Pow2Buckets(0.125, 14))
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, telemetry.Handler(tel)); err != nil {
+				fmt.Fprintf(os.Stderr, "phibench: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed}
@@ -59,23 +81,39 @@ func main() {
 			t.Render(os.Stdout)
 		}
 	}
+	text := *format == "text" && !*asJSON
 	mode := "full"
 	if *quick {
 		mode = "quick"
 	}
-	if *format == "text" {
+	if text {
 		fmt.Printf("phibench: %d experiment(s), %s grid, seed %d\n\n", len(todo), mode, *seed)
 	}
+	report := bench.Report{Seed: *seed, Quick: *quick}
 	start := time.Now()
 	for _, e := range todo {
 		t0 := time.Now()
 		table := e.Run(opts)
+		secs := time.Since(t0).Seconds()
+		expDone.Inc()
+		expSecs.Observe(secs)
+		if *asJSON {
+			report.Experiments = append(report.Experiments, bench.ResultOf(table, secs))
+			continue
+		}
 		render(table)
-		if *format == "text" {
-			fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+		if text {
+			fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, secs)
 		}
 	}
-	if *format == "text" {
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "phibench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if text {
 		fmt.Printf("phibench: done in %.1fs\n", time.Since(start).Seconds())
 	}
 }

@@ -11,8 +11,11 @@ package main
 import (
 	"context"
 	"crypto/rand"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -33,6 +36,27 @@ func encrypt(key *phiopenssl.PrivateKey, eng phiopenssl.Engine) (phiopenssl.Nat,
 }
 
 func main() {
+	metricsAddr := flag.String("metrics", "",
+		"serve /metrics, /vars, /trace and /debug/pprof on this address (e.g. :9090); the process stays up after the demo")
+	traceFile := flag.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file (open in https://ui.perfetto.dev)")
+	flag.Parse()
+
+	// One telemetry bundle observes the whole run: metrics always, the
+	// trace recorder only when someone will look at it.
+	var tel *phiopenssl.Telemetry
+	if *traceFile != "" || *metricsAddr != "" {
+		tel = phiopenssl.NewTelemetryWithTrace(0)
+	} else {
+		tel = phiopenssl.NewTelemetry()
+	}
+	if *metricsAddr != "" {
+		go func() {
+			log.Fatal(http.ListenAndServe(*metricsAddr, phiopenssl.TelemetryHandler(tel)))
+		}()
+		fmt.Printf("telemetry live on http://localhost%s (/metrics /vars /trace /debug/pprof)\n", *metricsAddr)
+	}
+
 	fmt.Println("generating two RSA-1024 keys...")
 	keyA, err := phiopenssl.GenerateKey(rand.Reader, 1024)
 	if err != nil {
@@ -59,6 +83,7 @@ func main() {
 		Workers:      4,
 		FillDeadline: 20 * time.Millisecond,
 		QueueDepth:   8,
+		Telemetry:    tel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -127,4 +152,22 @@ func main() {
 	fmt.Printf("\nadvantage: %.1fx throughput; deadline-dispatched batches: %d of %d\n",
 		perOp/st.CyclesPerOp, st.DeadlineFires, st.Batches)
 	fmt.Println("\n(sweep the fill-deadline/load trade-off with: go run ./cmd/phibench -exp a6)")
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := phiopenssl.WriteTrace(f, tel); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (open in https://ui.perfetto.dev)\n", *traceFile)
+	}
+	if *metricsAddr != "" {
+		fmt.Printf("\ntelemetry still live on http://localhost%s — ctrl-c to exit\n", *metricsAddr)
+		select {}
+	}
 }

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Result is the machine-readable form of one experiment run: the table
+// flattened into column-keyed records, so downstream tooling (regression
+// dashboards, cross-run diffing) can index cells by name instead of
+// position. Cell values stay strings — they are exactly the rendered
+// table cells, which keeps the JSON and text outputs trivially
+// comparable.
+type Result struct {
+	ID      string              `json:"id"`
+	Title   string              `json:"title"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+	Notes   []string            `json:"notes,omitempty"`
+	// Seconds is the host wall time the experiment took. It is the one
+	// nondeterministic field; comparisons should key on the rows.
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is a full phibench run in machine-readable form.
+type Report struct {
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick"`
+	Experiments []Result `json:"experiments"`
+}
+
+// ResultOf converts a rendered table into its machine-readable form.
+func ResultOf(t *Table, seconds float64) Result {
+	r := Result{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Notes:   t.Notes,
+		Seconds: seconds,
+	}
+	for _, row := range t.Rows {
+		rec := make(map[string]string, len(row))
+		for i, cell := range row {
+			if i < len(t.Columns) {
+				rec[t.Columns[i]] = cell
+			}
+		}
+		r.Rows = append(r.Rows, rec)
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -6,6 +6,21 @@ import (
 	"phiopenssl/internal/vpu"
 )
 
+// PhaseCycles is simulated cycles attributed to each vpu attribution phase
+// slot (internal/vbatch names the slots: pack, mul, reduce, window, crt).
+type PhaseCycles [vpu.MaxPhases]float64
+
+// Total returns the sum across phases. For a meter charged exclusively
+// through phase-aware paths this equals Meter.Cycles exactly: every
+// instruction lands in precisely one phase slot.
+func (p PhaseCycles) Total() float64 {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	return sum
+}
+
 // Meter accumulates simulated cycles for one engine run. Engines feed it
 // either vpu instruction counts (vector kernels) or scalar op counts
 // (baseline kernels); the meter applies the engine's cost table.
@@ -14,6 +29,7 @@ type Meter struct {
 	scalarCosts ScalarCostTable
 	cycles      float64
 	ops         uint64
+	phases      PhaseCycles
 }
 
 // NewVectorMeter returns a meter that charges vpu counts at table rates.
@@ -26,32 +42,66 @@ func NewScalarMeter(t ScalarCostTable) *Meter {
 	return &Meter{scalarCosts: t}
 }
 
-// ChargeVector adds the cycle cost of the given vpu counts.
+// ChargeVector adds the cycle cost of the given vpu counts. The charge is
+// attributed to phase slot 0 ("other"); use ChargeVectorPhases when the
+// kernel bracketed its work with vpu.Unit.SetPhase.
 func (m *Meter) ChargeVector(c vpu.Counts) {
 	if m == nil {
 		return
 	}
-	m.cycles += m.vectorCosts.VectorCycles(c)
+	cy := m.vectorCosts.VectorCycles(c)
+	m.cycles += cy
+	m.phases[0] += cy
 	m.ops += c.Total()
 }
 
-// ChargeScalar adds the cycle cost of the given scalar counts.
+// ChargeVectorPhases adds the cycle cost of per-phase vpu counts (as
+// returned by vpu.Unit.PhaseCounts), attributing each slot's cost
+// separately, so PhaseCycles reports a per-phase flamegraph whose total
+// matches Cycles exactly.
+func (m *Meter) ChargeVectorPhases(pc [vpu.MaxPhases]vpu.Counts) {
+	if m == nil {
+		return
+	}
+	for p, c := range pc {
+		cy := m.vectorCosts.VectorCycles(c)
+		m.cycles += cy
+		m.phases[p] += cy
+		m.ops += c.Total()
+	}
+}
+
+// PhaseCycles returns the per-phase cycle attribution accumulated so far.
+// Charges made through the phase-unaware paths (ChargeVector, ChargeScalar,
+// ChargeCycles) appear in slot 0.
+func (m *Meter) PhaseCycles() PhaseCycles {
+	if m == nil {
+		return PhaseCycles{}
+	}
+	return m.phases
+}
+
+// ChargeScalar adds the cycle cost of the given scalar counts (attributed
+// to phase slot 0).
 func (m *Meter) ChargeScalar(c ScalarCounts) {
 	if m == nil {
 		return
 	}
-	m.cycles += m.scalarCosts.ScalarCycles(c)
+	cy := m.scalarCosts.ScalarCycles(c)
+	m.cycles += cy
+	m.phases[0] += cy
 	for _, n := range c {
 		m.ops += n
 	}
 }
 
-// ChargeCycles adds raw cycles (fixed protocol overheads).
+// ChargeCycles adds raw cycles (fixed protocol overheads; phase slot 0).
 func (m *Meter) ChargeCycles(cy float64) {
 	if m == nil {
 		return
 	}
 	m.cycles += cy
+	m.phases[0] += cy
 }
 
 // Cycles returns the accumulated simulated cycles.
@@ -77,6 +127,18 @@ func (m *Meter) Reset() {
 	}
 	m.cycles = 0
 	m.ops = 0
+	m.phases = PhaseCycles{}
+}
+
+// PhaseBreakdown converts per-phase instruction counts (as returned by
+// vpu.Unit.PhaseCounts) into per-phase cycles at this table's rates,
+// without going through a Meter.
+func (t VectorCostTable) PhaseBreakdown(pc [vpu.MaxPhases]vpu.Counts) PhaseCycles {
+	var out PhaseCycles
+	for p, c := range pc {
+		out[p] = t.VectorCycles(c)
+	}
+	return out
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,28 @@
+package phipool
+
+import "phiopenssl/internal/telemetry"
+
+// Instrument registers the server's lifetime counters and live queue depth
+// on reg under the given metric-name prefix (e.g. "phipool"). The metrics
+// are function-backed views over the same atomics the accessor methods
+// read, so registration adds no hot-path cost. A nil registry is a no-op.
+func (s *Server[S, J]) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+"_queue_depth",
+		"jobs currently waiting in the pool queue",
+		func() float64 { return float64(s.QueueDepth()) })
+	reg.CounterFunc(prefix+"_jobs_run_total",
+		"jobs executed to completion by pool workers",
+		func() float64 { return float64(s.JobsRun()) })
+	reg.CounterFunc(prefix+"_jobs_rejected_total",
+		"queued jobs handed to the reject callback after cancellation",
+		func() float64 { return float64(s.JobsRejected()) })
+	reg.CounterFunc(prefix+"_jobs_timed_out_total",
+		"job executions abandoned by the ExecTimeout monitor",
+		func() float64 { return float64(s.JobsTimedOut()) })
+	reg.CounterFunc(prefix+"_worker_respawns_total",
+		"workers rebuilt with fresh state after a stall",
+		func() float64 { return float64(s.WorkerRespawns()) })
+}

@@ -50,6 +50,11 @@ type breaker struct {
 	minSamples int
 	cooldown   time.Duration
 	now        func() time.Time
+	// onTransition, when set, is invoked (under b.mu) on every state
+	// change with the old and new state. The callback must not call back
+	// into the breaker; the server uses it to update the breaker-state
+	// gauge and drop an instant event into the trace.
+	onTransition func(from, to breakerState)
 
 	mu       sync.Mutex
 	state    breakerState
@@ -83,7 +88,7 @@ func (b *breaker) allowVector() (ok, probe bool) {
 		return true, false
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = breakerHalfOpen
+			b.transitionLocked(breakerHalfOpen)
 			b.probing = true
 			return true, true
 		}
@@ -131,7 +136,7 @@ func (b *breaker) record(faulty, probe bool) {
 	if probe {
 		b.probing = false
 		if faulty {
-			b.state = breakerOpen
+			b.transitionLocked(breakerOpen)
 			b.openedAt = b.now()
 			b.trips++
 			return
@@ -140,7 +145,7 @@ func (b *breaker) record(faulty, probe bool) {
 		// burst that tripped the breaker cannot immediately re-trip it.
 		// The probe's own outcome is not pushed — the new window starts
 		// empty.
-		b.state = breakerClosed
+		b.transitionLocked(breakerClosed)
 		b.resetWindowLocked()
 		return
 	}
@@ -152,10 +157,20 @@ func (b *breaker) record(faulty, probe bool) {
 	b.pushLocked(faulty)
 	if b.state == breakerClosed && b.n >= b.minSamples &&
 		float64(b.faults) >= b.threshold*float64(b.n) {
-		b.state = breakerOpen
+		b.transitionLocked(breakerOpen)
 		b.openedAt = b.now()
 		b.trips++
 		b.resetWindowLocked()
+	}
+}
+
+// transitionLocked changes state and fires the observer hook. Callers hold
+// b.mu.
+func (b *breaker) transitionLocked(to breakerState) {
+	from := b.state
+	b.state = to
+	if from != to && b.onTransition != nil {
+		b.onTransition(from, to)
 	}
 }
 

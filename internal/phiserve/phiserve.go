@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/phipool"
 	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/telemetry"
 )
 
 // BatchSize is the number of lanes in one batch (one request per lane).
@@ -82,6 +84,13 @@ type Config struct {
 	// injection. The zero value gives the defaults documented on the
 	// Resilience type; execution is always verified regardless.
 	Resilience Resilience
+	// Telemetry attaches external observability sinks. A non-nil Registry
+	// receives the scheduler's metric set (also served by
+	// telemetry.Handler); a non-nil Tracer additionally records the
+	// per-request lifecycle as Chrome trace events. Nil (the default)
+	// means no tracing; metrics then live on a private registry so Stats
+	// keeps working, reachable via Server.Telemetry.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -134,22 +143,12 @@ type Result struct {
 
 // request is one queued private-key operation.
 type request struct {
+	id   int64 // trace/span identity, assigned by Submit
 	key  *rsakit.PrivateKey
 	c    bn.Nat
+	at   time.Time   // Submit time, for the wall-latency histogram
 	resp chan Result // buffered(1); receives exactly one Result
-	done atomic.Bool // set by resolve; guards exactly-once delivery
-}
-
-// resolve delivers the request's Result exactly once: with stalled-batch
-// respawns and retried passes, more than one execution path can race to
-// answer the same request, and only the first wins. It reports whether
-// this call was the winner (callers count stats only then).
-func (r *request) resolve(res Result) bool {
-	if !r.done.CompareAndSwap(false, true) {
-		return false
-	}
-	r.resp <- res
-	return true
+	done atomic.Bool // set by Server.finish; guards exactly-once delivery
 }
 
 // batch is the scheduler's dispatch unit.
@@ -162,14 +161,18 @@ type batch struct {
 	// attempts counts execution attempts already spent on this batch's
 	// requests (stall-timeout re-dispatches).
 	attempts int
+	// enqueuedAt stamps the hand-off to the dispatch queue, for the
+	// queue-wait histogram.
+	enqueuedAt time.Time
 }
 
 // pending is one key's open batch: requests accumulated since the buffer
 // was last empty, plus the deadline timer and the generation guarding it.
 type pending struct {
-	reqs  []*request
-	gen   uint64
-	timer *time.Timer
+	reqs     []*request
+	gen      uint64
+	timer    *time.Timer
+	openedAt time.Time // first request's arrival, for the fill-window slice
 }
 
 // flushMsg asks the scheduler to dispatch a key's open batch if it still
@@ -210,7 +213,17 @@ type Server struct {
 	closed   bool
 	inFlight sync.WaitGroup // Submits between the closed check and the enqueue
 
-	stats statsAcc
+	// tel is the server's telemetry bundle: the caller's, or a private
+	// metrics-only bundle so the registry (and hence Stats) always exists.
+	tel    *telemetry.Telemetry
+	tracer *telemetry.Tracer
+	// reqSeq numbers requests for trace-span identities.
+	reqSeq atomic.Int64
+	// keyTags caches a short display tag per key for trace labels.
+	keyTags   sync.Map // *rsakit.PrivateKey -> string
+	keyTagSeq atomic.Int64
+
+	stats *statsAcc
 }
 
 // New validates cfg (applying defaults) and builds a stopped server; call
@@ -221,6 +234,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("phiserve: machine %q has no hardware threads", cfg.Machine.Name)
 	}
 	r := cfg.Resilience
+	tel := cfg.Telemetry
+	if tel == nil || tel.Registry == nil {
+		// Stats is a view over the registry, so the server always carries
+		// one; without caller-provided telemetry it stays private (and a
+		// caller-provided Tracer without a Registry still records).
+		priv := telemetry.NewRegistry()
+		if tel == nil {
+			tel = &telemetry.Telemetry{Registry: priv}
+		} else {
+			tel = &telemetry.Telemetry{Registry: priv, Tracer: tel.Tracer}
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		intake:    make(chan *request, BatchSize),
@@ -229,7 +254,14 @@ func New(cfg Config) (*Server, error) {
 		breaker: newBreaker(r.BreakerWindow, r.BreakerThreshold,
 			r.BreakerMinSamples, r.BreakerCooldown),
 		release: make(chan struct{}),
+		tel:     tel,
+		tracer:  tel.Tracer,
+		stats:   newStatsAcc(tel.Registry),
 	}
+	s.breaker.onTransition = s.breakerTransition
+	s.tel.Registry.CounterFunc("phiserve_breaker_trips_total",
+		"closed->open (and failed-probe) breaker transitions",
+		func() float64 { _, trips := s.breaker.snapshot(); return float64(trips) })
 	pool, err := phipool.NewServer(cfg.Machine, cfg.Workers, cfg.QueueDepth,
 		s.newWorker, s.runBatch, s.rejectBatch)
 	if err != nil {
@@ -238,9 +270,75 @@ func New(cfg Config) (*Server, error) {
 	if r.ExecTimeout > 0 {
 		pool.SetJobTimeout(r.ExecTimeout, s.retryTimedOut)
 	}
+	pool.Instrument(s.tel.Registry, "phipool")
 	s.pool = pool
 	return s, nil
 }
+
+// Telemetry returns the server's telemetry bundle: the one supplied in
+// Config, or the private metrics-only bundle the server built. Serving
+// telemetry.Handler(s.Telemetry()) exposes the live /metrics, /vars and
+// /trace endpoints for this server.
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// keyTag returns a stable short label for a key ("rsa-1024#2": modulus
+// bits plus an arrival ordinal distinguishing same-size keys).
+func (s *Server) keyTag(key *rsakit.PrivateKey) string {
+	if tag, ok := s.keyTags.Load(key); ok {
+		return tag.(string)
+	}
+	tag := fmt.Sprintf("rsa-%d#%d", key.N.BitLen(), s.keyTagSeq.Add(1))
+	if prev, loaded := s.keyTags.LoadOrStore(key, tag); loaded {
+		return prev.(string)
+	}
+	return tag
+}
+
+// breakerTransition is the breaker's state-change hook: it keeps the
+// breaker-state gauge current and drops an instant event on the control
+// track. Runs under the breaker's lock — it must not call back into it.
+func (s *Server) breakerTransition(from, to breakerState) {
+	s.stats.breakerGauge.Set(float64(to))
+	s.tracer.Instant(tidControl, "breaker-"+to.String(),
+		telemetry.Args{"from": from.String()})
+}
+
+// finish resolves a request exactly once: with stalled-batch respawns and
+// retried passes, more than one execution path can race to answer the
+// same request, and only the first wins (reported by the return). As the
+// single resolution point it also owns completion accounting — the
+// completed/failed counters, the wall-latency histogram, and the close of
+// the request's trace span.
+func (s *Server) finish(q *request, res Result) bool {
+	if !q.done.CompareAndSwap(false, true) {
+		return false
+	}
+	if res.Err != nil {
+		s.stats.failed.Inc()
+	} else {
+		s.stats.completed.Inc()
+		s.stats.wallLatency.Observe(time.Since(q.at).Seconds())
+	}
+	if s.tracer != nil {
+		args := telemetry.Args{
+			"fill":     res.BatchFill,
+			"attempts": res.Attempts,
+			"fallback": res.Fallback,
+		}
+		if res.Err != nil {
+			args["err"] = res.Err.Error()
+		} else {
+			args["sim_cycles"] = res.BatchCycles
+		}
+		s.tracer.SpanEnd(strconv.FormatInt(q.id, 10), "request", args)
+	}
+	q.resp <- res
+	return true
+}
+
+// tidControl is the trace track for the scheduler goroutine, breaker
+// transitions and the timeout monitor; workers use track id+1.
+const tidControl int64 = 0
 
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -259,6 +357,7 @@ func (s *Server) Start(ctx context.Context) {
 	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.mu.Unlock()
 
+	s.tracer.NameThread(tidControl, "scheduler")
 	s.pool.Start(s.ctx)
 	go s.schedule()
 }
@@ -294,14 +393,31 @@ func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (
 		return nil, ErrCanceled
 	default:
 	}
-	req := &request{key: key, c: c, resp: make(chan Result, 1)}
+	req := &request{
+		id:   s.reqSeq.Add(1),
+		key:  key,
+		c:    c,
+		at:   time.Now(),
+		resp: make(chan Result, 1),
+	}
+	// The span opens before the enqueue: once the request is in the
+	// intake, a worker can resolve it (and close the span) before this
+	// goroutine runs another line. The rejection paths below close the
+	// span themselves so begins and ends stay balanced.
+	var spanID string
+	if s.tracer != nil {
+		spanID = strconv.FormatInt(req.id, 10)
+		s.tracer.SpanBegin(spanID, "request", telemetry.Args{"key": s.keyTag(key)})
+	}
 	select {
 	case s.intake <- req:
-		s.stats.submitted.Add(1)
+		s.stats.submitted.Inc()
 		return req.resp, nil
 	case <-s.ctx.Done():
+		s.tracer.SpanEnd(spanID, "request", telemetry.Args{"err": "not submitted"})
 		return nil, ErrCanceled
 	case <-ctx.Done():
+		s.tracer.SpanEnd(spanID, "request", telemetry.Args{"err": "not submitted"})
 		return nil, ctx.Err()
 	}
 }
@@ -345,9 +461,7 @@ func (s *Server) Close() {
 	// After cancellation the scheduler exits without draining the intake
 	// buffer; resolve whatever it left behind.
 	for req := range s.intake {
-		if req.resolve(Result{Err: ErrCanceled}) {
-			s.stats.failed.Add(1)
-		}
+		s.finish(req, Result{Err: ErrCanceled})
 	}
 	// Wake workers parked on injected stalls before draining the pool, or
 	// the drain would wait on them forever.
@@ -366,18 +480,21 @@ func (s *Server) schedule() {
 		p := open[key]
 		delete(open, key)
 		p.timer.Stop()
-		s.stats.pendingLanes.Add(int64(-len(p.reqs)))
+		s.stats.pendingLanes.Add(float64(-len(p.reqs)))
+		if s.tracer != nil {
+			s.tracer.Slice(tidControl, "batch-fill", p.openedAt,
+				time.Since(p.openedAt), telemetry.Args{
+					"lanes": len(p.reqs), "key": s.keyTag(key)})
+		}
 		s.submitBatch(&batch{key: key, reqs: p.reqs})
 	}
 	failAll := func() {
 		for key, p := range open {
 			p.timer.Stop()
 			for _, r := range p.reqs {
-				if r.resolve(Result{Err: ErrCanceled}) {
-					s.stats.failed.Add(1)
-				}
+				s.finish(r, Result{Err: ErrCanceled})
 			}
-			s.stats.pendingLanes.Add(int64(-len(p.reqs)))
+			s.stats.pendingLanes.Add(float64(-len(p.reqs)))
 			delete(open, key)
 		}
 	}
@@ -410,7 +527,8 @@ func (s *Server) schedule() {
 			p := open[req.key]
 			if p == nil {
 				gen++
-				p = &pending{gen: gen, timer: s.armDeadline(req.key, gen)}
+				p = &pending{gen: gen, timer: s.armDeadline(req.key, gen),
+					openedAt: time.Now()}
 				open[req.key] = p
 			}
 			p.reqs = append(p.reqs, req)
@@ -425,6 +543,7 @@ func (s *Server) schedule() {
 // submitBatch hands a batch to the pool, failing its requests if the pool
 // is already dead.
 func (s *Server) submitBatch(b *batch) {
+	b.enqueuedAt = time.Now()
 	if err := s.pool.Submit(s.ctx, b); err != nil {
 		// The pool's context is a child of s.ctx, so cancellation can
 		// surface either as the pool's sentinel or as the caller
@@ -433,9 +552,7 @@ func (s *Server) submitBatch(b *batch) {
 			err = ErrCanceled
 		}
 		for _, r := range b.reqs {
-			if r.resolve(Result{Err: err}) {
-				s.stats.failed.Add(1)
-			}
+			s.finish(r, Result{Err: err})
 		}
 	}
 }
@@ -457,9 +574,7 @@ func (s *Server) armDeadline(key *rsakit.PrivateKey, gen uint64) *time.Timer {
 // cancellation.
 func (s *Server) rejectBatch(b *batch) {
 	for _, r := range b.reqs {
-		if r.resolve(Result{Err: ErrCanceled}) {
-			s.stats.failed.Add(1)
-		}
+		s.finish(r, Result{Err: ErrCanceled})
 	}
 }
 

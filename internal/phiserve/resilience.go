@@ -1,6 +1,7 @@
 package phiserve
 
 import (
+	"fmt"
 	mrand "math/rand"
 	"time"
 
@@ -10,6 +11,8 @@ import (
 	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/telemetry"
+	"phiopenssl/internal/vbatch"
 	"phiopenssl/internal/vpu"
 )
 
@@ -89,13 +92,21 @@ const jitterSeedOffset = 0x6a69747465 // "jitte"
 // worker is one simulated hardware thread's private state: its vector
 // unit, its (optional) fault injector, a lazily built scalar engine for
 // the fallback path, and a seeded jitter source. Respawned workers get a
-// fresh index, hence fresh deterministic streams.
+// fresh index, hence fresh deterministic streams (and a fresh trace
+// track, so a respawn is visible as a new named row in Perfetto).
 type worker struct {
+	id     int
 	unit   *vpu.Unit
 	inj    *faultsim.Injector
 	scalar engine.Engine
 	rng    *mrand.Rand
+	// meter accumulates this worker's lifetime cycle attribution across
+	// passes; its running total rides along in the pass trace events.
+	meter *knc.Meter
 }
+
+// tid is the worker's trace track (track 0 is the scheduler/control).
+func (w *worker) tid() int64 { return int64(w.id) + 1 }
 
 func (w *worker) scalarEngine() engine.Engine {
 	if w.scalar == nil {
@@ -111,14 +122,17 @@ func (s *Server) newWorker() *worker {
 	idx := int(s.workerSeq.Add(1)) - 1
 	r := s.cfg.Resilience
 	w := &worker{
+		id:   idx,
 		unit: vpu.New(),
 		rng: mrand.New(mrand.NewSource(
 			faultsim.Config{Seed: r.Seed + jitterSeedOffset}.ForWorker(idx).Seed)),
+		meter: knc.NewVectorMeter(knc.KNCVectorCosts),
 	}
 	if r.Faults != nil && r.Faults.Enabled() {
 		w.inj = faultsim.New(r.Faults.ForWorker(idx))
 		w.unit.AttachFaults(w.inj)
 	}
+	s.tracer.NameThread(w.tid(), fmt.Sprintf("worker %d", idx))
 	return w
 }
 
@@ -146,13 +160,16 @@ func liveReqs(reqs []*request) []*request {
 // Clean lanes resolve as soon as their pass verifies; only faulted lanes
 // ride into the retry passes.
 func (s *Server) runBatch(w *worker, b *batch) {
+	if !b.enqueuedAt.IsZero() {
+		s.stats.queueWait.Observe(time.Since(b.enqueuedAt).Seconds())
+	}
 	if b.fallback {
-		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts)
+		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts, w.tid())
 		return
 	}
 	allow, probe := s.breaker.allowVector()
 	if !allow {
-		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts)
+		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts, w.tid())
 		return
 	}
 	pending := liveReqs(b.reqs)
@@ -170,17 +187,17 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			// monitor (if configured) has respawned the worker and
 			// re-dispatched the batch; this goroutine is the zombie. Park
 			// until shutdown, then serve whatever is still unresolved.
-			s.stats.stalledPasses.Add(1)
+			s.stats.stalledPasses.Inc()
+			s.tracer.Instant(w.tid(), "stall",
+				telemetry.Args{"lanes": len(pending), "attempt": attempt})
 			s.breaker.record(true, probe)
 			if s.awaitStallRelease() {
 				// Graceful drain: the vector unit is gone but the scalar
 				// path still works; no request is left behind.
-				s.runScalarOn(w.scalarEngine(), pending, attempt+1)
+				s.runScalarOn(w.scalarEngine(), pending, attempt+1, w.tid())
 			} else {
 				for _, q := range pending {
-					if q.resolve(Result{Err: ErrCanceled}) {
-						s.stats.failed.Add(1)
-					}
+					s.finish(q, Result{Err: ErrCanceled})
 				}
 			}
 			return
@@ -190,7 +207,9 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		if outcome == faultsim.PassKernelFail {
 			// Transient whole-kernel failure: the pass aborted, no lane
 			// produced a result.
-			s.stats.kernelFaults.Add(1)
+			s.stats.kernelFaults.Inc()
+			s.tracer.Instant(w.tid(), "kernel-fault",
+				telemetry.Args{"lanes": len(pending), "attempt": attempt})
 			s.breaker.record(true, probe)
 			faulted = pending
 		} else {
@@ -199,18 +218,19 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			for i, q := range pending {
 				cs[i] = q.c
 			}
-			out, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(w.unit, b.key, cs)
+			passStart := time.Now()
+			out, laneErrs, bd, err := rsakit.PrivateOpBatchVerifiedTraced(w.unit, b.key, cs)
 			if err != nil {
 				for _, q := range pending {
-					if q.resolve(Result{Err: err}) {
-						s.stats.failed.Add(1)
-					}
+					s.finish(q, Result{Err: err})
 				}
 				s.breaker.record(true, probe)
 				return
 			}
 			fill := len(pending)
-			cycles := knc.KNCVectorCosts.VectorCycles(w.unit.Counts())
+			cycles := knc.KNCVectorCosts.VectorCycles(bd.Counts)
+			phases := knc.KNCVectorCosts.PhaseBreakdown(bd.Phases)
+			w.meter.ChargeVectorPhases(bd.Phases)
 			simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
 			served := 0
 			for i, q := range pending {
@@ -218,7 +238,7 @@ func (s *Server) runBatch(w *worker, b *batch) {
 					faulted = append(faulted, q)
 					continue
 				}
-				if q.resolve(Result{
+				if s.finish(q, Result{
 					M:           out[i],
 					BatchFill:   fill,
 					BatchCycles: cycles,
@@ -228,8 +248,9 @@ func (s *Server) runBatch(w *worker, b *batch) {
 					served++
 				}
 			}
-			s.stats.recordBatch(fill, served, cycles, simLat)
+			s.stats.recordBatch(fill, served, cycles, simLat, phases)
 			s.stats.faultsDetected.Add(int64(len(faulted)))
+			s.tracePass(w, b, passStart, bd, fill, attempt, cycles, phases, len(faulted))
 			s.breaker.record(len(faulted) > 0, probe)
 		}
 		probe = false // only this batch's first pass can be the probe
@@ -238,19 +259,64 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		}
 		attempt++
 		if attempt > s.cfg.Resilience.MaxRetries || !s.breaker.healthy() {
-			s.runScalarOn(w.scalarEngine(), faulted, attempt)
+			s.runScalarOn(w.scalarEngine(), faulted, attempt, w.tid())
 			return
 		}
 		s.stats.retries.Add(int64(len(faulted)))
+		s.tracer.Instant(w.tid(), "retry",
+			telemetry.Args{"lanes": len(faulted), "attempt": attempt})
 		if !s.backoff(w, attempt) {
 			for _, q := range faulted {
-				if q.resolve(Result{Err: ErrCanceled}) {
-					s.stats.failed.Add(1)
-				}
+				s.finish(q, Result{Err: ErrCanceled})
 			}
 			return
 		}
 		pending = faulted
+	}
+}
+
+// tracePass emits one kernel pass as a slice on the worker's track, with
+// the Bellcore-verified CRT segments nested inside (the flame-graph view),
+// and the cycle attribution riding in the args. The segment slices are
+// laid out back to back from the pass start; context setup between them
+// surfaces as the slice tail rather than as gaps.
+func (s *Server) tracePass(w *worker, b *batch, start time.Time, bd *rsakit.PassBreakdown,
+	fill, attempt int, cycles float64, phases knc.PhaseCycles, faulted int) {
+	if s.tracer == nil {
+		return
+	}
+	args := telemetry.Args{
+		"key":           s.keyTag(b.key),
+		"fill":          fill,
+		"attempt":       attempt,
+		"sim_cycles":    cycles,
+		"worker_cycles": w.meter.Cycles(),
+	}
+	for p := 0; p < vbatch.NumPhases; p++ {
+		if phases[p] != 0 {
+			args["cycles_"+vbatch.PhaseName(vpu.Phase(p))] = phases[p]
+		}
+	}
+	if faulted > 0 {
+		args["faulted_lanes"] = faulted
+	}
+	s.tracer.Slice(w.tid(), "pass", start, time.Since(start), args)
+	t := start
+	for _, seg := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"crt-exp-p", bd.ExpPWall},
+		{"crt-exp-q", bd.ExpQWall},
+		{"crt-recombine", bd.RecombineWall},
+		{"bellcore-verify", bd.VerifyWall},
+	} {
+		s.tracer.Slice(w.tid(), seg.name, t, seg.dur, nil)
+		t = t.Add(seg.dur)
+	}
+	if faulted > 0 {
+		s.tracer.Instant(w.tid(), "fault-detected",
+			telemetry.Args{"lanes": faulted, "attempt": attempt})
 	}
 }
 
@@ -296,24 +362,26 @@ func (s *Server) backoff(w *worker, attempt int) bool {
 // runScalarOn serves requests one at a time on the scalar non-CRT baseline
 // path — the degraded mode. Non-CRT means a fault cannot leak a factor of
 // N even in principle, and the scalar engine never touches the (possibly
-// sick) vector unit; verification stays on as defense in depth.
-func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int) {
+// sick) vector unit; verification stays on as defense in depth. Each op
+// appears in the trace as a "fallback-op" slice on the given track.
+func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, tid int64) {
 	opts := rsakit.PrivateOpts{UseCRT: false, Verify: true}
 	for _, q := range reqs {
 		if q.done.Load() {
 			continue
 		}
 		eng.Reset()
+		opStart := time.Now()
 		m, err := rsakit.PrivateOp(eng, q.key, q.c, opts)
 		cycles := eng.Cycles()
 		simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
+		s.tracer.Slice(tid, "fallback-op", opStart, time.Since(opStart),
+			telemetry.Args{"req": q.id, "sim_cycles": cycles, "attempt": attempts})
 		if err != nil {
-			if q.resolve(Result{Err: err, Fallback: true, Attempts: attempts}) {
-				s.stats.failed.Add(1)
-			}
+			s.finish(q, Result{Err: err, Fallback: true, Attempts: attempts})
 			continue
 		}
-		if q.resolve(Result{
+		if s.finish(q, Result{
 			M:           m,
 			BatchFill:   1,
 			BatchCycles: cycles,
@@ -334,18 +402,21 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int) {
 // scalar work here occupies exactly the hardware thread that stalled.
 func (s *Server) retryTimedOut(b *batch) {
 	nb := &batch{
-		key:      b.key,
-		reqs:     liveReqs(b.reqs),
-		fallback: b.fallback,
-		attempts: b.attempts + 1,
+		key:        b.key,
+		reqs:       liveReqs(b.reqs),
+		fallback:   b.fallback,
+		attempts:   b.attempts + 1,
+		enqueuedAt: time.Now(),
 	}
 	if len(nb.reqs) == 0 {
 		return
 	}
+	s.tracer.Instant(tidControl, "batch-timeout",
+		telemetry.Args{"lanes": len(nb.reqs), "attempt": nb.attempts})
 	if !nb.fallback && nb.attempts <= s.cfg.Resilience.MaxRetries && s.breaker.healthy() {
 		if s.pool.TrySubmit(nb) {
 			return
 		}
 	}
-	s.runScalarOn(baseline.NewMPSS(), nb.reqs, nb.attempts)
+	s.runScalarOn(baseline.NewMPSS(), nb.reqs, nb.attempts, tidControl)
 }

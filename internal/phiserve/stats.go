@@ -3,11 +3,17 @@ package phiserve
 import (
 	"fmt"
 	"strings"
-	"sync"
-	"sync/atomic"
+
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/telemetry"
+	"phiopenssl/internal/vbatch"
+	"phiopenssl/internal/vpu"
 )
 
-// Stats is a snapshot of the scheduler's aggregate behaviour.
+// Stats is a snapshot of the scheduler's aggregate behaviour. It is a
+// thin view over the server's telemetry registry: every field is read
+// from the same counters the /metrics endpoint exports, so the two
+// surfaces cannot drift apart.
 type Stats struct {
 	// Submitted / Completed / Failed count requests accepted by Submit,
 	// resolved with a plaintext, and resolved with an error
@@ -20,9 +26,13 @@ type Stats struct {
 	// than by filling all lanes.
 	DeadlineFires int64
 	// FillHist[f] is the number of executed batches with f live lanes
-	// (index 1..BatchSize; index 0 is unused).
+	// (index 1..BatchSize). Index 0 is intentionally unused: a batch
+	// cannot execute with zero live lanes (dispatch requires at least one
+	// request), so the slot exists only to let the fill count index the
+	// array directly.
 	FillHist [BatchSize + 1]int64
-	// MeanFill is the mean number of live lanes per executed batch.
+	// MeanFill is the mean number of live lanes per executed batch; 0
+	// when no batch has executed.
 	MeanFill float64
 	// PendingLanes is the number of requests currently buffered in open
 	// (not yet dispatched) batches.
@@ -34,13 +44,16 @@ type Stats struct {
 	TotalSimCycles float64
 	// CyclesPerOp is (TotalSimCycles + FallbackCycles) / Completed: the
 	// amortized simulated cost of one request, including what faults made
-	// the server spend on retries and the scalar path.
+	// the server spend on retries and the scalar path. 0 when Completed
+	// is 0 (never NaN).
 	CyclesPerOp float64
 	// SimThroughput is ops/second on the simulated machine at the
-	// configured worker count, per the KNC issue-efficiency model.
+	// configured worker count, per the KNC issue-efficiency model. 0 when
+	// Completed is 0.
 	SimThroughput float64
 	// MeanSimLatency is the mean per-request service latency in seconds
-	// on the simulated machine (one kernel pass; queueing excluded).
+	// on the simulated machine (one kernel pass; queueing excluded). 0
+	// when Completed is 0 (never NaN).
 	MeanSimLatency float64
 
 	// FaultsDetected counts lanes whose pass failed the Bellcore
@@ -91,89 +104,147 @@ func (st Stats) String() string {
 	return line
 }
 
-// statsAcc is the internal accumulator. Counters touched on the Submit
-// and fault paths are atomics; per-batch aggregates share one mutex taken
-// once per kernel pass.
+// statsAcc is the server's bookkeeping, expressed entirely as telemetry
+// metrics: there is no parallel counter set — Stats snapshots read the
+// registry, and the registry is what /metrics exports. Hot-path updates
+// are atomic (lock-free); the only mutex in sight is the registry's
+// registration lock, taken once at construction.
 type statsAcc struct {
-	submitted     atomic.Int64
-	failed        atomic.Int64
-	pendingLanes  atomic.Int64
-	deadlineFires atomic.Int64
+	submitted, completed, failed *telemetry.Counter
+	batches, deadlineFires       *telemetry.Counter
+	faultsDetected, kernelFaults *telemetry.Counter
+	stalledPasses, retries       *telemetry.Counter
+	fallbackOps                  *telemetry.Counter
+	pendingLanes                 *telemetry.Gauge
+	fill                         *telemetry.Histogram
+	simLatency                   *telemetry.Histogram // seconds, success only
+	wallLatency                  *telemetry.Histogram // host seconds submit->resolve
+	queueWait                    *telemetry.Histogram // host seconds dispatch->execute
+	cycles, fallbackCycles       *telemetry.FloatCounter
+	phaseCycles                  [vbatch.NumPhases]*telemetry.FloatCounter
+	breakerGauge                 *telemetry.Gauge
+}
 
-	faultsDetected atomic.Int64
-	kernelFaults   atomic.Int64
-	stalledPasses  atomic.Int64
-	retries        atomic.Int64
-
-	mu             sync.Mutex
-	completed      int64
-	batches        int64
-	fillSum        int64
-	fillHist       [BatchSize + 1]int64
-	cycles         float64
-	latencySum     float64 // sum over requests of their pass's sim latency
-	fallbackOps    int64
-	fallbackCycles float64
+// newStatsAcc registers the scheduler's metric set on reg (never nil: a
+// server without caller-provided telemetry gets a private registry).
+func newStatsAcc(reg *telemetry.Registry) *statsAcc {
+	a := &statsAcc{
+		submitted: reg.Counter("phiserve_requests_submitted_total",
+			"requests accepted by Submit"),
+		completed: reg.Counter("phiserve_requests_completed_total",
+			"requests resolved with a plaintext (fallback included)"),
+		failed: reg.Counter("phiserve_requests_failed_total",
+			"requests resolved with an error (cancellation included)"),
+		batches: reg.Counter("phiserve_batches_total",
+			"kernel passes executed (retry passes included)"),
+		deadlineFires: reg.Counter("phiserve_deadline_fires_total",
+			"batches dispatched by the fill deadline"),
+		faultsDetected: reg.Counter("phiserve_faults_detected_total",
+			"lanes that failed the Bellcore re-encryption check"),
+		kernelFaults: reg.Counter("phiserve_kernel_faults_total",
+			"whole-pass transient kernel failures"),
+		stalledPasses: reg.Counter("phiserve_stalled_passes_total",
+			"passes that wedged their worker"),
+		retries: reg.Counter("phiserve_retries_total",
+			"lane-operations re-executed after a detected fault"),
+		fallbackOps: reg.Counter("phiserve_fallback_ops_total",
+			"requests served by the scalar non-CRT path"),
+		pendingLanes: reg.Gauge("phiserve_pending_lanes",
+			"requests buffered in open (not yet dispatched) batches"),
+		fill: reg.Histogram("phiserve_batch_fill_lanes",
+			"live lanes per executed batch",
+			telemetry.LinearBuckets(1, 1, BatchSize)),
+		simLatency: reg.Histogram("phiserve_sim_latency_seconds",
+			"per-request service latency on the simulated machine",
+			telemetry.Pow2Buckets(1e-6, 16)),
+		wallLatency: reg.Histogram("phiserve_request_wall_seconds",
+			"host wall time from Submit to resolve",
+			telemetry.Pow2Buckets(1e-6, 16)),
+		queueWait: reg.Histogram("phiserve_queue_wait_seconds",
+			"host wall time a batch waited in the dispatch queue",
+			telemetry.Pow2Buckets(1e-6, 16)),
+		cycles: reg.FloatCounter("phiserve_sim_cycles_total",
+			"simulated cycles across kernel passes"),
+		fallbackCycles: reg.FloatCounter("phiserve_fallback_sim_cycles_total",
+			"simulated cycles spent on the scalar fallback path"),
+		breakerGauge: reg.Gauge("phiserve_breaker_state",
+			"circuit breaker state (0 closed, 1 open, 2 half-open)"),
+	}
+	for p := 0; p < vbatch.NumPhases; p++ {
+		a.phaseCycles[p] = reg.FloatCounter("phiserve_phase_sim_cycles_total",
+			"simulated kernel-pass cycles attributed per kernel phase; "+
+				"the sum across phases equals phiserve_sim_cycles_total",
+			"phase", vbatch.PhaseName(vpu.Phase(p)))
+	}
+	return a
 }
 
 // recordBatch accounts one executed kernel pass: fill live lanes packed,
 // of which `served` resolved their request here (faulted lanes and lanes
-// whose request a racing path already answered are excluded).
-func (a *statsAcc) recordBatch(fill, served int, cycles, simLat float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.batches++
-	a.fillHist[fill]++
-	a.fillSum += int64(fill)
-	a.completed += int64(served)
-	a.cycles += cycles
-	a.latencySum += simLat * float64(served)
+// whose request a racing path already answered are excluded), with the
+// pass's per-phase cycle attribution. Completion counting itself lives in
+// Server.finish, the single resolution point.
+func (a *statsAcc) recordBatch(fill, served int, cycles, simLat float64, phases knc.PhaseCycles) {
+	a.batches.Inc()
+	a.fill.Observe(float64(fill))
+	a.cycles.Add(cycles)
+	a.simLatency.ObserveN(simLat, int64(served))
+	for p := 0; p < vbatch.NumPhases; p++ {
+		if phases[p] != 0 {
+			a.phaseCycles[p].Add(phases[p])
+		}
+	}
 }
 
 // recordFallback accounts one request served by the scalar path.
 func (a *statsAcc) recordFallback(cycles, simLat float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.completed++
-	a.fallbackOps++
-	a.fallbackCycles += cycles
-	a.latencySum += simLat
+	a.fallbackOps.Inc()
+	a.fallbackCycles.Add(cycles)
+	a.simLatency.Observe(simLat)
 }
 
+// snapshot assembles a Stats view from the registry. Individual reads are
+// atomic; after a quiescent point (Close, or a drained pipeline) the
+// snapshot is exact.
 func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64, bstate breakerState, trips int64) Stats {
-	a.mu.Lock()
 	st := Stats{
-		Submitted:       a.submitted.Load(),
-		Completed:       a.completed,
-		Failed:          a.failed.Load(),
-		Batches:         a.batches,
-		DeadlineFires:   a.deadlineFires.Load(),
-		FillHist:        a.fillHist,
-		PendingLanes:    int(a.pendingLanes.Load()),
+		Submitted:       a.submitted.Value(),
+		Completed:       a.completed.Value(),
+		Failed:          a.failed.Value(),
+		Batches:         a.batches.Value(),
+		DeadlineFires:   a.deadlineFires.Value(),
+		PendingLanes:    int(a.pendingLanes.Value()),
 		QueueDepth:      queueDepth,
-		TotalSimCycles:  a.cycles,
-		FaultsDetected:  a.faultsDetected.Load(),
-		KernelFaults:    a.kernelFaults.Load(),
-		StalledPasses:   a.stalledPasses.Load(),
+		TotalSimCycles:  a.cycles.Value(),
+		FaultsDetected:  a.faultsDetected.Value(),
+		KernelFaults:    a.kernelFaults.Value(),
+		StalledPasses:   a.stalledPasses.Value(),
 		TimedOutBatches: timedOut,
 		WorkerRespawns:  respawns,
-		Retries:         a.retries.Load(),
-		FallbackOps:     a.fallbackOps,
-		FallbackCycles:  a.fallbackCycles,
+		Retries:         a.retries.Value(),
+		FallbackOps:     a.fallbackOps.Value(),
+		FallbackCycles:  a.fallbackCycles.Value(),
 		BreakerTrips:    trips,
 		BreakerState:    bstate.String(),
 	}
-	fillSum := a.fillSum
-	latencySum := a.latencySum
-	a.mu.Unlock()
-
-	if st.Batches > 0 {
-		st.MeanFill = float64(fillSum) / float64(st.Batches)
+	// The fill histogram's buckets are exactly the lane counts 1..16, so
+	// the view reconstructs FillHist losslessly. Index 0 stays zero by
+	// construction (see the field comment).
+	for f, n := range a.fill.BucketCounts() {
+		if f < BatchSize {
+			st.FillHist[f+1] = n
+		}
 	}
+	if st.Batches > 0 {
+		st.MeanFill = a.fill.Sum() / float64(st.Batches)
+	}
+	// Guard the per-op ratios: with nothing completed they report 0, not
+	// NaN/Inf (a snapshot taken before the first resolve, or a run where
+	// every request was canceled).
 	if st.Completed > 0 {
 		st.CyclesPerOp = (st.TotalSimCycles + st.FallbackCycles) / float64(st.Completed)
 		st.SimThroughput = cfg.Machine.Throughput(cfg.Workers, st.CyclesPerOp)
-		st.MeanSimLatency = latencySum / float64(st.Completed)
+		st.MeanSimLatency = a.simLatency.Sum() / float64(st.Completed)
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package rsakit
 
 import (
 	"fmt"
+	"time"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/vbatch"
@@ -25,6 +26,28 @@ const BatchSize = vbatch.BatchSize
 // sixteen requests accumulate. Every ciphertext must be in [0, N). The
 // result has len(cs) elements, lane-aligned with cs.
 func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error) {
+	return privateOpBatchN(u, key, cs, nil)
+}
+
+// PassBreakdown attributes one verified batch pass for telemetry: the
+// instruction deltas the pass issued on the unit (total and per vbatch
+// attribution phase — pack/mul/reduce/window/crt) and the host wall time
+// spent in its major segments. The wall segments do not tile the whole
+// pass (context setup and input reductions fall between them); they exist
+// so a trace can show where the *host* time went, while the phase counts
+// say where the *simulated cycles* went. The per-phase counts sum to
+// Counts exactly.
+type PassBreakdown struct {
+	Phases [vpu.MaxPhases]vpu.Counts
+	Counts vpu.Counts
+
+	ExpPWall      time.Duration // shared-exponent pass mod P
+	ExpQWall      time.Duration // shared-exponent pass mod Q
+	RecombineWall time.Duration // host-side CRT recombination
+	VerifyWall    time.Duration // Bellcore re-encryption + compare
+}
+
+func privateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, error) {
 	for l, c := range cs {
 		if c.Cmp(key.N) >= 0 {
 			return nil, fmt.Errorf("rsakit: batch ciphertext %d out of range", l)
@@ -48,15 +71,41 @@ func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error
 		cp[l] = c.Mod(key.P)
 		cq[l] = c.Mod(key.Q)
 	}
+	start := stamp(bd)
 	m1 := ctxP.ModExpShared(&cp, key.Dp)
+	if bd != nil {
+		bd.ExpPWall = time.Since(start)
+		start = time.Now()
+	}
 	m2 := ctxQ.ModExpShared(&cq, key.Dq)
+	if bd != nil {
+		bd.ExpQWall = time.Since(start)
+		start = time.Now()
+	}
 
+	// The recombination is host-side bn arithmetic; bracketing it with
+	// PhaseCRT documents (and would surface) any vector work a future
+	// recombination strategy adds — today the slot measures zero.
+	prev := u.SetPhase(vbatch.PhaseCRT)
 	out := make([]bn.Nat, live)
 	for l := 0; l < live; l++ {
 		h := key.Qinv.ModMul(m1[l].ModSub(m2[l], key.P), key.P)
 		out[l] = m2[l].Add(h.Mul(key.Q))
 	}
+	u.SetPhase(prev)
+	if bd != nil {
+		bd.RecombineWall = time.Since(start)
+	}
 	return out, nil
+}
+
+// stamp returns a wall-clock origin only when a breakdown is wanted, so
+// the untraced path never calls time.Now.
+func stamp(bd *PassBreakdown) time.Time {
+	if bd == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // PrivateOpBatchVerifiedN is PrivateOpBatchN followed by the batch Bellcore
@@ -74,10 +123,38 @@ func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error
 // lane (fail-safe — the caller retries); for it to mask a bad lane the
 // corrupted re-encryption would have to collide with the ciphertext.
 func PrivateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, error) {
-	out, err := PrivateOpBatchN(u, key, cs)
+	return privateOpBatchVerifiedN(u, key, cs, nil)
+}
+
+// PrivateOpBatchVerifiedTraced is PrivateOpBatchVerifiedN plus a
+// PassBreakdown covering exactly this call: the unit's meters are
+// snapshotted on entry and the breakdown reports deltas, so the caller
+// need not Reset the unit around the pass. This is the entry point the
+// streaming scheduler uses when telemetry is on.
+func PrivateOpBatchVerifiedTraced(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, *PassBreakdown, error) {
+	bd := new(PassBreakdown)
+	baseCounts := u.Counts()
+	basePhases := u.PhaseCounts()
+	out, laneErrs, err := privateOpBatchVerifiedN(u, key, cs, bd)
+	cur := u.Counts()
+	for i := range cur {
+		bd.Counts[i] = cur[i] - baseCounts[i]
+	}
+	curPhases := u.PhaseCounts()
+	for p := range curPhases {
+		for i := range curPhases[p] {
+			bd.Phases[p][i] = curPhases[p][i] - basePhases[p][i]
+		}
+	}
+	return out, laneErrs, bd, err
+}
+
+func privateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, []error, error) {
+	out, err := privateOpBatchN(u, key, cs, bd)
 	if err != nil {
 		return nil, nil, err
 	}
+	start := stamp(bd)
 	ctxN, err := vbatch.NewCtx(key.N, u)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rsakit: batch N context: %w", err)
@@ -101,6 +178,9 @@ func PrivateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Na
 		if laneErrs[l] != nil {
 			out[l] = bn.Nat{} // never release a corrupted plaintext
 		}
+	}
+	if bd != nil {
+		bd.VerifyWall = time.Since(start)
 	}
 	return out, laneErrs, nil
 }

@@ -1,0 +1,109 @@
+package rsakit
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/vbatch"
+	"phiopenssl/internal/vpu"
+)
+
+// TestPrivateOpBatchVerifiedTraced pins the contract telemetry depends on:
+// the traced pass returns the same plaintexts as the untraced one, its
+// per-phase instruction counts sum to its total exactly, and the phases
+// land where the kernel structure says they must — mul/reduce carry the
+// work, the shared-exponent window lookup is free, and CRT recombination
+// issues no vector instructions.
+func TestPrivateOpBatchVerifiedTraced(t *testing.T) {
+	key := testKey512
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(400))
+	cs := make([]bn.Nat, 11)
+	want := make([]bn.Nat, len(cs))
+	for l := range cs {
+		m, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[l] = m
+		cs[l] = eng.ModExp(m, key.E, key.N)
+	}
+
+	u := vpu.New()
+	// Pre-charge the unit so the delta logic is exercised: the breakdown
+	// must cover only the traced call.
+	warm, _, err := PrivateOpBatchVerifiedN(u, key, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preCounts := u.Counts()
+
+	out, laneErrs, bd, err := PrivateOpBatchVerifiedTraced(u, key, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range out {
+		if laneErrs[l] != nil {
+			t.Fatalf("lane %d: %v", l, laneErrs[l])
+		}
+		if !out[l].Equal(want[l]) || !out[l].Equal(warm[l]) {
+			t.Fatalf("lane %d: traced pass returned a different plaintext", l)
+		}
+	}
+
+	// Delta covers exactly the traced call.
+	post := u.Counts()
+	for i := range post {
+		if bd.Counts[i] != post[i]-preCounts[i] {
+			t.Fatalf("class %d: breakdown %d != unit delta %d",
+				i, bd.Counts[i], post[i]-preCounts[i])
+		}
+	}
+
+	// Per-phase counts tile the total exactly, class by class.
+	var phaseSum vpu.Counts
+	for _, pc := range bd.Phases {
+		phaseSum = phaseSum.Add(pc)
+	}
+	if phaseSum != bd.Counts {
+		t.Fatalf("phase counts %v do not sum to total %v", phaseSum, bd.Counts)
+	}
+
+	// Cycle attribution: the same tiling holds after applying the cost
+	// table (this is the meter's 0.1% acceptance check, which holds with
+	// exact equality by construction).
+	m := knc.NewVectorMeter(knc.KNCVectorCosts)
+	m.ChargeVectorPhases(bd.Phases)
+	if total := knc.KNCVectorCosts.VectorCycles(bd.Counts); m.PhaseCycles().Total() != total ||
+		m.Cycles() != total {
+		t.Fatalf("phase cycles %v != total cycles %v", m.PhaseCycles().Total(), total)
+	}
+
+	cycles := knc.KNCVectorCosts.PhaseBreakdown(bd.Phases)
+	mul := cycles[vbatch.PhaseMul]
+	reduce := cycles[vbatch.PhaseReduce]
+	pack := cycles[vbatch.PhasePack]
+	if mul == 0 || reduce == 0 || pack == 0 {
+		t.Fatalf("mul/reduce/pack phases must carry work: %v", cycles)
+	}
+	if mul+reduce < 0.8*cycles.Total() {
+		t.Fatalf("CIOS halves should dominate the pass: %v", cycles)
+	}
+	if cycles[vbatch.PhaseWindow] != 0 {
+		t.Fatalf("shared-exponent window lookup must be free, got %v cycles",
+			cycles[vbatch.PhaseWindow])
+	}
+	if cycles[vbatch.PhaseCRT] != 0 {
+		t.Fatalf("host-side CRT recombination must issue no vector work, got %v cycles",
+			cycles[vbatch.PhaseCRT])
+	}
+
+	// The wall segments are populated (recombine can round to zero on a
+	// coarse clock; the exponentiations cannot).
+	if bd.ExpPWall <= 0 || bd.ExpQWall <= 0 || bd.VerifyWall <= 0 {
+		t.Fatalf("wall segments missing: %+v", bd)
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the live observability surface:
+//
+//	/metrics        Prometheus text exposition
+//	/vars           the same registry as a flat JSON object (expvar style)
+//	/trace          Chrome trace-event JSON of the buffered trace
+//	/debug/pprof/   the standard Go profiler endpoints
+//
+// A nil Telemetry (or nil Registry/Tracer fields) degrades gracefully:
+// the endpoints answer with empty documents rather than panicking.
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Reg().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="phiopenssl-trace.json"`)
+		_ = t.Trace().Export(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "phiopenssl telemetry\n\n"+
+			"  /metrics       Prometheus text format\n"+
+			"  /vars          metrics as JSON\n"+
+			"  /trace         Chrome trace-event JSON (open in https://ui.perfetto.dev)\n"+
+			"  /debug/pprof/  Go profiler\n")
+	})
+	return mux
+}
+
+// ListenAndServe serves Handler(t) on addr. It is a convenience for the
+// example binaries; it blocks like http.ListenAndServe.
+func ListenAndServe(addr string, t *Telemetry) error {
+	return http.ListenAndServe(addr, Handler(t))
+}

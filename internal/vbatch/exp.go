@@ -34,6 +34,10 @@ func (c *Ctx) ModExpShared(bases *[BatchSize]bn.Nat, exp bn.Nat) [BatchSize]bn.N
 		table[i] = c.Mul(table[i-1], xm)
 	}
 
+	// With a shared exponent the window lookup is direct indexing into the
+	// table — it issues no vector instructions, so PhaseWindow stays at
+	// zero here. That is the point of the shared-exponent schedule, and
+	// the per-phase meters make it visible against ModExpMulti's scan.
 	windows := (exp.BitLen() + w - 1) / w
 	acc := table[exp.Bits((windows-1)*w, w)]
 	for wi := windows - 2; wi >= 0; wi-- {
@@ -87,6 +91,8 @@ func (c *Ctx) ModExpMulti(bases, exps *[BatchSize]bn.Nat) [BatchSize]bn.Nat {
 	// selectEntries builds the per-lane multiplicand: lane l takes
 	// table[digit_l], assembled with one compare+blend pass per entry.
 	selectEntries := func(digits vpu.Vec) Batch {
+		prev := u.SetPhase(PhaseWindow)
+		defer u.SetPhase(prev)
 		out := make(Batch, c.k)
 		for e := range table {
 			ev := u.Broadcast(uint32(e))
@@ -101,6 +107,8 @@ func (c *Ctx) ModExpMulti(bases, exps *[BatchSize]bn.Nat) [BatchSize]bn.Nat {
 		return out
 	}
 	digitsAt := func(wi int) vpu.Vec {
+		prev := u.SetPhase(PhaseWindow)
+		defer u.SetPhase(prev)
 		var d vpu.Vec
 		for l, e := range exps {
 			d[l] = e.Bits(wi*w, w)

@@ -16,10 +16,15 @@ func (c *Ctx) Mul(a, b Batch) Batch {
 	if len(a) != k || len(b) != k {
 		panic("vbatch: batch width mismatch")
 	}
+	// Phase attribution: the a*b accumulate is the multiply half of CIOS;
+	// everything from the quotient digit on is Montgomery reduction.
+	prev := u.SetPhase(PhaseMul)
 	z := make([]vpu.Vec, 2*k)
 	carryFlag := vpu.Vec{} // 0/1 per lane
 	for i := 0; i < k; i++ {
+		u.SetPhase(PhaseMul)
 		c2 := c.addMulVVW(z[i:k+i], a, b[i])
+		u.SetPhase(PhaseReduce)
 		q := u.MulLo(z[i], c.n0Splat)
 		c3 := c.addMulVVW(z[i:k+i], c.nSplat, q)
 		cx, m1 := u.AddSetC(carryFlag, c2)
@@ -42,6 +47,7 @@ func (c *Ctx) Mul(a, b Batch) Batch {
 	for j := 0; j < k; j++ {
 		out[j] = u.Blend(sel, z[k+j], diff[j])
 	}
+	u.SetPhase(prev)
 	return out
 }
 

@@ -28,6 +28,49 @@ import (
 // vector lane).
 const BatchSize = vpu.Lanes
 
+// Attribution phases for the batch kernels. The vpu.Unit provides anonymous
+// per-phase meters; these constants give them meaning for this kernel
+// family, answering "where did the cycles go?" per pass: operand
+// gather/scatter transposes, the a*b multiply half of CIOS, the Montgomery
+// reduction half, the window-table lookup, and the CRT recombination
+// region. Attribution is leaf-level — Mul always splits its work into
+// PhaseMul/PhaseReduce even when called from table build or recombination,
+// so a phase measures an arithmetic activity, not a call site.
+const (
+	// PhaseOther is the default slot: constant broadcasts and anything a
+	// kernel did not bracket explicitly.
+	PhaseOther vpu.Phase = 0
+	// PhasePack covers the lane-transposing gathers/scatters (Pack/Unpack).
+	PhasePack vpu.Phase = 1
+	// PhaseMul covers the a*b multiply-accumulate half of CIOS.
+	PhaseMul vpu.Phase = 2
+	// PhaseReduce covers the Montgomery reduction half: quotient digit,
+	// n*q accumulate, carry merge and the final conditional subtraction.
+	PhaseReduce vpu.Phase = 3
+	// PhaseWindow covers window-table entry selection. With a shared
+	// exponent (ModExpShared) selection is direct indexing and issues no
+	// vector instructions — this slot staying at zero is the measurement,
+	// not a bug; ModExpMulti's masked compare+blend scan lands here.
+	PhaseWindow vpu.Phase = 4
+	// PhaseCRT covers the CRT recombination region (internal/rsakit). The
+	// recombination itself is host-side bn arithmetic that issues no
+	// vector instructions, so this slot measures exactly the vector work
+	// (if any) a recombination strategy adds.
+	PhaseCRT vpu.Phase = 5
+	// NumPhases is the number of named phases above.
+	NumPhases = 6
+)
+
+var phaseNames = [NumPhases]string{"other", "pack", "mul", "reduce", "window", "crt"}
+
+// PhaseName returns the metric-label name of an attribution phase.
+func PhaseName(p vpu.Phase) string {
+	if int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return "other"
+}
+
 // Ctx holds per-modulus constants for the batch kernels.
 type Ctx struct {
 	modulus bn.Nat
@@ -101,6 +144,8 @@ func (c *Ctx) Pack(vals *[BatchSize]bn.Nat) Batch {
 		copy(flat[l*c.k:(l+1)*c.k], v.LimbsPadded(c.k))
 	}
 	out := make(Batch, c.k)
+	prev := c.unit.SetPhase(PhasePack)
+	defer c.unit.SetPhase(prev)
 	var idx vpu.Vec
 	for j := 0; j < c.k; j++ {
 		for l := 0; l < BatchSize; l++ {
@@ -115,6 +160,7 @@ func (c *Ctx) Pack(vals *[BatchSize]bn.Nat) Batch {
 // per limb.
 func (c *Ctx) Unpack(b Batch) [BatchSize]bn.Nat {
 	flat := make([]uint32, BatchSize*c.k)
+	prev := c.unit.SetPhase(PhasePack)
 	var idx vpu.Vec
 	for j := 0; j < c.k; j++ {
 		for l := 0; l < BatchSize; l++ {
@@ -122,6 +168,7 @@ func (c *Ctx) Unpack(b Batch) [BatchSize]bn.Nat {
 		}
 		c.unit.Scatter(flat, idx, b[j], vpu.MaskAll)
 	}
+	c.unit.SetPhase(prev)
 	var out [BatchSize]bn.Nat
 	for l := 0; l < BatchSize; l++ {
 		out[l] = bn.FromLimbs(flat[l*c.k : (l+1)*c.k])

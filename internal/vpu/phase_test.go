@@ -1,0 +1,50 @@
+package vpu
+
+import "testing"
+
+// TestPhaseAttribution pins the phase-slot contract: every tick lands in
+// exactly one slot, SetPhase save/restore works, out-of-range phases fall
+// back to slot 0, and Reset clears the slots and the selector.
+func TestPhaseAttribution(t *testing.T) {
+	u := New()
+	a := u.Broadcast(3)
+	b := u.Broadcast(5)
+	u.Add(a, b) // phase 0
+
+	if prev := u.SetPhase(2); prev != 0 {
+		t.Fatalf("SetPhase returned prev=%d, want 0", prev)
+	}
+	u.Add(a, b)
+	u.MulLo(a, b)
+	if prev := u.SetPhase(MaxPhases + 1); prev != 2 { // out of range -> slot 0
+		t.Fatalf("SetPhase returned prev=%d, want 2", prev)
+	}
+	u.Add(a, b)
+
+	phases := u.PhaseCounts()
+	if phases[2][ClassALU] != 1 || phases[2][ClassMul] != 1 {
+		t.Fatalf("phase 2 counts = %v", phases[2])
+	}
+	var sum Counts
+	for _, pc := range phases {
+		sum = sum.Add(pc)
+	}
+	if sum != u.Counts() {
+		t.Fatalf("phase counts %v do not sum to Counts() %v", sum, u.Counts())
+	}
+
+	u.Reset()
+	if u.PhaseCounts() != ([MaxPhases]Counts{}) || u.Counts() != (Counts{}) {
+		t.Fatalf("Reset must clear phase slots")
+	}
+	u.Add(a, b)
+	if u.PhaseCounts()[0][ClassALU] == 0 {
+		t.Fatalf("Reset must return the selector to slot 0")
+	}
+
+	// Nil units stay inert.
+	var nu *Unit
+	if nu.SetPhase(3) != 0 || nu.PhaseCounts() != ([MaxPhases]Counts{}) {
+		t.Fatalf("nil unit phase methods must be no-ops")
+	}
+}

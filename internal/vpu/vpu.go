@@ -111,6 +111,18 @@ func (c Counts) Add(o Counts) Counts {
 	return c
 }
 
+// Phase is an attribution slot for instruction counts. Besides the global
+// per-class meter, a Unit keeps one Counts vector per phase; a kernel
+// brackets each algorithmic stage with SetPhase so the cost model can
+// answer "where did the cycles go?" (multiply vs Montgomery reduce vs
+// window lookup vs CRT recombine). Phase 0 is the default, unattributed
+// slot. The phase *names* are policy and live with the kernels
+// (internal/vbatch); this package only provides the slots.
+type Phase uint8
+
+// MaxPhases is the number of attribution slots a Unit carries.
+const MaxPhases = 8
+
 // Corruptor observes every vector result the Unit produces and may mutate
 // it in place. It is the hook through which internal/faultsim injects
 // per-lane bit-flips: the injector decides (deterministically, from its
@@ -124,6 +136,8 @@ type Corruptor interface {
 // simulated hardware thread owns its own Unit.
 type Unit struct {
 	counts Counts
+	phase  Phase
+	phases [MaxPhases]Counts
 	fault  Corruptor
 }
 
@@ -152,14 +166,50 @@ func New() *Unit { return &Unit{} }
 // Counts returns the instruction counts issued so far.
 func (u *Unit) Counts() Counts { return u.counts }
 
-// Reset zeroes the meters.
-func (u *Unit) Reset() { u.counts = Counts{} }
+// SetPhase selects the attribution slot for subsequent instructions and
+// returns the previous phase, so nested kernels can save/restore:
+//
+//	prev := u.SetPhase(PhaseMul)
+//	defer u.SetPhase(prev)
+//
+// Out-of-range phases fall back to slot 0. Safe on a nil Unit.
+func (u *Unit) SetPhase(p Phase) Phase {
+	if u == nil {
+		return 0
+	}
+	prev := u.phase
+	if p >= MaxPhases {
+		p = 0
+	}
+	u.phase = p
+	return prev
+}
 
-// tick records n instructions of class c. A nil Unit executes unmetered,
-// which keeps pure-function tests cheap.
+// PhaseCounts returns the per-phase instruction counts issued so far. The
+// element-wise sum over phases equals Counts() exactly: every tick lands
+// in precisely one slot.
+func (u *Unit) PhaseCounts() [MaxPhases]Counts {
+	if u == nil {
+		return [MaxPhases]Counts{}
+	}
+	return u.phases
+}
+
+// Reset zeroes the meters, including the per-phase slots, and returns the
+// phase selector to 0.
+func (u *Unit) Reset() {
+	u.counts = Counts{}
+	u.phases = [MaxPhases]Counts{}
+	u.phase = 0
+}
+
+// tick records n instructions of class c in the global meter and in the
+// current phase slot. A nil Unit executes unmetered, which keeps
+// pure-function tests cheap.
 func (u *Unit) tick(c Class, n uint64) {
 	if u != nil {
 		u.counts[c] += n
+		u.phases[u.phase][c] += n
 	}
 }
 
