@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race faults telemetry bench quick clean
+.PHONY: all build test check race faults telemetry backends bench quick clean
 
 all: check
 
@@ -39,6 +39,23 @@ telemetry:
 	$(GO) test -race -timeout=300s -run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -timeout=300s -run 'TestTelemetryOverhead' ./internal/bench
+
+# backends runs the race-enabled faults + telemetry gates on BOTH kernel
+# execution backends (PHIOPENSSL_BACKEND steers the server's default), so
+# neither the interpreted sim path nor the calibrated direct path rots.
+# The differential and calibration tests that pin the two backends against
+# each other run in the ordinary suite (make check).
+backends:
+	PHIOPENSSL_BACKEND=sim PHIOPENSSL_FAULTS=1 $(GO) test -race -timeout=900s -count=1 \
+		-run 'Fault|Breaker|Stall|Injected|KernelFail' \
+		./internal/faultsim ./internal/phiserve ./internal/rsakit
+	PHIOPENSSL_BACKEND=direct PHIOPENSSL_FAULTS=1 $(GO) test -race -timeout=900s -count=1 \
+		-run 'Fault|Breaker|Stall|Injected|KernelFail' \
+		./internal/faultsim ./internal/phiserve ./internal/rsakit
+	PHIOPENSSL_BACKEND=sim $(GO) test -race -timeout=300s -count=1 \
+		-run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
+	PHIOPENSSL_BACKEND=direct $(GO) test -race -timeout=300s -count=1 \
+		-run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
 
 quick:
 	$(GO) run ./cmd/phibench -quick

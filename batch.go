@@ -15,6 +15,29 @@ const RSABatchSize = rsakit.BatchSize
 // releasing it would leak a factor of N. Match with errors.Is.
 var ErrFaultDetected = rsakit.ErrFaultDetected
 
+// BackendKind selects how the batch kernels execute: interpreted and
+// cycle-exact (BackendSim) or direct limb arithmetic with calibrated
+// cycle charging (BackendDirect). Both produce bit-identical plaintexts
+// and identical simulated-cycle figures for the batch path; direct is
+// several times faster in host wall time and is the serving default.
+type BackendKind = vpu.BackendKind
+
+// Backend kinds for BatchServerConfig.Backend and ParseBackend.
+const (
+	// BackendDefault lets the serving layer pick (resolves to
+	// BackendDirect, overridable via the PHIOPENSSL_BACKEND environment
+	// variable).
+	BackendDefault = vpu.BackendDefault
+	// BackendSim is the interpreted, cycle-exact vector unit.
+	BackendSim = vpu.BackendSim
+	// BackendDirect is the calibrated direct-arithmetic path.
+	BackendDirect = vpu.BackendDirect
+)
+
+// ParseBackend maps the flag/env spellings "sim" and "direct" (and "",
+// meaning default) to a BackendKind; ok is false for anything else.
+func ParseBackend(s string) (BackendKind, bool) { return vpu.ParseBackend(s) }
+
 // RSAPrivateBatch decrypts sixteen ciphertexts under one key with the
 // batch (lane-per-operation) vector kernels — the throughput-oriented
 // alternative to the per-operation PhiOpenSSL engine (see ablation A4 in
@@ -45,11 +68,20 @@ func RSAPrivateBatch(key *PrivateKey, cs *[RSABatchSize]Nat) ([RSABatchSize]Nat,
 // lanes, an error wrapping ErrFaultDetected for lanes whose result failed
 // the re-encryption check (such lanes return a zero Nat, never a corrupted
 // plaintext). The final error is batch-level (malformed inputs).
+//
+// Execution runs on the direct backend (kernel results and charged cycles
+// are identical to the sim's by the calibration contract — see DESIGN.md
+// "Backends"); use RSAPrivateBatchOn to pick the backend explicitly.
 func RSAPrivateBatchN(key *PrivateKey, cs []Nat) ([]Nat, []error, float64, error) {
-	u := vpu.New()
-	res, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(u, key, cs)
+	return RSAPrivateBatchOn(BackendDirect, key, cs)
+}
+
+// RSAPrivateBatchOn is RSAPrivateBatchN on an explicitly chosen backend.
+func RSAPrivateBatchOn(kind BackendKind, key *PrivateKey, cs []Nat) ([]Nat, []error, float64, error) {
+	be := vpu.NewBackend(kind)
+	res, laneErrs, err := rsakit.PrivateOpBatchVerifiedN(be, key, cs)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return res, laneErrs, knc.KNCVectorCosts.VectorCycles(u.Counts()), nil
+	return res, laneErrs, knc.KNCVectorCosts.VectorCycles(be.Counts()), nil
 }

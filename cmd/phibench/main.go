@@ -21,6 +21,7 @@ import (
 
 	"phiopenssl/internal/bench"
 	"phiopenssl/internal/telemetry"
+	"phiopenssl/internal/vpu"
 )
 
 func main() {
@@ -89,7 +90,7 @@ func main() {
 	if text {
 		fmt.Printf("phibench: %d experiment(s), %s grid, seed %d\n\n", len(todo), mode, *seed)
 	}
-	report := bench.Report{Seed: *seed, Quick: *quick}
+	report := bench.Report{Seed: *seed, Backend: vpu.BackendSim.String(), Quick: *quick}
 	start := time.Now()
 	for _, e := range todo {
 		t0 := time.Now()

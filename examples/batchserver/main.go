@@ -40,7 +40,13 @@ func main() {
 		"serve /metrics, /vars, /trace and /debug/pprof on this address (e.g. :9090); the process stays up after the demo")
 	traceFile := flag.String("trace", "",
 		"write a Chrome trace-event JSON of the run to this file (open in https://ui.perfetto.dev)")
+	backendName := flag.String("backend", "direct",
+		"kernel execution backend: direct (calibrated limb arithmetic, the serving default) or sim (interpreted cycle-exact vector unit); both report identical simulated cycles")
 	flag.Parse()
+	backend, ok := phiopenssl.ParseBackend(*backendName)
+	if !ok {
+		log.Fatalf("unknown -backend %q (want sim or direct)", *backendName)
+	}
 
 	// One telemetry bundle observes the whole run: metrics always, the
 	// trace recorder only when someone will look at it.
@@ -83,6 +89,7 @@ func main() {
 		Workers:      4,
 		FillDeadline: 20 * time.Millisecond,
 		QueueDepth:   8,
+		Backend:      backend,
 		Telemetry:    tel,
 	})
 	if err != nil {
@@ -143,7 +150,7 @@ func main() {
 	}
 
 	st := srv.Stats()
-	fmt.Printf("\nscheduler: %s\n", st)
+	fmt.Printf("\nscheduler (%s backend): %s\n", srv.Config().Backend, st)
 	fmt.Printf("\nRSA-1024 private operation on %s:\n\n", mach)
 	fmt.Printf("  per-op engine    : %10.0f cycles/op  (%8.0f ops/s at 244 threads)\n",
 		perOp, mach.Throughput(244, perOp))

@@ -24,7 +24,11 @@ type Result struct {
 
 // Report is a full phibench run in machine-readable form.
 type Report struct {
-	Seed        int64    `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Backend identifies the kernel execution backend the run measured
+	// ("sim" for phibench: the experiments are the cycle-model surface,
+	// so they stay on the interpreted cycle-exact unit).
+	Backend     string   `json:"backend"`
 	Quick       bool     `json:"quick"`
 	Experiments []Result `json:"experiments"`
 }

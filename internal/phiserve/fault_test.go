@@ -20,14 +20,18 @@ type countingCorruptor struct{ n int64 }
 func (c *countingCorruptor) CorruptVec(*vpu.Vec) { c.n++ }
 
 // instrPerVerifiedPass measures the corruptible-instruction count of one
-// full verified batch pass (CRT kernel + re-encryption check) for key.
-func instrPerVerifiedPass(t *testing.T, key *rsakit.PrivateKey) int64 {
+// full verified batch pass (CRT kernel + re-encryption check) for key on
+// the given backend. The count differs by orders of magnitude between
+// backends (sim corrupts per vector instruction, direct per kernel phase
+// boundary), so rate conversions must measure on the backend the server
+// will actually run.
+func instrPerVerifiedPass(t *testing.T, key *rsakit.PrivateKey, kind vpu.BackendKind) int64 {
 	t.Helper()
-	u := vpu.New()
+	be := vpu.NewBackend(kind)
 	ctr := &countingCorruptor{}
-	u.AttachFaults(ctr)
+	be.AttachFaults(ctr)
 	cs, _, _ := perOpAnswers(t, key, BatchSize, 900)
-	if _, _, err := rsakit.PrivateOpBatchVerifiedN(u, key, cs); err != nil {
+	if _, _, err := rsakit.PrivateOpBatchVerifiedN(be, key, cs); err != nil {
 		t.Fatal(err)
 	}
 	return ctr.n
@@ -43,6 +47,15 @@ func TestInjectedBitFlipsNeverEscape(t *testing.T) {
 	nc := 32
 	cs, want, _ := perOpAnswers(t, testKey, nc, 200)
 
+	// Target ~3 expected lane flips per pass, converted to the
+	// per-instruction rate of whichever backend the server resolves to
+	// (direct exposes far fewer corruption points than sim, so a fixed
+	// per-instruction rate would not port across backends).
+	kind := Config{}.withDefaults().Backend
+	instr := instrPerVerifiedPass(t, testKey, kind)
+	rate := faultsim.PerInstrRate(0.2, uint64(instr))
+	t.Logf("backend %s: %d corruptible instructions/pass, flip rate %.3g", kind, instr, rate)
+
 	s, err := New(Config{
 		Workers:      4,
 		FillDeadline: 200 * time.Millisecond,
@@ -51,7 +64,7 @@ func TestInjectedBitFlipsNeverEscape(t *testing.T) {
 			BreakerThreshold: 2, // never trips: isolate retry/degrade behaviour
 			Faults: &faultsim.Config{
 				Seed:         7,
-				LaneFlipRate: 1e-4, // per corruptible instruction: ~every pass faults somewhere
+				LaneFlipRate: rate,
 			},
 		},
 	})
@@ -84,7 +97,7 @@ func TestInjectedBitFlipsNeverEscape(t *testing.T) {
 		t.Fatalf("stats %+v after %d requests", st, n)
 	}
 	if st.FaultsDetected == 0 {
-		t.Fatalf("flip rate 1e-4 injected no detected faults over %d batches — injector not wired?", st.Batches)
+		t.Fatalf("flip rate %.3g injected no detected faults over %d batches — injector not wired?", rate, st.Batches)
 	}
 	if st.Retries == 0 && st.FallbackOps == 0 {
 		t.Fatalf("faults detected (%d) but nothing retried or fell back: %+v", st.FaultsDetected, st)
@@ -325,10 +338,12 @@ func TestFaultHammer(t *testing.T) {
 
 	// Convert the per-lane per-pass target rate into the injector's
 	// per-instruction rate using the measured instruction count of one
-	// verified pass for this key size.
-	instr := instrPerVerifiedPass(t, testKey)
+	// verified pass for this key size on the resolved backend.
+	kind := Config{}.withDefaults().Backend
+	instr := instrPerVerifiedPass(t, testKey, kind)
 	rate := faultsim.PerInstrRate(1e-3, uint64(instr))
-	t.Logf("verified pass = %d corruptible instructions; per-instruction flip rate %.3g", instr, rate)
+	t.Logf("backend %s: verified pass = %d corruptible instructions; per-instruction flip rate %.3g",
+		kind, instr, rate)
 
 	s, err := New(Config{
 		Workers:      4,

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 	"phiopenssl/internal/phipool"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
+	"phiopenssl/internal/vpu"
 )
 
 // BatchSize is the number of lanes in one batch (one request per lane).
@@ -79,6 +81,14 @@ type Config struct {
 	// workers; a full queue blocks dispatch and, transitively, Submit
 	// (backpressure). Defaults to 2*Workers.
 	QueueDepth int
+	// Backend selects how workers execute kernel passes:
+	// vpu.BackendDirect (calibrated direct limb arithmetic, the serving
+	// default) or vpu.BackendSim (the interpreted cycle-exact unit). Both
+	// report identical simulated cycles; direct is several times faster in
+	// host wall time. The zero value (vpu.BackendDefault) resolves via the
+	// PHIOPENSSL_BACKEND environment variable ("sim" or "direct") and then
+	// falls back to direct.
+	Backend vpu.BackendKind
 	// Resilience configures verified execution's retry/fallback policy,
 	// the circuit breaker, the stall timeout and (for tests/benches) fault
 	// injection. The zero value gives the defaults documented on the
@@ -108,6 +118,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 2 * c.Workers
+	}
+	if c.Backend == vpu.BackendDefault {
+		if k, ok := vpu.ParseBackend(os.Getenv("PHIOPENSSL_BACKEND")); ok && k != vpu.BackendDefault {
+			c.Backend = k
+		} else {
+			c.Backend = vpu.BackendDirect
+		}
 	}
 	c.Resilience = c.Resilience.withDefaults()
 	return c

@@ -102,8 +102,8 @@ func TestThousandRequestsMatchPerOpAndBeatIt(t *testing.T) {
 	if st.Submitted != n || st.Completed != n || st.Failed != 0 {
 		t.Fatalf("stats %+v after %d clean requests", st, n)
 	}
-	if st.FillHist[BatchSize] < 60 {
-		t.Fatalf("only %d of %d batches filled all lanes (hist %v)", st.FillHist[BatchSize], st.Batches, st.FillHist)
+	if st.FillHist[BatchSize-1] < 60 {
+		t.Fatalf("only %d of %d batches filled all lanes (hist %v)", st.FillHist[BatchSize-1], st.Batches, st.FillHist)
 	}
 	if st.CyclesPerOp <= 0 || st.CyclesPerOp >= perOpCycles {
 		t.Fatalf("batched cycles/op %.0f not below per-op engine %.0f", st.CyclesPerOp, perOpCycles)
@@ -146,7 +146,7 @@ func TestFillDeadlineDispatchesPartialBatch(t *testing.T) {
 	}
 	s.Close()
 	st := s.Stats()
-	if st.DeadlineFires < 1 || st.FillHist[3] != 1 {
+	if st.DeadlineFires < 1 || st.FillHist[2] != 1 {
 		t.Fatalf("deadline accounting wrong: %+v", st)
 	}
 }
@@ -317,7 +317,7 @@ func TestTwoKeysNeverShareABatch(t *testing.T) {
 	if st.Batches < 2 {
 		t.Fatalf("two keys x 8 requests produced %d batches; keys must not share lanes", st.Batches)
 	}
-	if st.FillHist[BatchSize] != 0 {
+	if st.FillHist[BatchSize-1] != 0 {
 		t.Fatalf("a full 16-lane batch appeared across two 8-request keys: %v", st.FillHist)
 	}
 }

@@ -89,17 +89,19 @@ func (r Resilience) withDefaults() Resilience {
 // stream when both derive from the same top-level seed.
 const jitterSeedOffset = 0x6a69747465 // "jitte"
 
-// worker is one simulated hardware thread's private state: its vector
-// unit, its (optional) fault injector, a lazily built scalar engine for
-// the fallback path, and a seeded jitter source. Respawned workers get a
-// fresh index, hence fresh deterministic streams (and a fresh trace
-// track, so a respawn is visible as a new named row in Perfetto).
+// worker is one simulated hardware thread's private state: its kernel
+// backend (interpreted unit or direct-arithmetic meter, per
+// Config.Backend), its (optional) fault injector, a lazily built scalar
+// engine for the fallback path, and a seeded jitter source. Respawned
+// workers get a fresh index, hence fresh deterministic streams (and a
+// fresh trace track, so a respawn is visible as a new named row in
+// Perfetto).
 type worker struct {
-	id     int
-	unit   *vpu.Unit
-	inj    *faultsim.Injector
-	scalar engine.Engine
-	rng    *mrand.Rand
+	id      int
+	backend vpu.Backend
+	inj     *faultsim.Injector
+	scalar  engine.Engine
+	rng     *mrand.Rand
 	// meter accumulates this worker's lifetime cycle attribution across
 	// passes; its running total rides along in the pass trace events.
 	meter *knc.Meter
@@ -122,15 +124,15 @@ func (s *Server) newWorker() *worker {
 	idx := int(s.workerSeq.Add(1)) - 1
 	r := s.cfg.Resilience
 	w := &worker{
-		id:   idx,
-		unit: vpu.New(),
+		id:      idx,
+		backend: vpu.NewBackend(s.cfg.Backend),
 		rng: mrand.New(mrand.NewSource(
 			faultsim.Config{Seed: r.Seed + jitterSeedOffset}.ForWorker(idx).Seed)),
 		meter: knc.NewVectorMeter(knc.KNCVectorCosts),
 	}
 	if r.Faults != nil && r.Faults.Enabled() {
 		w.inj = faultsim.New(r.Faults.ForWorker(idx))
-		w.unit.AttachFaults(w.inj)
+		w.backend.AttachFaults(w.inj)
 	}
 	s.tracer.NameThread(w.tid(), fmt.Sprintf("worker %d", idx))
 	return w
@@ -213,13 +215,13 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			s.breaker.record(true, probe)
 			faulted = pending
 		} else {
-			w.unit.Reset()
+			w.backend.Reset()
 			cs := make([]bn.Nat, len(pending))
 			for i, q := range pending {
 				cs[i] = q.c
 			}
 			passStart := time.Now()
-			out, laneErrs, bd, err := rsakit.PrivateOpBatchVerifiedTraced(w.unit, b.key, cs)
+			out, laneErrs, bd, err := rsakit.PrivateOpBatchVerifiedTraced(w.backend, b.key, cs)
 			if err != nil {
 				for _, q := range pending {
 					s.finish(q, Result{Err: err})

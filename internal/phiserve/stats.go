@@ -25,12 +25,10 @@ type Stats struct {
 	// DeadlineFires counts batches dispatched by the fill deadline rather
 	// than by filling all lanes.
 	DeadlineFires int64
-	// FillHist[f] is the number of executed batches with f live lanes
-	// (index 1..BatchSize). Index 0 is intentionally unused: a batch
-	// cannot execute with zero live lanes (dispatch requires at least one
-	// request), so the slot exists only to let the fill count index the
-	// array directly.
-	FillHist [BatchSize + 1]int64
+	// FillHist[i] is the number of executed batches with i+1 live lanes
+	// (a batch cannot execute with zero live lanes — dispatch requires at
+	// least one request — so the histogram starts at one lane).
+	FillHist [BatchSize]int64
 	// MeanFill is the mean number of live lanes per executed batch; 0
 	// when no batch has executed.
 	MeanFill float64
@@ -86,9 +84,9 @@ type Stats struct {
 // String renders a one-line summary.
 func (st Stats) String() string {
 	var fills []string
-	for f := 1; f <= BatchSize; f++ {
-		if st.FillHist[f] > 0 {
-			fills = append(fills, fmt.Sprintf("%d:%d", f, st.FillHist[f]))
+	for i, n := range st.FillHist {
+		if n > 0 {
+			fills = append(fills, fmt.Sprintf("%d:%d", i+1, n))
 		}
 	}
 	line := fmt.Sprintf(
@@ -228,11 +226,11 @@ func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64
 		BreakerState:    bstate.String(),
 	}
 	// The fill histogram's buckets are exactly the lane counts 1..16, so
-	// the view reconstructs FillHist losslessly. Index 0 stays zero by
-	// construction (see the field comment).
+	// the view reconstructs FillHist losslessly (bucket i holds batches
+	// with i+1 live lanes).
 	for f, n := range a.fill.BucketCounts() {
 		if f < BatchSize {
-			st.FillHist[f+1] = n
+			st.FillHist[f] = n
 		}
 	}
 	if st.Batches > 0 {

@@ -1,0 +1,168 @@
+package rsakit
+
+import (
+	"errors"
+	mrand "math/rand"
+	"sync"
+	"testing"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/vpu"
+)
+
+// testKey2048 is built lazily: only the backend benchmarks and the 2048-bit
+// differential pay for its generation.
+var testKey2048 = sync.OnceValue(func() *PrivateKey { return mustGenerate(2048) })
+
+// encryptLanes builds a full batch of ciphertexts with known plaintexts.
+func encryptLanes(t testing.TB, key *PrivateKey, seed int64) (cs, want []bn.Nat) {
+	t.Helper()
+	eng := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(seed))
+	cs = make([]bn.Nat, BatchSize)
+	want = make([]bn.Nat, BatchSize)
+	for l := range cs {
+		m, err := bn.RandomRange(rng, bn.One(), key.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[l] = m
+		cs[l] = eng.ModExp(m, key.E, key.N)
+	}
+	return cs, want
+}
+
+// TestPrivateOpBatchBackendDifferential: the full verified CRT private
+// operation — both exponentiations, recombination and the Bellcore check —
+// must be bit-identical across backends in plaintexts, total counts and
+// per-phase attribution.
+func TestPrivateOpBatchBackendDifferential(t *testing.T) {
+	for _, key := range []*PrivateKey{testKey512, testKey1024, testKey2048()} {
+		cs, want := encryptLanes(t, key, 500)
+		sim, direct := vpu.New(), vpu.NewDirect()
+		simOut, simErrs, err := PrivateOpBatchVerifiedN(sim, key, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirOut, dirErrs, err := PrivateOpBatchVerifiedN(direct, key, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range simOut {
+			if simErrs[l] != nil || dirErrs[l] != nil {
+				t.Fatalf("%d-bit lane %d: unexpected fault (sim %v, direct %v)",
+					key.N.BitLen(), l, simErrs[l], dirErrs[l])
+			}
+			if !simOut[l].Equal(want[l]) || !dirOut[l].Equal(want[l]) {
+				t.Fatalf("%d-bit lane %d: wrong plaintext", key.N.BitLen(), l)
+			}
+		}
+		if sc, dc := sim.Counts(), direct.Counts(); sc != dc {
+			t.Fatalf("%d-bit: counts diverge:\n sim    %v\n direct %v", key.N.BitLen(), sc, dc)
+		}
+		sp, dp := sim.PhaseCounts(), direct.PhaseCounts()
+		for p := range sp {
+			if sp[p] != dp[p] {
+				t.Fatalf("%d-bit: phase %d diverges:\n sim    %v\n direct %v",
+					key.N.BitLen(), p, sp[p], dp[p])
+			}
+		}
+	}
+}
+
+// TestPrivateOpBatchVerifiedFaultsBothBackends: ErrFaultDetected must
+// demonstrably fire on BOTH backends, and neither may ever release a
+// corrupted plaintext. The injection rate is derived per backend from a
+// counting pass (the two backends expose vastly different numbers of
+// corruption points per pass).
+func TestPrivateOpBatchVerifiedFaultsBothBackends(t *testing.T) {
+	key := testKey512
+	cs, want := encryptLanes(t, key, 501)
+	for _, kind := range []vpu.BackendKind{vpu.BackendSim, vpu.BackendDirect} {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Count this backend's corruption points over one pass, then
+			// target ~3 expected flips per pass.
+			ctr := &countingCorruptor{}
+			be := vpu.NewBackend(kind)
+			be.AttachFaults(ctr)
+			if _, _, err := PrivateOpBatchVerifiedN(be, key, cs); err != nil {
+				t.Fatal(err)
+			}
+			rate := faultsim.PerInstrRate(0.2, uint64(ctr.n))
+			t.Logf("%d corruption points/pass, flip rate %.3g", ctr.n, rate)
+
+			faulted, clean := 0, 0
+			for trial := 0; trial < 20; trial++ {
+				be := vpu.NewBackend(kind)
+				be.AttachFaults(faultsim.New(faultsim.Config{
+					Seed:         int64(2000 + trial),
+					LaneFlipRate: rate,
+				}))
+				out, laneErrs, err := PrivateOpBatchVerifiedN(be, key, cs)
+				if err != nil {
+					t.Fatalf("trial %d: batch error %v", trial, err)
+				}
+				for l := range out {
+					if laneErrs[l] != nil {
+						if !errors.Is(laneErrs[l], ErrFaultDetected) {
+							t.Fatalf("trial %d lane %d: error %v does not wrap ErrFaultDetected",
+								trial, l, laneErrs[l])
+						}
+						if !out[l].IsZero() {
+							t.Fatalf("trial %d lane %d: fault-detected lane released a plaintext",
+								trial, l)
+						}
+						faulted++
+						continue
+					}
+					if !out[l].Equal(want[l]) {
+						t.Fatalf("trial %d lane %d: CORRUPTED PLAINTEXT ESCAPED VERIFICATION",
+							trial, l)
+					}
+					clean++
+				}
+			}
+			if faulted == 0 {
+				t.Fatalf("no ErrFaultDetected fired on the %s backend", kind)
+			}
+			if clean == 0 {
+				t.Fatal("no lane survived; rate too high for the test to distinguish")
+			}
+			t.Logf("lanes: %d clean, %d fault-detected", clean, faulted)
+		})
+	}
+}
+
+// countingCorruptor counts corruption points without corrupting.
+type countingCorruptor struct{ n int64 }
+
+func (c *countingCorruptor) CorruptVec(*vpu.Vec) { c.n++ }
+
+// BenchmarkPrivateOpBatch measures host wall time of the full 16-lane
+// RSA-2048 verified CRT batch on each backend — the tentpole's speedup
+// claim. Both backends charge identical simulated cycles (asserted by the
+// differential tests); the benchmark records what the direct path buys in
+// real time. Results are pinned in BENCH_backend.json.
+func BenchmarkPrivateOpBatch(b *testing.B) {
+	key := testKey2048()
+	cs, _ := encryptLanes(b, key, 502)
+	for _, kind := range []vpu.BackendKind{vpu.BackendSim, vpu.BackendDirect} {
+		b.Run(kind.String(), func(b *testing.B) {
+			be := vpu.NewBackend(kind)
+			// Warm per-width calibration/context caches outside the timer.
+			if _, _, err := PrivateOpBatchVerifiedN(be, key, cs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				be.Reset()
+				if _, _, err := PrivateOpBatchVerifiedN(be, key, cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(BatchSize), "lanes/op")
+		})
+	}
+}

@@ -19,18 +19,20 @@ import (
 const BatchSize = vbatch.BatchSize
 
 // PrivateOpBatchN computes c^D mod N with CRT for 1..BatchSize live
-// ciphertexts, issuing all vector work on u. Unused lanes are padded with
+// ciphertexts, issuing all kernel work on the backend be (a *vpu.Unit for
+// interpreted cycle-exact execution, or a *vpu.Direct for the calibrated
+// direct-arithmetic serving path). Unused lanes are padded with
 // a duplicate of the last live operand and discarded, so a partial batch
 // charges exactly the cycles of a full kernel pass — this is the entry
 // point a streaming scheduler uses when its fill deadline fires before
 // sixteen requests accumulate. Every ciphertext must be in [0, N). The
 // result has len(cs) elements, lane-aligned with cs.
-func PrivateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error) {
-	return privateOpBatchN(u, key, cs, nil)
+func PrivateOpBatchN(be vpu.Backend, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, error) {
+	return privateOpBatchN(be, key, cs, nil)
 }
 
 // PassBreakdown attributes one verified batch pass for telemetry: the
-// instruction deltas the pass issued on the unit (total and per vbatch
+// instruction deltas the pass issued on the backend (total and per vbatch
 // attribution phase — pack/mul/reduce/window/crt) and the host wall time
 // spent in its major segments. The wall segments do not tile the whole
 // pass (context setup and input reductions fall between them); they exist
@@ -47,7 +49,7 @@ type PassBreakdown struct {
 	VerifyWall    time.Duration // Bellcore re-encryption + compare
 }
 
-func privateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, error) {
+func privateOpBatchN(be vpu.Backend, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, error) {
 	for l, c := range cs {
 		if c.Cmp(key.N) >= 0 {
 			return nil, fmt.Errorf("rsakit: batch ciphertext %d out of range", l)
@@ -57,11 +59,11 @@ func privateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdow
 	if err != nil {
 		return nil, fmt.Errorf("rsakit: %w", err)
 	}
-	ctxP, err := vbatch.NewCtx(key.P, u)
+	ctxP, err := vbatch.NewKernels(key.P, be)
 	if err != nil {
 		return nil, fmt.Errorf("rsakit: batch P context: %w", err)
 	}
-	ctxQ, err := vbatch.NewCtx(key.Q, u)
+	ctxQ, err := vbatch.NewKernels(key.Q, be)
 	if err != nil {
 		return nil, fmt.Errorf("rsakit: batch Q context: %w", err)
 	}
@@ -86,13 +88,13 @@ func privateOpBatchN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdow
 	// The recombination is host-side bn arithmetic; bracketing it with
 	// PhaseCRT documents (and would surface) any vector work a future
 	// recombination strategy adds — today the slot measures zero.
-	prev := u.SetPhase(vbatch.PhaseCRT)
+	prev := be.SetPhase(vbatch.PhaseCRT)
 	out := make([]bn.Nat, live)
 	for l := 0; l < live; l++ {
 		h := key.Qinv.ModMul(m1[l].ModSub(m2[l], key.P), key.P)
 		out[l] = m2[l].Add(h.Mul(key.Q))
 	}
-	u.SetPhase(prev)
+	be.SetPhase(prev)
 	if bd != nil {
 		bd.RecombineWall = time.Since(start)
 	}
@@ -117,30 +119,30 @@ func stamp(bd *PassBreakdown) time.Time {
 // lane-aligned with cs. The second return is the batch-level error
 // (malformed inputs), under which no per-lane results exist.
 //
-// The verification pass runs on the same unit u and is metered there, so
+// The verification pass runs on the same backend be and is metered there, so
 // schedulers charge the countermeasure's cycles to the batch that incurred
 // them. A fault striking the verification pass itself can only flag a good
 // lane (fail-safe — the caller retries); for it to mask a bad lane the
 // corrupted re-encryption would have to collide with the ciphertext.
-func PrivateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, error) {
-	return privateOpBatchVerifiedN(u, key, cs, nil)
+func PrivateOpBatchVerifiedN(be vpu.Backend, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, error) {
+	return privateOpBatchVerifiedN(be, key, cs, nil)
 }
 
 // PrivateOpBatchVerifiedTraced is PrivateOpBatchVerifiedN plus a
-// PassBreakdown covering exactly this call: the unit's meters are
+// PassBreakdown covering exactly this call: the backend's meters are
 // snapshotted on entry and the breakdown reports deltas, so the caller
-// need not Reset the unit around the pass. This is the entry point the
+// need not Reset the backend around the pass. This is the entry point the
 // streaming scheduler uses when telemetry is on.
-func PrivateOpBatchVerifiedTraced(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, *PassBreakdown, error) {
+func PrivateOpBatchVerifiedTraced(be vpu.Backend, key *PrivateKey, cs []bn.Nat) ([]bn.Nat, []error, *PassBreakdown, error) {
 	bd := new(PassBreakdown)
-	baseCounts := u.Counts()
-	basePhases := u.PhaseCounts()
-	out, laneErrs, err := privateOpBatchVerifiedN(u, key, cs, bd)
-	cur := u.Counts()
+	baseCounts := be.Counts()
+	basePhases := be.PhaseCounts()
+	out, laneErrs, err := privateOpBatchVerifiedN(be, key, cs, bd)
+	cur := be.Counts()
 	for i := range cur {
 		bd.Counts[i] = cur[i] - baseCounts[i]
 	}
-	curPhases := u.PhaseCounts()
+	curPhases := be.PhaseCounts()
 	for p := range curPhases {
 		for i := range curPhases[p] {
 			bd.Phases[p][i] = curPhases[p][i] - basePhases[p][i]
@@ -149,13 +151,13 @@ func PrivateOpBatchVerifiedTraced(u *vpu.Unit, key *PrivateKey, cs []bn.Nat) ([]
 	return out, laneErrs, bd, err
 }
 
-func privateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, []error, error) {
-	out, err := privateOpBatchN(u, key, cs, bd)
+func privateOpBatchVerifiedN(be vpu.Backend, key *PrivateKey, cs []bn.Nat, bd *PassBreakdown) ([]bn.Nat, []error, error) {
+	out, err := privateOpBatchN(be, key, cs, bd)
 	if err != nil {
 		return nil, nil, err
 	}
 	start := stamp(bd)
-	ctxN, err := vbatch.NewCtx(key.N, u)
+	ctxN, err := vbatch.NewKernels(key.N, be)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rsakit: batch N context: %w", err)
 	}
@@ -187,8 +189,8 @@ func privateOpBatchVerifiedN(u *vpu.Unit, key *PrivateKey, cs []bn.Nat, bd *Pass
 
 // PrivateOpBatch computes c^D mod N for sixteen ciphertexts with CRT — a
 // thin wrapper over the partial-batch path with all lanes live.
-func PrivateOpBatch(u *vpu.Unit, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {
-	res, err := PrivateOpBatchN(u, key, cs[:])
+func PrivateOpBatch(be vpu.Backend, key *PrivateKey, cs *[BatchSize]bn.Nat) ([BatchSize]bn.Nat, error) {
+	res, err := PrivateOpBatchN(be, key, cs[:])
 	if err != nil {
 		return [BatchSize]bn.Nat{}, err
 	}

@@ -108,13 +108,13 @@ func oaepUnpad(em, label []byte) ([]byte, error) {
 
 // DecryptOAEPBatch decrypts 1..BatchSize OAEP ciphertexts under one key
 // with the partial-batch vector path (one kernel pass for every live
-// lane), issuing all vector work on u. The returned slices are
+// lane), issuing all kernel work on the backend be. The returned slices are
 // lane-aligned with cts; a lane whose ciphertext is malformed or whose
 // padding fails gets a nil plaintext and a per-lane error without
 // affecting its neighbors. The second return is the batch-level error
 // (bad lane count or broken key).
-func DecryptOAEPBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, label []byte) ([][]byte, []error, error) {
-	return decryptBatch(u, key, cts, func(em []byte) ([]byte, error) {
+func DecryptOAEPBatch(be vpu.Backend, key *PrivateKey, cts [][]byte, label []byte) ([][]byte, []error, error) {
+	return decryptBatch(be, key, cts, func(em []byte) ([]byte, error) {
 		if key.Size() < 2*hashLen+2 {
 			return nil, fmt.Errorf("rsakit: decryption error")
 		}
@@ -128,7 +128,7 @@ func DecryptOAEPBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, label []byte) 
 // is lane-uniform regardless) and report a per-lane error; lanes whose
 // private op failed the Bellcore check surface their ErrFaultDetected so
 // faulted lanes can't be confused with padding failures.
-func decryptBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, unpad func([]byte) ([]byte, error)) ([][]byte, []error, error) {
+func decryptBatch(be vpu.Backend, key *PrivateKey, cts [][]byte, unpad func([]byte) ([]byte, error)) ([][]byte, []error, error) {
 	if len(cts) == 0 || len(cts) > BatchSize {
 		return nil, nil, fmt.Errorf("rsakit: %d ciphertexts, want 1..%d", len(cts), BatchSize)
 	}
@@ -147,7 +147,7 @@ func decryptBatch(u *vpu.Unit, key *PrivateKey, cts [][]byte, unpad func([]byte)
 		}
 		lanes[l] = c
 	}
-	ms, laneErrs, err := PrivateOpBatchVerifiedN(u, key, lanes)
+	ms, laneErrs, err := PrivateOpBatchVerifiedN(be, key, lanes)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -73,11 +73,11 @@ func pkcs1v15Unpad(em []byte) ([]byte, error) {
 }
 
 // DecryptPKCS1v15Batch decrypts 1..BatchSize type-2 padded ciphertexts
-// under one key with the partial-batch vector path, issuing all vector
-// work on u. Results and per-lane errors are lane-aligned with cts; the
+// under one key with the partial-batch vector path, issuing all kernel
+// work on the backend be. Results and per-lane errors are lane-aligned with cts; the
 // final error is batch-level (bad lane count or broken key).
-func DecryptPKCS1v15Batch(u *vpu.Unit, key *PrivateKey, cts [][]byte) ([][]byte, []error, error) {
-	return decryptBatch(u, key, cts, pkcs1v15Unpad)
+func DecryptPKCS1v15Batch(be vpu.Backend, key *PrivateKey, cts [][]byte) ([][]byte, []error, error) {
+	return decryptBatch(be, key, cts, pkcs1v15Unpad)
 }
 
 // SignPKCS1v15SHA256 signs msg: SHA-256, DigestInfo encoding, type-1

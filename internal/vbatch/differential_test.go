@@ -1,0 +1,146 @@
+package vbatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+// bothKernels builds the same modulus on a fresh sim and a fresh direct
+// backend.
+func bothKernels(t testing.TB, m bn.Nat) (sim, direct Kernels) {
+	t.Helper()
+	s, err := NewKernels(m, vpu.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewKernels(m, vpu.NewDirect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+// diffCheck runs op on both backends and demands bit-identical lane
+// results, identical total instruction counts and identical per-phase
+// attribution — the full calibration contract, not just value agreement.
+func diffCheck(t *testing.T, name string, sim, direct Kernels,
+	op func(Kernels) [BatchSize]bn.Nat) {
+	t.Helper()
+	sim.Backend().Reset()
+	direct.Backend().Reset()
+	want := op(sim)
+	got := op(direct)
+	for l := range want {
+		if !got[l].Equal(want[l]) {
+			t.Fatalf("%s lane %d: direct %s != sim %s", name, l, got[l], want[l])
+		}
+	}
+	sc, dc := sim.Backend().Counts(), direct.Backend().Counts()
+	if sc != dc {
+		t.Fatalf("%s counts diverge:\n sim    %v\n direct %v", name, sc, dc)
+	}
+	sp, dp := sim.Backend().PhaseCounts(), direct.Backend().PhaseCounts()
+	for p := range sp {
+		if sp[p] != dp[p] {
+			t.Fatalf("%s phase %s diverges:\n sim    %v\n direct %v",
+				name, PhaseName(vpu.Phase(p)), sp[p], dp[p])
+		}
+	}
+}
+
+// TestBackendDifferentialSizes drives random batches at the RSA-relevant
+// widths through both backends: MontMul, shared-exponent and per-lane
+// exponentiation must agree bit for bit in results, counts and phases.
+func TestBackendDifferentialSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, bits := range []int{512, 1024, 2048} {
+		m := randOdd(rng, bits)
+		sim, direct := bothKernels(t, m)
+
+		a, b := randBatch(rng, m), randBatch(rng, m)
+		diffCheck(t, "MontMul", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+			return k.MontMul(&a, &b)
+		})
+
+		exp := randOdd(rng, bits/2)
+		diffCheck(t, "ModExpShared", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+			return k.ModExpShared(&a, exp)
+		})
+
+		// Per-lane exponents of uneven lengths: the uniform window
+		// schedule must still replay identically (it runs to the longest).
+		var exps [BatchSize]bn.Nat
+		for l := range exps {
+			exps[l] = randOdd(rng, 64+l*7)
+		}
+		diffCheck(t, "ModExpMulti", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+			return k.ModExpMulti(&a, &exps)
+		})
+	}
+}
+
+// TestBackendDifferentialEdgeCases pins the schedule branch points: zero
+// exponent, one-limb modulus, zero and maximal lane values.
+func TestBackendDifferentialEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randOdd(rng, 128)
+	sim, direct := bothKernels(t, m)
+
+	var vals [BatchSize]bn.Nat
+	vals[0] = bn.Zero()
+	vals[1] = bn.One()
+	vals[2] = m.Sub(bn.One()) // N-1: every limb boundary exercised
+	for l := 3; l < BatchSize; l++ {
+		vals[l] = randBelow(rng, m)
+	}
+	diffCheck(t, "MontMul(edges)", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+		return k.MontMul(&vals, &vals)
+	})
+	diffCheck(t, "ModExpShared(zero exp)", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+		return k.ModExpShared(&vals, bn.Zero())
+	})
+	var zeroExps [BatchSize]bn.Nat
+	diffCheck(t, "ModExpMulti(zero exps)", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+		return k.ModExpMulti(&vals, &zeroExps)
+	})
+
+	sm, dm := bothKernels(t, bn.MustHex("10001"))
+	one := randBatch(rng, bn.MustHex("10001"))
+	diffCheck(t, "MontMul(k=1)", sm, dm, func(k Kernels) [BatchSize]bn.Nat {
+		return k.MontMul(&one, &one)
+	})
+}
+
+// FuzzBackendDifferential explores the modulus/operand space (extending
+// internal/bn's fuzz-harness pattern): any odd modulus > 1 and any lane
+// values must produce bit-identical results and counts on both backends.
+func FuzzBackendDifferential(f *testing.F) {
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, []byte{0x12, 0x34}, []byte{3}, int64(1))
+	f.Add([]byte{0x01, 0x00, 0x01}, []byte{0xff}, []byte{0x10, 0x01}, int64(2))
+	f.Fuzz(func(t *testing.T, mb, seedOp, eb []byte, seed int64) {
+		if len(mb) > 40 || len(eb) > 8 {
+			return // keep per-case cost bounded
+		}
+		m := bn.FromBytes(mb)
+		if m.Cmp(bn.One()) <= 0 || !m.IsOdd() {
+			return
+		}
+		sim, direct := bothKernels(t, m)
+		rng := rand.New(rand.NewSource(seed))
+		a := randBatch(rng, m)
+		b := randBatch(rng, m)
+		if len(seedOp) > 0 {
+			a[0] = bn.FromBytes(seedOp).Mod(m)
+		}
+		diffCheck(t, "MontMul", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+			return k.MontMul(&a, &b)
+		})
+		exp := bn.FromBytes(eb)
+		diffCheck(t, "ModExpShared", sim, direct, func(k Kernels) [BatchSize]bn.Nat {
+			return k.ModExpShared(&a, exp)
+		})
+	})
+}

@@ -1,0 +1,62 @@
+package vbatch
+
+import (
+	"fmt"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/vpu"
+)
+
+// Kernels is the backend-independent surface of the batch kernel family:
+// sixteen lane-parallel Montgomery operations under one modulus. The two
+// implementations compute bit-identical results and charge bit-identical
+// instruction counts:
+//
+//   - *Ctx (on a *vpu.Unit): the interpreted kernels above, executing and
+//     metering every vector instruction.
+//   - directCtx (on a *vpu.Direct): per-lane uint64 limb arithmetic
+//     replaying the same CIOS/fixed-window schedule event by event,
+//     charging each event's cost from a per-limb-count calibration
+//     measured once against the sim (see direct.go).
+type Kernels interface {
+	// K returns the limb width of batch values.
+	K() int
+	// Modulus returns N.
+	Modulus() bn.Nat
+	// Backend returns the meter the kernels charge.
+	Backend() vpu.Backend
+	// MontMul returns the lane-wise Montgomery product a*b*R^-1 mod N of
+	// packed reduced operands (each < N), via one pack/multiply/unpack
+	// round trip.
+	MontMul(a, b *[BatchSize]bn.Nat) [BatchSize]bn.Nat
+	// ModExpShared computes base[l]^exp mod N with one exponent shared
+	// across lanes (the RSA-server schedule).
+	ModExpShared(bases *[BatchSize]bn.Nat, exp bn.Nat) [BatchSize]bn.Nat
+	// ModExpMulti computes base[l]^exp[l] mod N with an independent
+	// exponent per lane (uniform masked-scan window schedule).
+	ModExpMulti(bases, exps *[BatchSize]bn.Nat) [BatchSize]bn.Nat
+}
+
+// NewKernels prepares batch kernels for the odd modulus m > 1 on the given
+// backend, charging the context-setup constants (the sim's NewCtx
+// broadcasts) on it.
+func NewKernels(m bn.Nat, be vpu.Backend) (Kernels, error) {
+	switch b := be.(type) {
+	case *vpu.Unit:
+		return NewCtx(m, b)
+	case *vpu.Direct:
+		return newDirectCtx(m, b)
+	default:
+		return nil, fmt.Errorf("vbatch: unsupported backend %T", be)
+	}
+}
+
+// Backend implements Kernels for the interpreted context.
+func (c *Ctx) Backend() vpu.Backend { return c.unit }
+
+// MontMul implements Kernels for the interpreted context.
+func (c *Ctx) MontMul(a, b *[BatchSize]bn.Nat) [BatchSize]bn.Nat {
+	return c.Unpack(c.Mul(c.Pack(a), c.Pack(b)))
+}
+
+var _ Kernels = (*Ctx)(nil)

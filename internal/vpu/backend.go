@@ -1,0 +1,207 @@
+package vpu
+
+// Backend is the seam separating what the kernels compute from how cycles
+// are charged. Two implementations exist:
+//
+//   - Unit ("sim"): the interpreted VPU above — every instruction executes
+//     lane by lane and meters itself. Cycle-exact, phase-attributed and
+//     Corruptor-hookable at instruction granularity; the default for
+//     benches, golden instruction-count tests and all EXPERIMENTS.
+//   - Direct ("direct"): no instruction interpreter at all. Kernels built
+//     on it (internal/vbatch) execute the same CIOS/fixed-window/CRT
+//     schedule as straight uint64 limb arithmetic and charge this meter
+//     from per-kernel cost deltas calibrated once against the sim, so the
+//     reported Counts/PhaseCounts are identical to what the sim would have
+//     measured — at a fraction of the host wall time. This is the serving
+//     hot path.
+//
+// A Backend is not safe for concurrent use; each simulated hardware thread
+// owns its own.
+type Backend interface {
+	// Kind identifies the implementation (BackendSim or BackendDirect).
+	Kind() BackendKind
+	// Counts returns the per-class instruction counts charged so far.
+	Counts() Counts
+	// PhaseCounts returns the per-phase counts; their element-wise sum
+	// equals Counts exactly.
+	PhaseCounts() [MaxPhases]Counts
+	// SetPhase selects the attribution slot for subsequent charges and
+	// returns the previous phase.
+	SetPhase(Phase) Phase
+	// Reset zeroes the meters and returns the phase selector to 0.
+	Reset()
+	// AttachFaults installs a fault injector (nil detaches). On the sim
+	// every vector result passes through it; on the direct backend the
+	// kernels invoke it per lane-transposed limb vector at kernel phase
+	// boundaries (after pack, after each Montgomery multiply, before
+	// unpack), so Bellcore verification exercises identically on both.
+	AttachFaults(Corruptor)
+}
+
+// BackendKind selects a Backend implementation.
+type BackendKind uint8
+
+const (
+	// BackendDefault is the zero value: "let the layer pick". Serving
+	// layers (phiserve, the facade batch entry points) resolve it to
+	// BackendDirect; measurement layers (phibench, golden tests) construct
+	// BackendSim explicitly.
+	BackendDefault BackendKind = iota
+	// BackendSim is the interpreted, cycle-exact Unit.
+	BackendSim
+	// BackendDirect is the calibrated direct-arithmetic meter.
+	BackendDirect
+)
+
+// String implements fmt.Stringer.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendSim:
+		return "sim"
+	case BackendDirect:
+		return "direct"
+	default:
+		return "default"
+	}
+}
+
+// ParseBackend maps the flag/env spellings "sim" and "direct" (and "",
+// meaning default) to a BackendKind.
+func ParseBackend(s string) (BackendKind, bool) {
+	switch s {
+	case "sim":
+		return BackendSim, true
+	case "direct":
+		return BackendDirect, true
+	case "", "default":
+		return BackendDefault, true
+	default:
+		return BackendDefault, false
+	}
+}
+
+// NewBackend constructs a fresh backend of the given kind.
+// BackendDefault resolves to BackendDirect, the serving default.
+func NewBackend(kind BackendKind) Backend {
+	if kind == BackendSim {
+		return New()
+	}
+	return NewDirect()
+}
+
+// Kind implements Backend for the interpreted Unit.
+func (u *Unit) Kind() BackendKind { return BackendSim }
+
+var _ Backend = (*Unit)(nil)
+
+// Direct is the direct-arithmetic backend's meter. It executes nothing
+// itself: kernels that computed their results with plain limb arithmetic
+// charge it with pre-calibrated per-kernel count deltas (Charge/ChargeAt/
+// ChargePhases), and it keeps the same global and per-phase books as a
+// Unit so everything downstream — knc cycle conversion, telemetry phase
+// attribution, traced pass breakdowns — works unchanged.
+type Direct struct {
+	counts Counts
+	phase  Phase
+	phases [MaxPhases]Counts
+	fault  Corruptor
+}
+
+var _ Backend = (*Direct)(nil)
+
+// NewDirect returns a fresh direct-arithmetic meter.
+func NewDirect() *Direct { return &Direct{} }
+
+// Kind implements Backend.
+func (d *Direct) Kind() BackendKind { return BackendDirect }
+
+// Counts implements Backend.
+func (d *Direct) Counts() Counts { return d.counts }
+
+// PhaseCounts implements Backend.
+func (d *Direct) PhaseCounts() [MaxPhases]Counts {
+	if d == nil {
+		return [MaxPhases]Counts{}
+	}
+	return d.phases
+}
+
+// SetPhase implements Backend (same contract as Unit.SetPhase).
+func (d *Direct) SetPhase(p Phase) Phase {
+	if d == nil {
+		return 0
+	}
+	prev := d.phase
+	if p >= MaxPhases {
+		p = 0
+	}
+	d.phase = p
+	return prev
+}
+
+// Reset implements Backend.
+func (d *Direct) Reset() {
+	d.counts = Counts{}
+	d.phases = [MaxPhases]Counts{}
+	d.phase = 0
+}
+
+// AttachFaults implements Backend. The direct backend does not route
+// results through the injector itself (there are no per-instruction
+// results); kernels read it back via Fault and invoke it at their phase
+// boundaries.
+func (d *Direct) AttachFaults(c Corruptor) {
+	if d != nil {
+		d.fault = c
+	}
+}
+
+// Fault returns the attached fault injector (nil when fault-free).
+func (d *Direct) Fault() Corruptor {
+	if d == nil {
+		return nil
+	}
+	return d.fault
+}
+
+// Charge adds a calibrated count delta into the current phase slot — the
+// analogue of issuing those instructions under the ambient SetPhase.
+func (d *Direct) Charge(c Counts) {
+	if d == nil {
+		return
+	}
+	for i, n := range c {
+		d.counts[i] += n
+		d.phases[d.phase][i] += n
+	}
+}
+
+// ChargeAt adds a calibrated count delta into a specific phase slot,
+// for kernel events that bracket themselves (pack/unpack, window scans)
+// regardless of the ambient phase.
+func (d *Direct) ChargeAt(p Phase, c Counts) {
+	if d == nil {
+		return
+	}
+	if p >= MaxPhases {
+		p = 0
+	}
+	for i, n := range c {
+		d.counts[i] += n
+		d.phases[p][i] += n
+	}
+}
+
+// ChargePhases adds a multi-phase calibrated delta (e.g. one Montgomery
+// multiply, which splits its work across PhaseMul and PhaseReduce).
+func (d *Direct) ChargePhases(pc [MaxPhases]Counts) {
+	if d == nil {
+		return
+	}
+	for p := range pc {
+		for i, n := range pc[p] {
+			d.counts[i] += n
+			d.phases[p][i] += n
+		}
+	}
+}

@@ -15,7 +15,8 @@ import (
 type BatchServer = phiserve.Server
 
 // BatchServerConfig parameterizes a BatchServer: machine, worker count,
-// fill deadline, and dispatch-queue depth.
+// fill deadline, dispatch-queue depth, and the kernel execution backend
+// (BackendSim or BackendDirect; the zero value resolves to direct).
 type BatchServerConfig = phiserve.Config
 
 // BatchResult is the outcome of one scheduled request: the plaintext (or

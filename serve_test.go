@@ -177,3 +177,44 @@ func TestFacadeBatchServerResilience(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// TestFacadeBatchBackendsAgree: the explicit-backend batch entry point
+// must return identical plaintexts and identical cycle figures on both
+// backends (the calibration contract surfaced at the facade).
+func TestFacadeBatchBackendsAgree(t *testing.T) {
+	key := bench.FixedKey(512)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+	msgs := make([]phiopenssl.Nat, phiopenssl.RSABatchSize)
+	cts := make([]phiopenssl.Nat, phiopenssl.RSABatchSize)
+	for i := range msgs {
+		msgs[i] = phiopenssl.NatFromUint64(uint64(7000 + i))
+		c, err := phiopenssl.RSAPublic(eng, &key.PublicKey, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = c
+	}
+	simRes, _, simCycles, err := phiopenssl.RSAPrivateBatchOn(phiopenssl.BackendSim, key, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirRes, _, dirCycles, err := phiopenssl.RSAPrivateBatchOn(phiopenssl.BackendDirect, key, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simCycles != dirCycles {
+		t.Fatalf("cycles diverge: sim %.0f direct %.0f", simCycles, dirCycles)
+	}
+	for i := range simRes {
+		if !simRes[i].Equal(msgs[i]) || !dirRes[i].Equal(msgs[i]) {
+			t.Fatalf("lane %d mismatch across backends", i)
+		}
+	}
+
+	if _, ok := phiopenssl.ParseBackend("direct"); !ok {
+		t.Fatal(`ParseBackend("direct") rejected`)
+	}
+	if _, ok := phiopenssl.ParseBackend("bogus"); ok {
+		t.Fatal(`ParseBackend("bogus") accepted`)
+	}
+}
