@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race faults telemetry backends bench quick clean
+.PHONY: all build test check race faults telemetry backends fleet bench quick clean
 
 all: check
 
@@ -56,6 +56,16 @@ backends:
 		-run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
 	PHIOPENSSL_BACKEND=direct $(GO) test -race -timeout=300s -count=1 \
 		-run 'TestTelemetrySmoke|TestStatsSnapshot|TestServerStats' ./internal/phiserve
+
+# fleet is the multi-card acceptance gate: the sharded-fleet suite under
+# the race detector (routing, hot-key replication, cross-card steal
+# exactly-once, breaker failover, concurrent Submit-vs-Close) plus the
+# env-gated hammer (TestFleetHammer): a 4-card soak with kernel failures,
+# stalls, breaker trips and work stealing all active, closed mid-traffic,
+# requiring every accepted request to resolve exactly once.
+fleet:
+	$(GO) test -race -timeout=300s ./internal/phifleet
+	PHIOPENSSL_FLEET=1 $(GO) test -race -timeout=300s -count=1 -run 'TestFleetHammer' ./internal/phifleet
 
 quick:
 	$(GO) run ./cmd/phibench -quick

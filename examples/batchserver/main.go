@@ -42,6 +42,10 @@ func main() {
 		"write a Chrome trace-event JSON of the run to this file (open in https://ui.perfetto.dev)")
 	backendName := flag.String("backend", "direct",
 		"kernel execution backend: direct (calibrated limb arithmetic, the serving default) or sim (interpreted cycle-exact vector unit); both report identical simulated cycles")
+	cards := flag.Int("cards", 1,
+		"number of simulated coprocessor cards; >1 serves through a sharded fleet (consistent-hash routing, hot-key replication, work stealing, breaker failover) with per-card metrics under card=\"i\" labels")
+	replicas := flag.Int("replicas", 2,
+		"cards a hot key spreads over when -cards > 1")
 	flag.Parse()
 	backend, ok := phiopenssl.ParseBackend(*backendName)
 	if !ok {
@@ -84,18 +88,48 @@ func main() {
 	}
 	perOp := phi.Cycles()
 
-	srv, err := phiopenssl.NewBatchServer(phiopenssl.BatchServerConfig{
+	cardCfg := phiopenssl.BatchServerConfig{
 		Machine:      mach,
 		Workers:      4,
 		FillDeadline: 20 * time.Millisecond,
 		QueueDepth:   8,
 		Backend:      backend,
 		Telemetry:    tel,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	srv.Start(context.Background())
+	// One card serves through a BatchServer directly; more go through the
+	// sharded fleet front end. Both expose the same Submit/Close shape.
+	type service interface {
+		Submit(ctx context.Context, key *phiopenssl.PrivateKey, c phiopenssl.Nat) (<-chan phiopenssl.BatchResult, error)
+		Close()
+	}
+	var (
+		srv *phiopenssl.BatchServer
+		flt *phiopenssl.Fleet
+		svc service
+	)
+	if *cards > 1 {
+		var err error
+		flt, err = phiopenssl.NewFleet(phiopenssl.FleetConfig{
+			Cards:     *cards,
+			Replicas:  *replicas,
+			Card:      cardCfg,
+			Telemetry: tel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flt.Start(context.Background())
+		svc = flt
+		fmt.Printf("serving through a %d-card fleet (%d hot-key replicas)\n", *cards, *replicas)
+	} else {
+		var err error
+		srv, err = phiopenssl.NewBatchServer(cardCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Start(context.Background())
+		svc = srv
+	}
 
 	// Mixed traffic: 96 steady singles under key A interleaved with three
 	// 16-request handshake bursts under key B — the shape of a TLS
@@ -108,7 +142,7 @@ func main() {
 	var wg sync.WaitGroup
 	submit := func(key *phiopenssl.PrivateKey) {
 		m, c := encrypt(key, eng)
-		resp, err := srv.Submit(context.Background(), key, c)
+		resp, err := svc.Submit(context.Background(), key, c)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -144,13 +178,26 @@ func main() {
 		}(r)
 	}
 	wg.Wait()
-	srv.Close()
+	svc.Close()
 	if bad > 0 {
 		log.Fatalf("%d requests came back wrong", bad)
 	}
 
-	st := srv.Stats()
-	fmt.Printf("\nscheduler (%s backend): %s\n", srv.Config().Backend, st)
+	var st phiopenssl.BatchServerStats
+	if flt != nil {
+		fst := flt.Stats()
+		st = fst.Fleet
+		fmt.Printf("\nfleet (%s backend, %d cards): %s\n",
+			flt.Card(0).Config().Backend, flt.NumCards(), st)
+		for i, cs := range fst.Cards {
+			fmt.Printf("  card %d: %s\n", i, cs)
+		}
+		fmt.Printf("  router: stolen=%d declined=%d failovers=%d hot-routed=%d\n",
+			fst.Redispatched, fst.Declined, fst.Failovers, fst.HotRouted)
+	} else {
+		st = srv.Stats()
+		fmt.Printf("\nscheduler (%s backend): %s\n", srv.Config().Backend, st)
+	}
 	fmt.Printf("\nRSA-1024 private operation on %s:\n\n", mach)
 	fmt.Printf("  per-op engine    : %10.0f cycles/op  (%8.0f ops/s at 244 threads)\n",
 		perOp, mach.Throughput(244, perOp))
@@ -158,7 +205,8 @@ func main() {
 		st.CyclesPerOp, mach.Throughput(244, st.CyclesPerOp), st.MeanFill)
 	fmt.Printf("\nadvantage: %.1fx throughput; deadline-dispatched batches: %d of %d\n",
 		perOp/st.CyclesPerOp, st.DeadlineFires, st.Batches)
-	fmt.Println("\n(sweep the fill-deadline/load trade-off with: go run ./cmd/phibench -exp a6)")
+	fmt.Println("\n(sweep the fill-deadline/load trade-off with: go run ./cmd/phibench -exp a6;")
+	fmt.Println(" sweep fleet size x offered load with: go run ./cmd/phibench -exp a8)")
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

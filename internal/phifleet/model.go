@@ -1,0 +1,227 @@
+package phifleet
+
+// Virtual-time load model of the sharded fleet, the A8 counterpart of
+// phiserve.LoadModel (A6). It replays the scheduler's batching policy per
+// key in simulated machine time, assigns each key a home card by the same
+// consistent-hash ring the live fleet routes with, and serves batches on
+// per-card executor sets — optionally with work stealing, where a batch
+// whose home card cannot start it immediately runs instead on the card
+// with the globally earliest free executor. Hash imbalance is the whole
+// story at high load: with a handful of keys over several cards, the
+// hottest card saturates well before the fleet does, and stealing is what
+// closes the gap between "hottest card's capacity" and "fleet capacity".
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phiserve"
+)
+
+// Model fixes the fleet shape and the measured kernel-pass costs.
+type Model struct {
+	// Machine is the simulated card (all cards identical).
+	Machine knc.Machine
+	// Workers is the number of batch executors per card.
+	Workers int
+	// CostPerFill[f] is the simulated cycle cost of one kernel pass with
+	// f live lanes (index 1..BatchSize), as measured by the caller.
+	CostPerFill [phiserve.BatchSize + 1]float64
+	// Cards is the fleet size.
+	Cards int
+	// Keys is how many distinct keys share the traffic (arrivals pick one
+	// uniformly). Few keys over several cards is the skewed regime the
+	// live router faces.
+	Keys int
+	// Steal enables work stealing: a batch whose home card has no free
+	// executor at its ready time runs on the globally least-busy card.
+	Steal bool
+}
+
+// Point is one operating point of the cards × load sweep.
+type Point struct {
+	Cards        int
+	Offered      float64 // requests per simulated second, fleet-wide
+	FillDeadline time.Duration
+	Requests     int
+	MeanFill     float64
+	CyclesPerOp  float64
+	// Throughput is achieved requests per simulated second across the
+	// fleet (first arrival to last completion).
+	Throughput                          float64
+	MeanLatency, P50Latency, P99Latency time.Duration
+	// Utilization is the fraction of fleet worker-time spent executing.
+	Utilization float64
+	// Steals counts batches executed away from their home card.
+	Steals int
+	// CardBatches[c] is how many batches card c executed — the imbalance
+	// picture.
+	CardBatches []int
+}
+
+// modelBatch is one formed batch: its key, request indexes, and the
+// earliest simulated time it can dispatch.
+type modelBatch struct {
+	key   int
+	reqs  []int
+	ready float64
+}
+
+// formKeyBatches replays the per-key batching policy over one key's
+// arrival trace (indexes into the global arrival array): a batch opens at
+// its first arrival and closes at the earlier of deadline expiry and the
+// sixteenth request; a trace ending inside the fill window flushes
+// immediately, like a graceful Close.
+func formKeyBatches(key int, idxs []int, arrivals []float64, deadline time.Duration) []modelBatch {
+	dl := deadline.Seconds()
+	var out []modelBatch
+	for i := 0; i < len(idxs); {
+		closeAt := arrivals[idxs[i]] + dl
+		j := i + 1
+		for j < len(idxs) && j-i < phiserve.BatchSize && arrivals[idxs[j]] <= closeAt {
+			j++
+		}
+		ready := closeAt
+		if j-i == phiserve.BatchSize {
+			ready = arrivals[idxs[j-1]]
+		}
+		if j == len(idxs) && arrivals[idxs[len(idxs)-1]] < closeAt {
+			ready = arrivals[idxs[len(idxs)-1]]
+		}
+		out = append(out, modelBatch{key: key, reqs: idxs[i:j], ready: ready})
+		i = j
+	}
+	return out
+}
+
+// Simulate runs n Poisson arrivals at `offered` requests/second (fleet
+// total, keys drawn uniformly) through the sharded policy and returns the
+// operating point. The rng makes runs reproducible.
+func (m Model) Simulate(rng *rand.Rand, n int, offered float64, deadline time.Duration) (Point, error) {
+	if n < 1 || offered <= 0 {
+		return Point{}, fmt.Errorf("phifleet: need n >= 1 arrivals at positive load")
+	}
+	if m.Cards < 1 || m.Keys < 1 {
+		return Point{}, fmt.Errorf("phifleet: need at least one card and one key")
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for f := 1; f <= phiserve.BatchSize; f++ {
+		if m.CostPerFill[f] <= 0 {
+			return Point{}, fmt.Errorf("phifleet: CostPerFill[%d] not measured", f)
+		}
+	}
+
+	// Poisson arrivals, each labelled with a uniform key.
+	arrivals := make([]float64, n)
+	keyOf := make([]int, n)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / offered
+		arrivals[i] = t
+		keyOf[i] = rng.Intn(m.Keys)
+	}
+	perKey := make([][]int, m.Keys)
+	for i, k := range keyOf {
+		perKey[k] = append(perKey[k], i)
+	}
+
+	// Key → home card via the same vnode ring the live fleet uses; the
+	// key's ring hash comes from its index (the live ring hashes the
+	// modulus — any stable identity works, imbalance statistics match).
+	r := newRing(m.Cards, 16)
+	homeOf := make([]int, m.Keys)
+	for k := range homeOf {
+		h := splitmix64(uint64(k) + 0x5bf03635)
+		i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+		homeOf[k] = r.points[i%len(r.points)].card
+	}
+
+	var batches []modelBatch
+	for k, idxs := range perKey {
+		if len(idxs) > 0 {
+			batches = append(batches, formKeyBatches(k, idxs, arrivals, deadline)...)
+		}
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].ready < batches[j].ready })
+
+	pt := Point{
+		Cards: m.Cards, Offered: offered, FillDeadline: deadline,
+		Requests: n, CardBatches: make([]int, m.Cards),
+	}
+	// free[c][w] is card c, executor w's next-free time.
+	free := make([][]float64, m.Cards)
+	for c := range free {
+		free[c] = make([]float64, workers)
+	}
+	earliest := func(c int) int {
+		w := 0
+		for k := 1; k < workers; k++ {
+			if free[c][k] < free[c][w] {
+				w = k
+			}
+		}
+		return w
+	}
+	latencies := make([]float64, 0, n)
+	var busy, lastDone, cycles, fillSum float64
+	for _, b := range batches {
+		card := homeOf[b.key]
+		w := earliest(card)
+		if m.Steal && free[card][w] > b.ready {
+			// Home card busy: the router re-dispatches the batch to the
+			// card that can start it soonest.
+			best, bw := card, w
+			for c := 0; c < m.Cards; c++ {
+				if cw := earliest(c); free[c][cw] < free[best][bw] {
+					best, bw = c, cw
+				}
+			}
+			if best != card {
+				card, w = best, bw
+				pt.Steals++
+			}
+		}
+		start := b.ready
+		if free[card][w] > start {
+			start = free[card][w]
+		}
+		fill := len(b.reqs)
+		dur := m.Machine.Latency(workers, m.CostPerFill[fill])
+		done := start + dur
+		free[card][w] = done
+		busy += dur
+		cycles += m.CostPerFill[fill]
+		fillSum += float64(fill)
+		pt.CardBatches[card]++
+		if done > lastDone {
+			lastDone = done
+		}
+		for _, i := range b.reqs {
+			latencies = append(latencies, done-arrivals[i])
+		}
+	}
+
+	pt.MeanFill = fillSum / float64(len(batches))
+	pt.CyclesPerOp = cycles / float64(n)
+	span := lastDone - arrivals[0]
+	if span > 0 {
+		pt.Throughput = float64(n) / span
+		pt.Utilization = busy / (span * float64(workers) * float64(m.Cards))
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	secs := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	pt.MeanLatency = secs(sum / float64(n))
+	pt.P50Latency = secs(latencies[(50*n+99)/100-1])
+	pt.P99Latency = secs(latencies[(99*n+99)/100-1])
+	return pt, nil
+}

@@ -1,0 +1,161 @@
+package phifleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phiserve"
+)
+
+// testModel builds a model with a flat synthetic pass cost (real passes
+// are lane-uniform too — padding makes a partial pass cost a full one).
+func testModel(cards int, steal bool) Model {
+	m := Model{
+		Machine: knc.Default(),
+		Workers: 4,
+		Cards:   cards,
+		Keys:    8,
+		Steal:   steal,
+	}
+	for f := 1; f <= phiserve.BatchSize; f++ {
+		m.CostPerFill[f] = 2e6
+	}
+	return m
+}
+
+// TestFleetModelScalingAcceptance is the A8 acceptance shape: at a fixed
+// offered load saturating 3.6× one card, a 4-card fleet with stealing
+// sustains ≥3× the single card's throughput, and its mean batch fill
+// stays within 20% of the single-card value.
+func TestFleetModelScalingAcceptance(t *testing.T) {
+	const n = 4000
+	one := testModel(1, true)
+	four := testModel(4, true)
+	pass := one.Machine.Latency(one.Workers, one.CostPerFill[phiserve.BatchSize])
+	capacity := float64(one.Workers*phiserve.BatchSize) / pass
+	deadline := time.Duration(0.5 * pass * float64(time.Second))
+	offered := 3.6 * capacity
+
+	p1, err := one.Simulate(rand.New(rand.NewSource(1)), n, offered, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := four.Simulate(rand.New(rand.NewSource(1)), n, offered, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Throughput < 3*p1.Throughput {
+		t.Fatalf("4-card throughput %.0f < 3x single-card %.0f", p4.Throughput, p1.Throughput)
+	}
+	if d := math.Abs(p4.MeanFill - p1.MeanFill); d > 0.2*p1.MeanFill {
+		t.Fatalf("4-card mean fill %.2f drifted beyond 20%% of single-card %.2f", p4.MeanFill, p1.MeanFill)
+	}
+	if p4.Steals == 0 {
+		t.Fatalf("saturated hot card never shed work: %+v", p4)
+	}
+
+	// Stealing is what closes the gap: without it the hottest card's
+	// backlog drags fleet throughput below the stealing fleet's.
+	noSteal := testModel(4, false)
+	pn, err := noSteal.Simulate(rand.New(rand.NewSource(1)), n, offered, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.Throughput >= p4.Throughput {
+		t.Fatalf("stealing did not help: with %.0f, without %.0f", p4.Throughput, pn.Throughput)
+	}
+	if pn.P99Latency <= p4.P99Latency {
+		t.Fatalf("stealing did not cut tail latency: with %v, without %v", p4.P99Latency, pn.P99Latency)
+	}
+}
+
+// TestFleetModelValidation: bad parameters error instead of simulating
+// garbage.
+func TestFleetModelValidation(t *testing.T) {
+	m := testModel(2, true)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := m.Simulate(rng, 0, 100, time.Millisecond); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := m.Simulate(rng, 10, 0, time.Millisecond); err == nil {
+		t.Fatal("offered=0 must error")
+	}
+	bad := m
+	bad.CostPerFill[7] = 0
+	if _, err := bad.Simulate(rng, 10, 100, time.Millisecond); err == nil {
+		t.Fatal("missing cost must error")
+	}
+	bad = m
+	bad.Cards = 0
+	if _, err := bad.Simulate(rng, 10, 100, time.Millisecond); err == nil {
+		t.Fatal("cards=0 must error")
+	}
+}
+
+// TestRingProperties: the ring's order is deterministic, covers every
+// card exactly once, and distributes keys reasonably.
+func TestRingProperties(t *testing.T) {
+	r := newRing(4, 16)
+	keys, _, _ := keySet(t, 12)
+	counts := make([]int, 4)
+	for _, k := range keys {
+		o1 := r.order(k)
+		o2 := r.order(k)
+		if len(o1) != 4 {
+			t.Fatalf("order length %d, want 4", len(o1))
+		}
+		seen := make(map[int]bool)
+		for i, c := range o1 {
+			if o2[i] != c {
+				t.Fatal("order not deterministic")
+			}
+			if seen[c] {
+				t.Fatal("order repeats a card")
+			}
+			seen[c] = true
+		}
+		counts[o1[0]]++
+	}
+	spread := 0
+	for _, c := range counts {
+		if c > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("12 keys all homed on one card: %v", counts)
+	}
+}
+
+// TestHotTrackerThreshold: a key is hot only while it beats one full
+// batch per window.
+func TestHotTrackerThreshold(t *testing.T) {
+	h := newHotTracker(time.Second, phiserve.BatchSize)
+	now := time.Unix(0, 0)
+	h.now = func() time.Time { return now }
+	keys, _, _ := keySet(t, 2)
+
+	// Slow key: one arrival per window, never hot.
+	for i := 0; i < 5; i++ {
+		if h.observe(keys[0]) {
+			t.Fatal("slow key marked hot")
+		}
+		now = now.Add(time.Second)
+	}
+	// Burst key: a full batch inside one window flips it hot immediately.
+	hot := false
+	for i := 0; i < phiserve.BatchSize; i++ {
+		hot = h.observe(keys[1])
+	}
+	if !hot {
+		t.Fatal("bursting key never marked hot")
+	}
+	// After a quiet window it cools down.
+	now = now.Add(2 * time.Second)
+	if h.observe(keys[1]) {
+		t.Fatal("key stayed hot through a quiet window")
+	}
+}

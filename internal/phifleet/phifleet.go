@@ -1,0 +1,402 @@
+// Package phifleet serves one host's traffic across a fleet of simulated
+// coprocessor cards. The PhiOpenSSL paper's deployment premise is a host
+// driving multiple Xeon Phi cards; phifleet is that tier: N independent
+// phiserve.Servers — each with its own worker pool, circuit breaker,
+// resilience policy and fault schedule — behind one Submit-compatible
+// front end.
+//
+// Routing is consistent hashing of the key over a vnode ring, so a key's
+// open batch accumulates on one card and fills. Three mechanisms keep the
+// fleet from degenerating into N isolated servers:
+//
+//   - Hot-key replication: a key arriving faster than one full batch per
+//     fill deadline stops benefiting from single-card affinity (its batch
+//     fills before the deadline regardless), so its traffic spreads
+//     round-robin over the first Replicas cards of its hash order.
+//   - Work stealing: a card hands deadline-fired partial batches and
+//     fault-retried lanes to the least-loaded healthy sibling through the
+//     phiserve redispatch hook, so no card runs a 3-lane pass while
+//     another has work queued 13 deep.
+//   - Breaker failover: while a card's breaker is open, Submit routes its
+//     keys to the next healthy card in hash order, and the sick card's
+//     own scheduler offers breaker-bypassed requests to siblings; only
+//     with every card degraded does traffic fall to the scalar path.
+//
+// Every card registers its metrics on one shared telemetry registry under
+// a card="i" label, so /metrics exposes per-card series side by side and
+// Stats presents both the per-card and the fleet-aggregate view.
+package phifleet
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/telemetry"
+)
+
+// trackStride separates the cards' trace-track ranges on the shared
+// tracer: card i's scheduler is track i*trackStride, its workers follow.
+const trackStride = 1 << 20
+
+// cardSeedOffset separates per-card fault/jitter seed streams from the
+// per-worker streams each card derives internally.
+const cardSeedOffset = 0x70686966 // "phif"
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Cards is the number of card backends. Defaults to 2.
+	Cards int
+	// Card is the per-card server configuration template. Labels,
+	// TrackBase, Telemetry and Redispatch are owned by the fleet and
+	// overwritten; fault and jitter seeds are re-derived per card so
+	// sibling cards are independent fault domains.
+	Card phiserve.Config
+	// CardFaults, when non-nil, overrides Card.Resilience.Faults per
+	// card: CardFaults[i] (nil entries keep the template) is card i's
+	// fault schedule, used verbatim — no per-card reseeding. This is how
+	// tests and the fault experiments make exactly one card sick.
+	CardFaults []*faultsim.Config
+	// Replicas is how many cards a hot key spreads over (clamped to
+	// Cards). Defaults to 2.
+	Replicas int
+	// VNodes is the consistent-hash ring's virtual nodes per card.
+	// Defaults to 16.
+	VNodes int
+	// MaxHops bounds how many times work stealing may move one request
+	// between cards. Defaults to 3.
+	MaxHops int
+	// Telemetry is the shared observability bundle. Nil gets a private
+	// registry (Stats still works), like phiserve.
+	Telemetry *telemetry.Telemetry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cards < 1 {
+		c.Cards = 2
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Cards {
+		c.Replicas = c.Cards
+	}
+	if c.VNodes < 1 {
+		c.VNodes = 16
+	}
+	if c.MaxHops < 1 {
+		c.MaxHops = 3
+	}
+	return c
+}
+
+// Fleet is the multi-card front end. It is Submit-compatible with
+// *phiserve.Server: Submit/Do/Start/Close/Stats have the same shapes, so
+// callers (the batchserver example, the facade) switch between one card
+// and a fleet without restructuring.
+type Fleet struct {
+	cfg   Config
+	cards []*phiserve.Server
+	ring  *ring
+	hot   *hotTracker
+	tel   *telemetry.Telemetry
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+
+	rr atomic.Int64 // round-robin cursor for hot-key spreading
+
+	redispatched [3]*telemetry.Counter // by StealReason
+	declined     *telemetry.Counter
+	failovers    *telemetry.Counter
+	hotRouted    *telemetry.Counter
+}
+
+// New validates cfg and builds a stopped fleet; call Start before Submit.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	tel := cfg.Telemetry
+	if tel == nil || tel.Registry == nil {
+		priv := telemetry.NewRegistry()
+		if tel == nil {
+			tel = &telemetry.Telemetry{Registry: priv}
+		} else {
+			tel = &telemetry.Telemetry{Registry: priv, Tracer: tel.Tracer}
+		}
+	}
+	f := &Fleet{
+		cfg:  cfg,
+		ring: newRing(cfg.Cards, cfg.VNodes),
+		tel:  tel,
+	}
+	for reason := phiserve.StealPartialDeadline; reason <= phiserve.StealDegraded; reason++ {
+		f.redispatched[reason] = tel.Registry.Counter("phifleet_redispatch_total",
+			"lanes moved between cards by work stealing",
+			"reason", reason.String())
+	}
+	f.declined = tel.Registry.Counter("phifleet_redispatch_declined_total",
+		"steal offers the router declined (no better card, or hop budget spent)")
+	f.failovers = tel.Registry.Counter("phifleet_failovers_total",
+		"submissions routed past a degraded card to a healthy sibling")
+	f.hotRouted = tel.Registry.Counter("phifleet_hot_routed_total",
+		"submissions spread over replicas because their key ran hot")
+
+	for i := 0; i < cfg.Cards; i++ {
+		cc := cfg.Card
+		cc.Telemetry = tel
+		cc.Labels = append(append([]string(nil), cfg.Card.Labels...),
+			"card", strconv.Itoa(i))
+		cc.TrackBase = int64(i) * trackStride
+		cc.Resilience.Seed = cc.Resilience.Seed + cardSeedOffset + int64(i)
+		if i < len(cfg.CardFaults) && cfg.CardFaults[i] != nil {
+			cc.Resilience.Faults = cfg.CardFaults[i]
+		} else if base := cc.Resilience.Faults; base != nil {
+			// Each card draws its own fault schedule: real cards fail
+			// independently, and independent domains are what makes
+			// cross-card retry worth anything.
+			derived := base.ForWorker(cardSeedOffset + i)
+			cc.Resilience.Faults = &derived
+		}
+		// The hook closes over f; by the time any card can invoke it
+		// (after Start) f.cards is fully populated.
+		cc.Redispatch = f.hook(i)
+		card, err := phiserve.New(cc)
+		if err != nil {
+			return nil, fmt.Errorf("phifleet: card %d: %w", i, err)
+		}
+		f.cards = append(f.cards, card)
+	}
+	return f, nil
+}
+
+// hook returns card i's redispatch function. It runs on card i's
+// scheduler or worker goroutines, so it must never block on card i; Adopt
+// on a sibling is non-blocking.
+func (f *Fleet) hook(donor int) phiserve.RedispatchFunc {
+	return func(key *rsakit.PrivateKey, ops []phiserve.StolenOp, reason phiserve.StealReason) int {
+		// Only the prefix within its hop budget is movable (the hook
+		// contract is front-of-slice).
+		n := 0
+		for n < len(ops) && ops[n].Hops() < f.cfg.MaxHops {
+			n++
+		}
+		if n == 0 {
+			f.declined.Inc()
+			return 0
+		}
+		target, load := -1, 0
+		for j, c := range f.cards {
+			if j == donor || c.Degraded() {
+				continue
+			}
+			if l := c.Load(); target == -1 || l < load {
+				target, load = j, l
+			}
+		}
+		if target == -1 {
+			// Whole fleet degraded (or single card): the donor serves it,
+			// falling back to scalar if its own breaker is open.
+			f.declined.Inc()
+			return 0
+		}
+		if reason == phiserve.StealPartialDeadline && load+n >= f.cards[donor].Load() {
+			// A partial batch only moves toward a strictly less loaded
+			// card; fault retries and breaker bypasses move regardless —
+			// the point there is the independent fault domain, not load.
+			f.declined.Inc()
+			return 0
+		}
+		taken := f.cards[target].Adopt(ops[:n])
+		if taken > 0 {
+			f.redispatched[reason].Add(int64(taken))
+		} else {
+			f.declined.Inc()
+		}
+		return taken
+	}
+}
+
+// Telemetry returns the fleet's shared telemetry bundle.
+func (f *Fleet) Telemetry() *telemetry.Telemetry { return f.tel }
+
+// NumCards returns the fleet size.
+func (f *Fleet) NumCards() int { return len(f.cards) }
+
+// Card exposes one card's server, for tests and diagnostics.
+func (f *Fleet) Card(i int) *phiserve.Server { return f.cards[i] }
+
+// Start launches every card. Canceling ctx fails the whole fleet fast,
+// exactly like phiserve.Server.Start.
+func (f *Fleet) Start(ctx context.Context) {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		panic("phifleet: Fleet started twice")
+	}
+	f.started = true
+	f.mu.Unlock()
+	deadline := f.cards[0].Config().FillDeadline
+	f.hot = newHotTracker(deadline, phiserve.BatchSize)
+	for _, c := range f.cards {
+		c.Start(ctx)
+	}
+}
+
+// Submit routes one private-key operation to a card and returns its
+// result channel. The key's home card (hash order) serves it unless the
+// key is hot — then it round-robins over the first Replicas cards — or
+// the preferred card is degraded — then the next healthy card in hash
+// order takes it (failover). With every candidate degraded the home card
+// serves it anyway, which inside phiserve means sibling offer first,
+// scalar fallback last.
+func (f *Fleet) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan phiserve.Result, error) {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return nil, phiserve.ErrNotStarted
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return nil, phiserve.ErrClosed
+	}
+	f.mu.Unlock()
+	if key == nil {
+		return nil, fmt.Errorf("phifleet: nil key")
+	}
+	order := f.ring.order(key)
+	if f.hot.observe(key) && f.cfg.Replicas > 1 {
+		// Rotate the replica set so a hot key's traffic lands evenly on
+		// its first Replicas cards.
+		r := int(f.rr.Add(1)) % f.cfg.Replicas
+		order[0], order[r] = order[r], order[0]
+		f.hotRouted.Inc()
+	}
+	pick := order[0]
+	if f.cards[pick].Degraded() {
+		for _, alt := range order[1:] {
+			if !f.cards[alt].Degraded() {
+				pick = alt
+				f.failovers.Inc()
+				break
+			}
+		}
+	}
+	return f.cards[pick].Submit(ctx, key, c)
+}
+
+// Do is the synchronous convenience wrapper: Submit then wait.
+func (f *Fleet) Do(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (phiserve.Result, error) {
+	ch, err := f.Submit(ctx, key, c)
+	if err != nil {
+		return phiserve.Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return phiserve.Result{}, ctx.Err()
+	}
+}
+
+// Close shuts every card down (graceful drain while the context lives,
+// like phiserve.Server.Close). Cards close concurrently: a draining card
+// may still offer work to siblings, so closing them one by one would
+// serialize the drains for no benefit. Close is idempotent.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	alreadyClosed := f.closed
+	f.closed = true
+	f.mu.Unlock()
+	_ = alreadyClosed // card Close is idempotent; repeat closes are harmless
+	var wg sync.WaitGroup
+	for _, c := range f.cards {
+		wg.Add(1)
+		go func(c *phiserve.Server) {
+			defer wg.Done()
+			c.Close()
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Stats is the fleet's two-level view: every card's snapshot plus the
+// aggregate, and the router's own counters.
+type Stats struct {
+	// Cards[i] is card i's phiserve snapshot.
+	Cards []phiserve.Stats
+	// Fleet is the aggregate: counters summed, ratios recomputed from the
+	// sums, SimThroughput summed (cards run in parallel). BreakerState
+	// holds the count of currently-degraded cards as "k/n degraded".
+	Fleet phiserve.Stats
+	// Redispatched / Declined count work-stealing moves the router made
+	// and offers it turned down; Failovers counts submissions routed past
+	// a degraded card; HotRouted counts submissions spread by hot-key
+	// replication.
+	Redispatched, Declined, Failovers, HotRouted int64
+}
+
+// Stats snapshots every card and aggregates.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Redispatched: f.redispatched[0].Value() + f.redispatched[1].Value() + f.redispatched[2].Value(),
+		Declined:     f.declined.Value(),
+		Failovers:    f.failovers.Value(),
+		HotRouted:    f.hotRouted.Value(),
+	}
+	degraded := 0
+	var simLatencyWeighted float64
+	for _, c := range f.cards {
+		cs := c.Stats()
+		st.Cards = append(st.Cards, cs)
+		a := &st.Fleet
+		a.Submitted += cs.Submitted
+		a.Completed += cs.Completed
+		a.Failed += cs.Failed
+		a.Batches += cs.Batches
+		a.DeadlineFires += cs.DeadlineFires
+		for i := range cs.FillHist {
+			a.FillHist[i] += cs.FillHist[i]
+		}
+		a.PendingLanes += cs.PendingLanes
+		a.QueueDepth += cs.QueueDepth
+		a.TotalSimCycles += cs.TotalSimCycles
+		a.FaultsDetected += cs.FaultsDetected
+		a.KernelFaults += cs.KernelFaults
+		a.StalledPasses += cs.StalledPasses
+		a.TimedOutBatches += cs.TimedOutBatches
+		a.WorkerRespawns += cs.WorkerRespawns
+		a.Retries += cs.Retries
+		a.FallbackOps += cs.FallbackOps
+		a.FallbackCycles += cs.FallbackCycles
+		a.BreakerTrips += cs.BreakerTrips
+		a.StolenLanes += cs.StolenLanes
+		a.AdoptedLanes += cs.AdoptedLanes
+		a.OverflowBatches += cs.OverflowBatches
+		a.SimThroughput += cs.SimThroughput
+		simLatencyWeighted += cs.MeanSimLatency * float64(cs.Completed)
+		if cs.BreakerState != "closed" {
+			degraded++
+		}
+	}
+	a := &st.Fleet
+	var fillSum float64
+	for i, n := range a.FillHist {
+		fillSum += float64(i+1) * float64(n)
+	}
+	if a.Batches > 0 {
+		a.MeanFill = fillSum / float64(a.Batches)
+	}
+	if a.Completed > 0 {
+		a.CyclesPerOp = (a.TotalSimCycles + a.FallbackCycles) / float64(a.Completed)
+		a.MeanSimLatency = simLatencyWeighted / float64(a.Completed)
+	}
+	a.BreakerState = fmt.Sprintf("%d/%d degraded", degraded, len(f.cards))
+	return st
+}

@@ -5,24 +5,27 @@ import "phiopenssl/internal/telemetry"
 // Instrument registers the server's lifetime counters and live queue depth
 // on reg under the given metric-name prefix (e.g. "phipool"). The metrics
 // are function-backed views over the same atomics the accessor methods
-// read, so registration adds no hot-path cost. A nil registry is a no-op.
-func (s *Server[S, J]) Instrument(reg *telemetry.Registry, prefix string) {
+// read, so registration adds no hot-path cost. labels are key,value pairs
+// appended to every metric — required when several pools share one
+// registry (the multi-card fleet labels each card's pool card="N"; the
+// registry panics on an unlabeled duplicate). A nil registry is a no-op.
+func (s *Server[S, J]) Instrument(reg *telemetry.Registry, prefix string, labels ...string) {
 	if reg == nil {
 		return
 	}
 	reg.GaugeFunc(prefix+"_queue_depth",
 		"jobs currently waiting in the pool queue",
-		func() float64 { return float64(s.QueueDepth()) })
+		func() float64 { return float64(s.QueueDepth()) }, labels...)
 	reg.CounterFunc(prefix+"_jobs_run_total",
 		"jobs executed to completion by pool workers",
-		func() float64 { return float64(s.JobsRun()) })
+		func() float64 { return float64(s.JobsRun()) }, labels...)
 	reg.CounterFunc(prefix+"_jobs_rejected_total",
 		"queued jobs handed to the reject callback after cancellation",
-		func() float64 { return float64(s.JobsRejected()) })
+		func() float64 { return float64(s.JobsRejected()) }, labels...)
 	reg.CounterFunc(prefix+"_jobs_timed_out_total",
 		"job executions abandoned by the ExecTimeout monitor",
-		func() float64 { return float64(s.JobsTimedOut()) })
+		func() float64 { return float64(s.JobsTimedOut()) }, labels...)
 	reg.CounterFunc(prefix+"_worker_respawns_total",
 		"workers rebuilt with fresh state after a stall",
-		func() float64 { return float64(s.WorkerRespawns()) })
+		func() float64 { return float64(s.WorkerRespawns()) }, labels...)
 }

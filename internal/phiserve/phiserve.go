@@ -101,6 +101,23 @@ type Config struct {
 	// means no tracing; metrics then live on a private registry so Stats
 	// keeps working, reachable via Server.Telemetry.
 	Telemetry *telemetry.Telemetry
+	// Labels are key,value pairs stamped on every metric this server
+	// registers (e.g. "card","0"). They are mandatory when several servers
+	// share one registry: unlabeled duplicates would silently merge the
+	// stateful counters, and the registry panics on the duplicate
+	// function-backed metrics. The multi-card fleet labels each card.
+	Labels []string
+	// TrackBase offsets this server's trace tracks (TrackBase is the
+	// scheduler/control track, TrackBase+1+i is worker i). Servers sharing
+	// one Tracer — the fleet's cards — must use disjoint ranges.
+	TrackBase int64
+	// Redispatch, when non-nil, is offered work this server would rather
+	// hand off than serve locally: deadline-fired partial batches,
+	// fault-detected lanes awaiting a retry, and requests admitted while
+	// the breaker is open. The hook (the fleet's work-stealing router)
+	// returns how many operations, from the front of the slice, it moved
+	// to a sibling server via Adopt; the rest stay here. See steal.go.
+	Redispatch RedispatchFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -158,14 +175,20 @@ type Result struct {
 	Attempts int
 }
 
-// request is one queued private-key operation.
+// request is one queued private-key operation. A request's pointer can
+// travel between servers (the fleet's work stealing moves it via Adopt),
+// so everything needed to resolve it rides inside: the span string fixed
+// at Submit keeps trace identity unique across cards, and the done CAS
+// keeps resolution exactly-once no matter how many cards race.
 type request struct {
-	id   int64 // trace/span identity, assigned by Submit
+	id   int64  // per-server ordinal, assigned by Submit
+	span string // trace-span identity, globally unique (TrackBase-scoped)
 	key  *rsakit.PrivateKey
 	c    bn.Nat
-	at   time.Time   // Submit time, for the wall-latency histogram
-	resp chan Result // buffered(1); receives exactly one Result
-	done atomic.Bool // set by Server.finish; guards exactly-once delivery
+	at   time.Time    // Submit time, for the wall-latency histogram
+	resp chan Result  // buffered(1); receives exactly one Result
+	done atomic.Bool  // set by Server.finish; guards exactly-once delivery
+	hops atomic.Int32 // Adopt count, bounding steal ping-pong
 }
 
 // batch is the scheduler's dispatch unit.
@@ -236,9 +259,11 @@ type Server struct {
 	tracer *telemetry.Tracer
 	// reqSeq numbers requests for trace-span identities.
 	reqSeq atomic.Int64
-	// keyTags caches a short display tag per key for trace labels.
-	keyTags   sync.Map // *rsakit.PrivateKey -> string
-	keyTagSeq atomic.Int64
+	// keyTags caches a short display tag per key for trace labels,
+	// bounded by keyTagCacheMax (see keyTag).
+	keyTags     sync.Map // *rsakit.PrivateKey -> string
+	keyTagSeq   atomic.Int64
+	keyTagCount atomic.Int64
 
 	stats *statsAcc
 }
@@ -273,12 +298,13 @@ func New(cfg Config) (*Server, error) {
 		release: make(chan struct{}),
 		tel:     tel,
 		tracer:  tel.Tracer,
-		stats:   newStatsAcc(tel.Registry),
+		stats:   newStatsAcc(tel.Registry, cfg.Labels),
 	}
 	s.breaker.onTransition = s.breakerTransition
 	s.tel.Registry.CounterFunc("phiserve_breaker_trips_total",
 		"closed->open (and failed-probe) breaker transitions",
-		func() float64 { _, trips := s.breaker.snapshot(); return float64(trips) })
+		func() float64 { _, trips := s.breaker.snapshot(); return float64(trips) },
+		cfg.Labels...)
 	pool, err := phipool.NewServer(cfg.Machine, cfg.Workers, cfg.QueueDepth,
 		s.newWorker, s.runBatch, s.rejectBatch)
 	if err != nil {
@@ -287,7 +313,7 @@ func New(cfg Config) (*Server, error) {
 	if r.ExecTimeout > 0 {
 		pool.SetJobTimeout(r.ExecTimeout, s.retryTimedOut)
 	}
-	pool.Instrument(s.tel.Registry, "phipool")
+	pool.Instrument(s.tel.Registry, "phipool", cfg.Labels...)
 	s.pool = pool
 	return s, nil
 }
@@ -297,6 +323,12 @@ func New(cfg Config) (*Server, error) {
 // telemetry.Handler(s.Telemetry()) exposes the live /metrics, /vars and
 // /trace endpoints for this server.
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// keyTagCacheMax bounds the keyTags cache. A long-lived server seeing
+// millions of distinct keys must not grow the map forever; the tags only
+// feed trace labels, so when the cap is hit the cache is simply reset —
+// a key seen again after a reset gets a new ordinal, which is harmless.
+const keyTagCacheMax = 1024
 
 // keyTag returns a stable short label for a key ("rsa-1024#2": modulus
 // bits plus an arrival ordinal distinguishing same-size keys).
@@ -308,6 +340,15 @@ func (s *Server) keyTag(key *rsakit.PrivateKey) string {
 	if prev, loaded := s.keyTags.LoadOrStore(key, tag); loaded {
 		return prev.(string)
 	}
+	if s.keyTagCount.Add(1) > keyTagCacheMax {
+		// Wholesale eviction: concurrent readers just re-insert their keys.
+		// Racing resetters double-clear at worst — the count only shrinks.
+		s.keyTags.Range(func(k, _ any) bool {
+			s.keyTags.Delete(k)
+			return true
+		})
+		s.keyTagCount.Store(0)
+	}
 	return tag
 }
 
@@ -316,7 +357,7 @@ func (s *Server) keyTag(key *rsakit.PrivateKey) string {
 // track. Runs under the breaker's lock — it must not call back into it.
 func (s *Server) breakerTransition(from, to breakerState) {
 	s.stats.breakerGauge.Set(float64(to))
-	s.tracer.Instant(tidControl, "breaker-"+to.String(),
+	s.tracer.Instant(s.ctl(), "breaker-"+to.String(),
 		telemetry.Args{"from": from.String()})
 }
 
@@ -347,15 +388,38 @@ func (s *Server) finish(q *request, res Result) bool {
 		} else {
 			args["sim_cycles"] = res.BatchCycles
 		}
-		s.tracer.SpanEnd(strconv.FormatInt(q.id, 10), "request", args)
+		s.tracer.SpanEnd(q.span, "request", args)
 	}
 	q.resp <- res
 	return true
 }
 
-// tidControl is the trace track for the scheduler goroutine, breaker
-// transitions and the timeout monitor; workers use track id+1.
-const tidControl int64 = 0
+// ctl is the trace track for the scheduler goroutine, breaker transitions
+// and the timeout monitor: Config.TrackBase (0 for a standalone server).
+// Workers use ctl()+1+idx, so servers sharing a Tracer stay on disjoint
+// rows.
+func (s *Server) ctl() int64 { return s.cfg.TrackBase }
+
+// trackName decorates a trace-track name with the server's labels
+// ("scheduler [card=2]"), so fleet traces stay readable.
+func (s *Server) trackName(base string) string {
+	if len(s.cfg.Labels) < 2 {
+		return base
+	}
+	var sb []byte
+	sb = append(sb, base...)
+	sb = append(sb, " ["...)
+	for i := 0; i+1 < len(s.cfg.Labels); i += 2 {
+		if i > 0 {
+			sb = append(sb, ' ')
+		}
+		sb = append(sb, s.cfg.Labels[i]...)
+		sb = append(sb, '=')
+		sb = append(sb, s.cfg.Labels[i+1]...)
+	}
+	sb = append(sb, ']')
+	return string(sb)
+}
 
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -374,7 +438,7 @@ func (s *Server) Start(ctx context.Context) {
 	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.mu.Unlock()
 
-	s.tracer.NameThread(tidControl, "scheduler")
+	s.tracer.NameThread(s.ctl(), s.trackName("scheduler"))
 	s.pool.Start(s.ctx)
 	go s.schedule()
 }
@@ -417,24 +481,28 @@ func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (
 		at:   time.Now(),
 		resp: make(chan Result, 1),
 	}
+	// The span ID is scoped by TrackBase so fleets sharing one Tracer
+	// never collide (every card's reqSeq counts 1,2,3...), and it is
+	// fixed here because the request may be resolved by a different
+	// server after a steal.
+	req.span = strconv.FormatInt(s.cfg.TrackBase, 10) + "." +
+		strconv.FormatInt(req.id, 10)
 	// The span opens before the enqueue: once the request is in the
 	// intake, a worker can resolve it (and close the span) before this
 	// goroutine runs another line. The rejection paths below close the
 	// span themselves so begins and ends stay balanced.
-	var spanID string
 	if s.tracer != nil {
-		spanID = strconv.FormatInt(req.id, 10)
-		s.tracer.SpanBegin(spanID, "request", telemetry.Args{"key": s.keyTag(key)})
+		s.tracer.SpanBegin(req.span, "request", telemetry.Args{"key": s.keyTag(key)})
 	}
 	select {
 	case s.intake <- req:
 		s.stats.submitted.Inc()
 		return req.resp, nil
 	case <-s.ctx.Done():
-		s.tracer.SpanEnd(spanID, "request", telemetry.Args{"err": "not submitted"})
+		s.tracer.SpanEnd(req.span, "request", telemetry.Args{"err": "not submitted"})
 		return nil, ErrCanceled
 	case <-ctx.Done():
-		s.tracer.SpanEnd(spanID, "request", telemetry.Args{"err": "not submitted"})
+		s.tracer.SpanEnd(req.span, "request", telemetry.Args{"err": "not submitted"})
 		return nil, ctx.Err()
 	}
 }
@@ -474,36 +542,94 @@ func (s *Server) Close() {
 
 	s.inFlight.Wait() // racing Submits have enqueued or given up
 	close(s.intake)   // scheduler flushes pending and exits
+	// Wake workers parked on injected stalls before waiting on the
+	// scheduler: the scheduler's final act is flushing its overflow list
+	// through the blocking path, which needs queue slots that only free
+	// up when parked workers drain their batches via the scalar path.
+	s.releaseOnce.Do(func() { close(s.release) })
 	<-s.schedDone
 	// After cancellation the scheduler exits without draining the intake
 	// buffer; resolve whatever it left behind.
 	for req := range s.intake {
 		s.finish(req, Result{Err: ErrCanceled})
 	}
-	// Wake workers parked on injected stalls before draining the pool, or
-	// the drain would wait on them forever.
-	s.releaseOnce.Do(func() { close(s.release) })
 	s.pool.Close()
 	s.cancel()
 }
 
+// overflowPollInterval is how often the scheduler retries its overflow
+// list against the dispatch queue while the list is non-empty. Small
+// against the default FillDeadline (2ms), so an overflowed batch reaches
+// a freed queue slot promptly.
+const overflowPollInterval = 250 * time.Microsecond
+
 // schedule is the single goroutine that owns the per-key buffers.
+//
+// Dispatch never blocks this goroutine: a batch the queue cannot take
+// goes onto the scheduler-owned overflow list and is retried on a short
+// poll. Blocking here — the old behavior — was head-of-line blocking for
+// the whole server: one key saturating the dispatch queue froze fill
+// deadlines and intake for every other key. Backpressure survives the
+// fix: once the overflow list is QueueDepth deep the scheduler stops
+// pulling intake, so the intake buffer fills and Submit blocks, while
+// deadline flushes and cancellation keep being served.
 func (s *Server) schedule() {
 	defer close(s.schedDone)
 	open := make(map[*rsakit.PrivateKey]*pending)
 	var gen uint64
 
-	dispatch := func(key *rsakit.PrivateKey) {
+	// overflow holds dispatched batches the queue could not take, oldest
+	// first; only this goroutine touches it.
+	var overflow []*batch
+	poll := time.NewTimer(overflowPollInterval)
+	if !poll.Stop() {
+		<-poll.C
+	}
+	pollArmed := false
+
+	drainOverflow := func() {
+		for len(overflow) > 0 {
+			if !s.pool.TrySubmit(overflow[0]) {
+				return
+			}
+			overflow[0] = nil // release the batch to the GC
+			overflow = overflow[1:]
+			s.stats.overflowDepth.Add(-1)
+		}
+		overflow = nil
+	}
+	enqueue := func(b *batch) {
+		b.enqueuedAt = time.Now()
+		drainOverflow() // keep FIFO: older batches go first
+		if len(overflow) == 0 && s.pool.TrySubmit(b) {
+			return
+		}
+		overflow = append(overflow, b)
+		s.stats.overflowed.Inc()
+		s.stats.overflowDepth.Add(1)
+	}
+
+	dispatch := func(key *rsakit.PrivateKey, byDeadline bool) {
 		p := open[key]
 		delete(open, key)
 		p.timer.Stop()
 		s.stats.pendingLanes.Add(float64(-len(p.reqs)))
 		if s.tracer != nil {
-			s.tracer.Slice(tidControl, "batch-fill", p.openedAt,
+			s.tracer.Slice(s.ctl(), "batch-fill", p.openedAt,
 				time.Since(p.openedAt), telemetry.Args{
 					"lanes": len(p.reqs), "key": s.keyTag(key)})
 		}
-		s.submitBatch(&batch{key: key, reqs: p.reqs})
+		reqs := p.reqs
+		if byDeadline && len(reqs) < BatchSize {
+			// A deadline-fired partial batch is the work-stealing hook's
+			// bread and butter: a sibling card may have lanes of the same
+			// key open, or simply be idle.
+			reqs = reqs[s.offerSteal(key, reqs, StealPartialDeadline):]
+			if len(reqs) == 0 {
+				return
+			}
+		}
+		enqueue(&batch{key: key, reqs: reqs})
 	}
 	failAll := func() {
 		for key, p := range open {
@@ -514,31 +640,63 @@ func (s *Server) schedule() {
 			s.stats.pendingLanes.Add(float64(-len(p.reqs)))
 			delete(open, key)
 		}
+		for _, b := range overflow {
+			for _, r := range b.reqs {
+				s.finish(r, Result{Err: ErrCanceled})
+			}
+		}
+		s.stats.overflowDepth.Set(0)
+		overflow = nil
 	}
 
 	for {
+		// Backpressure: with the overflow list QueueDepth deep, stop
+		// pulling intake (a nil channel never selects) until a poll
+		// drains some of it.
+		intake := s.intake
+		if len(overflow) >= s.cfg.QueueDepth {
+			intake = nil
+		}
+		if len(overflow) > 0 && !pollArmed {
+			poll.Reset(overflowPollInterval)
+			pollArmed = true
+		}
 		select {
 		case <-s.ctx.Done():
 			failAll()
 			return
+		case <-poll.C:
+			pollArmed = false
+			drainOverflow()
 		case msg := <-s.flush:
 			if p, ok := open[msg.key]; ok && p.gen == msg.gen {
 				s.stats.deadlineFires.Add(1)
-				dispatch(msg.key)
+				dispatch(msg.key, true)
 			}
-		case req, ok := <-s.intake:
+		case req, ok := <-intake:
 			if !ok {
-				// Graceful close: dispatch every open partial batch.
+				// Graceful close: dispatch every open partial batch, then
+				// flush the overflow through the blocking path — Close has
+				// already released parked workers, so the queue drains.
 				for key := range open {
-					dispatch(key)
+					dispatch(key, false)
 				}
+				for _, b := range overflow {
+					s.submitBatch(b)
+				}
+				s.stats.overflowDepth.Set(0)
 				return
 			}
 			if s.breaker.degraded() {
 				// Breaker open: don't buffer toward a vector batch that
-				// will not run — dispatch straight to the scalar fallback,
-				// one request per job.
-				s.submitBatch(&batch{key: req.key, reqs: []*request{req}, fallback: true})
+				// will not run. A healthy sibling card may take the
+				// request; otherwise dispatch straight to the scalar
+				// fallback, one request per job.
+				reqs := []*request{req}
+				if s.offerSteal(req.key, reqs, StealDegraded) > 0 {
+					continue
+				}
+				enqueue(&batch{key: req.key, reqs: reqs, fallback: true})
 				continue
 			}
 			p := open[req.key]
@@ -551,16 +709,20 @@ func (s *Server) schedule() {
 			p.reqs = append(p.reqs, req)
 			s.stats.pendingLanes.Add(1)
 			if len(p.reqs) == BatchSize {
-				dispatch(req.key)
+				dispatch(req.key, false)
 			}
 		}
 	}
 }
 
-// submitBatch hands a batch to the pool, failing its requests if the pool
-// is already dead.
+// submitBatch hands a batch to the pool through the blocking path,
+// failing its requests if the pool is already dead. Only the final
+// overflow flush on graceful close uses it; live dispatch goes through
+// the scheduler's non-blocking enqueue.
 func (s *Server) submitBatch(b *batch) {
-	b.enqueuedAt = time.Now()
+	if b.enqueuedAt.IsZero() {
+		b.enqueuedAt = time.Now()
+	}
 	if err := s.pool.Submit(s.ctx, b); err != nil {
 		// The pool's context is a child of s.ctx, so cancellation can
 		// surface either as the pool's sentinel or as the caller

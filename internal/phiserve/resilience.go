@@ -98,6 +98,7 @@ const jitterSeedOffset = 0x6a69747465 // "jitte"
 // Perfetto).
 type worker struct {
 	id      int
+	track   int64 // trace track: Config.TrackBase + 1 + id
 	backend vpu.Backend
 	inj     *faultsim.Injector
 	scalar  engine.Engine
@@ -107,8 +108,9 @@ type worker struct {
 	meter *knc.Meter
 }
 
-// tid is the worker's trace track (track 0 is the scheduler/control).
-func (w *worker) tid() int64 { return int64(w.id) + 1 }
+// tid is the worker's trace track (the server's TrackBase row is the
+// scheduler/control).
+func (w *worker) tid() int64 { return w.track }
 
 func (w *worker) scalarEngine() engine.Engine {
 	if w.scalar == nil {
@@ -125,6 +127,7 @@ func (s *Server) newWorker() *worker {
 	r := s.cfg.Resilience
 	w := &worker{
 		id:      idx,
+		track:   s.cfg.TrackBase + 1 + int64(idx),
 		backend: vpu.NewBackend(s.cfg.Backend),
 		rng: mrand.New(mrand.NewSource(
 			faultsim.Config{Seed: r.Seed + jitterSeedOffset}.ForWorker(idx).Seed)),
@@ -134,7 +137,7 @@ func (s *Server) newWorker() *worker {
 		w.inj = faultsim.New(r.Faults.ForWorker(idx))
 		w.backend.AttachFaults(w.inj)
 	}
-	s.tracer.NameThread(w.tid(), fmt.Sprintf("worker %d", idx))
+	s.tracer.NameThread(w.tid(), s.trackName(fmt.Sprintf("worker %d", idx)))
 	return w
 }
 
@@ -256,6 +259,13 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			s.breaker.record(len(faulted) > 0, probe)
 		}
 		probe = false // only this batch's first pass can be the probe
+		if len(faulted) == 0 {
+			return
+		}
+		// Faulted lanes are retry candidates for a sibling card first:
+		// its hardware is an independent fault domain, so a retry there
+		// dodges whatever is wrong here.
+		faulted = faulted[s.offerSteal(b.key, faulted, StealFaultRetry):]
 		if len(faulted) == 0 {
 			return
 		}
@@ -413,12 +423,15 @@ func (s *Server) retryTimedOut(b *batch) {
 	if len(nb.reqs) == 0 {
 		return
 	}
-	s.tracer.Instant(tidControl, "batch-timeout",
+	s.tracer.Instant(s.ctl(), "batch-timeout",
 		telemetry.Args{"lanes": len(nb.reqs), "attempt": nb.attempts})
 	if !nb.fallback && nb.attempts <= s.cfg.Resilience.MaxRetries && s.breaker.healthy() {
 		if s.pool.TrySubmit(nb) {
 			return
 		}
 	}
-	s.runScalarOn(baseline.NewMPSS(), nb.reqs, nb.attempts, tidControl)
+	// Before burning this hardware thread on inline scalar ops, let a
+	// sibling card pick up the leftovers.
+	rest := nb.reqs[s.offerSteal(nb.key, nb.reqs, StealFaultRetry):]
+	s.runScalarOn(baseline.NewMPSS(), rest, nb.attempts, s.ctl())
 }

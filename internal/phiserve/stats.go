@@ -79,6 +79,16 @@ type Stats struct {
 	BreakerTrips int64
 	// BreakerState is "closed", "open" or "half-open" at snapshot time.
 	BreakerState string
+
+	// StolenLanes counts requests this server handed to the redispatch
+	// hook (partial-deadline, fault-retry and degraded offers combined).
+	StolenLanes int64
+	// AdoptedLanes counts requests this server accepted from siblings
+	// via Adopt.
+	AdoptedLanes int64
+	// OverflowBatches counts dispatches that found the queue full and
+	// parked on the scheduler's overflow list (each counted once).
+	OverflowBatches int64
 }
 
 // String renders a one-line summary.
@@ -98,6 +108,10 @@ func (st Stats) String() string {
 			" faults=%d kernelFaults=%d stalls=%d retries=%d fallback=%d trips=%d breaker=%s",
 			st.FaultsDetected, st.KernelFaults, st.StalledPasses, st.Retries,
 			st.FallbackOps, st.BreakerTrips, st.BreakerState)
+	}
+	if st.StolenLanes+st.AdoptedLanes+st.OverflowBatches > 0 {
+		line += fmt.Sprintf(" stolen=%d adopted=%d overflow=%d",
+			st.StolenLanes, st.AdoptedLanes, st.OverflowBatches)
 	}
 	return line
 }
@@ -121,58 +135,79 @@ type statsAcc struct {
 	cycles, fallbackCycles       *telemetry.FloatCounter
 	phaseCycles                  [vbatch.NumPhases]*telemetry.FloatCounter
 	breakerGauge                 *telemetry.Gauge
+	lanesStolen, lanesAdopted    *telemetry.Counter
+	overflowed                   *telemetry.Counter
+	overflowDepth                *telemetry.Gauge
 }
 
 // newStatsAcc registers the scheduler's metric set on reg (never nil: a
 // server without caller-provided telemetry gets a private registry).
-func newStatsAcc(reg *telemetry.Registry) *statsAcc {
+// labels are stamped on every metric; they are what keeps multiple
+// servers on one shared registry (the fleet's cards) from silently
+// merging their counters.
+func newStatsAcc(reg *telemetry.Registry, labels []string) *statsAcc {
+	// L appends extra label pairs to the server's own, copying so the
+	// shared backing array is never aliased across registrations.
+	L := func(extra ...string) []string {
+		out := make([]string, 0, len(labels)+len(extra))
+		out = append(out, labels...)
+		return append(out, extra...)
+	}
 	a := &statsAcc{
 		submitted: reg.Counter("phiserve_requests_submitted_total",
-			"requests accepted by Submit"),
+			"requests accepted by Submit", labels...),
 		completed: reg.Counter("phiserve_requests_completed_total",
-			"requests resolved with a plaintext (fallback included)"),
+			"requests resolved with a plaintext (fallback included)", labels...),
 		failed: reg.Counter("phiserve_requests_failed_total",
-			"requests resolved with an error (cancellation included)"),
+			"requests resolved with an error (cancellation included)", labels...),
 		batches: reg.Counter("phiserve_batches_total",
-			"kernel passes executed (retry passes included)"),
+			"kernel passes executed (retry passes included)", labels...),
 		deadlineFires: reg.Counter("phiserve_deadline_fires_total",
-			"batches dispatched by the fill deadline"),
+			"batches dispatched by the fill deadline", labels...),
 		faultsDetected: reg.Counter("phiserve_faults_detected_total",
-			"lanes that failed the Bellcore re-encryption check"),
+			"lanes that failed the Bellcore re-encryption check", labels...),
 		kernelFaults: reg.Counter("phiserve_kernel_faults_total",
-			"whole-pass transient kernel failures"),
+			"whole-pass transient kernel failures", labels...),
 		stalledPasses: reg.Counter("phiserve_stalled_passes_total",
-			"passes that wedged their worker"),
+			"passes that wedged their worker", labels...),
 		retries: reg.Counter("phiserve_retries_total",
-			"lane-operations re-executed after a detected fault"),
+			"lane-operations re-executed after a detected fault", labels...),
 		fallbackOps: reg.Counter("phiserve_fallback_ops_total",
-			"requests served by the scalar non-CRT path"),
+			"requests served by the scalar non-CRT path", labels...),
 		pendingLanes: reg.Gauge("phiserve_pending_lanes",
-			"requests buffered in open (not yet dispatched) batches"),
+			"requests buffered in open (not yet dispatched) batches", labels...),
 		fill: reg.Histogram("phiserve_batch_fill_lanes",
 			"live lanes per executed batch",
-			telemetry.LinearBuckets(1, 1, BatchSize)),
+			telemetry.LinearBuckets(1, 1, BatchSize), labels...),
 		simLatency: reg.Histogram("phiserve_sim_latency_seconds",
 			"per-request service latency on the simulated machine",
-			telemetry.Pow2Buckets(1e-6, 16)),
+			telemetry.Pow2Buckets(1e-6, 16), labels...),
 		wallLatency: reg.Histogram("phiserve_request_wall_seconds",
 			"host wall time from Submit to resolve",
-			telemetry.Pow2Buckets(1e-6, 16)),
+			telemetry.Pow2Buckets(1e-6, 16), labels...),
 		queueWait: reg.Histogram("phiserve_queue_wait_seconds",
 			"host wall time a batch waited in the dispatch queue",
-			telemetry.Pow2Buckets(1e-6, 16)),
+			telemetry.Pow2Buckets(1e-6, 16), labels...),
 		cycles: reg.FloatCounter("phiserve_sim_cycles_total",
-			"simulated cycles across kernel passes"),
+			"simulated cycles across kernel passes", labels...),
 		fallbackCycles: reg.FloatCounter("phiserve_fallback_sim_cycles_total",
-			"simulated cycles spent on the scalar fallback path"),
+			"simulated cycles spent on the scalar fallback path", labels...),
 		breakerGauge: reg.Gauge("phiserve_breaker_state",
-			"circuit breaker state (0 closed, 1 open, 2 half-open)"),
+			"circuit breaker state (0 closed, 1 open, 2 half-open)", labels...),
+		lanesStolen: reg.Counter("phiserve_lanes_stolen_total",
+			"requests handed to the redispatch hook (work stealing)", labels...),
+		lanesAdopted: reg.Counter("phiserve_lanes_adopted_total",
+			"requests adopted from sibling servers", labels...),
+		overflowed: reg.Counter("phiserve_dispatch_overflow_total",
+			"dispatches parked on the scheduler overflow list", labels...),
+		overflowDepth: reg.Gauge("phiserve_dispatch_overflow_depth",
+			"batches currently on the scheduler overflow list", labels...),
 	}
 	for p := 0; p < vbatch.NumPhases; p++ {
 		a.phaseCycles[p] = reg.FloatCounter("phiserve_phase_sim_cycles_total",
 			"simulated kernel-pass cycles attributed per kernel phase; "+
 				"the sum across phases equals phiserve_sim_cycles_total",
-			"phase", vbatch.PhaseName(vpu.Phase(p)))
+			L("phase", vbatch.PhaseName(vpu.Phase(p)))...)
 	}
 	return a
 }
@@ -224,6 +259,9 @@ func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64
 		FallbackCycles:  a.fallbackCycles.Value(),
 		BreakerTrips:    trips,
 		BreakerState:    bstate.String(),
+		StolenLanes:     a.lanesStolen.Value(),
+		AdoptedLanes:    a.lanesAdopted.Value(),
+		OverflowBatches: a.overflowed.Value(),
 	}
 	// The fill histogram's buckets are exactly the lane counts 1..16, so
 	// the view reconstructs FillHist losslessly (bucket i holds batches

@@ -13,7 +13,7 @@ import (
 // where every request failed — reports 0 for every per-op ratio, never
 // NaN or Inf.
 func TestStatsSnapshotZeroCompleted(t *testing.T) {
-	a := newStatsAcc(telemetry.NewRegistry())
+	a := newStatsAcc(telemetry.NewRegistry(), nil)
 	check := func(st Stats) {
 		t.Helper()
 		for _, v := range []float64{st.CyclesPerOp, st.SimThroughput, st.MeanSimLatency} {

@@ -1,0 +1,154 @@
+package phiserve
+
+import (
+	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/telemetry"
+)
+
+// This file is the work-stealing seam between a single-card Server and a
+// multi-card router (internal/phifleet). A server never knows its
+// siblings: at the three moments it holds work it would rather not serve
+// locally it calls Config.Redispatch with the operations wrapped as
+// StolenOp values, and the hook moves however many it wants to another
+// server via Adopt. The moved requests are the *same* request objects —
+// the done CAS in finish keeps resolution exactly-once no matter which
+// card answers — so nothing is re-counted as submitted and the response
+// channel the caller holds keeps working.
+
+// StealReason says why a server is offering work to the redispatch hook.
+type StealReason int
+
+const (
+	// StealPartialDeadline: a fill deadline fired on a partial batch.
+	// Executing it here costs a full kernel pass for few lanes; a sibling
+	// may have open lanes of the same key, or simply be less loaded.
+	StealPartialDeadline StealReason = iota
+	// StealFaultRetry: these lanes failed verification and await a retry
+	// pass on this (evidently faulty) card; a sibling's hardware is an
+	// independent fault domain.
+	StealFaultRetry
+	// StealDegraded: this card's breaker is open. A healthy sibling can
+	// serve the request on the vector path; only when the whole fleet is
+	// degraded should it fall to scalar.
+	StealDegraded
+)
+
+// String names the reason for traces and metric labels.
+func (r StealReason) String() string {
+	switch r {
+	case StealPartialDeadline:
+		return "partial-deadline"
+	case StealFaultRetry:
+		return "fault-retry"
+	case StealDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// StolenOp is one request offered to the redispatch hook. The wrapper
+// exposes exactly what a router needs — the hop count for ping-pong
+// bounds and liveness for skipping already-resolved work — without
+// leaking the request's internals.
+type StolenOp struct {
+	q    *request
+	from *Server
+}
+
+// Resolved reports whether the operation has already been answered (a
+// racing path can resolve it between the offer and the adoption).
+func (o StolenOp) Resolved() bool { return o.q.done.Load() }
+
+// Hops is how many times this operation has been adopted by another
+// server; routers should stop moving an op after a few hops.
+func (o StolenOp) Hops() int { return int(o.q.hops.Load()) }
+
+// RedispatchFunc is the router's side of the seam. It receives the key,
+// the offered operations (front of the donor's batch) and the reason,
+// and returns how many operations — counted from the front — it moved to
+// another server via Adopt. The donor keeps the rest. The hook runs on
+// the donor's scheduler or worker goroutine, so it must not block on the
+// donor (Adopt on a sibling is non-blocking and safe).
+type RedispatchFunc func(key *rsakit.PrivateKey, ops []StolenOp, reason StealReason) int
+
+// offerSteal runs the redispatch hook over reqs and returns how many
+// requests, from the front, the hook took; the caller serves the
+// remainder locally. With no hook configured it returns 0.
+func (s *Server) offerSteal(key *rsakit.PrivateKey, reqs []*request, reason StealReason) int {
+	if s.cfg.Redispatch == nil || len(reqs) == 0 {
+		return 0
+	}
+	ops := make([]StolenOp, len(reqs))
+	for i, q := range reqs {
+		ops[i] = StolenOp{q: q, from: s}
+	}
+	taken := s.cfg.Redispatch(key, ops, reason)
+	if taken < 0 {
+		taken = 0
+	}
+	if taken > len(reqs) {
+		taken = len(reqs)
+	}
+	if taken > 0 {
+		s.stats.lanesStolen.Add(int64(taken))
+		s.tracer.Instant(s.ctl(), "steal", telemetry.Args{
+			"lanes": taken, "reason": reason.String(), "key": s.keyTag(key)})
+	}
+	return taken
+}
+
+// Adopt takes ownership of operations stolen from a sibling server,
+// pushing them into this server's intake so they aggregate into batches
+// like native traffic. It is non-blocking: the return value is how many
+// ops were accepted (counted from the front; already-resolved ops count
+// as accepted and are dropped). The remainder stays with the donor. An
+// op adopted here resolves on this card — completed/failed accounting
+// lands on the adopter, submitted stays with the donor, so fleet-wide
+// sums still balance.
+func (s *Server) Adopt(ops []StolenOp) int {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+	select {
+	case <-s.ctx.Done():
+		return 0
+	default:
+	}
+	n := 0
+	for _, o := range ops {
+		if o.q.done.Load() {
+			n++ // nothing left to move; the donor must not serve it either
+			continue
+		}
+		o.q.hops.Add(1)
+		select {
+		case s.intake <- o.q:
+			s.stats.lanesAdopted.Inc()
+			n++
+		default:
+			// Intake full — this card is not as idle as the router
+			// thought. Give the op back rather than block the donor.
+			o.q.hops.Add(-1)
+			return n
+		}
+	}
+	return n
+}
+
+// Load is a cheap congestion signal for routers: requests buffered in
+// open batches plus a lane-count upper bound for the batches waiting in
+// the dispatch queue and the scheduler's overflow list.
+func (s *Server) Load() int {
+	queued := s.pool.QueueDepth() + int(s.stats.overflowDepth.Value())
+	return int(s.stats.pendingLanes.Value()) + queued*BatchSize
+}
+
+// Degraded reports whether the circuit breaker currently bypasses the
+// vector path (open, or half-open with the probe already out). Routers
+// use it to route around a sick card.
+func (s *Server) Degraded() bool { return s.breaker.degraded() }

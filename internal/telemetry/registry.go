@@ -16,7 +16,10 @@ import (
 // takes a mutex; the returned handles update through atomics only, so the
 // hot path is lock-free. Registering the same name+labels twice returns the
 // same handle (and panics if the kinds disagree — that is a programming
-// error, not a runtime condition).
+// error, not a runtime condition). Func metrics are the exception: they
+// read external state owned by exactly one registrant, so re-registering
+// one panics — components sharing a registry must carry distinguishing
+// labels (the per-card `card="N"` scheme of the serving fleet).
 type Registry struct {
 	mu      sync.Mutex
 	metrics []metric
@@ -85,6 +88,14 @@ func (r *Registry) register(d desc, mk func() metric) metric {
 		if m.meta().kind != d.kind {
 			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)",
 				key, d.kind, m.meta().kind))
+		}
+		if _, isFunc := m.(*FuncMetric); isFunc {
+			// A func metric reads one component's external state; a second
+			// registrant's function would be dropped on the floor and its
+			// component silently unobserved (two servers sharing a registry
+			// must use distinct label sets instead).
+			panic(fmt.Sprintf("telemetry: func metric %q registered twice; "+
+				"add distinguishing labels (e.g. card=\"1\") when components share a registry", key))
 		}
 		return m
 	}
@@ -258,7 +269,9 @@ type FuncMetric struct {
 	fn func() float64
 }
 
-// GaugeFunc registers a read-through gauge. Returns nil if r is nil.
+// GaugeFunc registers a read-through gauge. Unlike the stateful kinds,
+// registering the same name+labels twice panics (the second function would
+// be silently dropped). Returns nil if r is nil.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) *FuncMetric {
 	if r == nil {
 		return nil
@@ -267,7 +280,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 	return r.register(d, func() metric { return &FuncMetric{d: d, fn: fn} }).(*FuncMetric)
 }
 
-// CounterFunc registers a read-through counter. Returns nil if r is nil.
+// CounterFunc registers a read-through counter. Unlike the stateful kinds,
+// registering the same name+labels twice panics (the second function would
+// be silently dropped). Returns nil if r is nil.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) *FuncMetric {
 	if r == nil {
 		return nil

@@ -265,6 +265,23 @@ func TestFuncMetrics(t *testing.T) {
 	}
 }
 
+// TestFuncMetricReregistrationPanics: a second registrant's function would
+// be silently dropped (its component unobserved), so the registry must
+// refuse loudly. Distinct label sets remain fine — that is how the
+// multi-card fleet shares one registry.
+func TestFuncMetricReregistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("breaker_trips_total", "", func() float64 { return 1 })
+	// Same family under another label set: a new series, no conflict.
+	r.CounterFunc("breaker_trips_total", "", func() float64 { return 2 }, "card", "1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a func metric with an identical name+labels must panic")
+		}
+	}()
+	r.CounterFunc("breaker_trips_total", "", func() float64 { return 3 })
+}
+
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
 		0:       "0",

@@ -2,6 +2,7 @@ package phiopenssl
 
 import (
 	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/phifleet"
 	"phiopenssl/internal/phiserve"
 )
 
@@ -93,4 +94,33 @@ var (
 // builds a stopped server; call Start, Submit/Do, then Close.
 func NewBatchServer(cfg BatchServerConfig) (*BatchServer, error) {
 	return phiserve.New(cfg)
+}
+
+// Fleet serves one host's traffic across several simulated coprocessor
+// cards — the paper's deployment premise of a host driving multiple Xeon
+// Phi boards. Each card is an independent BatchServer (own worker pool,
+// circuit breaker, fault schedule); keys route by consistent hashing, hot
+// keys spread over replicas, deadline-fired partial batches and
+// fault-retried lanes migrate to the least-loaded healthy sibling, and
+// Submit fails over past a card whose breaker is open. Submit/Do/Start/
+// Close/Stats mirror BatchServer, so callers swap one card for a fleet
+// without restructuring (see internal/phifleet and experiment A8).
+type Fleet = phifleet.Fleet
+
+// FleetConfig parameterizes a Fleet: card count, the per-card
+// BatchServerConfig template (fault seeds are re-derived per card so
+// sibling cards fail independently), hot-key replica count, hash-ring
+// vnodes, and the steal hop budget.
+type FleetConfig = phifleet.Config
+
+// FleetStats is the two-level snapshot: every card's BatchServerStats,
+// the fleet aggregate, and the router's own steal/failover/hot-key
+// counters.
+type FleetStats = phifleet.Stats
+
+// NewFleet validates cfg (zero values get defaults: 2 cards, 2 replicas,
+// 16 vnodes, 3 steal hops) and builds a stopped fleet; call Start,
+// Submit/Do, then Close.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	return phifleet.New(cfg)
 }
