@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race faults telemetry backends fleet bench quick clean
+.PHONY: all build test check race faults telemetry backends fleet overload bench quick clean
 
 all: check
 
@@ -10,10 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet everything, then run the full suite under the
-# race detector.
+# check is the CI gate: vet everything (staticcheck too, when installed),
+# then run the full suite under the race detector.
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 	$(GO) test -race ./...
 
 # race hammers the concurrent packages (the worker pool and the streaming
@@ -66,6 +68,18 @@ backends:
 fleet:
 	$(GO) test -race -timeout=300s ./internal/phifleet
 	PHIOPENSSL_FLEET=1 $(GO) test -race -timeout=300s -count=1 -run 'TestFleetHammer' ./internal/phifleet
+
+# overload is the admission-control acceptance gate: the phiadmit suite
+# under the race detector (door shedding, brownout hysteresis, weighted
+# fairness, deadline propagation, the A9 model invariants) plus the
+# env-gated hammer (TestOverloadHammer): a multi-tenant soak driving a
+# controller-fronted fleet past capacity with faults active, closed
+# mid-shed, requiring every admitted request to resolve exactly once.
+overload:
+	$(GO) test -race -timeout=300s ./internal/phiadmit
+	$(GO) test -race -timeout=300s -run 'TestSubmitRejectsDeadOnArrival|TestCanceledLanesDroppedAtSeal|TestOverflowCapSheds|TestRetryBudget|TestJobExpiry' \
+		./internal/phiserve ./internal/phipool
+	PHIOPENSSL_OVERLOAD=1 $(GO) test -race -timeout=300s -count=1 -run 'TestOverloadHammer' ./internal/phiadmit
 
 quick:
 	$(GO) run ./cmd/phibench -quick

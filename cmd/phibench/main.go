@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (e1..e9) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (e1..e9, a1..a9) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced size grid for a fast run")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		list    = flag.Bool("list", false, "list experiments and exit")

@@ -11,11 +11,14 @@ package main
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +49,10 @@ func main() {
 		"number of simulated coprocessor cards; >1 serves through a sharded fleet (consistent-hash routing, hot-key replication, work stealing, breaker failover) with per-card metrics under card=\"i\" labels")
 	replicas := flag.Int("replicas", 2,
 		"cards a hot key spreads over when -cards > 1")
+	slo := flag.Duration("slo", 0,
+		"per-request latency budget; >0 fronts the server with an SLO-aware admission controller that sheds requests whose budget the queue-delay estimate already exceeds (experiment A9)")
+	tenantSpec := flag.String("tenants", "gold:10,silver:3,bronze:1",
+		"tenant traffic classes as id:weight pairs for brownout fair queuing; requests cycle through them (only with -slo)")
 	flag.Parse()
 	backend, ok := phiopenssl.ParseBackend(*backendName)
 	if !ok {
@@ -131,6 +138,38 @@ func main() {
 		svc = srv
 	}
 
+	// The admission front door: tenant classes with weights, one SLO
+	// deadline stamped onto every admitted request. Requests the door
+	// sheds cost the client one rejection instead of one blown deadline.
+	var door *phiopenssl.AdmissionController
+	var tenants []phiopenssl.AdmissionTenant
+	if *slo > 0 {
+		for _, part := range strings.Split(*tenantSpec, ",") {
+			id, ws, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if id == "" {
+				continue
+			}
+			w := 1.0
+			if ok {
+				var err error
+				if w, err = strconv.ParseFloat(ws, 64); err != nil {
+					log.Fatalf("bad -tenants entry %q: %v", part, err)
+				}
+			}
+			tenants = append(tenants, phiopenssl.AdmissionTenant{ID: id, Weight: w})
+		}
+		var backend phiopenssl.AdmissionBackend = srv
+		if flt != nil {
+			backend = flt
+		}
+		door = phiopenssl.NewAdmissionController(backend, phiopenssl.AdmissionConfig{
+			SLO:       *slo,
+			Tenants:   tenants,
+			Telemetry: tel,
+		})
+		fmt.Printf("admission control on: SLO %v, %d tenant classes\n", *slo, len(tenants))
+	}
+
 	// Mixed traffic: 96 steady singles under key A interleaved with three
 	// 16-request handshake bursts under key B — the shape of a TLS
 	// terminator holding two certificates.
@@ -140,9 +179,23 @@ func main() {
 	}
 	var reqs []pendingReq
 	var wg sync.WaitGroup
+	shed := 0
+	nextTenant := 0
 	submit := func(key *phiopenssl.PrivateKey) {
 		m, c := encrypt(key, eng)
-		resp, err := svc.Submit(context.Background(), key, c)
+		var resp <-chan phiopenssl.BatchResult
+		var err error
+		if door != nil {
+			tn := tenants[nextTenant%len(tenants)].ID
+			nextTenant++
+			resp, err = door.Submit(context.Background(), tn, key, c)
+			if errors.Is(err, phiopenssl.ErrShedOverload) || errors.Is(err, phiopenssl.ErrShedTenant) {
+				shed++
+				return
+			}
+		} else {
+			resp, err = svc.Submit(context.Background(), key, c)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -163,17 +216,22 @@ func main() {
 		submit(keyA)
 	}
 	// Receivers drain asynchronously, like connection handlers would.
-	bad := 0
+	bad, expired := 0, 0
 	var mu sync.Mutex
 	for _, r := range reqs {
 		wg.Add(1)
 		go func(r pendingReq) {
 			defer wg.Done()
 			res := <-r.resp
-			if res.Err != nil || !res.M.Equal(r.want) {
-				mu.Lock()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(res.Err, phiopenssl.ErrServerDeadlineExceeded):
+				// Admitted but overtaken by its SLO in the queue: dropped at
+				// a checkpoint before burning a kernel pass.
+				expired++
+			case res.Err != nil || !res.M.Equal(r.want):
 				bad++
-				mu.Unlock()
 			}
 		}(r)
 	}
@@ -198,6 +256,17 @@ func main() {
 		st = srv.Stats()
 		fmt.Printf("\nscheduler (%s backend): %s\n", srv.Config().Backend, st)
 	}
+	if door != nil {
+		ast := door.Stats()
+		fmt.Printf("  door: admitted=%d shed=%d expired-in-queue=%d brownouts=%d\n",
+			ast.Admitted, shed, expired, ast.BrownoutEnters)
+		for _, ts := range ast.Tenants {
+			if ts.Admitted+ts.ShedOverload+ts.ShedTenant > 0 {
+				fmt.Printf("    tenant %-8s w=%-4.0f admitted=%d shedSLO=%d shedFair=%d\n",
+					ts.ID, ts.Weight, ts.Admitted, ts.ShedOverload, ts.ShedTenant)
+			}
+		}
+	}
 	fmt.Printf("\nRSA-1024 private operation on %s:\n\n", mach)
 	fmt.Printf("  per-op engine    : %10.0f cycles/op  (%8.0f ops/s at 244 threads)\n",
 		perOp, mach.Throughput(244, perOp))
@@ -206,7 +275,8 @@ func main() {
 	fmt.Printf("\nadvantage: %.1fx throughput; deadline-dispatched batches: %d of %d\n",
 		perOp/st.CyclesPerOp, st.DeadlineFires, st.Batches)
 	fmt.Println("\n(sweep the fill-deadline/load trade-off with: go run ./cmd/phibench -exp a6;")
-	fmt.Println(" sweep fleet size x offered load with: go run ./cmd/phibench -exp a8)")
+	fmt.Println(" sweep fleet size x offered load with: go run ./cmd/phibench -exp a8;")
+	fmt.Println(" sweep admission control vs overload with: go run ./cmd/phibench -exp a9)")
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -1,0 +1,410 @@
+package phiadmit
+
+// Virtual-time overload model, the A9 counterpart of phiserve.LoadModel
+// (A6) and phifleet.Model (A8). It replays the batching policy and the
+// admission policy in simulated machine time over a multi-tenant Poisson
+// arrival mix, sweeping offered load past saturation. The point of the
+// experiment is the metastable-overload cliff: with admission off, every
+// request past capacity still enters the queue, the backlog grows for the
+// whole run, and even requests that complete do so long after their SLO —
+// goodput collapses toward zero while the executors run at 100%
+// utilization. With admission on, the door sheds exactly the excess (a
+// cheap rejection instead of a slow timeout), expired lanes are dropped
+// before execution, and the requests that are admitted finish inside
+// their budget.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phiserve"
+)
+
+// ModelTenant is one traffic class in the simulated mix.
+type ModelTenant struct {
+	ID string
+	// Share is the fraction of offered traffic this tenant generates
+	// (shares are normalized over the mix).
+	Share float64
+	// Weight is the tenant's brownout fair-queuing weight.
+	Weight float64
+	// SLO is the tenant's latency budget; zero inherits Model.SLO.
+	SLO time.Duration
+}
+
+// Model fixes the machine shape, the measured kernel-pass costs and the
+// admission policy for one simulation.
+type Model struct {
+	// Machine is the simulated card.
+	Machine knc.Machine
+	// Workers is the number of batch executors.
+	Workers int
+	// CostPerFill[f] is the simulated cycle cost of one kernel pass with f
+	// live lanes (index 1..BatchSize), as measured by the caller.
+	CostPerFill [phiserve.BatchSize + 1]float64
+	// Keys is how many distinct keys share the traffic (arrivals pick one
+	// uniformly); batching is per key.
+	Keys int
+	// FillDeadline is the partial-batch fill window.
+	FillDeadline time.Duration
+	// SLO is the default per-request budget; tenants may override.
+	SLO time.Duration
+	// Tenants is the traffic mix. Empty means one implicit tenant.
+	Tenants []ModelTenant
+	// BrownoutEnter / BrownoutExit are the hysteresis thresholds on the
+	// delay estimate; zero defaults to SLO/2 and SLO/4 (the Controller's
+	// defaults).
+	BrownoutEnter, BrownoutExit time.Duration
+	// Margin is the fraction of each budget held back for estimate error
+	// (see Config.Margin); zero defaults to 0.2.
+	Margin float64
+}
+
+// TenantPoint is one tenant's slice of an operating point.
+type TenantPoint struct {
+	ID           string
+	Offered      int // arrivals generated
+	Admitted     int
+	ShedOverload int
+	ShedTenant   int
+	Good         int // completed within SLO
+	P99          time.Duration
+}
+
+// Point is one operating point of the load sweep.
+type Point struct {
+	// Admission reports whether the admission policy was active.
+	Admission bool
+	// Offered is the arrival rate in requests per simulated second;
+	// Multiple is Offered over the machine's batch capacity.
+	Offered  float64
+	Multiple float64
+	Requests int
+
+	Admitted     int // requests past the door (all of them when off)
+	ShedOverload int // door rejections: estimate exceeded the SLO budget
+	ShedTenant   int // door rejections: brownout fair queuing
+	Expired      int // admitted lanes dropped at a pre-execution checkpoint
+	Completed    int // admitted lanes that executed
+	Good         int // completed within their SLO
+
+	// Goodput is Good per simulated second over the run span — the number
+	// the paper's host actually cares about.
+	Goodput float64
+	// P99Admitted is the 99th-percentile completion latency of admitted
+	// requests that completed (arrival to done).
+	P99Admitted time.Duration
+	MeanFill    float64
+	// ExpiredExecuted counts lanes that reached kernel execution after
+	// their deadline — the invariant the drop checkpoints enforce; it must
+	// be 0 whenever Admission is on.
+	ExpiredExecuted int
+	// Brownouts counts transitions into brownout.
+	Brownouts int
+	Tenants   []TenantPoint
+}
+
+// Capacity is the machine's saturated throughput in requests per simulated
+// second: Workers executors each completing BatchSize lanes per full-fill
+// pass.
+func (m Model) Capacity() float64 {
+	pass := m.Machine.Latency(m.Workers, m.CostPerFill[phiserve.BatchSize])
+	return float64(m.Workers) * float64(phiserve.BatchSize) / pass
+}
+
+// simReq is one arrival.
+type simReq struct {
+	at       float64
+	deadline float64
+	tenant   int
+}
+
+// simBatch is one open per-key batch.
+type simBatch struct {
+	reqs   []int
+	sealAt float64
+}
+
+// simTenant mirrors the Controller's tenantState in virtual time.
+type simTenant struct {
+	slo    float64
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// Simulate runs n Poisson arrivals at `offered` requests/second through
+// the batching policy, with the admission policy on or off, and returns
+// the operating point. The rng makes runs reproducible.
+func (m Model) Simulate(rng *rand.Rand, n int, offered float64, admission bool) (Point, error) {
+	if n < 1 || offered <= 0 {
+		return Point{}, fmt.Errorf("phiadmit: need n >= 1 arrivals at positive load")
+	}
+	if m.Keys < 1 {
+		return Point{}, fmt.Errorf("phiadmit: need at least one key")
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for f := 1; f <= phiserve.BatchSize; f++ {
+		if m.CostPerFill[f] <= 0 {
+			return Point{}, fmt.Errorf("phiadmit: CostPerFill[%d] not measured", f)
+		}
+	}
+	slo := m.SLO
+	if slo <= 0 {
+		slo = 50 * time.Millisecond
+	}
+	enter := m.BrownoutEnter
+	if enter <= 0 {
+		enter = slo / 2
+	}
+	exit := m.BrownoutExit
+	if exit <= 0 || exit >= enter {
+		exit = enter / 2
+	}
+	margin := m.Margin
+	if margin <= 0 {
+		margin = 0.2
+	}
+	tenants := m.Tenants
+	if len(tenants) == 0 {
+		tenants = []ModelTenant{{ID: "all", Share: 1, Weight: 1}}
+	}
+
+	// Tenant buckets: rate is the weighted share of the machine's batch
+	// capacity, like Controller with Capacity set to the hardware rate.
+	capacity := m.Capacity()
+	var sumShare, sumW float64
+	for _, tn := range tenants {
+		sumShare += tn.Share
+		w := tn.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sumW += w
+	}
+	st := make([]*simTenant, len(tenants))
+	for i, tn := range tenants {
+		w := tn.Weight
+		if w <= 0 {
+			w = 1
+		}
+		tslo := tn.SLO
+		if tslo <= 0 {
+			tslo = slo
+		}
+		rate := capacity * w / sumW
+		burst := rate * 0.1 // the Controller's default 100ms burst window
+		if burst < 1 {
+			burst = 1
+		}
+		st[i] = &simTenant{slo: tslo.Seconds(), rate: rate, burst: burst, tokens: burst}
+	}
+
+	// Poisson arrivals labelled with tenant (by share) and key (uniform).
+	reqs := make([]simReq, n)
+	keyOf := make([]int, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / offered
+		u := rng.Float64() * sumShare
+		tn := 0
+		for u > tenants[tn].Share && tn < len(tenants)-1 {
+			u -= tenants[tn].Share
+			tn++
+		}
+		reqs[i] = simReq{at: t, deadline: t + st[tn].slo, tenant: tn}
+		keyOf[i] = rng.Intn(m.Keys)
+	}
+
+	pt := Point{
+		Admission: admission, Offered: offered, Requests: n,
+		Multiple: offered / capacity,
+	}
+	perT := make([]TenantPoint, len(tenants))
+	for i, tn := range tenants {
+		perT[i].ID = tn.ID
+	}
+
+	free := make([]float64, workers)
+	dl := m.FillDeadline.Seconds()
+	passDur := func(fill int) float64 {
+		return m.Machine.Latency(workers, m.CostPerFill[fill])
+	}
+	fullPass := passDur(phiserve.BatchSize)
+
+	// estimate mirrors phiserve.EstimatedDelay in virtual time: the fill
+	// wait, plus the time until an executor frees up, plus one pass.
+	estimate := func(now float64) float64 {
+		minFree := free[0]
+		for _, f := range free[1:] {
+			if f < minFree {
+				minFree = f
+			}
+		}
+		wait := 0.0
+		if minFree > now {
+			wait = minFree - now
+		}
+		return dl + wait + fullPass
+	}
+
+	latencies := make([]float64, 0, n)
+	tLat := make([][]float64, len(tenants)) // completion latencies per tenant
+	var fillSum float64
+	var batches int
+	var lastDone float64
+	brownout := false
+
+	open := make([]*simBatch, m.Keys)
+	// runSealed dispatches one sealed batch at its seal time.
+	runSealed := func(b *simBatch) {
+		w := 0
+		for k := 1; k < workers; k++ {
+			if free[k] < free[w] {
+				w = k
+			}
+		}
+		start := b.sealAt
+		if free[w] > start {
+			start = free[w]
+		}
+		live := b.reqs
+		if admission {
+			// Pre-execution checkpoints collapsed into one judgment at
+			// start time (seal-time drops are a subset): a lane that would
+			// begin past its deadline is dropped, not executed.
+			live = live[:0:0]
+			for _, i := range b.reqs {
+				if reqs[i].deadline >= start {
+					live = append(live, i)
+				} else {
+					pt.Expired++
+				}
+			}
+			if len(live) == 0 {
+				return
+			}
+		}
+		fill := len(live)
+		done := start + passDur(fill)
+		free[w] = done
+		batches++
+		fillSum += float64(fill)
+		if done > lastDone {
+			lastDone = done
+		}
+		for _, i := range live {
+			r := reqs[i]
+			if start > r.deadline {
+				pt.ExpiredExecuted++
+			}
+			lat := done - r.at
+			latencies = append(latencies, lat)
+			tLat[r.tenant] = append(tLat[r.tenant], lat)
+			pt.Completed++
+			if done <= r.deadline {
+				pt.Good++
+				perT[r.tenant].Good++
+			}
+		}
+	}
+	// flushDue seals and runs every open batch whose window closed at or
+	// before now, in seal order (chronology keeps executor state honest).
+	flushDue := func(now float64) {
+		for {
+			best := -1
+			for k, b := range open {
+				if b != nil && b.sealAt <= now && (best == -1 || b.sealAt < open[best].sealAt) {
+					best = k
+				}
+			}
+			if best == -1 {
+				return
+			}
+			b := open[best]
+			open[best] = nil
+			runSealed(b)
+		}
+	}
+
+	for i := range reqs {
+		r := reqs[i]
+		flushDue(r.at)
+		perT[r.tenant].Offered++
+		if admission {
+			est := estimate(r.at)
+			if !brownout && est >= enter.Seconds() {
+				brownout = true
+				pt.Brownouts++
+			} else if brownout && est <= exit.Seconds() {
+				brownout = false
+			}
+			ts := st[r.tenant]
+			if est > ts.slo*(1-margin) {
+				pt.ShedOverload++
+				perT[r.tenant].ShedOverload++
+				continue
+			}
+			if brownout {
+				// Lazy bucket refill, exactly like the Controller.
+				if dt := r.at - ts.last; dt > 0 {
+					ts.tokens += dt * ts.rate
+					if ts.tokens > ts.burst {
+						ts.tokens = ts.burst
+					}
+				}
+				ts.last = r.at
+				if ts.tokens < 1 {
+					pt.ShedTenant++
+					perT[r.tenant].ShedTenant++
+					continue
+				}
+				ts.tokens--
+			}
+		}
+		pt.Admitted++
+		perT[r.tenant].Admitted++
+		k := keyOf[i]
+		if open[k] == nil {
+			open[k] = &simBatch{sealAt: r.at + dl}
+		}
+		open[k].reqs = append(open[k].reqs, i)
+		if len(open[k].reqs) == phiserve.BatchSize {
+			b := open[k]
+			open[k] = nil
+			b.sealAt = r.at
+			runSealed(b)
+		}
+	}
+	// Graceful close: flush every remaining open batch at its seal time.
+	flushDue(reqs[n-1].at + dl + 1)
+
+	if batches > 0 {
+		pt.MeanFill = fillSum / float64(batches)
+	}
+	span := lastDone - reqs[0].at
+	if span > 0 {
+		pt.Goodput = float64(pt.Good) / span
+	}
+	p99 := func(ls []float64) time.Duration {
+		if len(ls) == 0 {
+			return 0
+		}
+		sort.Float64s(ls)
+		k := len(ls)
+		return time.Duration(ls[(99*k+99)/100-1] * float64(time.Second))
+	}
+	pt.P99Admitted = p99(latencies)
+	for i := range perT {
+		perT[i].P99 = p99(tLat[i])
+	}
+	pt.Tenants = perT
+	return pt, nil
+}

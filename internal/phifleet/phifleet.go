@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/faultsim"
@@ -72,6 +73,12 @@ type Config struct {
 	// MaxHops bounds how many times work stealing may move one request
 	// between cards. Defaults to 3.
 	MaxHops int
+	// RetryBudget, when non-nil, is shared by every card's resilience
+	// policy (it overwrites Card.Resilience.Budget): fault retries and
+	// stall re-dispatches across the whole fleet draw on one bucket funded
+	// by fleet-wide completions, so a sick card's recovery traffic is
+	// capped globally and cannot amplify an overload.
+	RetryBudget *phiserve.RetryBudget
 	// Telemetry is the shared observability bundle. Nil gets a private
 	// registry (Stats still works), like phiserve.
 	Telemetry *telemetry.Telemetry
@@ -117,6 +124,7 @@ type Fleet struct {
 	declined     *telemetry.Counter
 	failovers    *telemetry.Counter
 	hotRouted    *telemetry.Counter
+	delayRouted  *telemetry.Counter
 }
 
 // New validates cfg and builds a stopped fleet; call Start before Submit.
@@ -147,6 +155,8 @@ func New(cfg Config) (*Fleet, error) {
 		"submissions routed past a degraded card to a healthy sibling")
 	f.hotRouted = tel.Registry.Counter("phifleet_hot_routed_total",
 		"submissions spread over replicas because their key ran hot")
+	f.delayRouted = tel.Registry.Counter("phifleet_delay_routed_total",
+		"deadline submissions rerouted past a card whose delay estimate would blow their budget")
 
 	for i := 0; i < cfg.Cards; i++ {
 		cc := cfg.Card
@@ -155,6 +165,9 @@ func New(cfg Config) (*Fleet, error) {
 			"card", strconv.Itoa(i))
 		cc.TrackBase = int64(i) * trackStride
 		cc.Resilience.Seed = cc.Resilience.Seed + cardSeedOffset + int64(i)
+		if cfg.RetryBudget != nil {
+			cc.Resilience.Budget = cfg.RetryBudget
+		}
 		if i < len(cfg.CardFaults) && cfg.CardFaults[i] != nil {
 			cc.Resilience.Faults = cfg.CardFaults[i]
 		} else if base := cc.Resilience.Faults; base != nil {
@@ -257,6 +270,16 @@ func (f *Fleet) Start(ctx context.Context) {
 // serves it anyway, which inside phiserve means sibling offer first,
 // scalar fallback last.
 func (f *Fleet) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan phiserve.Result, error) {
+	return f.SubmitWith(ctx, key, c, phiserve.SubmitOpts{})
+}
+
+// SubmitWith is Submit with admission metadata (see phiserve.SubmitWith):
+// an already-expired context or deadline is rejected at the fleet door, and
+// a request carrying a deadline is routed past a card whose current delay
+// estimate exceeds the remaining budget, to the healthy card with the
+// smallest estimate — shedding is then a per-card decision the admission
+// layer makes with the same estimates.
+func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error) {
 	f.mu.Lock()
 	if !f.started {
 		f.mu.Unlock()
@@ -269,6 +292,20 @@ func (f *Fleet) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<
 	f.mu.Unlock()
 	if key == nil {
 		return nil, fmt.Errorf("phifleet: nil key")
+	}
+	// Reject dead-on-arrival work before routing burns anything.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	deadline := opts.Deadline
+	if deadline.IsZero() {
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+	}
+	if !deadline.IsZero() && now.After(deadline) {
+		return nil, phiserve.ErrDeadlineExceeded
 	}
 	order := f.ring.order(key)
 	if f.hot.observe(key) && f.cfg.Replicas > 1 {
@@ -288,7 +325,55 @@ func (f *Fleet) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<
 			}
 		}
 	}
-	return f.cards[pick].Submit(ctx, key, c)
+	if !deadline.IsZero() {
+		// Delay-aware routing: key affinity is worthless to a request that
+		// would expire in the preferred card's backlog. When the pick's
+		// sojourn estimate blows the remaining budget, take the healthy
+		// card with the smallest estimate instead (it may still shed at
+		// the door — but it is the best bet the fleet has).
+		if remaining := deadline.Sub(now); f.cards[pick].EstimatedDelay() > remaining {
+			best, bestD := pick, f.cards[pick].EstimatedDelay()
+			for j, card := range f.cards {
+				if j == pick || card.Degraded() {
+					continue
+				}
+				if d := card.EstimatedDelay(); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best != pick {
+				pick = best
+				f.delayRouted.Inc()
+			}
+		}
+	}
+	return f.cards[pick].SubmitWith(ctx, key, c, opts)
+}
+
+// EstimatedDelay is the fleet-level sojourn estimate an admission layer
+// sheds against: the smallest per-card estimate among healthy cards (a
+// request the fleet admits goes to the best card, so the door should judge
+// against the best card too). With every card degraded it falls back to
+// the minimum over all cards.
+func (f *Fleet) EstimatedDelay() time.Duration {
+	var best time.Duration
+	found := false
+	for _, c := range f.cards {
+		if c.Degraded() {
+			continue
+		}
+		if d := c.EstimatedDelay(); !found || d < best {
+			best, found = d, true
+		}
+	}
+	if !found {
+		for _, c := range f.cards {
+			if d := c.EstimatedDelay(); !found || d < best {
+				best, found = d, true
+			}
+		}
+	}
+	return best
 }
 
 // Do is the synchronous convenience wrapper: Submit then wait.
@@ -379,6 +464,10 @@ func (f *Fleet) Stats() Stats {
 		a.StolenLanes += cs.StolenLanes
 		a.AdoptedLanes += cs.AdoptedLanes
 		a.OverflowBatches += cs.OverflowBatches
+		a.ExpiredLanes += cs.ExpiredLanes
+		a.CanceledLanes += cs.CanceledLanes
+		a.OverflowDropped += cs.OverflowDropped
+		a.RetryBudgetDenied += cs.RetryBudgetDenied
 		a.SimThroughput += cs.SimThroughput
 		simLatencyWeighted += cs.MeanSimLatency * float64(cs.Completed)
 		if cs.BreakerState != "closed" {

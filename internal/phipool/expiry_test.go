@@ -1,0 +1,69 @@
+package phipool
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"phiopenssl/internal/knc"
+)
+
+// TestJobExpiryDropsAtDequeue: jobs condemned by the expiry predicate are
+// handed to onExpired instead of run, and only those jobs.
+func TestJobExpiryDropsAtDequeue(t *testing.T) {
+	var run, exp sync.Map
+	s, err := NewServer(knc.Default(), 2, 8,
+		func() *int { return new(int) },
+		func(_ *int, j int) { run.Store(j, true) },
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd jobs are expired; the predicate is monotone (parity never changes).
+	s.SetJobExpiry(
+		func(j int) bool { return j%2 == 1 },
+		func(j int) { exp.Store(j, true) })
+	s.Start(context.Background())
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Submit(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	for i := 0; i < n; i++ {
+		_, ran := run.Load(i)
+		_, dropped := exp.Load(i)
+		if i%2 == 1 {
+			if ran || !dropped {
+				t.Fatalf("expired job %d: ran=%v dropped=%v", i, ran, dropped)
+			}
+		} else if !ran || dropped {
+			t.Fatalf("live job %d: ran=%v dropped=%v", i, ran, dropped)
+		}
+	}
+	if got := s.JobsExpired(); got != n/2 {
+		t.Fatalf("JobsExpired = %d, want %d", got, n/2)
+	}
+	if got := s.JobsRun(); got != n/2 {
+		t.Fatalf("JobsRun = %d, want %d", got, n/2)
+	}
+}
+
+// TestSetJobExpiryAfterStartPanics mirrors the SetJobTimeout contract.
+func TestSetJobExpiryAfterStartPanics(t *testing.T) {
+	s, err := NewServer(knc.Default(), 1, 1,
+		func() *int { return new(int) },
+		func(*int, int) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetJobExpiry after Start did not panic")
+		}
+	}()
+	s.SetJobExpiry(func(int) bool { return false }, nil)
+}

@@ -25,6 +25,9 @@ func (s *Server[S, J]) Instrument(reg *telemetry.Registry, prefix string, labels
 	reg.CounterFunc(prefix+"_jobs_timed_out_total",
 		"job executions abandoned by the ExecTimeout monitor",
 		func() float64 { return float64(s.JobsTimedOut()) }, labels...)
+	reg.CounterFunc(prefix+"_jobs_expired_total",
+		"jobs dropped at dequeue by the expiry predicate",
+		func() float64 { return float64(s.JobsExpired()) }, labels...)
 	reg.CounterFunc(prefix+"_worker_respawns_total",
 		"workers rebuilt with fresh state after a stall",
 		func() float64 { return float64(s.WorkerRespawns()) }, labels...)

@@ -61,6 +61,11 @@ type Server[S, J any] struct {
 	jobTimeout time.Duration
 	onTimeout  func(J)
 
+	// Expiry drop (SetJobExpiry): jobs the expired predicate condemns at
+	// dequeue are handed to onExpired instead of run.
+	expired   func(J) bool
+	onExpired func(J)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -76,6 +81,7 @@ type Server[S, J any] struct {
 	jobsRun      atomic.Int64
 	jobsRejected atomic.Int64
 	jobsTimedOut atomic.Int64
+	jobsExpired  atomic.Int64
 	respawns     atomic.Int64
 }
 
@@ -134,6 +140,10 @@ func (s *Server[S, J]) JobsRejected() int64 { return s.jobsRejected.Load() }
 // timeout set by SetJobTimeout.
 func (s *Server[S, J]) JobsTimedOut() int64 { return s.jobsTimedOut.Load() }
 
+// JobsExpired returns the number of jobs dropped at dequeue by the expiry
+// predicate set with SetJobExpiry.
+func (s *Server[S, J]) JobsExpired() int64 { return s.jobsExpired.Load() }
+
 // WorkerRespawns returns how many times a worker abandoned a stalled job
 // and respawned with fresh state.
 func (s *Server[S, J]) WorkerRespawns() int64 { return s.respawns.Load() }
@@ -161,6 +171,27 @@ func (s *Server[S, J]) SetJobTimeout(d time.Duration, onTimeout func(J)) {
 	s.onTimeout = onTimeout
 }
 
+// SetJobExpiry installs a dequeue-time drop: a job for which expired
+// returns true when a worker picks it up is handed to onExpired (if
+// non-nil) instead of being run, so work that went stale while queued —
+// e.g. a batch whose every lane passed its deadline — never occupies a
+// hardware thread. The predicate must be monotone (once expired, a job
+// stays expired): it is evaluated once, without synchronization against
+// the producer, and a non-monotone predicate could condemn a job that
+// comes back to life before onExpired resolves it. onExpired runs on the
+// worker goroutine and must not call Submit (use TrySubmit).
+//
+// SetJobExpiry must be called before Start.
+func (s *Server[S, J]) SetJobExpiry(expired func(J) bool, onExpired func(J)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("phipool: SetJobExpiry after Start")
+	}
+	s.expired = expired
+	s.onExpired = onExpired
+}
+
 // Start launches the workers. It may be called once; jobs submitted before
 // Start fail with ErrNotStarted.
 func (s *Server[S, J]) Start(ctx context.Context) {
@@ -185,6 +216,13 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 				case j, ok := <-s.queue:
 					if !ok {
 						return
+					}
+					if s.expired != nil && s.expired(j) {
+						s.jobsExpired.Add(1)
+						if s.onExpired != nil {
+							s.onExpired(j)
+						}
+						continue
 					}
 					if s.runMonitored(&state, j) {
 						s.jobsRun.Add(1)

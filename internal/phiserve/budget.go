@@ -1,0 +1,106 @@
+package phiserve
+
+import "sync"
+
+// RetryBudget is a server-wide token bucket bounding how much extra work
+// fault recovery may generate. Every successful completion deposits a
+// fraction of a token; every vector retry pass and every stall-timeout
+// re-dispatch must withdraw one token per lane first. Under healthy load
+// the budget is a no-op — deposits outpace the rare withdrawal — but in an
+// overload with a sick card the retry traffic is capped at Ratio times the
+// goodput, so recovery attempts cannot amplify the overload into collapse
+// (the retry-storm metastability).
+//
+// One budget is meant to be shared: the fleet hands the same *RetryBudget
+// to every card (Config.RetryBudget), so the cap is global across the
+// steal/redispatch paths too. A nil *RetryBudget grants everything, which
+// keeps the zero-value Resilience policy unchanged.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+	denied int64
+}
+
+// NewRetryBudget builds a budget earning `ratio` tokens per successful
+// operation (<=0 defaults to 0.1: retries capped at 10% of goodput) with
+// at most `burst` banked tokens (<1 defaults to 2*BatchSize). The bucket
+// starts full so a cold server can absorb an immediate fault burst.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst < 1 {
+		burst = 2 * BatchSize
+	}
+	return &RetryBudget{tokens: float64(burst), burst: float64(burst), ratio: ratio}
+}
+
+// Deposit credits n successful operations. Nil-safe.
+func (b *RetryBudget) Deposit(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += float64(n) * b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Allow withdraws n tokens if the full amount is available and reports
+// whether it did; a denied withdrawal takes nothing (all-or-nothing, so a
+// half-funded batch retry cannot strand its other lanes). A nil budget
+// allows everything.
+func (b *RetryBudget) Allow(n int) bool {
+	if b == nil {
+		return true
+	}
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < float64(n) {
+		b.denied += int64(n)
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// Refund returns n whole tokens withdrawn by Allow when the funded work
+// never ran (e.g. the dispatch queue refused the re-submit). Nil-safe.
+func (b *RetryBudget) Refund(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += float64(n)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Tokens returns the current balance (for the telemetry gauge).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Denied returns the lifetime count of lane-retries refused. Nil-safe.
+func (b *RetryBudget) Denied() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

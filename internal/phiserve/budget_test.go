@@ -1,0 +1,54 @@
+package phiserve
+
+import "testing"
+
+// TestRetryBudgetAccounting: the bucket starts full, withdrawals are
+// all-or-nothing, deposits credit the configured ratio, refunds restore
+// whole tokens, and everything caps at the burst.
+func TestRetryBudgetAccounting(t *testing.T) {
+	b := NewRetryBudget(0.5, 4)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("cold budget holds %v tokens, want 4 (starts full)", got)
+	}
+	if !b.Allow(4) {
+		t.Fatal("full withdrawal denied")
+	}
+	if b.Allow(1) {
+		t.Fatal("empty bucket allowed a withdrawal")
+	}
+	if got := b.Denied(); got != 1 {
+		t.Fatalf("Denied = %d, want 1", got)
+	}
+	// A denied withdrawal must take nothing; two successes earn one token.
+	b.Deposit(2)
+	if got := b.Tokens(); got != 1 {
+		t.Fatalf("after deposit: %v tokens, want 1", got)
+	}
+	if !b.Allow(1) {
+		t.Fatal("earned token denied")
+	}
+	// Refund restores whole tokens (work that never ran), capped at burst.
+	b.Refund(10)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("refund past burst: %v tokens, want cap 4", got)
+	}
+	// Deposits cap at burst too.
+	b.Deposit(100)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("deposit past burst: %v tokens, want cap 4", got)
+	}
+}
+
+// TestRetryBudgetNilGrantsEverything: the zero-value Resilience policy
+// (no budget) must behave exactly as before the budget existed.
+func TestRetryBudgetNilGrantsEverything(t *testing.T) {
+	var b *RetryBudget
+	if !b.Allow(1 << 20) {
+		t.Fatal("nil budget denied a withdrawal")
+	}
+	b.Deposit(10)
+	b.Refund(10)
+	if b.Denied() != 0 || b.Tokens() != 0 {
+		t.Fatal("nil budget accounting non-zero")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"sync"
@@ -64,6 +65,16 @@ var (
 	ErrClosed = errors.New("phiserve: server closed")
 	// ErrNotStarted reports a Submit before Start.
 	ErrNotStarted = errors.New("phiserve: server not started")
+	// ErrDeadlineExceeded marks requests whose SLO deadline expired before
+	// a kernel pass could serve them: rejected at Submit (deadline already
+	// past), dropped when their batch sealed, or dropped at the dispatch
+	// queue / pre-pass filter. The lane never burns card cycles.
+	ErrDeadlineExceeded = errors.New("phiserve: deadline exceeded before execution")
+	// ErrOverloaded marks requests shed because the scheduler's overflow
+	// list hit its cap (Config.OverflowCap): the dispatch queue and the
+	// overflow behind it are both full, so admitting more work would only
+	// grow an unserveable backlog.
+	ErrOverloaded = errors.New("phiserve: dispatch overflow full, request shed")
 )
 
 // Config parameterizes a Server.
@@ -81,6 +92,13 @@ type Config struct {
 	// workers; a full queue blocks dispatch and, transitively, Submit
 	// (backpressure). Defaults to 2*Workers.
 	QueueDepth int
+	// OverflowCap bounds the scheduler's overflow list (the batches parked
+	// when the dispatch queue is full). Intake backpressure already stops
+	// new admissions once the list is QueueDepth deep, but deadline
+	// flushes of already-open keys and adopted lanes can still push past
+	// that; at the cap the newest batch is shed with ErrOverloaded instead
+	// of growing an unserveable backlog. Defaults to 8*QueueDepth.
+	OverflowCap int
 	// Backend selects how workers execute kernel passes:
 	// vpu.BackendDirect (calibrated direct limb arithmetic, the serving
 	// default) or vpu.BackendSim (the interpreted cycle-exact unit). Both
@@ -136,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 2 * c.Workers
 	}
+	if c.OverflowCap < 1 {
+		c.OverflowCap = 8 * c.QueueDepth
+	}
 	if c.Backend == vpu.BackendDefault {
 		if k, ok := vpu.ParseBackend(os.Getenv("PHIOPENSSL_BACKEND")); ok && k != vpu.BackendDefault {
 			c.Backend = k
@@ -189,6 +210,26 @@ type request struct {
 	resp chan Result  // buffered(1); receives exactly one Result
 	done atomic.Bool  // set by Server.finish; guards exactly-once delivery
 	hops atomic.Int32 // Adopt count, bounding steal ping-pong
+
+	// Admission metadata (SubmitWith). deadline is the absolute SLO
+	// deadline — zero means none; a lane past it is dropped at the next
+	// checkpoint (batch seal, dispatch dequeue, pre-pass filter) instead
+	// of burning card cycles. ctx is the submitter's context, checked at
+	// the same checkpoints so an abandoned request frees its lane. tenant
+	// rides along for the admission layer's accounting.
+	deadline time.Time
+	ctx      context.Context
+	tenant   string
+}
+
+// expiredAt reports whether the request's deadline (if any) has passed.
+func (q *request) expiredAt(now time.Time) bool {
+	return !q.deadline.IsZero() && now.After(q.deadline)
+}
+
+// ctxDone reports whether the submitter abandoned the request.
+func (q *request) ctxDone() bool {
+	return q.ctx != nil && q.ctx.Err() != nil
 }
 
 // batch is the scheduler's dispatch unit.
@@ -247,6 +288,9 @@ type Server struct {
 	// workerSeq numbers worker states for per-worker fault/jitter seeds;
 	// respawned workers get fresh numbers (fresh schedules).
 	workerSeq atomic.Int64
+	// passWall is the EWMA of recent kernel-pass host wall times (float64
+	// bits), feeding EstimatedDelay; zero until the first pass completes.
+	passWall atomic.Uint64
 
 	mu       sync.Mutex
 	started  bool
@@ -313,9 +357,41 @@ func New(cfg Config) (*Server, error) {
 	if r.ExecTimeout > 0 {
 		pool.SetJobTimeout(r.ExecTimeout, s.retryTimedOut)
 	}
+	// Deadline-aware drop at the dispatch queue: a batch none of whose
+	// lanes is still worth executing is resolved by the expiry handler
+	// instead of occupying a worker. Lane death is monotone (a canceled
+	// or expired lane never comes back), so the predicate cannot race a
+	// batch back to life between the check and the handler.
+	pool.SetJobExpiry(s.batchDead, s.resolveDeadBatch)
 	pool.Instrument(s.tel.Registry, "phipool", cfg.Labels...)
 	s.pool = pool
+	s.tel.Registry.GaugeFunc("phiserve_estimated_delay_seconds",
+		"sojourn estimate for a newly admitted request (fill wait + backlog drain + one pass)",
+		func() float64 { return s.EstimatedDelay().Seconds() }, cfg.Labels...)
+	if r.Budget != nil {
+		s.tel.Registry.GaugeFunc("phiserve_retry_budget_tokens",
+			"tokens available in the shared fault-retry budget",
+			func() float64 { return r.Budget.Tokens() }, cfg.Labels...)
+	}
 	return s, nil
+}
+
+// batchDead reports whether no lane of b is worth executing anymore:
+// every request is already resolved, canceled, or past its deadline.
+func (s *Server) batchDead(b *batch) bool {
+	now := time.Now()
+	for _, q := range b.reqs {
+		if !q.done.Load() && !q.ctxDone() && !q.expiredAt(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveDeadBatch is the pool's expiry handler: it resolves (and counts)
+// the lanes of a batch that died waiting in the dispatch queue.
+func (s *Server) resolveDeadBatch(b *batch) {
+	s.dropDeadLanes(b.reqs)
 }
 
 // Telemetry returns the server's telemetry bundle: the one supplied in
@@ -376,6 +452,8 @@ func (s *Server) finish(q *request, res Result) bool {
 	} else {
 		s.stats.completed.Inc()
 		s.stats.wallLatency.Observe(time.Since(q.at).Seconds())
+		// Successful work funds future fault recovery (see RetryBudget).
+		s.cfg.Resilience.Budget.Deposit(1)
 	}
 	if s.tracer != nil {
 		args := telemetry.Args{
@@ -392,6 +470,73 @@ func (s *Server) finish(q *request, res Result) bool {
 	}
 	q.resp <- res
 	return true
+}
+
+// dropDeadLanes filters a request slice down to the lanes still worth
+// executing: already-resolved lanes are skipped silently; canceled and
+// deadline-expired lanes are resolved (and counted) here. Every point
+// that is about to spend card time on a slice runs it — batch seal, the
+// dispatch queue's expiry check, the pre-pass filter, the retry loop and
+// the scalar path — so a dead lane can never reach kernel execution.
+func (s *Server) dropDeadLanes(reqs []*request) []*request {
+	now := time.Now()
+	live := make([]*request, 0, len(reqs))
+	for _, q := range reqs {
+		switch {
+		case q.done.Load():
+		case q.ctxDone():
+			if s.finish(q, Result{Err: ErrCanceled}) {
+				s.stats.canceledLanes.Inc()
+			}
+		case q.expiredAt(now):
+			if s.finish(q, Result{Err: ErrDeadlineExceeded}) {
+				s.stats.expiredLanes.Inc()
+			}
+		default:
+			live = append(live, q)
+		}
+	}
+	return live
+}
+
+// ewmaAlpha weights the per-batch service-time estimate toward recent
+// passes; at 0.25 the estimate settles within a handful of batches after
+// a load or key-size shift.
+const ewmaAlpha = 0.25
+
+// observePass folds one kernel pass's host wall time into the rolling
+// per-batch service-time estimate behind EstimatedDelay.
+func (s *Server) observePass(d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := s.passWall.Load()
+		prev := math.Float64frombits(old)
+		next := sec
+		if prev > 0 {
+			next = ewmaAlpha*sec + (1-ewmaAlpha)*prev
+		}
+		if s.passWall.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EstimatedDelay is the telemetry-derived sojourn estimate for a newly
+// admitted request: the fill-deadline wait, plus the backlog (dispatch
+// queue + overflow list) drained at one recent-mean pass per worker, plus
+// the request's own pass. The admission layer (internal/phiadmit) sheds
+// at the door when this exceeds a request's remaining deadline budget,
+// and the fleet router uses the per-card values to route past a card
+// whose backlog would blow the budget. Before the first pass completes
+// the estimate is just the fill deadline — a cold server admits freely.
+func (s *Server) EstimatedDelay() time.Duration {
+	pass := math.Float64frombits(s.passWall.Load())
+	if pass <= 0 {
+		return s.cfg.FillDeadline
+	}
+	backlog := float64(s.pool.QueueDepth()) + s.stats.overflowDepth.Value()
+	sojourn := (backlog/float64(s.cfg.Workers) + 1) * pass
+	return s.cfg.FillDeadline + time.Duration(sojourn*float64(time.Second))
 }
 
 // ctl is the trace track for the scheduler goroutine, breaker transitions
@@ -443,16 +588,55 @@ func (s *Server) Start(ctx context.Context) {
 	go s.schedule()
 }
 
+// SubmitOpts is the admission metadata attached to one request.
+type SubmitOpts struct {
+	// Tenant identifies the traffic class for the admission layer's
+	// per-tenant accounting (internal/phiadmit); empty is fine.
+	Tenant string
+	// Deadline is the absolute SLO deadline: a lane still unexecuted past
+	// it resolves with ErrDeadlineExceeded instead of occupying a kernel
+	// pass. Zero means no deadline. When zero and ctx carries a deadline,
+	// the context's deadline is used.
+	Deadline time.Time
+}
+
 // Submit enqueues one private-key operation c^D mod N and returns the
 // channel its Result will arrive on. ctx bounds only this call's wait
 // (backpressure can block it); once nil is returned, exactly one Result
 // is guaranteed to arrive. c must be in [0, key.N).
 func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan Result, error) {
+	return s.SubmitWith(ctx, key, c, SubmitOpts{})
+}
+
+// SubmitWith is Submit with admission metadata: a tenant id and an SLO
+// deadline that travel with the request through the scheduler, the
+// dispatch queue, work stealing and the worker pool. An already-expired
+// context or deadline is rejected here — the request never reaches the
+// pool. After admission, ctx keeps mattering: a request whose context is
+// canceled while it waits is dropped at the next checkpoint (batch seal,
+// queue dequeue, pre-pass filter) and resolves with ErrCanceled.
+func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat, opts SubmitOpts) (<-chan Result, error) {
 	if key == nil {
 		return nil, fmt.Errorf("phiserve: nil key")
 	}
 	if c.Cmp(key.N) >= 0 {
 		return nil, fmt.Errorf("phiserve: ciphertext out of range")
+	}
+	// Reject dead-on-arrival work before it can occupy a lane: a canceled
+	// context, or a deadline that has already passed.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	deadline := opts.Deadline
+	if deadline.IsZero() {
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+	}
+	if !deadline.IsZero() && now.After(deadline) {
+		s.stats.expiredLanes.Inc()
+		return nil, ErrDeadlineExceeded
 	}
 	s.mu.Lock()
 	if !s.started {
@@ -475,11 +659,14 @@ func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (
 	default:
 	}
 	req := &request{
-		id:   s.reqSeq.Add(1),
-		key:  key,
-		c:    c,
-		at:   time.Now(),
-		resp: make(chan Result, 1),
+		id:       s.reqSeq.Add(1),
+		key:      key,
+		c:        c,
+		at:       now,
+		resp:     make(chan Result, 1),
+		deadline: deadline,
+		ctx:      ctx,
+		tenant:   opts.Tenant,
 	}
 	// The span ID is scoped by TrackBase so fleets sharing one Tracer
 	// never collide (every card's reqSeq counts 1,2,3...), and it is
@@ -492,7 +679,11 @@ func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (
 	// goroutine runs another line. The rejection paths below close the
 	// span themselves so begins and ends stay balanced.
 	if s.tracer != nil {
-		s.tracer.SpanBegin(req.span, "request", telemetry.Args{"key": s.keyTag(key)})
+		args := telemetry.Args{"key": s.keyTag(key)}
+		if req.tenant != "" {
+			args["tenant"] = req.tenant
+		}
+		s.tracer.SpanBegin(req.span, "request", args)
 	}
 	select {
 	case s.intake <- req:
@@ -604,6 +795,18 @@ func (s *Server) schedule() {
 		if len(overflow) == 0 && s.pool.TrySubmit(b) {
 			return
 		}
+		if len(overflow) >= s.cfg.OverflowCap {
+			// The queue and the overflow behind it are both full: shed the
+			// newest batch instead of growing an unserveable backlog. Old
+			// batches keep their FIFO position — they are closest to their
+			// deadlines.
+			for _, r := range b.reqs {
+				if s.finish(r, Result{Err: ErrOverloaded}) {
+					s.stats.overflowDropped.Inc()
+				}
+			}
+			return
+		}
 		overflow = append(overflow, b)
 		s.stats.overflowed.Inc()
 		s.stats.overflowDepth.Add(1)
@@ -619,7 +822,13 @@ func (s *Server) schedule() {
 				time.Since(p.openedAt), telemetry.Args{
 					"lanes": len(p.reqs), "key": s.keyTag(key)})
 		}
-		reqs := p.reqs
+		// Batch seal is the first drop checkpoint: lanes whose submitter
+		// canceled while they buffered, or whose deadline already expired,
+		// resolve here instead of riding a kernel pass.
+		reqs := s.dropDeadLanes(p.reqs)
+		if len(reqs) == 0 {
+			return
+		}
 		if byDeadline && len(reqs) < BatchSize {
 			// A deadline-fired partial batch is the work-stealing hook's
 			// bread and butter: a sibling card may have lanes of the same

@@ -54,6 +54,13 @@ type Resilience struct {
 	// BreakerCooldown is how long the breaker stays open before
 	// half-opening with a probe batch. Default 100ms (host time).
 	BreakerCooldown time.Duration
+	// Budget, when non-nil, is the shared retry budget: vector retry
+	// passes and stall-timeout re-dispatches withdraw one token per lane
+	// and are refused (degrading straight to the scalar fallback) when
+	// the bucket is empty; successful completions refill it. The fleet
+	// hands one budget to every card so fault recovery is capped
+	// globally and cannot amplify an overload. Nil grants everything.
+	Budget *RetryBudget
 	// Seed drives retry jitter (per-worker streams derived from it). The
 	// fault schedule has its own seed inside Faults.
 	Seed int64
@@ -143,7 +150,9 @@ func (s *Server) newWorker() *worker {
 
 // liveReqs filters out requests that were already resolved (a stalled
 // batch's requests may have been answered by a re-dispatch racing the
-// zombie execution).
+// zombie execution). Unlike Server.dropDeadLanes it resolves nothing —
+// the stall-drain path uses it where the remaining lanes must still be
+// served rather than judged.
 func liveReqs(reqs []*request) []*request {
 	out := make([]*request, 0, len(reqs))
 	for _, q := range reqs {
@@ -177,7 +186,10 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		s.runScalarOn(w.scalarEngine(), b.reqs, b.attempts, w.tid())
 		return
 	}
-	pending := liveReqs(b.reqs)
+	// Pre-pass filter: the last checkpoint before lanes pack into a
+	// kernel pass. Expired and canceled lanes resolve here, so no dead
+	// lane ever burns card cycles.
+	pending := s.dropDeadLanes(b.reqs)
 	if len(pending) == 0 {
 		return
 	}
@@ -253,6 +265,7 @@ func (s *Server) runBatch(w *worker, b *batch) {
 					served++
 				}
 			}
+			s.observePass(time.Since(passStart))
 			s.stats.recordBatch(fill, served, cycles, simLat, phases)
 			s.stats.faultsDetected.Add(int64(len(faulted)))
 			s.tracePass(w, b, passStart, bd, fill, attempt, cycles, phases, len(faulted))
@@ -266,11 +279,21 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		// its hardware is an independent fault domain, so a retry there
 		// dodges whatever is wrong here.
 		faulted = faulted[s.offerSteal(b.key, faulted, StealFaultRetry):]
+		// A lane that expired or was abandoned during the failed pass must
+		// not ride a retry either.
+		faulted = s.dropDeadLanes(faulted)
 		if len(faulted) == 0 {
 			return
 		}
 		attempt++
 		if attempt > s.cfg.Resilience.MaxRetries || !s.breaker.healthy() {
+			s.runScalarOn(w.scalarEngine(), faulted, attempt, w.tid())
+			return
+		}
+		if !s.cfg.Resilience.Budget.Allow(len(faulted)) {
+			// The shared retry budget is dry: recovery work would amplify
+			// the overload, so degrade straight to the scalar fallback.
+			s.stats.budgetDenied.Add(int64(len(faulted)))
 			s.runScalarOn(w.scalarEngine(), faulted, attempt, w.tid())
 			return
 		}
@@ -382,6 +405,21 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 		if q.done.Load() {
 			continue
 		}
+		// Scalar ops are serial and slow; re-judge each lane right before
+		// spending an op on it so a deadline that expires mid-drain stops
+		// costing cycles immediately.
+		if q.ctxDone() {
+			if s.finish(q, Result{Err: ErrCanceled}) {
+				s.stats.canceledLanes.Inc()
+			}
+			continue
+		}
+		if q.expiredAt(time.Now()) {
+			if s.finish(q, Result{Err: ErrDeadlineExceeded}) {
+				s.stats.expiredLanes.Inc()
+			}
+			continue
+		}
 		eng.Reset()
 		opStart := time.Now()
 		m, err := rsakit.PrivateOp(eng, q.key, q.c, opts)
@@ -415,7 +453,7 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 func (s *Server) retryTimedOut(b *batch) {
 	nb := &batch{
 		key:        b.key,
-		reqs:       liveReqs(b.reqs),
+		reqs:       s.dropDeadLanes(b.reqs),
 		fallback:   b.fallback,
 		attempts:   b.attempts + 1,
 		enqueuedAt: time.Now(),
@@ -426,8 +464,16 @@ func (s *Server) retryTimedOut(b *batch) {
 	s.tracer.Instant(s.ctl(), "batch-timeout",
 		telemetry.Args{"lanes": len(nb.reqs), "attempt": nb.attempts})
 	if !nb.fallback && nb.attempts <= s.cfg.Resilience.MaxRetries && s.breaker.healthy() {
-		if s.pool.TrySubmit(nb) {
-			return
+		budget := s.cfg.Resilience.Budget
+		if budget.Allow(len(nb.reqs)) {
+			if s.pool.TrySubmit(nb) {
+				return
+			}
+			// Withdrawn but not re-dispatched (queue full): give the
+			// tokens back before degrading to scalar.
+			budget.Refund(len(nb.reqs))
+		} else {
+			s.stats.budgetDenied.Add(int64(len(nb.reqs)))
 		}
 	}
 	// Before burning this hardware thread on inline scalar ops, let a

@@ -89,6 +89,21 @@ type Stats struct {
 	// OverflowBatches counts dispatches that found the queue full and
 	// parked on the scheduler's overflow list (each counted once).
 	OverflowBatches int64
+
+	// ExpiredLanes counts requests resolved with ErrDeadlineExceeded —
+	// rejected at the door or dropped at a pre-execution checkpoint (seal,
+	// pool dequeue, pre-pass, retry, scalar drain) before burning cycles.
+	ExpiredLanes int64
+	// CanceledLanes counts requests dropped at a pre-execution checkpoint
+	// because their context was canceled after intake (the request still
+	// held a lane; it resolves with ErrCanceled without executing).
+	CanceledLanes int64
+	// OverflowDropped counts requests shed with ErrOverloaded because the
+	// scheduler's overflow list hit Config.OverflowCap.
+	OverflowDropped int64
+	// RetryBudgetDenied counts lane-retries refused by the shared retry
+	// budget (the lanes degraded straight to the scalar fallback).
+	RetryBudgetDenied int64
 }
 
 // String renders a one-line summary.
@@ -112,6 +127,10 @@ func (st Stats) String() string {
 	if st.StolenLanes+st.AdoptedLanes+st.OverflowBatches > 0 {
 		line += fmt.Sprintf(" stolen=%d adopted=%d overflow=%d",
 			st.StolenLanes, st.AdoptedLanes, st.OverflowBatches)
+	}
+	if st.ExpiredLanes+st.CanceledLanes+st.OverflowDropped+st.RetryBudgetDenied > 0 {
+		line += fmt.Sprintf(" expired=%d canceled=%d shed=%d budgetDenied=%d",
+			st.ExpiredLanes, st.CanceledLanes, st.OverflowDropped, st.RetryBudgetDenied)
 	}
 	return line
 }
@@ -138,6 +157,9 @@ type statsAcc struct {
 	lanesStolen, lanesAdopted    *telemetry.Counter
 	overflowed                   *telemetry.Counter
 	overflowDepth                *telemetry.Gauge
+	expiredLanes, canceledLanes  *telemetry.Counter
+	overflowDropped              *telemetry.Counter
+	budgetDenied                 *telemetry.Counter
 }
 
 // newStatsAcc registers the scheduler's metric set on reg (never nil: a
@@ -202,6 +224,14 @@ func newStatsAcc(reg *telemetry.Registry, labels []string) *statsAcc {
 			"dispatches parked on the scheduler overflow list", labels...),
 		overflowDepth: reg.Gauge("phiserve_dispatch_overflow_depth",
 			"batches currently on the scheduler overflow list", labels...),
+		expiredLanes: reg.Counter("phiserve_requests_expired_total",
+			"requests resolved with ErrDeadlineExceeded before execution", labels...),
+		canceledLanes: reg.Counter("phiserve_canceled_lanes_total",
+			"lanes dropped pre-execution after their context was canceled", labels...),
+		overflowDropped: reg.Counter("phiserve_overflow_dropped_total",
+			"requests shed with ErrOverloaded at the overflow cap", labels...),
+		budgetDenied: reg.Counter("phiserve_retry_budget_denied_total",
+			"lane-retries refused by the shared retry budget", labels...),
 	}
 	for p := 0; p < vbatch.NumPhases; p++ {
 		a.phaseCycles[p] = reg.FloatCounter("phiserve_phase_sim_cycles_total",
@@ -241,27 +271,31 @@ func (a *statsAcc) recordFallback(cycles, simLat float64) {
 // snapshot is exact.
 func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64, bstate breakerState, trips int64) Stats {
 	st := Stats{
-		Submitted:       a.submitted.Value(),
-		Completed:       a.completed.Value(),
-		Failed:          a.failed.Value(),
-		Batches:         a.batches.Value(),
-		DeadlineFires:   a.deadlineFires.Value(),
-		PendingLanes:    int(a.pendingLanes.Value()),
-		QueueDepth:      queueDepth,
-		TotalSimCycles:  a.cycles.Value(),
-		FaultsDetected:  a.faultsDetected.Value(),
-		KernelFaults:    a.kernelFaults.Value(),
-		StalledPasses:   a.stalledPasses.Value(),
-		TimedOutBatches: timedOut,
-		WorkerRespawns:  respawns,
-		Retries:         a.retries.Value(),
-		FallbackOps:     a.fallbackOps.Value(),
-		FallbackCycles:  a.fallbackCycles.Value(),
-		BreakerTrips:    trips,
-		BreakerState:    bstate.String(),
-		StolenLanes:     a.lanesStolen.Value(),
-		AdoptedLanes:    a.lanesAdopted.Value(),
-		OverflowBatches: a.overflowed.Value(),
+		Submitted:         a.submitted.Value(),
+		Completed:         a.completed.Value(),
+		Failed:            a.failed.Value(),
+		Batches:           a.batches.Value(),
+		DeadlineFires:     a.deadlineFires.Value(),
+		PendingLanes:      int(a.pendingLanes.Value()),
+		QueueDepth:        queueDepth,
+		TotalSimCycles:    a.cycles.Value(),
+		FaultsDetected:    a.faultsDetected.Value(),
+		KernelFaults:      a.kernelFaults.Value(),
+		StalledPasses:     a.stalledPasses.Value(),
+		TimedOutBatches:   timedOut,
+		WorkerRespawns:    respawns,
+		Retries:           a.retries.Value(),
+		FallbackOps:       a.fallbackOps.Value(),
+		FallbackCycles:    a.fallbackCycles.Value(),
+		BreakerTrips:      trips,
+		BreakerState:      bstate.String(),
+		StolenLanes:       a.lanesStolen.Value(),
+		AdoptedLanes:      a.lanesAdopted.Value(),
+		OverflowBatches:   a.overflowed.Value(),
+		ExpiredLanes:      a.expiredLanes.Value(),
+		CanceledLanes:     a.canceledLanes.Value(),
+		OverflowDropped:   a.overflowDropped.Value(),
+		RetryBudgetDenied: a.budgetDenied.Value(),
 	}
 	// The fill histogram's buckets are exactly the lane counts 1..16, so
 	// the view reconstructs FillHist losslessly (bucket i holds batches

@@ -1,6 +1,8 @@
 package phiserve
 
 import (
+	"time"
+
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 )
@@ -120,9 +122,26 @@ func (s *Server) Adopt(ops []StolenOp) int {
 	default:
 	}
 	n := 0
+	now := time.Now()
 	for _, o := range ops {
 		if o.q.done.Load() {
 			n++ // nothing left to move; the donor must not serve it either
+			continue
+		}
+		// Judge the op before paying to move it: an expired or abandoned
+		// lane resolves here and counts as taken, so neither card runs it.
+		if o.q.ctxDone() {
+			if s.finish(o.q, Result{Err: ErrCanceled}) {
+				s.stats.canceledLanes.Inc()
+			}
+			n++
+			continue
+		}
+		if o.q.expiredAt(now) {
+			if s.finish(o.q, Result{Err: ErrDeadlineExceeded}) {
+				s.stats.expiredLanes.Inc()
+			}
+			n++
 			continue
 		}
 		o.q.hops.Add(1)
