@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race faults telemetry backends fleet overload bench quick clean
+.PHONY: all build test check race faults telemetry backends fleet overload observe bench quick clean
 
 all: check
 
@@ -80,6 +80,21 @@ overload:
 	$(GO) test -race -timeout=300s -run 'TestSubmitRejectsDeadOnArrival|TestCanceledLanesDroppedAtSeal|TestOverflowCapSheds|TestRetryBudget|TestJobExpiry' \
 		./internal/phiserve ./internal/phipool
 	PHIOPENSSL_OVERLOAD=1 $(GO) test -race -timeout=300s -count=1 -run 'TestOverloadHammer' ./internal/phiadmit
+
+# observe is the request-journey acceptance gate: the phitrace suite under
+# the race detector (journey lifecycle, tail sampling, burn windows, the
+# incident flight recorder, the A10 model invariants), the telemetry
+# observability additions (trace-drop accounting, histogram quantiles, the
+# /journeys + /incidents endpoints), the env-gated hammer
+# (TestObserveHammer): a 3-tenant overload soak with the recorder wired
+# through door, fleet, scheduler and pool requiring one coherent journey —
+# exactly one terminal, monotone timestamps, hops within budget — per
+# Submit, and finally the <2% enabled-overhead budget re-checked with
+# journeys + tail sampling active.
+observe:
+	$(GO) test -race -timeout=300s ./internal/phitrace ./internal/telemetry
+	PHIOPENSSL_OBSERVE=1 $(GO) test -race -timeout=300s -count=1 -run 'TestObserveHammer' ./internal/phiadmit
+	$(GO) test -timeout=300s -run 'TestTelemetryOverhead' ./internal/bench
 
 quick:
 	$(GO) run ./cmd/phibench -quick

@@ -10,6 +10,7 @@
 //	phibench -seed 42        # change the workload seed
 //	phibench -json           # machine-comparable JSON on stdout
 //	phibench -metrics :9090  # live /metrics, /vars and /debug/pprof
+//	phibench -exp a10 -journeys  # append sampled journey records to A10's notes
 package main
 
 import (
@@ -26,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (e1..e9, a1..a9) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced size grid for a fast run")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		format  = flag.String("format", "text", "output format: text|markdown|csv")
-		asJSON  = flag.Bool("json", false, "emit one machine-comparable JSON report on stdout (overrides -format)")
-		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address during the run")
+		exp      = flag.String("exp", "all", "experiment id (e1..e9, a1..a10) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced size grid for a fast run")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		format   = flag.String("format", "text", "output format: text|markdown|csv")
+		asJSON   = flag.Bool("json", false, "emit one machine-comparable JSON report on stdout (overrides -format)")
+		metrics  = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address during the run")
+		journeys = flag.Bool("journeys", false, "append sampled request-journey records to the A10 report notes")
 	)
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 		}()
 	}
 
-	opts := bench.Options{Quick: *quick, Seed: *seed}
+	opts := bench.Options{Quick: *quick, Seed: *seed, Journeys: *journeys}
 	var todo []bench.Experiment
 	if *exp == "all" {
 		todo = bench.All()

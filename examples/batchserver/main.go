@@ -53,6 +53,10 @@ func main() {
 		"per-request latency budget; >0 fronts the server with an SLO-aware admission controller that sheds requests whose budget the queue-delay estimate already exceeds (experiment A9)")
 	tenantSpec := flag.String("tenants", "gold:10,silver:3,bronze:1",
 		"tenant traffic classes as id:weight pairs for brownout fair queuing; requests cycle through them (only with -slo)")
+	journeys := flag.Bool("journeys", false,
+		"record per-request journeys with tail-based sampling and the incident flight recorder; prints kept journeys and incidents after the run and serves /journeys + /incidents under -metrics")
+	sample := flag.Int("sample", 16,
+		"keep 1 in N normal completions in the journey ring (anomalous journeys are always kept; only with -journeys)")
 	flag.Parse()
 	backend, ok := phiopenssl.ParseBackend(*backendName)
 	if !ok {
@@ -67,11 +71,22 @@ func main() {
 	} else {
 		tel = phiopenssl.NewTelemetry()
 	}
+	// The journey recorder threads through every layer below: the door
+	// stamps the trace id, the fleet adds route hops, the scheduler seals
+	// and passes, and the recorder tail-samples the resolved record.
+	var rec *phiopenssl.JourneyRecorder
+	if *journeys {
+		rec = phiopenssl.NewJourneyRecorder(phiopenssl.JourneyConfig{
+			SampleN:   *sample,
+			Telemetry: tel,
+		})
+		tel.Journeys = rec
+	}
 	if *metricsAddr != "" {
 		go func() {
 			log.Fatal(http.ListenAndServe(*metricsAddr, phiopenssl.TelemetryHandler(tel)))
 		}()
-		fmt.Printf("telemetry live on http://localhost%s (/metrics /vars /trace /debug/pprof)\n", *metricsAddr)
+		fmt.Printf("telemetry live on http://localhost%s (/metrics /vars /trace /journeys /incidents /debug/pprof)\n", *metricsAddr)
 	}
 
 	fmt.Println("generating two RSA-1024 keys...")
@@ -102,6 +117,7 @@ func main() {
 		QueueDepth:   8,
 		Backend:      backend,
 		Telemetry:    tel,
+		Journeys:     rec,
 	}
 	// One card serves through a BatchServer directly; more go through the
 	// sharded fleet front end. Both expose the same Submit/Close shape.
@@ -121,6 +137,7 @@ func main() {
 			Replicas:  *replicas,
 			Card:      cardCfg,
 			Telemetry: tel,
+			Journeys:  rec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -166,6 +183,7 @@ func main() {
 			SLO:       *slo,
 			Tenants:   tenants,
 			Telemetry: tel,
+			Journeys:  rec,
 		})
 		fmt.Printf("admission control on: SLO %v, %d tenant classes\n", *slo, len(tenants))
 	}
@@ -264,6 +282,31 @@ func main() {
 			if ts.Admitted+ts.ShedOverload+ts.ShedTenant > 0 {
 				fmt.Printf("    tenant %-8s w=%-4.0f admitted=%d shedSLO=%d shedFair=%d\n",
 					ts.ID, ts.Weight, ts.Admitted, ts.ShedOverload, ts.ShedTenant)
+			}
+		}
+	}
+	if rec != nil {
+		jc := rec.Counts()
+		fmt.Printf("  journeys: resolved=%d kept-anomalous=%d kept-sampled=%d discarded=%d (1-in-%d sampling)\n",
+			jc.Resolved, jc.KeptAnomalous, jc.KeptSampled, jc.Discarded, *sample)
+		for _, j := range rec.Kept(4) {
+			v := j.View()
+			steps := make([]string, 0, len(v.Events))
+			for _, e := range v.Events {
+				s := e.Kind
+				if e.Card >= 0 {
+					s += fmt.Sprintf("@%d", e.Card)
+				}
+				steps = append(steps, s)
+			}
+			fmt.Printf("    id=%d tenant=%s key=%s outcome=%s lat=%.2fms: %s\n",
+				v.ID, v.Tenant, v.Key, v.Outcome, v.LatencyUS/1e3, strings.Join(steps, " > "))
+		}
+		if incs := rec.Incidents(); len(incs) > 0 {
+			fmt.Printf("  incidents: %d captured\n", len(incs))
+			for _, inc := range incs {
+				fmt.Printf("    #%d %s journeys=%d snapshots=%d fields=%v\n",
+					inc.Seq, inc.Kind, len(inc.Journeys), len(inc.Snapshots), inc.Fields)
 			}
 		}
 	}

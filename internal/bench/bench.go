@@ -23,6 +23,9 @@ type Options struct {
 	Quick bool
 	// Seed drives all workload generation.
 	Seed int64
+	// Journeys adds sampled journey records to the A10 report notes (the
+	// phibench -journeys flag).
+	Journeys bool
 }
 
 // Table is one rendered experiment result.

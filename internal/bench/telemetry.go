@@ -9,6 +9,7 @@ import (
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phitrace"
 	"phiopenssl/internal/telemetry"
 )
 
@@ -34,10 +35,11 @@ func (r TelemetryOverheadResult) String() string {
 }
 
 // TelemetryOverhead measures the wall-time cost of enabling full
-// telemetry — request trace spans, per-pass slices, phase cycle counters —
-// on the batch server. Both arms serve the identical seeded RSA-512
-// workload; the arms alternate and the best time of each wins, so a
-// background scheduling hiccup cannot masquerade as telemetry cost.
+// telemetry — request trace spans, per-pass slices, phase cycle counters,
+// and since this release per-request journeys with tail sampling — on the
+// batch server. Both arms serve the identical seeded RSA-512 workload;
+// the arms alternate and the best time of each wins, so a background
+// scheduling hiccup cannot masquerade as telemetry cost.
 //
 // This is deliberately not a registered experiment: its output is host
 // wall time, which is nondeterministic, and the experiment tables are
@@ -60,13 +62,14 @@ func TelemetryOverhead(ops, trials int, seed int64) (TelemetryOverheadResult, er
 		cs[i] = c
 	}
 
-	run := func(tel *telemetry.Telemetry) (time.Duration, error) {
+	run := func(tel *telemetry.Telemetry, rec *phitrace.Recorder) (time.Duration, error) {
 		srv, err := phiserve.New(phiserve.Config{
 			Machine:      machine(),
 			Workers:      4,
 			FillDeadline: 500 * time.Microsecond,
 			QueueDepth:   8,
 			Telemetry:    tel,
+			Journeys:     rec,
 		})
 		if err != nil {
 			return 0, err
@@ -100,11 +103,14 @@ func TelemetryOverhead(ops, trials int, seed int64) (TelemetryOverheadResult, er
 		return cur
 	}
 	for t := 0; t < trials; t++ {
-		dBase, err := run(nil) // server builds its metrics-only private registry
+		dBase, err := run(nil, nil) // server builds its metrics-only private registry
 		if err != nil {
 			return res, err
 		}
-		dFull, err := run(telemetry.NewWithTrace(0))
+		// The enabled arm carries the full stack: registry, tracer, and a
+		// journey recorder with tail sampling active.
+		tel := telemetry.NewWithTrace(0)
+		dFull, err := run(tel, phitrace.New(phitrace.Config{Telemetry: tel, SampleN: 16}))
 		if err != nil {
 			return res, err
 		}

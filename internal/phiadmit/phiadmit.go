@@ -33,11 +33,13 @@ package phiadmit
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phitrace"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 )
@@ -105,6 +107,24 @@ type Config struct {
 	// Telemetry supplies the registry for the controller's metric set; nil
 	// gets a private registry (Stats still works).
 	Telemetry *telemetry.Telemetry
+	// Journeys, when non-nil, makes the door the journey's starting point:
+	// every Submit begins a journey (tenant, SLO, deadline attached), sheds
+	// resolve it immediately with the shed outcome, and admissions carry it
+	// into the backend. The recorder's SLO burn rate also feeds the
+	// brownout loop (see BurnEnter), and brownout enter/exit transitions
+	// trigger incident snapshots.
+	Journeys *phitrace.Recorder
+	// BurnEnter is the fleet-wide SLO burn rate (bad fraction over budget,
+	// from Journeys' fast window) at or above which the controller enters
+	// brownout even while the delay estimate looks healthy — the journey
+	// stream notices deadline misses the point-in-time estimate cannot.
+	// Zero defaults to 2 (burning twice the budget) when Journeys is set;
+	// negative disables burn-fed brownout.
+	BurnEnter float64
+	// BurnExit is the burn rate the brownout exit condition additionally
+	// requires (both the estimate and the burn must look healthy before
+	// fair queuing switches off). Defaults to BurnEnter/2.
+	BurnExit float64
 	// Clock overrides time.Now for deterministic tests; nil uses real time.
 	Clock func() time.Time
 }
@@ -130,6 +150,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Margin < 0 {
 		c.Margin = 0
+	}
+	if c.BurnEnter == 0 && c.Journeys != nil {
+		c.BurnEnter = 2
+	}
+	if c.BurnEnter < 0 {
+		c.BurnEnter = 0
+	}
+	if c.BurnExit <= 0 || c.BurnExit >= c.BurnEnter {
+		c.BurnExit = c.BurnEnter / 2
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -268,7 +297,8 @@ func (a *Controller) newTenant(id string, w, sumW float64, slo time.Duration) *t
 func (a *Controller) Telemetry() *telemetry.Telemetry { return a.tel }
 
 // tenant resolves a tenant id to its state (the shared fallback class for
-// undeclared ids). Caller holds a.mu.
+// undeclared ids). The tenants map is immutable after New, so the lookup
+// itself needs no lock — only the tenantState fields do (a.mu).
 func (a *Controller) tenant(id string) *tenantState {
 	if t, ok := a.tenants[id]; ok {
 		return t
@@ -284,27 +314,58 @@ func (a *Controller) tenant(id string) *tenantState {
 func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.PrivateKey, c bn.Nat) (<-chan phiserve.Result, error) {
 	now := a.cfg.Clock()
 	est := a.backend.EstimatedDelay()
+	ts := a.tenant(tenant) // map is immutable; no lock needed for the lookup
+
+	// The journey starts at the door: even a shed request leaves a record
+	// naming the tenant, the SLO and the estimate that condemned it. The
+	// burn rate comes from the same journey stream, read before the lock —
+	// the recorder has its own (finer) lock discipline.
+	var burn float64
+	rec := a.cfg.Journeys
+	if rec != nil && a.cfg.BurnEnter > 0 {
+		burn = rec.BurnRate("", rec.FastWindow())
+	}
+	var journey *phitrace.Journey
+	if rec != nil {
+		tag := ""
+		if key != nil {
+			tag = "rsa-" + strconv.Itoa(key.N.BitLen())
+		}
+		journey = rec.Begin(ts.id, tag, now.Add(ts.slo), ts.slo)
+		journey.Event("door", -1, "est="+est.Round(time.Microsecond).String())
+	}
 
 	a.mu.Lock()
 	// Hysteresis: enter at the high threshold, leave only below the low
 	// one. Between the two the current state holds, so the controller
-	// cannot flap when the estimate hovers at a threshold.
-	if !a.brownout && est >= a.cfg.BrownoutEnter {
+	// cannot flap when the estimate hovers at a threshold. The SLO burn
+	// rate is a second entry signal — sustained deadline misses show up in
+	// the journey stream before the point-in-time estimate looks scary —
+	// and exit additionally requires the burn to have cooled.
+	transition := ""
+	enter := est >= a.cfg.BrownoutEnter ||
+		(a.cfg.BurnEnter > 0 && burn >= a.cfg.BurnEnter)
+	exit := est <= a.cfg.BrownoutExit &&
+		(a.cfg.BurnEnter <= 0 || burn <= a.cfg.BurnExit)
+	if !a.brownout && enter {
 		a.brownout = true
 		a.enters++
 		a.brownoutGauge.Set(1)
 		a.brownoutCount.Inc()
-	} else if a.brownout && est <= a.cfg.BrownoutExit {
+		transition = "enter"
+	} else if a.brownout && exit {
 		a.brownout = false
 		a.brownoutGauge.Set(0)
+		transition = "exit"
 	}
-	ts := a.tenant(tenant)
 	// Overload shed: if the backlog alone eats the budget (less the error
 	// margin), the request cannot finish in time — reject now.
 	if float64(est) > float64(ts.slo)*(1-a.cfg.Margin) {
 		ts.shedOverload++
 		a.mu.Unlock()
 		ts.mShedOverload.Inc()
+		journey.Finish(phitrace.OutcomeShedOverload, "est="+est.Round(time.Microsecond).String())
+		a.noteBrownout(transition, est, burn)
 		return nil, ErrShedOverload
 	}
 	// Brownout fair queuing: while overloaded, each tenant spends tokens
@@ -317,6 +378,8 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 			ts.shedTenant++
 			a.mu.Unlock()
 			ts.mShedTenant.Inc()
+			journey.Finish(phitrace.OutcomeShedTenant, "brownout fair queue")
+			a.noteBrownout(transition, est, burn)
 			return nil, ErrShedTenant
 		}
 		ts.tokens--
@@ -324,10 +387,12 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 	}
 	deadline := now.Add(ts.slo)
 	a.mu.Unlock()
+	a.noteBrownout(transition, est, burn)
 
 	ch, err := a.backend.SubmitWith(ctx, key, c, phiserve.SubmitOpts{
 		Tenant:   ts.id,
 		Deadline: deadline,
+		Journey:  journey,
 	})
 	if err != nil {
 		// The backend refused (closed, canceled, its own shed): the
@@ -337,6 +402,7 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 			ts.tokens++
 			a.mu.Unlock()
 		}
+		journey.Finish(phiserve.JourneyOutcome(err), err.Error())
 		return nil, err
 	}
 	a.mu.Lock()
@@ -344,6 +410,19 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 	a.mu.Unlock()
 	ts.mAdmitted.Inc()
 	return ch, nil
+}
+
+// noteBrownout triggers the brownout incident snapshot after a.mu is
+// released — the trigger samples the whole registry, and exposition calls
+// gauge closures that may take other locks.
+func (a *Controller) noteBrownout(transition string, est time.Duration, burn float64) {
+	if transition == "" || a.cfg.Journeys == nil {
+		return
+	}
+	a.cfg.Journeys.Trigger("brownout-"+transition, map[string]any{
+		"est_ms": float64(est) / float64(time.Millisecond),
+		"burn":   burn,
+	})
 }
 
 // Do is the synchronous convenience wrapper: Submit then wait.

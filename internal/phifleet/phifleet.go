@@ -38,6 +38,7 @@ import (
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phitrace"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	// Telemetry is the shared observability bundle. Nil gets a private
 	// registry (Stats still works), like phiserve.
 	Telemetry *telemetry.Telemetry
+	// Journeys, when non-nil, records request journeys: the router begins
+	// a journey for any submission that does not already carry one, stamps
+	// a "route" event naming the picked card and why (home affinity, hot
+	// spread, failover, delay reroute), and every card inherits the
+	// recorder so seal/pass/steal/retry events land on the same record. A
+	// fleet-degraded transition (no healthy card to route or steal to)
+	// triggers an incident snapshot with the per-card stats attached.
+	Journeys *phitrace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -158,9 +167,44 @@ func New(cfg Config) (*Fleet, error) {
 	f.delayRouted = tel.Registry.Counter("phifleet_delay_routed_total",
 		"deadline submissions rerouted past a card whose delay estimate would blow their budget")
 
+	if rec := cfg.Journeys; rec != nil {
+		rec.AddSnapshot("fleet-cards", func() any {
+			st := f.Stats()
+			type cardBrief struct {
+				Card      int    `json:"card"`
+				Breaker   string `json:"breaker"`
+				Submitted int64  `json:"submitted"`
+				Completed int64  `json:"completed"`
+				Failed    int64  `json:"failed"`
+				Expired   int64  `json:"expired"`
+				Stolen    int64  `json:"stolen"`
+				Adopted   int64  `json:"adopted"`
+				Load      int    `json:"load"`
+			}
+			briefs := make([]cardBrief, 0, len(f.cards))
+			for i, cs := range st.Cards {
+				briefs = append(briefs, cardBrief{
+					Card: i, Breaker: cs.BreakerState,
+					Submitted: cs.Submitted, Completed: cs.Completed,
+					Failed: cs.Failed, Expired: cs.ExpiredLanes,
+					Stolen: cs.StolenLanes, Adopted: cs.AdoptedLanes,
+					Load: f.cards[i].Load(),
+				})
+			}
+			return map[string]any{
+				"cards":        briefs,
+				"redispatched": st.Redispatched,
+				"declined":     st.Declined,
+				"failovers":    st.Failovers,
+				"hot_routed":   st.HotRouted,
+			}
+		})
+	}
 	for i := 0; i < cfg.Cards; i++ {
 		cc := cfg.Card
 		cc.Telemetry = tel
+		cc.Journeys = cfg.Journeys
+		cc.Card = i
 		cc.Labels = append(append([]string(nil), cfg.Card.Labels...),
 			"card", strconv.Itoa(i))
 		cc.TrackBase = int64(i) * trackStride
@@ -217,6 +261,7 @@ func (f *Fleet) hook(donor int) phiserve.RedispatchFunc {
 			// Whole fleet degraded (or single card): the donor serves it,
 			// falling back to scalar if its own breaker is open.
 			f.declined.Inc()
+			f.noteFleetDegraded(donor, reason.String())
 			return 0
 		}
 		if reason == phiserve.StealPartialDeadline && load+n >= f.cards[donor].Load() {
@@ -234,6 +279,22 @@ func (f *Fleet) hook(donor int) phiserve.RedispatchFunc {
 		}
 		return taken
 	}
+}
+
+// noteFleetDegraded triggers a fleet-degraded incident when the router
+// found no healthy card to route or steal to and the fleet actually has
+// siblings (a single card degrading is the card's own breaker incident).
+// The snapshot runs on its own goroutine: callers are the redispatch hook
+// (a donor's scheduler/worker goroutine, which must never block) and the
+// submit path, and the incident provider reads per-card stats.
+func (f *Fleet) noteFleetDegraded(card int, why string) {
+	rec := f.cfg.Journeys
+	if rec == nil || len(f.cards) < 2 {
+		return
+	}
+	go rec.Trigger("fleet-degraded", map[string]any{
+		"cards": len(f.cards), "card": card, "why": why,
+	})
 }
 
 // Telemetry returns the fleet's shared telemetry bundle.
@@ -308,21 +369,30 @@ func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat
 		return nil, phiserve.ErrDeadlineExceeded
 	}
 	order := f.ring.order(key)
+	why := "home"
 	if f.hot.observe(key) && f.cfg.Replicas > 1 {
 		// Rotate the replica set so a hot key's traffic lands evenly on
 		// its first Replicas cards.
 		r := int(f.rr.Add(1)) % f.cfg.Replicas
 		order[0], order[r] = order[r], order[0]
 		f.hotRouted.Inc()
+		why = "hot"
 	}
 	pick := order[0]
 	if f.cards[pick].Degraded() {
+		failedOver := false
 		for _, alt := range order[1:] {
 			if !f.cards[alt].Degraded() {
 				pick = alt
 				f.failovers.Inc()
+				why = "failover"
+				failedOver = true
 				break
 			}
+		}
+		if !failedOver {
+			why = "degraded"
+			f.noteFleetDegraded(pick, "submit")
 		}
 	}
 	if !deadline.IsZero() {
@@ -344,10 +414,30 @@ func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat
 			if best != pick {
 				pick = best
 				f.delayRouted.Inc()
+				why = "delay"
 			}
 		}
 	}
-	return f.cards[pick].SubmitWith(ctx, key, c, opts)
+	journey := opts.Journey
+	ownJourney := false
+	if journey == nil && f.cfg.Journeys != nil {
+		// A submission arriving without a journey (no admission door in
+		// front) starts its record here, with whatever SLO the deadline
+		// implies; the picked card sees it in opts and rides it through.
+		var slo time.Duration
+		if !deadline.IsZero() {
+			slo = deadline.Sub(now)
+		}
+		journey = f.cfg.Journeys.Begin(opts.Tenant, f.cards[pick].KeyTag(key), deadline, slo)
+		ownJourney = true
+		opts.Journey = journey
+	}
+	journey.Event("route", pick, why)
+	ch, err := f.cards[pick].SubmitWith(ctx, key, c, opts)
+	if err != nil && ownJourney {
+		journey.Finish(phiserve.JourneyOutcome(err), err.Error())
+	}
+	return ch, err
 }
 
 // EstimatedDelay is the fleet-level sojourn estimate an admission layer

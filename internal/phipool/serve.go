@@ -66,6 +66,10 @@ type Server[S, J any] struct {
 	expired   func(J) bool
 	onExpired func(J)
 
+	// Dequeue observation (SetDequeueObserver): called with the worker
+	// slot and the job as a worker picks it off the queue.
+	dequeueObs func(slot int, j J)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -192,6 +196,23 @@ func (s *Server[S, J]) SetJobExpiry(expired func(J) bool, onExpired func(J)) {
 	s.onExpired = onExpired
 }
 
+// SetDequeueObserver installs a hook observing every dequeued job on the
+// worker goroutine that took it, before the expiry judgment — so even a
+// job about to be dropped records how long it queued and which hardware
+// thread slot picked it up. The journey layer (internal/phitrace via
+// phiserve) stamps queue wait and worker id from it. The observer must be
+// fast and must not call Submit.
+//
+// SetDequeueObserver must be called before Start.
+func (s *Server[S, J]) SetDequeueObserver(fn func(slot int, j J)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("phipool: SetDequeueObserver after Start")
+	}
+	s.dequeueObs = fn
+}
+
 // Start launches the workers. It may be called once; jobs submitted before
 // Start fail with ErrNotStarted.
 func (s *Server[S, J]) Start(ctx context.Context) {
@@ -206,7 +227,7 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 
 	for w := 0; w < s.threads; w++ {
 		s.workers.Add(1)
-		go func() {
+		go func(slot int) {
 			defer s.workers.Done()
 			state := s.newState()
 			for {
@@ -216,6 +237,9 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 				case j, ok := <-s.queue:
 					if !ok {
 						return
+					}
+					if s.dequeueObs != nil {
+						s.dequeueObs(slot, j)
 					}
 					if s.expired != nil && s.expired(j) {
 						s.jobsExpired.Add(1)
@@ -229,7 +253,7 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 
 	// Janitor: after cancellation, rejects everything left in the queue

@@ -46,6 +46,7 @@ import (
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/phipool"
+	"phiopenssl/internal/phitrace"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 	"phiopenssl/internal/vpu"
@@ -136,6 +137,18 @@ type Config struct {
 	// returns how many operations, from the front of the slice, it moved
 	// to a sibling server via Adopt; the rest stay here. See steal.go.
 	Redispatch RedispatchFunc
+	// Journeys, when non-nil, records a per-request journey (batch seal,
+	// queue dequeue, kernel pass with CRT breakdown, retries, fallback,
+	// expiry checkpoints) resolved with exactly one terminal outcome at
+	// finish, and receives incident triggers on breaker transitions and
+	// retry-budget exhaustion. A journey begun upstream (the admission
+	// door or the fleet router) arrives in SubmitOpts instead; requests
+	// adopted from a sibling card keep the journey they came with.
+	Journeys *phitrace.Recorder
+	// Card is this server's index in a multi-card fleet, stamped on
+	// journey events so a steal hop is visible as a card change. 0 for a
+	// standalone server; the fleet sets it.
+	Card int
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +233,10 @@ type request struct {
 	deadline time.Time
 	ctx      context.Context
 	tenant   string
+	// journey is the request's phitrace record (nil when journeys are
+	// off). It carries its own recorder, so a stolen request resolves
+	// into the right ring no matter which card finishes it.
+	journey *phitrace.Journey
 }
 
 // expiredAt reports whether the request's deadline (if any) has passed.
@@ -363,6 +380,7 @@ func New(cfg Config) (*Server, error) {
 	// or expired lane never comes back), so the predicate cannot race a
 	// batch back to life between the check and the handler.
 	pool.SetJobExpiry(s.batchDead, s.resolveDeadBatch)
+	pool.SetDequeueObserver(s.observeDequeue)
 	pool.Instrument(s.tel.Registry, "phipool", cfg.Labels...)
 	s.pool = pool
 	s.tel.Registry.GaugeFunc("phiserve_estimated_delay_seconds",
@@ -391,7 +409,7 @@ func (s *Server) batchDead(b *batch) bool {
 // resolveDeadBatch is the pool's expiry handler: it resolves (and counts)
 // the lanes of a batch that died waiting in the dispatch queue.
 func (s *Server) resolveDeadBatch(b *batch) {
-	s.dropDeadLanes(b.reqs)
+	s.dropDeadLanes(b.reqs, "pool-dequeue")
 }
 
 // Telemetry returns the server's telemetry bundle: the one supplied in
@@ -405,6 +423,11 @@ func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 // feed trace labels, so when the cap is hit the cache is simply reset —
 // a key seen again after a reset gets a new ordinal, which is harmless.
 const keyTagCacheMax = 1024
+
+// KeyTag exposes the key's short display tag ("rsa-1024#2") so a fleet
+// router can label the journeys it begins with the same tag the card's
+// own spans and journey events use.
+func (s *Server) KeyTag(key *rsakit.PrivateKey) string { return s.keyTag(key) }
 
 // keyTag returns a stable short label for a key ("rsa-1024#2": modulus
 // bits plus an arrival ordinal distinguishing same-size keys).
@@ -430,11 +453,37 @@ func (s *Server) keyTag(key *rsakit.PrivateKey) string {
 
 // breakerTransition is the breaker's state-change hook: it keeps the
 // breaker-state gauge current and drops an instant event on the control
-// track. Runs under the breaker's lock — it must not call back into it.
+// track. Runs under the breaker's lock — it must not call back into it,
+// which is why the incident trigger runs on its own goroutine: the
+// trigger snapshots fleet stats, and those read the breaker.
 func (s *Server) breakerTransition(from, to breakerState) {
 	s.stats.breakerGauge.Set(float64(to))
 	s.tracer.Instant(s.ctl(), "breaker-"+to.String(),
 		telemetry.Args{"from": from.String()})
+	if r := s.cfg.Journeys; r != nil {
+		go r.Trigger("breaker-"+to.String(), map[string]any{
+			"card": s.cfg.Card, "from": from.String(),
+		})
+	}
+}
+
+// JourneyOutcome maps a Result error to its journey terminal outcome; the
+// admission and fleet layers reuse it for requests they resolve at their
+// own doors.
+func JourneyOutcome(err error) phitrace.Outcome {
+	switch {
+	case err == nil:
+		return phitrace.OutcomeCompleted
+	case errors.Is(err, ErrDeadlineExceeded):
+		return phitrace.OutcomeExpired
+	case errors.Is(err, ErrOverloaded):
+		return phitrace.OutcomeShedOverflow
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled),
+		errors.Is(err, ErrClosed), errors.Is(err, ErrNotStarted):
+		return phitrace.OutcomeCanceled
+	default:
+		return phitrace.OutcomeFaulted
+	}
 }
 
 // finish resolves a request exactly once: with stalled-batch respawns and
@@ -454,6 +503,15 @@ func (s *Server) finish(q *request, res Result) bool {
 		s.stats.wallLatency.Observe(time.Since(q.at).Seconds())
 		// Successful work funds future fault recovery (see RetryBudget).
 		s.cfg.Resilience.Budget.Deposit(1)
+	}
+	if q.journey != nil {
+		note := ""
+		if res.Err != nil {
+			note = res.Err.Error()
+		} else if res.BatchFill > 0 {
+			note = "fill=" + strconv.Itoa(res.BatchFill)
+		}
+		q.journey.Finish(JourneyOutcome(res.Err), note)
 	}
 	if s.tracer != nil {
 		args := telemetry.Args{
@@ -478,17 +536,21 @@ func (s *Server) finish(q *request, res Result) bool {
 // that is about to spend card time on a slice runs it — batch seal, the
 // dispatch queue's expiry check, the pre-pass filter, the retry loop and
 // the scalar path — so a dead lane can never reach kernel execution.
-func (s *Server) dropDeadLanes(reqs []*request) []*request {
+// checkpoint names the call site on the dropped lane's journey, answering
+// "which of the five checkpoints caught it".
+func (s *Server) dropDeadLanes(reqs []*request, checkpoint string) []*request {
 	now := time.Now()
 	live := make([]*request, 0, len(reqs))
 	for _, q := range reqs {
 		switch {
 		case q.done.Load():
 		case q.ctxDone():
+			q.journey.Event("checkpoint", s.cfg.Card, checkpoint)
 			if s.finish(q, Result{Err: ErrCanceled}) {
 				s.stats.canceledLanes.Inc()
 			}
 		case q.expiredAt(now):
+			q.journey.Event("checkpoint", s.cfg.Card, checkpoint)
 			if s.finish(q, Result{Err: ErrDeadlineExceeded}) {
 				s.stats.expiredLanes.Inc()
 			}
@@ -497,6 +559,38 @@ func (s *Server) dropDeadLanes(reqs []*request) []*request {
 		}
 	}
 	return live
+}
+
+// journeyNote builds an event note only when some lane actually carries a
+// journey, so journey-off runs (and adopted-lane-free hot paths) skip the
+// string formatting entirely.
+func journeyNote(reqs []*request, build func() string) string {
+	for _, q := range reqs {
+		if q.journey != nil {
+			return build()
+		}
+	}
+	return ""
+}
+
+// observeDequeue is the pool's dequeue observer: it stamps queue wait and
+// the pool slot onto every journeyed lane the moment a worker picks the
+// batch up — before the expiry judgment, so even a batch about to be
+// dropped records how long it queued.
+func (s *Server) observeDequeue(slot int, b *batch) {
+	note := journeyNote(b.reqs, func() string {
+		wait := time.Duration(0)
+		if !b.enqueuedAt.IsZero() {
+			wait = time.Since(b.enqueuedAt)
+		}
+		return "slot=" + strconv.Itoa(slot) + " wait=" + wait.Round(time.Microsecond).String()
+	})
+	if note == "" {
+		return
+	}
+	for _, q := range b.reqs {
+		q.journey.Event("dequeue", s.cfg.Card, note)
+	}
 }
 
 // ewmaAlpha weights the per-batch service-time estimate toward recent
@@ -598,6 +692,11 @@ type SubmitOpts struct {
 	// pass. Zero means no deadline. When zero and ctx carries a deadline,
 	// the context's deadline is used.
 	Deadline time.Time
+	// Journey, when non-nil, is the request's journey record begun
+	// upstream (the admission door or the fleet router); the scheduler
+	// appends its events there and resolves it at finish. When nil and
+	// Config.Journeys is set, the server begins one itself.
+	Journey *phitrace.Journey
 }
 
 // Submit enqueues one private-key operation c^D mod N and returns the
@@ -658,6 +757,21 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		return nil, ErrCanceled
 	default:
 	}
+	// Adopt the journey begun upstream (door or fleet router), or begin
+	// one here for direct submissions. Journeys this call begins are also
+	// resolved here on the rejection paths below; an upstream creator
+	// resolves its own on our error return instead.
+	journey := opts.Journey
+	ownJourney := false
+	if journey == nil && s.cfg.Journeys != nil {
+		slo := time.Duration(0)
+		if !deadline.IsZero() {
+			slo = deadline.Sub(now)
+		}
+		journey = s.cfg.Journeys.Begin(opts.Tenant, s.keyTag(key), deadline, slo)
+		ownJourney = true
+	}
+	journey.Event("submit", s.cfg.Card, "")
 	req := &request{
 		id:       s.reqSeq.Add(1),
 		key:      key,
@@ -667,6 +781,7 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		deadline: deadline,
 		ctx:      ctx,
 		tenant:   opts.Tenant,
+		journey:  journey,
 	}
 	// The span ID is scoped by TrackBase so fleets sharing one Tracer
 	// never collide (every card's reqSeq counts 1,2,3...), and it is
@@ -683,6 +798,11 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		if req.tenant != "" {
 			args["tenant"] = req.tenant
 		}
+		if journey != nil {
+			// Cross-link: the journey id in the span args lets a Perfetto
+			// view jump to the /journeys record and vice versa.
+			args["journey"] = journey.ID()
+		}
 		s.tracer.SpanBegin(req.span, "request", args)
 	}
 	select {
@@ -691,9 +811,15 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		return req.resp, nil
 	case <-s.ctx.Done():
 		s.tracer.SpanEnd(req.span, "request", telemetry.Args{"err": "not submitted"})
+		if ownJourney {
+			journey.Finish(phitrace.OutcomeCanceled, "not submitted")
+		}
 		return nil, ErrCanceled
 	case <-ctx.Done():
 		s.tracer.SpanEnd(req.span, "request", telemetry.Args{"err": "not submitted"})
+		if ownJourney {
+			journey.Finish(phitrace.OutcomeCanceled, "not submitted")
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -810,6 +936,13 @@ func (s *Server) schedule() {
 		overflow = append(overflow, b)
 		s.stats.overflowed.Inc()
 		s.stats.overflowDepth.Add(1)
+		if note := journeyNote(b.reqs, func() string {
+			return "depth=" + strconv.Itoa(len(overflow))
+		}); note != "" {
+			for _, r := range b.reqs {
+				r.journey.Event("overflow", s.cfg.Card, note)
+			}
+		}
 	}
 
 	dispatch := func(key *rsakit.PrivateKey, byDeadline bool) {
@@ -825,9 +958,20 @@ func (s *Server) schedule() {
 		// Batch seal is the first drop checkpoint: lanes whose submitter
 		// canceled while they buffered, or whose deadline already expired,
 		// resolve here instead of riding a kernel pass.
-		reqs := s.dropDeadLanes(p.reqs)
+		reqs := s.dropDeadLanes(p.reqs, "seal")
 		if len(reqs) == 0 {
 			return
+		}
+		if note := journeyNote(reqs, func() string {
+			n := "fill=" + strconv.Itoa(len(reqs))
+			if byDeadline {
+				n += " deadline-fired"
+			}
+			return n
+		}); note != "" {
+			for _, q := range reqs {
+				q.journey.Event("seal", s.cfg.Card, note)
+			}
 		}
 		if byDeadline && len(reqs) < BatchSize {
 			// A deadline-fired partial batch is the work-stealing hook's

@@ -189,7 +189,7 @@ func (s *Server) runBatch(w *worker, b *batch) {
 	// Pre-pass filter: the last checkpoint before lanes pack into a
 	// kernel pass. Expired and canceled lanes resolve here, so no dead
 	// lane ever burns card cycles.
-	pending := s.dropDeadLanes(b.reqs)
+	pending := s.dropDeadLanes(b.reqs, "pre-pass")
 	if len(pending) == 0 {
 		return
 	}
@@ -265,7 +265,21 @@ func (s *Server) runBatch(w *worker, b *batch) {
 					served++
 				}
 			}
-			s.observePass(time.Since(passStart))
+			passWall := time.Since(passStart)
+			if note := journeyNote(pending, func() string {
+				return fmt.Sprintf(
+					"worker=%d fill=%d cycles=%.0f expP=%v expQ=%v recombine=%v verify=%v",
+					w.id, fill, cycles,
+					bd.ExpPWall.Round(time.Microsecond),
+					bd.ExpQWall.Round(time.Microsecond),
+					bd.RecombineWall.Round(time.Microsecond),
+					bd.VerifyWall.Round(time.Microsecond))
+			}); note != "" {
+				for _, q := range pending {
+					q.journey.EventDur("pass", s.cfg.Card, note, passWall)
+				}
+			}
+			s.observePass(passWall)
 			s.stats.recordBatch(fill, served, cycles, simLat, phases)
 			s.stats.faultsDetected.Add(int64(len(faulted)))
 			s.tracePass(w, b, passStart, bd, fill, attempt, cycles, phases, len(faulted))
@@ -281,7 +295,7 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		faulted = faulted[s.offerSteal(b.key, faulted, StealFaultRetry):]
 		// A lane that expired or was abandoned during the failed pass must
 		// not ride a retry either.
-		faulted = s.dropDeadLanes(faulted)
+		faulted = s.dropDeadLanes(faulted, "retry")
 		if len(faulted) == 0 {
 			return
 		}
@@ -294,10 +308,20 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			// The shared retry budget is dry: recovery work would amplify
 			// the overload, so degrade straight to the scalar fallback.
 			s.stats.budgetDenied.Add(int64(len(faulted)))
+			s.cfg.Journeys.Trigger("retry-budget-exhausted", map[string]any{
+				"card": s.cfg.Card, "lanes": len(faulted), "attempt": attempt,
+			})
 			s.runScalarOn(w.scalarEngine(), faulted, attempt, w.tid())
 			return
 		}
 		s.stats.retries.Add(int64(len(faulted)))
+		if note := journeyNote(faulted, func() string {
+			return "attempt=" + fmt.Sprint(attempt)
+		}); note != "" {
+			for _, q := range faulted {
+				q.journey.Event("retry", s.cfg.Card, note)
+			}
+		}
 		s.tracer.Instant(w.tid(), "retry",
 			telemetry.Args{"lanes": len(faulted), "attempt": attempt})
 		if !s.backoff(w, attempt) {
@@ -409,17 +433,20 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 		// spending an op on it so a deadline that expires mid-drain stops
 		// costing cycles immediately.
 		if q.ctxDone() {
+			q.journey.Event("checkpoint", s.cfg.Card, "scalar")
 			if s.finish(q, Result{Err: ErrCanceled}) {
 				s.stats.canceledLanes.Inc()
 			}
 			continue
 		}
 		if q.expiredAt(time.Now()) {
+			q.journey.Event("checkpoint", s.cfg.Card, "scalar")
 			if s.finish(q, Result{Err: ErrDeadlineExceeded}) {
 				s.stats.expiredLanes.Inc()
 			}
 			continue
 		}
+		q.journey.Event("fallback", s.cfg.Card, "attempt="+fmt.Sprint(attempts))
 		eng.Reset()
 		opStart := time.Now()
 		m, err := rsakit.PrivateOp(eng, q.key, q.c, opts)
@@ -453,7 +480,7 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 func (s *Server) retryTimedOut(b *batch) {
 	nb := &batch{
 		key:        b.key,
-		reqs:       s.dropDeadLanes(b.reqs),
+		reqs:       s.dropDeadLanes(b.reqs, "timeout-retry"),
 		fallback:   b.fallback,
 		attempts:   b.attempts + 1,
 		enqueuedAt: time.Now(),
@@ -474,6 +501,9 @@ func (s *Server) retryTimedOut(b *batch) {
 			budget.Refund(len(nb.reqs))
 		} else {
 			s.stats.budgetDenied.Add(int64(len(nb.reqs)))
+			s.cfg.Journeys.Trigger("retry-budget-exhausted", map[string]any{
+				"card": s.cfg.Card, "lanes": len(nb.reqs), "attempt": nb.attempts,
+			})
 		}
 	}
 	// Before burning this hardware thread on inline scalar ops, let a

@@ -239,6 +239,14 @@ func newStatsAcc(reg *telemetry.Registry, labels []string) *statsAcc {
 				"the sum across phases equals phiserve_sim_cycles_total",
 			L("phase", vbatch.PhaseName(vpu.Phase(p)))...)
 	}
+	// Scrapeable latency quantiles: estimated locally from the wall
+	// histogram (Histogram.Quantile), so p50/p99 need no query engine.
+	reg.GaugeFunc("phiserve_latency_p50_seconds",
+		"median host wall latency, interpolated from phiserve_request_wall_seconds",
+		func() float64 { return a.wallLatency.Quantile(0.5) }, labels...)
+	reg.GaugeFunc("phiserve_latency_p99_seconds",
+		"p99 host wall latency, interpolated from phiserve_request_wall_seconds",
+		func() float64 { return a.wallLatency.Quantile(0.99) }, labels...)
 	return a
 }
 

@@ -93,6 +93,9 @@ func (s *Server) offerSteal(key *rsakit.PrivateKey, reqs []*request, reason Stea
 	}
 	if taken > 0 {
 		s.stats.lanesStolen.Add(int64(taken))
+		for _, q := range reqs[:taken] {
+			q.journey.Event("steal", s.cfg.Card, reason.String())
+		}
 		s.tracer.Instant(s.ctl(), "steal", telemetry.Args{
 			"lanes": taken, "reason": reason.String(), "key": s.keyTag(key)})
 	}
@@ -131,6 +134,7 @@ func (s *Server) Adopt(ops []StolenOp) int {
 		// Judge the op before paying to move it: an expired or abandoned
 		// lane resolves here and counts as taken, so neither card runs it.
 		if o.q.ctxDone() {
+			o.q.journey.Event("checkpoint", s.cfg.Card, "adopt")
 			if s.finish(o.q, Result{Err: ErrCanceled}) {
 				s.stats.canceledLanes.Inc()
 			}
@@ -138,6 +142,7 @@ func (s *Server) Adopt(ops []StolenOp) int {
 			continue
 		}
 		if o.q.expiredAt(now) {
+			o.q.journey.Event("checkpoint", s.cfg.Card, "adopt")
 			if s.finish(o.q, Result{Err: ErrDeadlineExceeded}) {
 				s.stats.expiredLanes.Inc()
 			}
@@ -147,6 +152,7 @@ func (s *Server) Adopt(ops []StolenOp) int {
 		o.q.hops.Add(1)
 		select {
 		case s.intake <- o.q:
+			o.q.journey.Event("adopt", s.cfg.Card, "")
 			s.stats.lanesAdopted.Inc()
 			n++
 		default:

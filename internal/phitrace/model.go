@@ -1,0 +1,502 @@
+package phitrace
+
+// Virtual-time observability model, the A10 counterpart of the A6-A9
+// experiment family. It replays the multi-card batching and admission
+// policies in simulated machine time — like phiadmit.Model, but routed
+// over several cards — while driving a *real* Recorder with the virtual
+// clock: every simulated request begins a journey at the door, records
+// its route/seal/pass/checkpoint steps, and resolves with its true
+// terminal outcome. The experiment's claim is that the observability
+// pipeline itself works end to end: at 4x overload the shed storm
+// auto-triggers an incident snapshot that names the dominant shedding
+// tenant and the card that tripped it, the per-tenant SLO burn gauges
+// read far above 1, and tail sampling keeps every anomalous journey
+// while discarding ~(N-1)/N of the normal ones.
+//
+// The model cannot import phiserve (phiserve records journeys, so the
+// dependency points the other way); it uses rsakit.BatchSize directly
+// and mirrors the serving policies the way phiadmit.Model does.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"phiopenssl/internal/knc"
+	"phiopenssl/internal/rsakit"
+)
+
+// modelBatch is rsakit.BatchSize under a local name: the lane count per
+// kernel pass the simulated cards share with the real ones.
+const modelBatch = rsakit.BatchSize
+
+// ModelTenant is one traffic class in the simulated mix (a local copy of
+// phiadmit.ModelTenant — importing phiadmit would be a cycle).
+type ModelTenant struct {
+	ID string
+	// Share is the fraction of offered traffic this tenant generates
+	// (shares are normalized over the mix).
+	Share float64
+	// Weight is the tenant's brownout fair-queuing weight.
+	Weight float64
+	// SLO is the tenant's latency budget; zero inherits Model.SLO.
+	SLO time.Duration
+}
+
+// Model fixes the machine shape, the kernel-pass costs, the fleet layout
+// and the admission policy for one simulation.
+type Model struct {
+	// Machine is one simulated card (all cards are identical).
+	Machine knc.Machine
+	// Cards is the fleet size; keys map to home cards by modulus.
+	// Defaults to 2.
+	Cards int
+	// Workers is the number of batch executors per card.
+	Workers int
+	// CostPerFill[f] is the simulated cycle cost of one kernel pass with
+	// f live lanes (index 1..modelBatch), as measured by the caller.
+	CostPerFill [modelBatch + 1]float64
+	// Keys is how many distinct keys share the traffic (arrivals pick one
+	// uniformly); batching is per key, routing is key affinity.
+	Keys int
+	// FillDeadline is the partial-batch fill window.
+	FillDeadline time.Duration
+	// SLO is the default per-request budget; tenants may override.
+	SLO time.Duration
+	// Tenants is the traffic mix. Empty means one implicit tenant.
+	Tenants []ModelTenant
+	// BrownoutEnter / BrownoutExit are the hysteresis thresholds on the
+	// per-card delay estimate; zero defaults to SLO/2 and SLO/4.
+	BrownoutEnter, BrownoutExit time.Duration
+	// BurnEnter / BurnExit feed the recorder's aggregate fast-window burn
+	// rate into the brownout loop, exactly like phiadmit.Config; zero
+	// defaults to 2 and 1.
+	BurnEnter, BurnExit float64
+	// Margin is the fraction of each budget held back for estimate error;
+	// zero defaults to 0.2.
+	Margin float64
+}
+
+// TenantPoint is one tenant's slice of an operating point.
+type TenantPoint struct {
+	ID           string
+	Offered      int
+	Admitted     int
+	ShedOverload int
+	ShedTenant   int
+	Good         int
+	// Burn is the tenant's fast-window SLO burn rate at run end.
+	Burn float64
+}
+
+// IncidentBrief is one captured incident reduced to the fields the
+// experiment report prints: what fired, when (virtual ms since run
+// start), and — for the shed storm — which tenant and card it named.
+type IncidentBrief struct {
+	Kind   string  `json:"kind"`
+	AtMS   float64 `json:"at_ms"`
+	Tenant string  `json:"tenant,omitempty"`
+	Card   int     `json:"card"`
+	Sheds  int     `json:"sheds,omitempty"`
+}
+
+// Point is one operating point of the A10 sweep.
+type Point struct {
+	// Offered is the arrival rate in requests per simulated second;
+	// Multiple is Offered over the fleet's batch capacity.
+	Offered  float64
+	Multiple float64
+	Requests int
+
+	Admitted     int
+	ShedOverload int
+	ShedTenant   int
+	Expired      int // admitted lanes dropped at a pre-execution checkpoint
+	Completed    int
+	Good         int // completed within their SLO
+
+	Goodput     float64
+	P99Admitted time.Duration
+	MeanFill    float64
+	Brownouts   int
+
+	// Counts are the driven Recorder's stream counters: resolved must
+	// equal Requests, and kept/discarded exhibit the tail-sampling split.
+	Counts Counts
+	// BurnAll is the aggregate fast-window burn rate at run end.
+	BurnAll float64
+	// Incidents lists every captured incident, oldest first.
+	Incidents []IncidentBrief
+	Tenants   []TenantPoint
+}
+
+// Capacity is the fleet's saturated throughput in requests per simulated
+// second: Cards x Workers executors each completing modelBatch lanes per
+// full-fill pass.
+func (m Model) Capacity() float64 {
+	cards := m.Cards
+	if cards < 1 {
+		cards = 2
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	pass := m.Machine.Latency(workers, m.CostPerFill[modelBatch])
+	return float64(cards) * float64(workers) * float64(modelBatch) / pass
+}
+
+type a10Req struct {
+	at       float64
+	deadline float64
+	tenant   int
+	journey  *Journey
+}
+
+type a10Batch struct {
+	reqs   []int
+	sealAt float64
+	card   int
+}
+
+type a10Tenant struct {
+	slo    float64
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// Simulate runs n Poisson arrivals at `offered` requests/second through
+// the multi-card batching and admission policies, driving a Recorder
+// built from rc (Clock and Telemetry are overridden: the model supplies
+// the virtual clock and registers nothing). It returns the operating
+// point and the driven Recorder, whose journeys, burn gauges and
+// incident buffer the caller can inspect or serve.
+func (m Model) Simulate(rng *rand.Rand, n int, offered float64, rc Config) (Point, *Recorder, error) {
+	if n < 1 || offered <= 0 {
+		return Point{}, nil, fmt.Errorf("phitrace: need n >= 1 arrivals at positive load")
+	}
+	if m.Keys < 1 {
+		return Point{}, nil, fmt.Errorf("phitrace: need at least one key")
+	}
+	for f := 1; f <= modelBatch; f++ {
+		if m.CostPerFill[f] <= 0 {
+			return Point{}, nil, fmt.Errorf("phitrace: CostPerFill[%d] not measured", f)
+		}
+	}
+	cards := m.Cards
+	if cards < 1 {
+		cards = 2
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	slo := m.SLO
+	if slo <= 0 {
+		slo = 50 * time.Millisecond
+	}
+	enter := m.BrownoutEnter
+	if enter <= 0 {
+		enter = slo / 2
+	}
+	exit := m.BrownoutExit
+	if exit <= 0 || exit >= enter {
+		exit = enter / 2
+	}
+	burnEnter := m.BurnEnter
+	if burnEnter <= 0 {
+		burnEnter = 2
+	}
+	burnExit := m.BurnExit
+	if burnExit <= 0 || burnExit >= burnEnter {
+		burnExit = burnEnter / 2
+	}
+	margin := m.Margin
+	if margin <= 0 {
+		margin = 0.2
+	}
+	tenants := m.Tenants
+	if len(tenants) == 0 {
+		tenants = []ModelTenant{{ID: "all", Share: 1, Weight: 1}}
+	}
+
+	// The virtual clock: Unix epoch plus simulated seconds, monotone over
+	// everything the recorder has been told so far. BurnRate and the
+	// incident triggers read it between explicit timestamps.
+	base := time.Unix(0, 0).UTC()
+	vnow := 0.0
+	vtime := func(t float64) time.Time {
+		if t > vnow {
+			vnow = t
+		}
+		return base.Add(time.Duration(t * float64(time.Second)))
+	}
+	rc.Telemetry = nil // the model's recorder is self-contained
+	rc.Clock = func() time.Time { return base.Add(time.Duration(vnow * float64(time.Second))) }
+	rec := New(rc)
+
+	capacity := m.Capacity()
+	var sumShare, sumW float64
+	for _, tn := range tenants {
+		sumShare += tn.Share
+		w := tn.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sumW += w
+	}
+	st := make([]*a10Tenant, len(tenants))
+	for i, tn := range tenants {
+		w := tn.Weight
+		if w <= 0 {
+			w = 1
+		}
+		tslo := tn.SLO
+		if tslo <= 0 {
+			tslo = slo
+		}
+		rate := capacity * w / sumW
+		burst := rate * 0.1
+		if burst < 1 {
+			burst = 1
+		}
+		st[i] = &a10Tenant{slo: tslo.Seconds(), rate: rate, burst: burst, tokens: burst}
+	}
+
+	reqs := make([]a10Req, n)
+	keyOf := make([]int, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / offered
+		u := rng.Float64() * sumShare
+		tn := 0
+		for u > tenants[tn].Share && tn < len(tenants)-1 {
+			u -= tenants[tn].Share
+			tn++
+		}
+		reqs[i] = a10Req{at: t, deadline: t + st[tn].slo, tenant: tn}
+		keyOf[i] = rng.Intn(m.Keys)
+	}
+
+	pt := Point{Offered: offered, Requests: n, Multiple: offered / capacity}
+	perT := make([]TenantPoint, len(tenants))
+	for i, tn := range tenants {
+		perT[i].ID = tn.ID
+	}
+
+	// Per-card executors and per-card estimates: a shed at the door is
+	// attributed to the home card whose backlog condemned the request,
+	// which is what lets the shed-storm incident name the tripping card.
+	free := make([][]float64, cards)
+	for c := range free {
+		free[c] = make([]float64, workers)
+	}
+	dl := m.FillDeadline.Seconds()
+	passDur := func(fill int) float64 {
+		return m.Machine.Latency(workers, m.CostPerFill[fill])
+	}
+	fullPass := passDur(modelBatch)
+	estimate := func(card int, now float64) float64 {
+		minFree := free[card][0]
+		for _, f := range free[card][1:] {
+			if f < minFree {
+				minFree = f
+			}
+		}
+		wait := 0.0
+		if minFree > now {
+			wait = minFree - now
+		}
+		return dl + wait + fullPass
+	}
+
+	latencies := make([]float64, 0, n)
+	var fillSum float64
+	var batches int
+	var lastDone float64
+	brownout := false
+
+	open := make([]*a10Batch, m.Keys)
+	runSealed := func(b *a10Batch) {
+		fr := free[b.card]
+		w := 0
+		for k := 1; k < workers; k++ {
+			if fr[k] < fr[w] {
+				w = k
+			}
+		}
+		start := b.sealAt
+		if fr[w] > start {
+			start = fr[w]
+		}
+		sealAt := vtime(b.sealAt)
+		sealNote := fmt.Sprintf("fill=%d", len(b.reqs))
+		for _, i := range b.reqs {
+			reqs[i].journey.EventAt(sealAt, "seal", b.card, sealNote)
+		}
+		// Pre-execution checkpoint: lanes already past their deadline are
+		// dropped, not executed — their journeys end expired right here.
+		live := b.reqs[:0:0]
+		for _, i := range b.reqs {
+			r := &reqs[i]
+			if r.deadline >= start {
+				live = append(live, i)
+				continue
+			}
+			pt.Expired++
+			at := vtime(start)
+			r.journey.EventAt(at, "checkpoint", b.card, "pre-pass")
+			r.journey.FinishAt(at, OutcomeExpired, "deadline passed in backlog")
+		}
+		if len(live) == 0 {
+			return
+		}
+		fill := len(live)
+		done := start + passDur(fill)
+		fr[w] = done
+		batches++
+		fillSum += float64(fill)
+		if done > lastDone {
+			lastDone = done
+		}
+		passNote := fmt.Sprintf("worker=%d fill=%d", w, fill)
+		passAt := vtime(start)
+		for _, i := range live {
+			r := &reqs[i]
+			r.journey.EventDurAt(passAt, "pass", b.card, passNote,
+				time.Duration((done-start)*float64(time.Second)))
+			lat := done - r.at
+			latencies = append(latencies, lat)
+			pt.Completed++
+			good := done <= r.deadline
+			if good {
+				pt.Good++
+				perT[r.tenant].Good++
+			}
+			r.journey.FinishAt(vtime(done), OutcomeCompleted, passNote)
+		}
+	}
+	flushDue := func(now float64) {
+		for {
+			best := -1
+			for k, b := range open {
+				if b != nil && b.sealAt <= now && (best == -1 || b.sealAt < open[best].sealAt) {
+					best = k
+				}
+			}
+			if best == -1 {
+				return
+			}
+			b := open[best]
+			open[best] = nil
+			runSealed(b)
+		}
+	}
+
+	for i := range reqs {
+		r := &reqs[i]
+		flushDue(r.at)
+		perT[r.tenant].Offered++
+		card := keyOf[i] % cards
+		at := vtime(r.at)
+		ts := st[r.tenant]
+		r.journey = rec.BeginAt(at, tenants[r.tenant].ID, fmt.Sprintf("key-%d", keyOf[i]),
+			base.Add(time.Duration(r.deadline*float64(time.Second))),
+			time.Duration(ts.slo*float64(time.Second)))
+		r.journey.EventAt(at, "route", card, "home")
+		est := estimate(card, r.at)
+		r.journey.EventAt(at, "door", -1,
+			fmt.Sprintf("est=%.1fms", est*1e3))
+
+		// Brownout hysteresis fed by both the estimate and the recorder's
+		// aggregate burn rate, like the real controller.
+		burn := rec.BurnRate("", rec.FastWindow())
+		if !brownout && (est >= enter.Seconds() || burn >= burnEnter) {
+			brownout = true
+			pt.Brownouts++
+			rec.triggerAt(at, "brownout-enter",
+				map[string]any{"est_ms": est * 1e3, "burn": burn})
+		} else if brownout && est <= exit.Seconds() && burn <= burnExit {
+			brownout = false
+			rec.triggerAt(at, "brownout-exit",
+				map[string]any{"est_ms": est * 1e3, "burn": burn})
+		}
+		if est > ts.slo*(1-margin) {
+			pt.ShedOverload++
+			perT[r.tenant].ShedOverload++
+			r.journey.FinishAt(at, OutcomeShedOverload, fmt.Sprintf("est=%.1fms", est*1e3))
+			continue
+		}
+		if brownout {
+			if dt := r.at - ts.last; dt > 0 {
+				ts.tokens += dt * ts.rate
+				if ts.tokens > ts.burst {
+					ts.tokens = ts.burst
+				}
+			}
+			ts.last = r.at
+			if ts.tokens < 1 {
+				pt.ShedTenant++
+				perT[r.tenant].ShedTenant++
+				r.journey.FinishAt(at, OutcomeShedTenant, "brownout fair queue")
+				continue
+			}
+			ts.tokens--
+		}
+		pt.Admitted++
+		perT[r.tenant].Admitted++
+		k := keyOf[i]
+		if open[k] == nil {
+			open[k] = &a10Batch{sealAt: r.at + dl, card: card}
+		}
+		open[k].reqs = append(open[k].reqs, i)
+		r.journey.EventAt(at, "submit", card, "")
+		if len(open[k].reqs) == modelBatch {
+			b := open[k]
+			open[k] = nil
+			b.sealAt = r.at
+			runSealed(b)
+		}
+	}
+	// Graceful close: flush every remaining open batch at its seal time.
+	flushDue(reqs[n-1].at + dl + 1)
+
+	if batches > 0 {
+		pt.MeanFill = fillSum / float64(batches)
+	}
+	span := lastDone - reqs[0].at
+	if span > 0 {
+		pt.Goodput = float64(pt.Good) / span
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		k := len(latencies)
+		pt.P99Admitted = time.Duration(latencies[(99*k+99)/100-1] * float64(time.Second))
+	}
+	pt.Counts = rec.Counts()
+	pt.BurnAll = rec.BurnRate("", rec.FastWindow())
+	for i, tn := range tenants {
+		perT[i].Burn = rec.BurnRate(tn.ID, rec.FastWindow())
+	}
+	pt.Tenants = perT
+	incs := rec.Incidents()
+	for i := len(incs) - 1; i >= 0; i-- { // newest-first -> oldest-first
+		inc := incs[i]
+		b := IncidentBrief{Kind: inc.Kind, Card: -1,
+			AtMS: float64(inc.At.Sub(base)) / float64(time.Millisecond)}
+		if tn, ok := inc.Fields["tenant"].(string); ok {
+			b.Tenant = tn
+		}
+		if c, ok := inc.Fields["card"].(int); ok {
+			b.Card = c
+		}
+		if s, ok := inc.Fields["sheds_in_window"].(int); ok {
+			b.Sheds = s
+		}
+		pt.Incidents = append(pt.Incidents, b)
+	}
+	return pt, rec, nil
+}

@@ -11,10 +11,13 @@ import (
 //	/metrics        Prometheus text exposition
 //	/vars           the same registry as a flat JSON object (expvar style)
 //	/trace          Chrome trace-event JSON of the buffered trace
+//	/journeys       tail-sampled per-request journey records (JSON)
+//	/incidents      incident flight-recorder snapshots (JSON)
 //	/debug/pprof/   the standard Go profiler endpoints
 //
-// A nil Telemetry (or nil Registry/Tracer fields) degrades gracefully:
-// the endpoints answer with empty documents rather than panicking.
+// A nil Telemetry (or nil Registry/Tracer/Journeys fields) degrades
+// gracefully: the endpoints answer with empty documents rather than
+// panicking.
 func Handler(t *Telemetry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -29,6 +32,22 @@ func Handler(t *Telemetry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Header().Set("Content-Disposition", `attachment; filename="phiopenssl-trace.json"`)
 		_ = t.Trace().Export(w)
+	})
+	mux.HandleFunc("/journeys", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if src := t.JourneySrc(); src != nil {
+			_ = src.WriteJourneys(w)
+			return
+		}
+		fmt.Fprint(w, `{"resolved":0,"journeys":[]}`+"\n")
+	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if src := t.JourneySrc(); src != nil {
+			_ = src.WriteIncidents(w)
+			return
+		}
+		fmt.Fprint(w, `{"total":0,"incidents":[]}`+"\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -45,6 +64,8 @@ func Handler(t *Telemetry) http.Handler {
 			"  /metrics       Prometheus text format\n"+
 			"  /vars          metrics as JSON\n"+
 			"  /trace         Chrome trace-event JSON (open in https://ui.perfetto.dev)\n"+
+			"  /journeys      tail-sampled request journeys (JSON)\n"+
+			"  /incidents     incident flight recorder (JSON)\n"+
 			"  /debug/pprof/  Go profiler\n")
 	})
 	return mux

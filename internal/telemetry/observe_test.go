@@ -1,0 +1,225 @@
+package telemetry
+
+// Tests for the observability additions: trace-overflow accounting, local
+// histogram quantiles, and the /journeys + /incidents endpoints.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceOverflowSurfacesDrops overflows a tiny ring and checks the drop
+// count shows up both as a metric and in the export header — the silent
+// truncation this release fixes.
+func TestTraceOverflowSurfacesDrops(t *testing.T) {
+	tr := NewTracer(3) // one slot goes to the process_name meta event
+	reg := NewRegistry()
+	tr.Instrument(reg)
+	for i := 0; i < 7; i++ {
+		tr.Instant(0, "e", nil)
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("buffered %d events in a 3-slot ring", got)
+	}
+	if got := tr.Dropped(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   struct {
+			DroppedEvents int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.OtherData.DroppedEvents != 5 {
+		t.Fatalf("export = %d events, %d dropped announced",
+			len(doc.TraceEvents), doc.OtherData.DroppedEvents)
+	}
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "telemetry_trace_dropped_total 5") {
+		t.Fatalf("/metrics missing drop counter:\n%s", prom.String())
+	}
+}
+
+// TestTraceExportCleanHasNoDropAnnotation: a trace that did not overflow
+// must not carry the otherData header.
+func TestTraceExportCleanHasNoDropAnnotation(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Instant(0, "e", nil)
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "otherData") {
+		t.Fatalf("clean export carries drop annotation: %s", buf.String())
+	}
+}
+
+// TestHistogramQuantileInterpolation checks the interpolated quantiles of
+// a hand-built distribution against exact expectations.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", "quantile test", []float64{1, 2, 4, 8, 16})
+	// Ten observations in (0,1], ten in (1,2]: total 20.
+	h.ObserveN(0.5, 10)
+	h.ObserveN(1.5, 10)
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.5}, // rank 5 of 10 inside [0,1)
+		{0.5, 1.0},  // rank 10 lands exactly on the first bucket edge
+		{0.75, 1.5}, // rank 15: halfway through [1,2)
+		{1.0, 2.0},
+		{0, 0},
+		{-1, 0},  // clamped
+		{2, 2.0}, // clamped to 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// +Inf bucket clamps to the last finite bound.
+	h2 := reg.Histogram("q_inf", "overflow test", []float64{1, 2})
+	h2.ObserveN(100, 4)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf quantile = %v, want clamp to 2", got)
+	}
+	// Empty and nil histograms read 0.
+	h3 := reg.Histogram("q_empty", "empty", []float64{1})
+	if h3.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	var hn *Histogram
+	if hn.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+}
+
+// fakeJourneys is a canned JourneySource for handler tests.
+type fakeJourneys struct{}
+
+func (fakeJourneys) WriteJourneys(w io.Writer) error {
+	_, err := io.WriteString(w, `{"resolved":3,"journeys":[{"id":1}]}`+"\n")
+	return err
+}
+
+func (fakeJourneys) WriteIncidents(w io.Writer) error {
+	_, err := io.WriteString(w, `{"total":1,"incidents":[{"kind":"breaker-open"}]}`+"\n")
+	return err
+}
+
+// TestJourneyEndpoints covers /journeys and /incidents in both the
+// empty-state (no recorder wired) and wired configurations, including
+// content-type headers.
+func TestJourneyEndpoints(t *testing.T) {
+	empty := httptest.NewServer(Handler(nil))
+	defer empty.Close()
+	wired := httptest.NewServer(Handler(&Telemetry{Registry: NewRegistry(), Journeys: fakeJourneys{}}))
+	defer wired.Close()
+
+	fetch := func(base, path string) (map[string]any, string) {
+		resp, err := empty.Client().Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("GET %s not JSON: %v\n%s", path, err, body)
+		}
+		return doc, resp.Header.Get("Content-Type")
+	}
+
+	doc, ct := fetch(empty.URL, "/journeys")
+	if ct != "application/json; charset=utf-8" {
+		t.Fatalf("/journeys content type = %q", ct)
+	}
+	if doc["resolved"].(float64) != 0 || len(doc["journeys"].([]any)) != 0 {
+		t.Fatalf("empty /journeys = %v", doc)
+	}
+	doc, ct = fetch(empty.URL, "/incidents")
+	if ct != "application/json; charset=utf-8" {
+		t.Fatalf("/incidents content type = %q", ct)
+	}
+	if doc["total"].(float64) != 0 || len(doc["incidents"].([]any)) != 0 {
+		t.Fatalf("empty /incidents = %v", doc)
+	}
+
+	doc, _ = fetch(wired.URL, "/journeys")
+	if doc["resolved"].(float64) != 3 {
+		t.Fatalf("wired /journeys = %v", doc)
+	}
+	doc, _ = fetch(wired.URL, "/incidents")
+	if doc["total"].(float64) != 1 {
+		t.Fatalf("wired /incidents = %v", doc)
+	}
+}
+
+// TestScrapeWhileWriting hammers every endpoint while metrics, trace
+// events and quantile reads race in — the -race gate for the exposition
+// path.
+func TestScrapeWhileWriting(t *testing.T) {
+	tel := NewWithTrace(256)
+	tel.Journeys = fakeJourneys{}
+	hits := tel.Registry.Counter("scrape_hits_total", "test counter")
+	hist := tel.Registry.Histogram("scrape_lat_seconds", "test histogram", Pow2Buckets(1e-6, 12))
+	tel.Registry.GaugeFunc("scrape_p99_seconds", "interpolated p99",
+		func() float64 { return hist.Quantile(0.99) })
+	srv := httptest.NewServer(Handler(tel))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hits.Inc()
+			hist.Observe(float64(i%1000) * 1e-6)
+			tel.Tracer.Instant(0, "tick", Args{"i": i})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		for _, path := range []string{"/metrics", "/vars", "/trace", "/journeys", "/incidents"} {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -394,6 +394,59 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the containing bucket — the
+// standard Prometheus histogram_quantile estimate, computed locally so p50
+// and p99 are scrapeable as plain gauges without a query engine. Log
+// buckets bound the relative error to the bucket growth factor (2x for
+// Pow2Buckets). Observations in the +Inf bucket clamp to the last finite
+// bound. Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.BucketCounts()
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < rank {
+			cum = next
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(rank-cum)/float64(n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Bounds returns the bucket upper bounds (without the implicit +Inf).
 func (h *Histogram) Bounds() []float64 {
 	if h == nil {

@@ -16,14 +16,31 @@
 // depend on it without cycles.
 package telemetry
 
-// Telemetry bundles the two sinks a component may emit into. Either field
-// may be nil: a nil Registry drops metrics, a nil Tracer drops trace
-// events. A nil *Telemetry drops everything.
+import "io"
+
+// JourneySource serves per-request journey records and incident snapshots
+// as JSON. It is an interface (rather than a concrete type) because the
+// journey recorder lives in internal/phitrace, which depends on this
+// package — the HTTP handler only needs the two Write methods.
+type JourneySource interface {
+	// WriteJourneys writes the sampled journey ring as one JSON object.
+	WriteJourneys(w io.Writer) error
+	// WriteIncidents writes the incident flight-recorder buffer as one
+	// JSON object.
+	WriteIncidents(w io.Writer) error
+}
+
+// Telemetry bundles the sinks a component may emit into. Any field may be
+// nil: a nil Registry drops metrics, a nil Tracer drops trace events, a
+// nil Journeys leaves /journeys and /incidents empty. A nil *Telemetry
+// drops everything.
 type Telemetry struct {
 	// Registry receives counters, gauges and histograms.
 	Registry *Registry
 	// Tracer receives trace spans and instant events.
 	Tracer *Tracer
+	// Journeys, when set, backs the /journeys and /incidents endpoints.
+	Journeys JourneySource
 }
 
 // New returns a Telemetry with a metrics registry and no tracer.
@@ -33,9 +50,12 @@ func New() *Telemetry {
 
 // NewWithTrace returns a Telemetry with a metrics registry and a trace
 // recorder buffering up to capacity events (capacity <= 0 selects the
-// default, DefaultTraceCapacity).
+// default, DefaultTraceCapacity). The tracer's drop counter is registered
+// as telemetry_trace_dropped_total.
 func NewWithTrace(capacity int) *Telemetry {
-	return &Telemetry{Registry: NewRegistry(), Tracer: NewTracer(capacity)}
+	t := &Telemetry{Registry: NewRegistry(), Tracer: NewTracer(capacity)}
+	t.Tracer.Instrument(t.Registry)
+	return t
 }
 
 // Reg returns the registry, or nil if t is nil.
@@ -52,4 +72,12 @@ func (t *Telemetry) Trace() *Tracer {
 		return nil
 	}
 	return t.Tracer
+}
+
+// JourneySrc returns the journey source, or nil if t is nil.
+func (t *Telemetry) JourneySrc() JourneySource {
+	if t == nil {
+		return nil
+	}
+	return t.Journeys
 }

@@ -82,6 +82,19 @@ func (t *Tracer) emit(e Event) {
 	t.mu.Unlock()
 }
 
+// Instrument registers the tracer's drop counter with a registry so a
+// silently truncated trace is visible on /metrics
+// (telemetry_trace_dropped_total) instead of only as a suspiciously short
+// export. Safe on a nil tracer or registry.
+func (t *Tracer) Instrument(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.CounterFunc("telemetry_trace_dropped_total",
+		"trace events discarded because the bounded trace buffer was full",
+		func() float64 { return float64(t.Dropped()) })
+}
+
 // NameThread assigns a display name to a track (a tid). In the exported
 // trace each phipool worker gets one track; tid 0 is the scheduler.
 func (t *Tracer) NameThread(tid int64, name string) {
@@ -167,13 +180,20 @@ func (t *Tracer) Events() []Event {
 }
 
 // Export writes the buffered events as a Chrome trace-event JSON object
-// ({"traceEvents": [...]}) that loads directly in Perfetto. Safe on a nil
-// tracer (writes an empty trace).
+// ({"traceEvents": [...]}) that loads directly in Perfetto. When the
+// bounded buffer overflowed during the run, the header carries the drop
+// count ("otherData": {"droppedEvents": N}) so a truncated trace announces
+// itself instead of silently ending early. Safe on a nil tracer (writes an
+// empty trace).
 func (t *Tracer) Export(w io.Writer) error {
 	events := t.Events()
 	if events == nil {
 		events = []Event{}
 	}
+	doc := map[string]any{"traceEvents": events}
+	if d := t.Dropped(); d > 0 {
+		doc["otherData"] = map[string]any{"droppedEvents": d}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": events})
+	return enc.Encode(doc)
 }
