@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test check race faults telemetry backends fleet overload observe bench quick clean
+# Pinned tool versions: CI installs exactly these; the hints below name
+# the same ones so local runs match the gate.
+STATICCHECK_VERSION ?= 2024.1.1
+
+# Per-target budget for the fuzz-smoke gate.
+FUZZTIME ?= 10s
+
+PHIVET = bin/phivet
+
+.PHONY: all build test check phivet fmt-check fuzz-smoke race faults telemetry backends fleet overload observe bench quick clean
 
 all: check
 
@@ -10,13 +19,38 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet everything (staticcheck too, when installed),
-# then run the full suite under the race detector.
-check:
+# phivet builds the repo's own analysis suite (see internal/phivet and
+# the "Static analysis & invariants" section of DESIGN.md).
+phivet:
+	$(GO) build -o $(PHIVET) ./cmd/phivet
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# check is the CI gate: formatting, go vet, the phivet suite in both
+# modes (per-package via the vettool protocol, then the whole-module
+# scan that adds the cross-package checks), staticcheck and govulncheck
+# when installed, then the full suite under the race detector.
+check: fmt-check phivet
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(PHIVET) ./...
+	./$(PHIVET) -repo .
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 	$(GO) test -race ./...
+
+# fuzz-smoke gives each differential fuzz target a short bounded run: the
+# sim-vs-direct backend oracle and the bn arithmetic oracles. A smoke
+# budget catches quickly-reachable divergence without tying up CI; crank
+# FUZZTIME for a real session.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBackendDifferential$$' -fuzztime $(FUZZTIME) ./internal/vbatch
+	$(GO) test -run '^$$' -fuzz '^FuzzDivMod$$' -fuzztime $(FUZZTIME) ./internal/bn
+	$(GO) test -run '^$$' -fuzz '^FuzzMul$$' -fuzztime $(FUZZTIME) ./internal/bn
+	$(GO) test -run '^$$' -fuzz '^FuzzModExp$$' -fuzztime $(FUZZTIME) ./internal/bn
 
 # race hammers the concurrent packages (the worker pool and the streaming
 # batch scheduler) with repeated runs and a short timeout, the

@@ -1,0 +1,201 @@
+// Package analysis is the minimal in-repo equivalent of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// that walks one type-checked package and reports Diagnostics.
+//
+// The repo builds its own framework instead of depending on x/tools
+// because the build environment is fully offline (no module proxy): the
+// suite must be constructible from the standard library alone. The API
+// deliberately mirrors the x/tools shapes — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — so the analyzers read
+// idiomatically and could be ported to a real vettool with x/tools
+// available by swapping this package's import path.
+//
+// Two extensions cover what per-package analysis cannot:
+//
+//   - Analyzer.RunModule runs once over every package of the module in a
+//     single invocation (the standalone `phivet -repo` mode), for checks
+//     that are global by nature — e.g. metric-name uniqueness across
+//     packages, which fact-free per-package vetting cannot see.
+//   - Pass.Files contains only non-test files. The discipline the suite
+//     encodes governs production code; tests intentionally poke raw
+//     phase slots and throwaway metric names.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used as the diagnostic prefix
+	// ("phiserve.go:12:3: finishonce: ...").
+	Name string
+	// Doc is the one-paragraph description shown by `phivet -help`.
+	Doc string
+	// Run analyzes one package. It is called once per package in both the
+	// vettool and the standalone driver.
+	Run func(*Pass) error
+	// RunModule, when non-nil, runs after every package's Run with all
+	// passes in hand — the hook for whole-module invariants. Only the
+	// standalone driver calls it (the go vet protocol is per-package).
+	RunModule func(*ModulePass) error
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// ModulePass carries every package pass of one whole-module run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Passes   []*Pass
+	Report   func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by the analyzers.
+
+// ConstString resolves e to a compile-time string constant using the
+// pass's type information (handles literals, named consts, and constant
+// concatenation).
+func (p *Pass) ConstString(e ast.Expr) (string, bool) {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if tv.Value.Kind() != constantString {
+		return "", false
+	}
+	return constantStringVal(tv.Value), true
+}
+
+// IsNamedConst reports whether e is a reference (identifier or selector)
+// to a declared named constant — the shape the phase-discipline check
+// demands: vbatch.PhaseMul, not 2 or vpu.Phase(2).
+func (p *Pass) IsNamedConst(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		_, ok := p.TypesInfo.Uses[e].(*types.Const)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := p.TypesInfo.Uses[e.Sel].(*types.Const)
+		return ok
+	case *ast.ParenExpr:
+		return p.IsNamedConst(e.X)
+	}
+	return false
+}
+
+// MethodCall matches a call expression of the form recv.Name(...) and
+// returns the selector. The boolean is false for plain function calls.
+func MethodCall(call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// ReceiverNamed reports whether the method call's receiver type (after
+// stripping pointers) is a named type `pkgName.typeName`. An empty
+// typeName matches any type from that package.
+func (p *Pass) ReceiverNamed(sel *ast.SelectorExpr, pkgName, typeName string) bool {
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Name() != pkgName {
+		return false
+	}
+	return typeName == "" || obj.Name() == typeName
+}
+
+// EachFunc walks every function declaration (with a body) in the pass's
+// files.
+func (p *Pass) EachFunc(fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// FuncName returns the bare name of a declaration ("finish" for
+// (*Server).finish).
+func FuncName(decl *ast.FuncDecl) string {
+	if decl == nil || decl.Name == nil {
+		return ""
+	}
+	return decl.Name.Name
+}
+
+// IsTestFile reports whether the file position is inside a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// ExprString renders a (small) expression as source text — used as a map
+// key to match a mutex's Unlock to its Lock ("s.mu").
+func ExprString(e ast.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sb.WriteString(e.Name)
+	case *ast.BasicLit:
+		sb.WriteString(e.Value)
+	case *ast.SelectorExpr:
+		writeExpr(sb, e.X)
+		sb.WriteByte('.')
+		sb.WriteString(e.Sel.Name)
+	case *ast.ParenExpr:
+		writeExpr(sb, e.X)
+	case *ast.IndexExpr:
+		writeExpr(sb, e.X)
+		sb.WriteString("[...]")
+	case *ast.StarExpr:
+		sb.WriteByte('*')
+		writeExpr(sb, e.X)
+	case *ast.CallExpr:
+		writeExpr(sb, e.Fun)
+		sb.WriteString("(...)")
+	default:
+		sb.WriteString("?")
+	}
+}

@@ -1,0 +1,19 @@
+package analysis
+
+import (
+	"fmt"
+	"go/constant"
+)
+
+// The go/constant indirections live here so analysis.go stays free of the
+// package's somewhat awkward API.
+
+const constantString = constant.String
+
+func constantStringVal(v constant.Value) string {
+	return constant.StringVal(v)
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,171 @@
+// Package analysistest runs a phivet analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments in the
+// fixture source — the in-repo equivalent of
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the local
+// analysis framework because the environment is offline.
+//
+// Fixtures live under testdata/src/<name>/ and are ordinary Go files
+// (not _test.go — the analyzers deliberately skip test files). They may
+// import both the standard library and live phiopenssl packages; imports
+// are satisfied lazily from compiled export data via `go list -export`,
+// so a fixture type-checks against the real telemetry.Registry or
+// phitrace.Journey rather than a mock.
+//
+// Expectation syntax, one comment per offending line:
+//
+//	r.Counter("bad name", "...") // want `not of Prometheus form`
+//
+// Each quoted (or backquoted) string is a regexp that must match a
+// diagnostic reported on that line; every diagnostic must be matched by
+// exactly one expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"phiopenssl/internal/phivet"
+	"phiopenssl/internal/phivet/analysis"
+)
+
+// Run type-checks the fixture package in dir and runs the analyzer's
+// per-package check, matching diagnostics against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, token.NewFileSet(), dir)
+	diags, err := phivet.Run([]*analysis.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	check(t, pkg.Fset, []*phivet.Package{pkg}, diags)
+}
+
+// RunModule type-checks each fixture directory as its own package and
+// runs the full suite semantics over them — per-package checks plus the
+// analyzer's whole-module hook — for cross-package expectations like
+// metric-family ownership.
+func RunModule(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var pkgs []*phivet.Package
+	for _, dir := range dirs {
+		pkgs = append(pkgs, loadFixture(t, fset, dir))
+	}
+	diags, err := phivet.RunModule([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s over %v: %v", a.Name, dirs, err)
+	}
+	check(t, fset, pkgs, diags)
+}
+
+// loadFixture parses and type-checks one fixture directory. Imports
+// resolve through the live module (the test process runs inside it, so
+// "." is a valid module context for go list).
+func loadFixture(t *testing.T, fset *token.FileSet, dir string) *phivet.Package {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(paths)
+	imp := phivet.NewExportImporter(fset, map[string]string{}, nil, phivet.GoListExportFallback("."))
+	pkg, err := phivet.TypeCheck(fset, "fixture/"+filepath.Base(dir), paths, imp)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	pkg.Dir = dir
+	return pkg
+}
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// collectWants extracts // want comments from the fixture ASTs.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*phivet.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
+						pat, err := unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: pat,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// check matches diagnostics against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, pkgs []*phivet.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkgs)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", posString(pos), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func posString(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phiopenssl/internal/phivet/analysistest"
+	"phiopenssl/internal/phivet/analyzers"
+)
+
+func TestFinishOnce(t *testing.T) {
+	analysistest.Run(t, analyzers.FinishOnce, filepath.Join("testdata", "src", "finishonce"))
+}
+
+// TestFinishOncePR5Regression keeps the cross-card stealing
+// double-resolution bug (PR 5) red: a thief resolving a request outside
+// the finish CAS must be flagged.
+func TestFinishOncePR5Regression(t *testing.T) {
+	analysistest.Run(t, analyzers.FinishOnce, filepath.Join("testdata", "src", "pr5finish"))
+}

@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"phiopenssl/internal/phivet/analysis"
+)
+
+// JourneyTerm pins the journey event vocabulary (PR 7). A journey's
+// events are consumed by the /journeys JSON endpoint, the incident flight
+// recorder and the A10 model assertions, all of which switch on the kind
+// string: a misspelled or ad-hoc kind silently falls out of every
+// consumer. And the exactly-one-terminal invariant hangs on terminals
+// being written by Finish/FinishAt alone — the helper that holds the
+// journey mutex, sets the resolved flag, and counts duplicates — so a
+// hand-rolled "end:..." event would create a journey that looks resolved
+// to a reader but is unresolved to the recorder's accounting
+// (kept+discarded=resolved would break).
+//
+// Concretely, at every call of Journey.Event/EventDur/EventAt/EventDurAt:
+//
+//   - the kind must be a compile-time constant — consumers grep and
+//     switch on these strings;
+//   - the kind must come from the canonical vocabulary below;
+//   - a kind starting with "end:" is always flagged: terminal events are
+//     emitted only by the Finish/FinishAt helper.
+//
+// Extending the vocabulary is a deliberate act: add the kind here and to
+// the Event doc comment in internal/phitrace/journey.go in the same
+// change.
+var JourneyTerm = &analysis.Analyzer{
+	Name: "journeyterm",
+	Doc:  "journey event kinds come from the canonical vocabulary; terminals only via Finish",
+	Run:  runJourneyTerm,
+}
+
+// journeyVocab is the canonical event vocabulary, mirroring the Event
+// doc comment in internal/phitrace/journey.go.
+var journeyVocab = map[string]bool{
+	"door":       true,
+	"route":      true,
+	"submit":     true,
+	"seal":       true,
+	"overflow":   true,
+	"dequeue":    true,
+	"pass":       true,
+	"retry":      true,
+	"steal":      true,
+	"adopt":      true,
+	"fallback":   true,
+	"checkpoint": true,
+}
+
+// journeyEventMethods maps each event-appending method to the index of
+// its kind argument.
+var journeyEventMethods = map[string]int{
+	"Event":      0,
+	"EventDur":   0,
+	"EventAt":    1,
+	"EventDurAt": 1,
+}
+
+func runJourneyTerm(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "phitrace" {
+		// The implementation package is the trusted layer: Event forwards
+		// its kind parameter to EventDur, and Finish composes the "end:"
+		// terminal. The vocabulary rule governs the call sites outside.
+		return nil
+	}
+	pass.EachFunc(func(_ *ast.File, decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := analysis.MethodCall(call)
+			if !ok {
+				return true
+			}
+			kindIdx, ok := journeyEventMethods[sel.Sel.Name]
+			if !ok || len(call.Args) <= kindIdx {
+				return true
+			}
+			if !pass.ReceiverNamed(sel, "phitrace", "Journey") {
+				return true
+			}
+			arg := call.Args[kindIdx]
+			kind, constant := pass.ConstString(arg)
+			switch {
+			case !constant:
+				pass.Reportf(arg.Pos(),
+					"journey event kind must be a constant from the canonical vocabulary (%s); consumers switch on these strings",
+					vocabList())
+			case strings.HasPrefix(kind, "end:"):
+				pass.Reportf(arg.Pos(),
+					"terminal journey events are emitted only by Finish/FinishAt; a hand-rolled %q bypasses the exactly-one-terminal accounting", kind)
+			case !journeyVocab[kind]:
+				pass.Reportf(arg.Pos(),
+					"journey event kind %q is not in the canonical vocabulary (%s); add it to the vocabulary deliberately or use an existing kind",
+					kind, vocabList())
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+func vocabList() string {
+	kinds := make([]string, 0, len(journeyVocab))
+	for k := range journeyVocab {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, ", ")
+}

@@ -1,0 +1,13 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phiopenssl/internal/phivet/analysistest"
+	"phiopenssl/internal/phivet/analyzers"
+)
+
+func TestJourneyTerm(t *testing.T) {
+	analysistest.Run(t, analyzers.JourneyTerm, filepath.Join("testdata", "src", "journeyterm"))
+}

@@ -1,0 +1,13 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phiopenssl/internal/phivet/analysistest"
+	"phiopenssl/internal/phivet/analyzers"
+)
+
+func TestLockBlock(t *testing.T) {
+	analysistest.Run(t, analyzers.LockBlock, filepath.Join("testdata", "src", "lockblock"))
+}

@@ -1,0 +1,29 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phiopenssl/internal/phivet/analysistest"
+	"phiopenssl/internal/phivet/analyzers"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analyzers.MetricName, filepath.Join("testdata", "src", "metricname"))
+}
+
+// TestMetricNamePR5Regression keeps the duplicate func-metric panic
+// (PR 5's unlabeled per-card gauges) red at vet time.
+func TestMetricNamePR5Regression(t *testing.T) {
+	analysistest.Run(t, analyzers.MetricName, filepath.Join("testdata", "src", "pr5dup"))
+}
+
+// TestMetricNameModuleOwnership exercises the whole-module hook: a
+// metric family registered from two different packages is flagged in the
+// second one.
+func TestMetricNameModuleOwnership(t *testing.T) {
+	analysistest.RunModule(t, analyzers.MetricName,
+		filepath.Join("testdata", "src", "metricdup_a"),
+		filepath.Join("testdata", "src", "metricdup_b"),
+	)
+}

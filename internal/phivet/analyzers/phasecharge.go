@@ -1,0 +1,141 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"phiopenssl/internal/phivet/analysis"
+)
+
+// PhaseCharge keeps the cost model's phase attribution readable. The
+// per-phase cycle ledgers (vpu.Unit/Direct phase slots, knc.Meter's
+// PhaseCycles, phiserve's per-phase histograms) are only as meaningful as
+// the attribution at the charge sites: a bare `u.SetPhase(3)` or
+// `d.ChargeAt(2, c)` silently lands cycles in whatever slot the magic
+// number happens to be today, and renumbering the Phase constants turns
+// every such literal into a misattribution with no compile error.
+//
+// At every SetPhase/ChargeAt call whose phase argument has type
+// vpu.Phase, a constant argument must be a *named* constant (PhaseMul,
+// vbatch.PhaseCRT, ...). Non-constant expressions pass: the
+// save/restore idiom `prev := u.SetPhase(PhaseMul); defer
+// u.SetPhase(prev)` is the sanctioned way phases nest. Likewise a keyed
+// phase-array literal passed to ChargePhases/ChargeVectorPhases must key
+// its slots by named constants, not raw indices.
+var PhaseCharge = &analysis.Analyzer{
+	Name: "phasecharge",
+	Doc:  "phase attribution uses named phase constants, not magic slot numbers",
+	Run:  runPhaseCharge,
+}
+
+// phaseArgMethods maps phase-taking methods to the index of the
+// vpu.Phase argument.
+var phaseArgMethods = map[string]int{
+	"SetPhase": 0,
+	"ChargeAt": 0,
+}
+
+// phaseArrayMethods take a [MaxPhases]Counts array whose keyed composite
+// literals must use named-constant slot keys.
+var phaseArrayMethods = map[string]bool{
+	"ChargePhases":       true,
+	"ChargeVectorPhases": true,
+}
+
+func runPhaseCharge(pass *analysis.Pass) error {
+	pass.EachFunc(func(_ *ast.File, decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := analysis.MethodCall(call)
+			if !ok {
+				return true
+			}
+			if idx, ok := phaseArgMethods[sel.Sel.Name]; ok && len(call.Args) > idx {
+				checkPhaseArg(pass, call.Args[idx])
+			}
+			if phaseArrayMethods[sel.Sel.Name] {
+				for _, arg := range call.Args {
+					checkPhaseArrayLit(pass, arg)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkPhaseArg flags a constant phase argument that is not a reference
+// to a named constant. The type gate (vpu.Phase) scopes the rule to the
+// cost model regardless of which receiver — Unit, Direct, a Backend
+// interface, or a wrapper — the call goes through.
+func checkPhaseArg(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || !isPhaseType(tv.Type) {
+		return
+	}
+	if tv.Value == nil {
+		return // runtime value: the prev-restore idiom and friends
+	}
+	// Unwrap an explicit conversion: vpu.Phase(PhaseMul) is fine,
+	// vpu.Phase(3) is the magic number wearing a type. (A CallExpr whose
+	// result is constant can only be a conversion — function calls are
+	// never constant expressions.)
+	inner := arg
+	if conv, isConv := arg.(*ast.CallExpr); isConv && len(conv.Args) == 1 {
+		inner = conv.Args[0]
+	}
+	if pass.IsNamedConst(inner) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"phase attribution by magic number %s; use a named phase constant (vbatch.PhaseMul, PhaseCRT, ...) so renumbering cannot silently misattribute cycles",
+		analysis.ExprString(arg))
+}
+
+// checkPhaseArrayLit flags keyed elements of a phase-array composite
+// literal whose keys are unnamed constants. Array literal keys are
+// always constant index expressions, so any key that is not a reference
+// to a named constant is a magic slot number.
+func checkPhaseArrayLit(pass *analysis.Pass, arg ast.Expr) {
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[lit]; !ok || !isArrayType(tv.Type) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if pass.IsNamedConst(kv.Key) {
+			continue
+		}
+		pass.Reportf(kv.Key.Pos(),
+			"phase slot keyed by magic number %s; key by the named phase constant so the slot survives renumbering",
+			analysis.ExprString(kv.Key))
+	}
+}
+
+func isArrayType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Array)
+	return ok
+}
+
+// isPhaseType reports whether t is vpu.Phase (possibly behind an alias).
+func isPhaseType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Phase" &&
+		obj.Pkg() != nil && obj.Pkg().Name() == "vpu"
+}

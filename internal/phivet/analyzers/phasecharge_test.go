@@ -1,0 +1,13 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phiopenssl/internal/phivet/analysistest"
+	"phiopenssl/internal/phivet/analyzers"
+)
+
+func TestPhaseCharge(t *testing.T) {
+	analysistest.Run(t, analyzers.PhaseCharge, filepath.Join("testdata", "src", "phasecharge"))
+}

@@ -1,0 +1,50 @@
+// Fixture for the finishonce analyzer: the package is named phiserve so
+// the serving-package gate applies; the request struct mirrors the real
+// one's resp/done pair.
+package phiserve
+
+import "sync/atomic"
+
+type result struct{ ok bool }
+
+type request struct {
+	resp chan result
+	done atomic.Bool
+}
+
+type server struct{}
+
+// finish is the designated resolution point — everything here is allowed.
+func (s *server) finish(q *request, res result) {
+	if q.done.CompareAndSwap(false, true) {
+		q.resp <- res
+	}
+}
+
+func (s *server) retryDeliver(q *request, res result) {
+	q.resp <- res // want `result sent on q\.resp outside finish`
+}
+
+func (s *server) abandon(q *request) {
+	close(q.resp) // want `close of q\.resp`
+}
+
+func (s *server) forceResolve(q *request) {
+	q.done.Store(true) // want `q\.done\.Store outside finish`
+}
+
+func (s *server) swapResolve(q *request) bool {
+	return q.done.Swap(true) // want `q\.done\.Swap outside finish`
+}
+
+func (s *server) raceResolve(q *request) bool {
+	return q.done.CompareAndSwap(false, true) // want `q\.done\.CompareAndSwap outside finish`
+}
+
+func (s *server) peek(q *request) bool {
+	return q.done.Load() // checking is not resolving
+}
+
+func (s *server) localChannel(resp chan result, res result) {
+	resp <- res // a bare identifier is not the request struct's field
+}

@@ -1,0 +1,26 @@
+// Fixture for the journeyterm analyzer: event kinds must be constants
+// from the canonical vocabulary, and "end:" terminals belong to
+// Finish/FinishAt alone.
+package demo
+
+import (
+	"time"
+
+	"phiopenssl/internal/phitrace"
+)
+
+const kindDoor = "door"
+
+func events(j *phitrace.Journey, kind string, o phitrace.Outcome) {
+	j.Event("door", 0, "arrived")                  // vocabulary literal
+	j.Event(kindDoor, 1, "named constant")         // vocabulary via named const
+	j.EventDur("dequeue", 0, "", time.Millisecond) // duration variant
+	j.EventAt(time.Now(), "retry", 2, "")          // explicit-time variant, kind at index 1
+	j.EventDurAt(time.Now(), "steal", 2, "", time.Millisecond)
+
+	j.Event(kind, 0, "")         // want `must be a constant`
+	j.Event("end:served", 0, "") // want `emitted only by Finish`
+	j.Event("warp", 0, "")       // want `not in the canonical vocabulary`
+
+	j.Finish(o, "done") // the sanctioned terminal path
+}

@@ -1,0 +1,141 @@
+// Fixture for the lockblock analyzer: blocking operations under a held
+// sync.Mutex/RWMutex are flagged; non-blocking shapes and released-lock
+// paths are not.
+package demo
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	ch    chan int
+	items []int
+}
+
+type table struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+type pool struct{}
+
+func (p *pool) Submit(v int)         {}
+func (p *pool) TrySubmit(v int) bool { return true }
+func (p *pool) Redispatch(v int)     {}
+
+func sendHeld(q *queue) {
+	q.mu.Lock()
+	q.ch <- 1 // want `channel send while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func sendReleased(q *queue) {
+	q.mu.Lock()
+	q.items = append(q.items, 1)
+	q.mu.Unlock()
+	q.ch <- 1 // lock released first
+}
+
+func recvHeld(q *queue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `channel receive while holding q\.mu`
+}
+
+func recvAssignHeld(q *queue) {
+	q.mu.Lock()
+	v := <-q.ch // want `channel receive while holding q\.mu`
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+func selectHeld(q *queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select without default while holding q\.mu`
+	case v := <-q.ch:
+		q.items = append(q.items, v)
+	}
+}
+
+func selectWithDefault(q *queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // non-blocking attempt
+	case q.ch <- 1:
+	default:
+	}
+}
+
+func rangeHeld(q *queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for v := range q.ch { // want `range over channel while holding q\.mu`
+		q.items = append(q.items, v)
+	}
+}
+
+func rangeSliceHeld(q *queue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for range q.items { // ranging a slice does not block
+		n++
+	}
+	return n
+}
+
+func waitHeld(q *queue, wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func submitHeld(q *queue, p *pool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.Submit(1) // want `blocking Submit call while holding q\.mu`
+}
+
+func redispatchHeld(q *queue, p *pool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.Redispatch(1) // want `blocking Redispatch call while holding q\.mu`
+}
+
+func trySubmitHeld(q *queue, p *pool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return p.TrySubmit(1) // non-blocking by contract
+}
+
+func funcLitEscapes(q *queue) func() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return func() { q.ch <- 1 } // runs under the caller's locks, not these
+}
+
+func goStmtOtherGoroutine(q *queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() { q.ch <- 1 }() // another goroutine, not this critical section
+}
+
+func branchHeld(q *queue, hot bool) {
+	q.mu.Lock()
+	if hot {
+		q.ch <- 1 // want `channel send while holding q\.mu`
+	}
+	q.mu.Unlock()
+}
+
+func rlockHeld(t *table) {
+	t.mu.RLock()
+	t.ch <- 1 // want `channel send while holding t\.mu`
+	t.mu.RUnlock()
+}
+
+func rlockReleased(t *table) {
+	t.mu.RLock()
+	t.mu.RUnlock()
+	t.ch <- 1 // read lock released first
+}

@@ -1,0 +1,10 @@
+// First of the two-package fixture pair for the module-wide
+// metric-family ownership rule: this package registers the family first
+// and becomes its owner.
+package phiserve
+
+import "phiopenssl/internal/telemetry"
+
+func New(reg *telemetry.Registry) {
+	reg.Counter("phiserve_fixture_shared_total", "owned here")
+}

@@ -1,0 +1,11 @@
+// Second of the two-package fixture pair: a different package (same
+// package *name*, different import path — the internal/v2 relayout
+// hazard) re-registers a family the first package owns.
+package phiserve
+
+import "phiopenssl/internal/telemetry"
+
+func New(reg *telemetry.Registry) {
+	reg.Counter("phiserve_fixture_shared_total", "re-registered") // want `already owned by package fixture/metricdup_a`
+	reg.Counter("phiserve_fixture_private_total", "unshared")
+}

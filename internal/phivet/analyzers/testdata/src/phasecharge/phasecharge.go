@@ -1,0 +1,26 @@
+// Fixture for the phasecharge analyzer: phase attribution must go
+// through named phase constants, never raw slot numbers.
+package demo
+
+import (
+	"phiopenssl/internal/vbatch"
+	"phiopenssl/internal/vpu"
+)
+
+func setPhases(u *vpu.Unit) {
+	prev := u.SetPhase(vbatch.PhaseMul) // named constant
+	u.SetPhase(prev)                    // save/restore idiom: runtime value
+	u.SetPhase(3)                       // want `magic number 3`
+	u.SetPhase(vpu.Phase(2))            // want `magic number vpu\.Phase\(\.\.\.\)`
+	u.SetPhase(vpu.Phase(vbatch.PhaseCRT))
+}
+
+func charge(d *vpu.Direct, c vpu.Counts) {
+	d.ChargeAt(vbatch.PhasePack, c) // named constant
+	d.ChargeAt(2, c)                // want `magic number 2`
+}
+
+func chargePhases(d *vpu.Direct, c vpu.Counts) {
+	d.ChargePhases([vpu.MaxPhases]vpu.Counts{vbatch.PhaseMul: c}) // slot keyed by name
+	d.ChargePhases([vpu.MaxPhases]vpu.Counts{2: c})               // want `slot keyed by magic number 2`
+}

@@ -1,0 +1,24 @@
+// Regression fixture reconstructing the PR 5 duplicate func-metric
+// panic: the fleet registered per-card gauge functions without a
+// distinguishing label, so the second card's registration hit the
+// registry's duplicate panic (and silently dropping it instead would
+// have merged every card into one card's view). newFleetStats is the
+// pre-fix shape and must stay red; newFleetStatsFixed is the shipped
+// fix — per-card labels make the instances distinct.
+package phifleet
+
+import "phiopenssl/internal/telemetry"
+
+type card struct {
+	depth int
+}
+
+func newFleetStats(reg *telemetry.Registry, primary, failover *card) {
+	reg.GaugeFunc("phifleet_fixture_card_depth", "queue depth", func() float64 { return float64(primary.depth) })
+	reg.GaugeFunc("phifleet_fixture_card_depth", "queue depth", func() float64 { return float64(failover.depth) }) // want `already registered`
+}
+
+func newFleetStatsFixed(reg *telemetry.Registry, primary, failover *card) {
+	reg.GaugeFunc("phifleet_fixture_card_depth_ok", "queue depth", func() float64 { return float64(primary.depth) }, "card", "0")
+	reg.GaugeFunc("phifleet_fixture_card_depth_ok", "queue depth", func() float64 { return float64(failover.depth) }, "card", "1")
+}

@@ -1,0 +1,37 @@
+// Regression fixture reconstructing the PR 5 double-resolution bug: with
+// cross-card work stealing plus stall respawn, the thief delivered its
+// result directly instead of going through the finish CAS — the origin
+// card's own delivery then raced it, and the loser's send blocked forever
+// on the one-slot buffered resp channel. The fix made Server.finish the
+// single resolution point; this fixture is the pre-fix shape and must
+// stay red.
+package phiserve
+
+import "sync/atomic"
+
+type result struct{ served bool }
+
+type request struct {
+	resp chan result
+	done atomic.Bool
+}
+
+type server struct {
+	intake chan *request
+}
+
+// finish is the single resolution point (the fix): the done CAS keeps
+// delivery exactly-once even when origin card and thief both produce a
+// result.
+func (s *server) finish(q *request, res result) {
+	if q.done.CompareAndSwap(false, true) {
+		q.resp <- res
+	}
+}
+
+// adoptStolen is the bug: the thief marks the request resolved and sends
+// its result directly, bypassing the CAS arbitration.
+func (s *server) adoptStolen(q *request, res result) {
+	q.done.Store(true) // want `only the finish CAS may resolve`
+	q.resp <- res      // want `result sent on q\.resp outside finish`
+}

@@ -1,0 +1,112 @@
+// Package phivet loads the module's packages for static analysis and
+// drives the analyzer suite over them. It is the engine behind
+// cmd/phivet, which exposes the suite both as a `go vet -vettool` plugin
+// (per-package, the CI gate) and as a standalone whole-module scan (the
+// home of cross-package checks like repo-wide metric-name uniqueness).
+//
+// Everything here is standard library only: packages are type-checked
+// from source with their imports satisfied by compiled export data — the
+// files `go list -export` (or the vet driver's vet.cfg) point at — read
+// through go/importer's gc reader. That is the same mechanism
+// golang.org/x/tools' unitchecker uses, reimplemented locally because
+// this build environment has no module proxy to fetch x/tools from.
+package phivet
+
+import (
+	"bytes"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// ExportImporter resolves import paths to packages via compiled export
+// data. Lookups go through, in order: an explicit path→file map (the vet
+// driver's PackageFile), then an optional fallback that may shell out to
+// `go list -export` for paths the map does not cover (the analysistest
+// runner points fixtures straight at the live module this way).
+type ExportImporter struct {
+	imp types.Importer
+
+	mu        sync.Mutex
+	files     map[string]string // import path -> export data file
+	importMap map[string]string // source-level path -> canonical path
+	fallback  func(path string) (string, error)
+}
+
+// NewExportImporter builds an importer over the given export-file map.
+// importMap translates source-level import paths to canonical ones (the
+// vet driver supplies it; pass nil when paths are already canonical).
+// fallback, when non-nil, resolves paths missing from the map.
+func NewExportImporter(fset *token.FileSet, files map[string]string,
+	importMap map[string]string, fallback func(path string) (string, error)) *ExportImporter {
+	e := &ExportImporter{
+		files:     files,
+		importMap: importMap,
+		fallback:  fallback,
+	}
+	e.imp = importer.ForCompiler(fset, "gc", e.lookup)
+	return e
+}
+
+// Import implements types.Importer.
+func (e *ExportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e.mu.Lock()
+	if canonical, ok := e.importMap[path]; ok {
+		path = canonical
+	}
+	e.mu.Unlock()
+	return e.imp.Import(path)
+}
+
+// lookup is the gc importer's export-data source.
+func (e *ExportImporter) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	file, ok := e.files[path]
+	e.mu.Unlock()
+	if !ok {
+		if e.fallback == nil {
+			return nil, fmt.Errorf("phivet: no export data for %q", path)
+		}
+		f, err := e.fallback(path)
+		if err != nil {
+			return nil, fmt.Errorf("phivet: resolving export data for %q: %w", path, err)
+		}
+		e.mu.Lock()
+		e.files[path] = f
+		e.mu.Unlock()
+		file = f
+	}
+	return os.Open(file)
+}
+
+// GoListExportFallback returns a fallback that asks the go command
+// (running in dir, so the module context applies) for a package's
+// compiled export file. Used by the analysistest runner, where fixture
+// imports — both standard library and live phiopenssl packages — are
+// resolved lazily.
+func GoListExportFallback(dir string) func(path string) (string, error) {
+	return func(path string) (string, error) {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = dir
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return "", fmt.Errorf("go list -export %s: %v: %s", path, err, errb.String())
+		}
+		file := strings.TrimSpace(out.String())
+		if file == "" {
+			return "", fmt.Errorf("go list -export %s: no export data", path)
+		}
+		return file, nil
+	}
+}

@@ -1,0 +1,146 @@
+package phivet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints. Analysis still runs on
+	// a partially-checked package, mirroring go vet's behavior, but the
+	// driver surfaces these so a broken tree is not silently "clean".
+	TypeErrors []error
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadModule loads every package of the module rooted at dir (the
+// `./...` pattern), type-checked against compiled export data, so the
+// standalone scan sees exactly what the compiler sees. The go command
+// does the build-system work (and caches it); everything after is
+// in-process parsing and type checking.
+func LoadModule(dir string) ([]*Package, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Module,Error", "./...")
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("phivet: go list -export -deps ./...: %v: %s", err, errb.String())
+	}
+
+	exports := make(map[string]string)
+	var module []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("phivet: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			lp := p
+			module = append(module, &lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports, nil, GoListExportFallback(dir))
+
+	var pkgs []*Package
+	for _, lp := range module {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("phivet: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, lp.Dir+"/"+f)
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, paths, imp)
+		if err != nil {
+			return nil, fmt.Errorf("phivet: %s: %v", lp.ImportPath, err)
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses and type-checks one package's files (paths must be
+// absolute or relative to the process working directory). Type errors do
+// not abort: they accumulate in Package.TypeErrors and the best-effort
+// AST/type information is still returned, so the analyzers can run over
+// a tree with unrelated breakage — only parse failures are fatal.
+func TypeCheck(fset *token.FileSet, importPath string, paths []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files")
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Name:       files[0].Name.Name,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, pkg.Info) // errors already collected
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// NonTestFiles filters the files the analyzers should see: the suite's
+// rules govern production code, and several tests intentionally violate
+// them (raw phase slots, throwaway metric names).
+func NonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}

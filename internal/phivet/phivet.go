@@ -1,0 +1,91 @@
+package phivet
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"phiopenssl/internal/phivet/analysis"
+)
+
+// Run executes the analyzers' per-package checks over one package and
+// returns the findings sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkg *Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := newPass(a, pkg, func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sortDiags(pkg.Fset, diags)
+	return diags, nil
+}
+
+// RunModule executes the full suite — per-package checks over every
+// package, then each analyzer's whole-module check — and returns the
+// findings sorted by position. All packages must share one FileSet
+// (LoadModule guarantees it).
+func RunModule(analyzers []*analysis.Analyzer, pkgs []*Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		var passes []*analysis.Pass
+		for _, pkg := range pkgs {
+			pass := newPass(a, pkg, report)
+			passes = append(passes, pass)
+			if a.Run == nil {
+				continue
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		if a.RunModule != nil {
+			mp := &analysis.ModulePass{Analyzer: a, Passes: passes, Report: report}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("%s (module): %v", a.Name, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		sortDiags(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}
+
+func newPass(a *analysis.Analyzer, pkg *Package, report func(analysis.Diagnostic)) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     NonTestFiles(pkg.Fset, pkg.Files),
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    report,
+	}
+}
+
+func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// WriteDiags prints findings in the canonical file:line:col form go vet
+// users expect.
+func WriteDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
