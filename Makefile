@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 
 PHIVET = bin/phivet
 
-.PHONY: all build test check phivet fmt-check fuzz-smoke race faults telemetry backends fleet overload observe bench quick clean
+.PHONY: all build test check phivet fmt-check fuzz-smoke race faults telemetry backends fleet overload observe workloads bench quick clean
 
 all: check
 
@@ -129,6 +129,21 @@ observe:
 	$(GO) test -race -timeout=300s ./internal/phitrace ./internal/telemetry
 	PHIOPENSSL_OBSERVE=1 $(GO) test -race -timeout=300s -count=1 -run 'TestObserveHammer' ./internal/phiadmit
 	$(GO) test -timeout=300s -run 'TestTelemetryOverhead' ./internal/bench
+
+# workloads is the workload-generic pipeline acceptance gate: the phiwork
+# suite (per-kind differential tests against the scalar dh/rsakit
+# references, the instance-cache cap), the public-lane starvation
+# regression, and the env-gated mixed-traffic hammer
+# (TestWorkloadHammer): all five workload kinds driven concurrently
+# through admission and the two-card fleet under -race with faults active
+# and per-tenant workload allow-lists enforced, closed mid-traffic,
+# requiring every accepted request to resolve exactly once with the
+# scalar-reference answer and workload labels visible in journeys and the
+# /metrics scrape.
+workloads:
+	$(GO) test -race -timeout=600s ./internal/phiwork
+	$(GO) test -race -timeout=300s -run 'TestPublicLaneJumpsHeavyFlood|TestWorkTagCacheBounded' ./internal/phiserve
+	PHIOPENSSL_WORKLOADS=1 $(GO) test -race -timeout=300s -count=1 -run 'TestWorkloadHammer' ./internal/phiadmit
 
 quick:
 	$(GO) run ./cmd/phibench -quick

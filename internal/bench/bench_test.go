@@ -9,7 +9,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"a1", "a10", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	wantIDs := []string{"a1", "a10", "a11", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
 	}

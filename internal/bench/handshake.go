@@ -103,7 +103,7 @@ func runE7(o Options) *Table {
 
 	// DHE-RSA costs more per handshake: one RSA signature plus two DH
 	// exponentiations on the server.
-	dheCycles, err := dheHandshakeCycles(key, o.Seed+89)
+	dheCycles, err := dheHandshakeCycles(key, dh.MODP2048(), o.Seed+89)
 	if err != nil {
 		panic(fmt.Sprintf("bench: DHE handshake failed: %v", err))
 	}
@@ -113,11 +113,10 @@ func runE7(o Options) *Table {
 	return t
 }
 
-// dheHandshakeCycles measures one DHE-RSA handshake on the PhiOpenSSL
-// server engine.
-func dheHandshakeCycles(key *rsakit.PrivateKey, seed int64) (float64, error) {
+// dheHandshakeCycles measures one DHE-RSA handshake over the given group
+// on the PhiOpenSSL server engine.
+func dheHandshakeCycles(key *rsakit.PrivateKey, group dh.Group, seed int64) (float64, error) {
 	eng := core.New()
-	group := dh.MODP2048()
 	cc, sc := net.Pipe()
 	defer cc.Close()
 	srvCfg := &tlssim.Config{

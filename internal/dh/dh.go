@@ -55,6 +55,17 @@ func MODP1536() Group {
 			"9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF")}
 }
 
+// MODP1024 is RFC 2409 Oakley group 2 (1024-bit MODP) — legacy-era but
+// kept for the differential tests that pin batch-vs-scalar equality at the
+// same modulus widths as the RSA suite (1024/2048).
+func MODP1024() Group {
+	return Group{Name: "modp1024", G: bn.FromUint64(2), P: bn.MustHex(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF")}
+}
+
 // GroupByName resolves a group by its wire name.
 func GroupByName(name string) (Group, error) {
 	switch name {
@@ -62,6 +73,8 @@ func GroupByName(name string) (Group, error) {
 		return MODP2048(), nil
 	case "modp1536":
 		return MODP1536(), nil
+	case "modp1024":
+		return MODP1024(), nil
 	default:
 		return Group{}, fmt.Errorf("dh: unknown group %q", name)
 	}

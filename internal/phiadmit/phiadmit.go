@@ -33,13 +33,13 @@ package phiadmit
 import (
 	"context"
 	"errors"
-	"strconv"
 	"sync"
 	"time"
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/phiserve"
 	"phiopenssl/internal/phitrace"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 )
@@ -53,12 +53,15 @@ var (
 	// bucket is empty during a brownout: the tenant is over its weighted
 	// share while the system is overloaded.
 	ErrShedTenant = errors.New("phiadmit: shed, tenant over fair share in brownout")
+	// ErrWorkloadDenied rejects a request whose workload kind is outside
+	// its tenant's declared allow-list.
+	ErrWorkloadDenied = errors.New("phiadmit: workload kind not allowed for tenant")
 )
 
 // Backend is the serving tier the controller fronts. Both *phiserve.Server
 // and *phifleet.Fleet satisfy it.
 type Backend interface {
-	SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error)
+	SubmitWork(ctx context.Context, w phiwork.Workload, in phiwork.Input, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error)
 	EstimatedDelay() time.Duration
 }
 
@@ -71,6 +74,12 @@ type Tenant struct {
 	Weight float64
 	// SLO overrides Config.SLO for this tenant's requests; zero inherits.
 	SLO time.Duration
+	// Workloads is the tenant's workload allow-list: the kinds this
+	// tenant may submit (a CA tenant signs, a terminator tenant does DHE
+	// and private ops, a verifier tenant only public ops). Empty means
+	// every kind. Submissions outside the list shed with
+	// ErrWorkloadDenied before any other admission decision.
+	Workloads []phiwork.Kind
 }
 
 // Config parameterizes a Controller.
@@ -176,10 +185,17 @@ type tenantState struct {
 	burst  float64
 	tokens float64
 	last   time.Time
+	// allowed is the workload allow-list as a set; nil means every kind.
+	allowed map[phiwork.Kind]bool
 
-	admitted, shedOverload, shedTenant int64
+	admitted, shedOverload, shedTenant, shedWorkload int64
 
-	mAdmitted, mShedOverload, mShedTenant *telemetry.Counter
+	mAdmitted, mShedOverload, mShedTenant, mShedWorkload *telemetry.Counter
+}
+
+// allows reports whether the tenant may submit kind k.
+func (t *tenantState) allows(k phiwork.Kind) bool {
+	return t.allowed == nil || t.allowed[k]
 }
 
 // refill lazily credits the bucket for the time since the last touch.
@@ -214,6 +230,10 @@ type Controller struct {
 
 	brownoutGauge *telemetry.Gauge
 	brownoutCount *telemetry.Counter
+	// byKind counts admissions per workload kind (otherKind catches
+	// out-of-tree kinds); immutable after New.
+	byKind    map[phiwork.Kind]*telemetry.Counter
+	otherKind *telemetry.Counter
 }
 
 // New builds a controller in front of backend. The backend must already be
@@ -257,13 +277,25 @@ func New(backend Backend, cfg Config) *Controller {
 	// when anonymous traffic shows up.
 	sumW++
 	for i, tn := range cfg.Tenants {
-		a.tenants[tn.ID] = a.newTenant(tn.ID, weights[i], sumW, tn.SLO)
+		a.tenants[tn.ID] = a.newTenant(tn.ID, weights[i], sumW, tn.SLO, tn.Workloads)
 	}
-	a.fallback = a.newTenant("_other", 1, sumW, 0)
+	a.fallback = a.newTenant("_other", 1, sumW, 0, nil)
+	// One admitted-counter row per canonical workload kind (pre-registered
+	// so scrapes show zeros), plus a catch-all for out-of-tree kinds.
+	a.byKind = make(map[phiwork.Kind]*telemetry.Counter, len(phiwork.Kinds())+1)
+	mkKind := func(label string) *telemetry.Counter {
+		return a.tel.Registry.Counter("phiadmit_workload_admitted_total",
+			"requests admitted to the backend, by workload kind",
+			"workload", label)
+	}
+	for _, k := range phiwork.Kinds() {
+		a.byKind[k] = mkKind(string(k))
+	}
+	a.otherKind = mkKind("other")
 	return a
 }
 
-func (a *Controller) newTenant(id string, w, sumW float64, slo time.Duration) *tenantState {
+func (a *Controller) newTenant(id string, w, sumW float64, slo time.Duration, kinds []phiwork.Kind) *tenantState {
 	if slo <= 0 {
 		slo = a.cfg.SLO
 	}
@@ -275,14 +307,22 @@ func (a *Controller) newTenant(id string, w, sumW float64, slo time.Duration) *t
 	if burst < 1 {
 		burst = 1
 	}
+	var allowed map[phiwork.Kind]bool
+	if len(kinds) > 0 {
+		allowed = make(map[phiwork.Kind]bool, len(kinds))
+		for _, k := range kinds {
+			allowed[k] = true
+		}
+	}
 	reg := a.tel.Registry
 	return &tenantState{
-		id:     id,
-		weight: w,
-		slo:    slo,
-		rate:   rate,
-		burst:  burst,
-		tokens: burst, // start full: a cold system admits a burst cleanly
+		id:      id,
+		weight:  w,
+		slo:     slo,
+		rate:    rate,
+		burst:   burst,
+		tokens:  burst, // start full: a cold system admits a burst cleanly
+		allowed: allowed,
 		mAdmitted: reg.Counter("phiadmit_admitted_total",
 			"requests admitted to the backend", "tenant", id),
 		mShedOverload: reg.Counter("phiadmit_shed_overload_total",
@@ -290,6 +330,9 @@ func (a *Controller) newTenant(id string, w, sumW float64, slo time.Duration) *t
 			"tenant", id),
 		mShedTenant: reg.Counter("phiadmit_shed_tenant_total",
 			"requests shed by brownout fair queuing", "tenant", id),
+		mShedWorkload: reg.Counter("phiadmit_shed_workload_total",
+			"requests shed because the workload kind is outside the tenant allow-list",
+			"tenant", id),
 	}
 }
 
@@ -306,20 +349,34 @@ func (a *Controller) tenant(id string) *tenantState {
 	return a.fallback
 }
 
-// Submit admits or sheds one request for the named tenant. On admission
-// the request enters the backend with deadline now+SLO (the tenant's SLO)
-// and the tenant id attached, and the returned channel delivers exactly
-// one Result. A shed returns ErrShedOverload or ErrShedTenant without
-// touching the backend — the cheapest possible rejection.
+// Submit admits or sheds one private-key operation for the named tenant —
+// the compat spelling of SubmitWork over the key's canonical rsa-priv
+// workload.
 func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.PrivateKey, c bn.Nat) (<-chan phiserve.Result, error) {
+	if key == nil {
+		return nil, errors.New("phiadmit: nil key")
+	}
+	return a.SubmitWork(ctx, tenant, phiwork.RSAPrivateFor(key), phiwork.Input{A: c})
+}
+
+// SubmitWork admits or sheds one request of any workload kind for the
+// named tenant. On admission the request enters the backend with deadline
+// now+SLO (the tenant's SLO) and the tenant id attached, and the returned
+// channel delivers exactly one Result. A shed returns ErrWorkloadDenied,
+// ErrShedOverload or ErrShedTenant without touching the backend — the
+// cheapest possible rejection.
+func (a *Controller) SubmitWork(ctx context.Context, tenant string, w phiwork.Workload, in phiwork.Input) (<-chan phiserve.Result, error) {
+	if w == nil {
+		return nil, errors.New("phiadmit: nil workload")
+	}
 	now := a.cfg.Clock()
 	est := a.backend.EstimatedDelay()
 	ts := a.tenant(tenant) // map is immutable; no lock needed for the lookup
 
 	// The journey starts at the door: even a shed request leaves a record
-	// naming the tenant, the SLO and the estimate that condemned it. The
-	// burn rate comes from the same journey stream, read before the lock —
-	// the recorder has its own (finer) lock discipline.
+	// naming the tenant, the workload, the SLO and the estimate that
+	// condemned it. The burn rate comes from the same journey stream, read
+	// before the lock — the recorder has its own (finer) lock discipline.
 	var burn float64
 	rec := a.cfg.Journeys
 	if rec != nil && a.cfg.BurnEnter > 0 {
@@ -327,12 +384,20 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 	}
 	var journey *phitrace.Journey
 	if rec != nil {
-		tag := ""
-		if key != nil {
-			tag = "rsa-" + strconv.Itoa(key.N.BitLen())
-		}
-		journey = rec.Begin(ts.id, tag, now.Add(ts.slo), ts.slo)
+		journey = rec.BeginWork(ts.id, w.Tag(), string(w.Kind()), now.Add(ts.slo), ts.slo)
+		journey.Event("workload", -1, string(w.Kind()))
 		journey.Event("door", -1, "est="+est.Round(time.Microsecond).String())
+	}
+	// The allow-list gate comes first: a denied kind is a configuration
+	// violation, not a load signal, so it neither charges the tenant's
+	// bucket nor counts toward overload shedding.
+	if !ts.allows(w.Kind()) {
+		a.mu.Lock()
+		ts.shedWorkload++
+		a.mu.Unlock()
+		ts.mShedWorkload.Inc()
+		journey.Finish(phitrace.OutcomeShedTenant, "workload denied: "+string(w.Kind()))
+		return nil, ErrWorkloadDenied
 	}
 
 	a.mu.Lock()
@@ -389,7 +454,7 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 	a.mu.Unlock()
 	a.noteBrownout(transition, est, burn)
 
-	ch, err := a.backend.SubmitWith(ctx, key, c, phiserve.SubmitOpts{
+	ch, err := a.backend.SubmitWork(ctx, w, in, phiserve.SubmitOpts{
 		Tenant:   ts.id,
 		Deadline: deadline,
 		Journey:  journey,
@@ -409,6 +474,11 @@ func (a *Controller) Submit(ctx context.Context, tenant string, key *rsakit.Priv
 	ts.admitted++
 	a.mu.Unlock()
 	ts.mAdmitted.Inc()
+	if m, ok := a.byKind[w.Kind()]; ok {
+		m.Inc()
+	} else {
+		a.otherKind.Inc()
+	}
 	return ch, nil
 }
 
@@ -439,11 +509,25 @@ func (a *Controller) Do(ctx context.Context, tenant string, key *rsakit.PrivateK
 	}
 }
 
+// DoWork is the synchronous convenience wrapper over SubmitWork.
+func (a *Controller) DoWork(ctx context.Context, tenant string, w phiwork.Workload, in phiwork.Input) (phiserve.Result, error) {
+	ch, err := a.SubmitWork(ctx, tenant, w, in)
+	if err != nil {
+		return phiserve.Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return phiserve.Result{}, ctx.Err()
+	}
+}
+
 // TenantStats is one tenant's admission accounting.
 type TenantStats struct {
-	ID                                 string
-	Weight                             float64
-	Admitted, ShedOverload, ShedTenant int64
+	ID                                               string
+	Weight                                           float64
+	Admitted, ShedOverload, ShedTenant, ShedWorkload int64
 }
 
 // Stats is a snapshot of the controller's admission decisions.
@@ -467,10 +551,11 @@ func (a *Controller) Stats() Stats {
 	add := func(t *tenantState) {
 		st.Tenants = append(st.Tenants, TenantStats{
 			ID: t.id, Weight: t.weight,
-			Admitted: t.admitted, ShedOverload: t.shedOverload, ShedTenant: t.shedTenant,
+			Admitted: t.admitted, ShedOverload: t.shedOverload,
+			ShedTenant: t.shedTenant, ShedWorkload: t.shedWorkload,
 		})
 		st.Admitted += t.admitted
-		st.Shed += t.shedOverload + t.shedTenant
+		st.Shed += t.shedOverload + t.shedTenant + t.shedWorkload
 	}
 	for _, tn := range a.cfg.Tenants {
 		add(a.tenants[tn.ID])

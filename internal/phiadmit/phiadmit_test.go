@@ -9,8 +9,11 @@ import (
 	"time"
 
 	"phiopenssl/internal/bn"
+	"phiopenssl/internal/engine"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/vpu"
 )
 
 // fakeBackend is a Backend with a settable delay estimate and a scripted
@@ -23,7 +26,7 @@ type fakeBackend struct {
 	lastOpts phiserve.SubmitOpts
 }
 
-func (b *fakeBackend) SubmitWith(_ context.Context, _ *rsakit.PrivateKey, _ bn.Nat, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error) {
+func (b *fakeBackend) SubmitWork(_ context.Context, _ phiwork.Workload, _ phiwork.Input, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.err != nil {
@@ -49,6 +52,25 @@ func (b *fakeBackend) setEst(d time.Duration) {
 	b.mu.Lock()
 	b.est = d
 	b.mu.Unlock()
+}
+
+// stubWorkload is a minimal heavy-class workload for door-decision tests;
+// the fake backend never executes it.
+type stubWorkload struct{ kind phiwork.Kind }
+
+func stubWL() *stubWorkload { return &stubWorkload{kind: phiwork.KindRSAPrivate} }
+
+func (w *stubWorkload) Kind() phiwork.Kind           { return w.kind }
+func (w *stubWorkload) Class() phiwork.Class         { return phiwork.ClassHeavy }
+func (w *stubWorkload) Tag() string                  { return "stub" }
+func (w *stubWorkload) RouteBytes() []byte           { return []byte(w.kind) }
+func (w *stubWorkload) Bits() int                    { return 512 }
+func (w *stubWorkload) Validate(phiwork.Input) error { return nil }
+func (w *stubWorkload) ExecuteBatch(vpu.Backend, []phiwork.Input) ([]bn.Nat, []error, *phiwork.Breakdown, error) {
+	return nil, nil, nil, errors.New("stub workload is not executable")
+}
+func (w *stubWorkload) ExecuteScalar(engine.Engine, phiwork.Input) (bn.Nat, error) {
+	return bn.Nat{}, errors.New("stub workload is not executable")
 }
 
 // fakeClock is a manually-advanced clock for deterministic bucket refills.
@@ -82,7 +104,7 @@ func TestOverloadShedAndDeadlineAttachment(t *testing.T) {
 	a := New(be, Config{SLO: 100 * time.Millisecond, Clock: clk.now})
 
 	// est 0: admitted, with the deadline and the fallback tenant attached.
-	res, err := a.Do(context.Background(), "", nil, bn.One())
+	res, err := a.DoWork(context.Background(), "", stubWL(), phiwork.Input{A: bn.One()})
 	if err != nil || res.Err != nil {
 		t.Fatalf("cold admit: %v / %v", err, res.Err)
 	}
@@ -95,7 +117,7 @@ func TestOverloadShedAndDeadlineAttachment(t *testing.T) {
 
 	// est 90ms > (1-0.2)*100ms: shed without a backend call.
 	be.setEst(90 * time.Millisecond)
-	if _, err := a.Submit(context.Background(), "", nil, bn.One()); !errors.Is(err, ErrShedOverload) {
+	if _, err := a.SubmitWork(context.Background(), "", stubWL(), phiwork.Input{A: bn.One()}); !errors.Is(err, ErrShedOverload) {
 		t.Fatalf("overload submit: %v, want ErrShedOverload", err)
 	}
 	if n := be.byTenant["_other"]; n != 1 {
@@ -116,7 +138,7 @@ func TestBrownoutHysteresis(t *testing.T) {
 	step := func(est time.Duration) Stats {
 		t.Helper()
 		be.setEst(est)
-		if _, err := a.Submit(context.Background(), "", nil, bn.One()); err != nil {
+		if _, err := a.SubmitWork(context.Background(), "", stubWL(), phiwork.Input{A: bn.One()}); err != nil {
 			t.Fatalf("submit at est=%v: %v", est, err)
 		}
 		return a.Stats()
@@ -163,7 +185,7 @@ func TestBrownoutFairness10to1(t *testing.T) {
 	var gold, bronze int
 	for i := 0; i < 2000; i++ {
 		for _, tn := range []string{"gold", "bronze"} {
-			_, err := a.Submit(context.Background(), tn, nil, bn.One())
+			_, err := a.SubmitWork(context.Background(), tn, stubWL(), phiwork.Input{A: bn.One()})
 			switch {
 			case err == nil:
 				if tn == "gold" {
@@ -207,7 +229,7 @@ func TestTokenRefundOnBackendError(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		// Without the refund the single token is gone after the first try
 		// and later attempts would shed with ErrShedTenant instead.
-		if _, err := a.Submit(context.Background(), "t", nil, bn.One()); !errors.Is(err, boom) {
+		if _, err := a.SubmitWork(context.Background(), "t", stubWL(), phiwork.Input{A: bn.One()}); !errors.Is(err, boom) {
 			t.Fatalf("attempt %d: %v, want backend error", i, err)
 		}
 	}

@@ -1,0 +1,338 @@
+package phiadmit
+
+import (
+	"context"
+	"errors"
+	mrand "math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/dh"
+	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/phifleet"
+	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phitrace"
+	"phiopenssl/internal/phiwork"
+	"phiopenssl/internal/telemetry"
+)
+
+// workloadCase is one precomputed (workload, input, expected-output)
+// triple the hammer's submitters replay.
+type workloadCase struct {
+	w    phiwork.Workload
+	in   phiwork.Input
+	want bn.Nat
+}
+
+// TestWorkloadHammer is the `make workloads` CI gate: all five workload
+// kinds — rsa-priv, pss-sign, dhe-fixed, dhe-var and the light public
+// class — driven concurrently through admission and the two-card fleet
+// under -race, with kernel faults active and the fleet closed
+// mid-traffic. Every accepted request must resolve exactly once with the
+// scalar-reference answer, per-tenant workload allow-lists must deny
+// off-list kinds at the door, every journey must carry a canonical
+// workload event, and the workload label must appear in the /metrics
+// scrape. Gated behind PHIOPENSSL_WORKLOADS=1 because it soaks for a
+// couple of seconds.
+func TestWorkloadHammer(t *testing.T) {
+	if os.Getenv("PHIOPENSSL_WORKLOADS") == "" {
+		t.Skip("set PHIOPENSSL_WORKLOADS=1 to run the workload hammer")
+	}
+	ref := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(77))
+	decKey := mustKey(t, 3001)
+	sigKey := mustKey(t, 3002)
+	group := dh.MODP1024()
+
+	priv := phiwork.RSAPrivateFor(decKey)
+	sign := phiwork.PSSSignFor(sigKey)
+	fixed := phiwork.DHEFixedFor(group)
+	varw := phiwork.DHEVarFor(group)
+	pub := phiwork.RSAPublicFor(&decKey.PublicKey)
+
+	// Precompute a few inputs per workload with scalar-reference answers;
+	// the soak replays these so every result is checkable.
+	const perKind = 4
+	rand256 := func() bn.Nat {
+		buf := make([]byte, 32)
+		rng.Read(buf)
+		buf[0] |= 0x80
+		return bn.FromBytes(buf)
+	}
+	var cases []workloadCase
+	addCase := func(w phiwork.Workload, in phiwork.Input) {
+		if err := w.Validate(in); err != nil {
+			t.Fatalf("%s case invalid: %v", w.Kind(), err)
+		}
+		want, err := w.ExecuteScalar(ref, in)
+		if err != nil {
+			t.Fatalf("%s scalar reference: %v", w.Kind(), err)
+		}
+		cases = append(cases, workloadCase{w: w, in: in, want: want})
+	}
+	randIn := func(n bn.Nat) bn.Nat {
+		v, err := bn.RandomRange(rng, bn.One(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for i := 0; i < perKind; i++ {
+		addCase(priv, phiwork.Input{A: randIn(decKey.N)})
+		addCase(sign, phiwork.Input{A: randIn(sigKey.N)})
+		addCase(fixed, phiwork.Input{A: rand256()})
+		// A valid peer public for dhe-var: g^y for a fresh exponent.
+		peer, err := fixed.ExecuteScalar(ref, phiwork.Input{A: rand256()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addCase(varw, phiwork.Input{A: rand256(), B: peer})
+		addCase(pub, phiwork.Input{A: randIn(decKey.N)})
+	}
+	caseByKind := make(map[phiwork.Kind][]workloadCase)
+	for _, c := range cases {
+		caseByKind[c.w.Kind()] = append(caseByKind[c.w.Kind()], c)
+	}
+
+	var journeyMu sync.Mutex
+	var journeys []*phitrace.Journey
+	rec := phitrace.New(phitrace.Config{
+		RingSize: 2048,
+		SampleN:  16,
+		OnResolve: func(j *phitrace.Journey) {
+			journeyMu.Lock()
+			journeys = append(journeys, j)
+			journeyMu.Unlock()
+		},
+	})
+
+	tel := &telemetry.Telemetry{Registry: telemetry.NewRegistry()}
+	f, err := phifleet.New(phifleet.Config{
+		Cards:       2,
+		Replicas:    2,
+		MaxHops:     3,
+		RetryBudget: phiserve.NewRetryBudget(0.1, 64),
+		Journeys:    rec,
+		Card: phiserve.Config{
+			Workers:      2,
+			FillDeadline: time.Millisecond,
+			QueueDepth:   2,
+			OverflowCap:  8,
+			Resilience: phiserve.Resilience{
+				MaxRetries:        2,
+				ExecTimeout:       2 * time.Second,
+				BreakerWindow:     16,
+				BreakerMinSamples: 4,
+				BreakerThreshold:  0.5,
+				BreakerCooldown:   20 * time.Millisecond,
+				Faults: &faultsim.Config{
+					Seed:           13,
+					KernelFailRate: 0.05,
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start(context.Background())
+
+	// Tenant -> workload-class mapping: "web" is the decrypt+verify
+	// front, "hs" the handshake tier (DHE + signing), "open" unrestricted.
+	ctrl := New(f, Config{
+		SLO:       2 * time.Second,
+		Capacity:  4000,
+		Journeys:  rec,
+		Telemetry: tel,
+		Tenants: []Tenant{
+			{ID: "web", Weight: 10, Workloads: []phiwork.Kind{phiwork.KindRSAPrivate, phiwork.KindPublic}},
+			{ID: "hs", Weight: 3, Workloads: []phiwork.Kind{phiwork.KindDHEFixed, phiwork.KindDHEVar, phiwork.KindPSSSign}},
+			{ID: "open", Weight: 1},
+		},
+	})
+
+	tenantKinds := map[string][]phiwork.Kind{
+		"web":  {phiwork.KindRSAPrivate, phiwork.KindPublic},
+		"hs":   {phiwork.KindDHEFixed, phiwork.KindDHEVar, phiwork.KindPSSSign},
+		"open": {phiwork.KindRSAPrivate, phiwork.KindPublic, phiwork.KindDHEFixed, phiwork.KindDHEVar, phiwork.KindPSSSign},
+	}
+	tenants := []string{"web", "web", "hs", "open"}
+
+	const submitters = 10
+	var submits, accepted, resolved, wrong, shed, denied atomic.Int64
+	var completedByKind [5]atomic.Int64
+	kindSlot := map[phiwork.Kind]int{
+		phiwork.KindRSAPrivate: 0, phiwork.KindPSSSign: 1,
+		phiwork.KindDHEFixed: 2, phiwork.KindDHEVar: 3, phiwork.KindPublic: 4,
+	}
+
+	// Deterministic warmup: every precomputed case round-trips through
+	// admission and the fleet once before the storm adds concurrency, so
+	// each kind is guaranteed a completed op even if the soak then spends
+	// its time shedding.
+	for i, c := range cases {
+		submits.Add(1)
+		res, err := ctrl.DoWork(context.Background(), "open", c.w, c.in)
+		if err != nil || res.Err != nil {
+			t.Fatalf("warmup case %d (%s): %v / %v", i, c.w.Kind(), err, res.Err)
+		}
+		if !res.M.Equal(c.want) {
+			t.Fatalf("warmup case %d (%s): wrong result", i, c.w.Kind())
+		}
+		accepted.Add(1)
+		resolved.Add(1)
+		completedByKind[kindSlot[c.w.Kind()]].Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tn := tenants[g%len(tenants)]
+			kinds := tenantKinds[tn]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every 16th submit on "web" tries an off-list kind: the
+				// allow-list must deny it at the door, every time.
+				if tn == "web" && i%16 == 15 {
+					c := caseByKind[phiwork.KindDHEFixed][i%perKind]
+					if _, err := ctrl.SubmitWork(context.Background(), tn, c.w, c.in); errors.Is(err, ErrWorkloadDenied) {
+						denied.Add(1)
+					} else if !errors.Is(err, phiserve.ErrClosed) && err != nil {
+						t.Errorf("off-list submit: got %v, want ErrWorkloadDenied", err)
+						return
+					}
+					continue
+				}
+				kind := kinds[(g+i)%len(kinds)]
+				c := caseByKind[kind][(g*7+i)%perKind]
+				submits.Add(1)
+				ch, err := ctrl.SubmitWork(context.Background(), tn, c.w, c.in)
+				if err != nil {
+					switch {
+					case errors.Is(err, ErrShedOverload), errors.Is(err, ErrShedTenant):
+						shed.Add(1)
+						continue
+					case errors.Is(err, phiserve.ErrClosed),
+						errors.Is(err, phiserve.ErrCanceled),
+						errors.Is(err, phiserve.ErrDeadlineExceeded),
+						errors.Is(err, phiserve.ErrOverloaded):
+						continue
+					default:
+						t.Errorf("submit %s: %v", kind, err)
+						return
+					}
+				}
+				accepted.Add(1)
+				res := <-ch
+				switch {
+				case res.Err == nil:
+					if !res.M.Equal(c.want) {
+						wrong.Add(1)
+					}
+					completedByKind[kindSlot[kind]].Add(1)
+					resolved.Add(1)
+				case errors.Is(res.Err, phiserve.ErrCanceled),
+					errors.Is(res.Err, phiserve.ErrDeadlineExceeded),
+					errors.Is(res.Err, phiserve.ErrOverloaded):
+					resolved.Add(1)
+				default:
+					t.Errorf("unexpected %s result error: %v", kind, res.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	fleetStats := f.Stats()
+	f.Close()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if wrong.Load() != 0 {
+		t.Fatalf("%d wrong results across the workload mix", wrong.Load())
+	}
+	if resolved.Load() != accepted.Load() {
+		t.Fatalf("accepted %d, resolved %d: exactly-once violated", accepted.Load(), resolved.Load())
+	}
+	for kind, slot := range kindSlot {
+		if completedByKind[slot].Load() == 0 {
+			t.Fatalf("workload %s never completed an op", kind)
+		}
+	}
+	if denied.Load() == 0 {
+		t.Fatal("workload allow-list never denied an off-list submit")
+	}
+	var shedWorkload int64
+	for _, ts := range ctrl.Stats().Tenants {
+		shedWorkload += ts.ShedWorkload
+	}
+	if shedWorkload != denied.Load() {
+		t.Fatalf("tenant stats count %d workload denials, submitters saw %d", shedWorkload, denied.Load())
+	}
+
+	// The fleet's aggregated per-workload stats must cover every kind.
+	for kind := range kindSlot {
+		ws, ok := fleetStats.Fleet.Workloads[kind]
+		if !ok || ws.Completed == 0 {
+			t.Fatalf("fleet stats missing workload %s: %+v", kind, fleetStats.Fleet.Workloads)
+		}
+	}
+
+	// Journey coherence: one terminal each, and every journey names its
+	// workload with a canonical kind note at the door.
+	journeyMu.Lock()
+	captured := append([]*phitrace.Journey(nil), journeys...)
+	journeyMu.Unlock()
+	if len(captured) == 0 {
+		t.Fatal("no journeys captured")
+	}
+	valid := map[string]bool{}
+	for _, k := range phiwork.Kinds() {
+		valid[string(k)] = true
+	}
+	for _, j := range captured {
+		if n := j.Terminals(); n != 1 {
+			t.Fatalf("journey %d has %d terminal events", j.ID(), n)
+		}
+		found := ""
+		for _, e := range j.Events() {
+			if e.Kind == "workload" {
+				found = e.Note
+				break
+			}
+		}
+		if !valid[found] {
+			t.Fatalf("journey %d workload note %q is not a canonical kind", j.ID(), found)
+		}
+	}
+
+	// The workload label must be visible in a real metrics scrape.
+	var prom strings.Builder
+	if err := tel.Registry.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range phiwork.Kinds() {
+		if !strings.Contains(prom.String(), `workload="`+string(k)+`"`) {
+			t.Fatalf("/metrics scrape missing workload=%q series", k)
+		}
+	}
+
+	t.Logf("workload hammer: submits=%d accepted=%d shed=%d denied=%d per-kind=[%d %d %d %d %d] journeys=%d",
+		submits.Load(), accepted.Load(), shed.Load(), denied.Load(),
+		completedByKind[0].Load(), completedByKind[1].Load(), completedByKind[2].Load(),
+		completedByKind[3].Load(), completedByKind[4].Load(), len(captured))
+}

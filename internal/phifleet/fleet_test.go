@@ -14,6 +14,7 @@ import (
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
 )
 
@@ -214,7 +215,7 @@ func TestBreakerFailoverRoutesAroundSickCard(t *testing.T) {
 	var key *rsakit.PrivateKey
 	for seed := int64(0); seed < 32; seed++ {
 		k := mustKey(512, 2000+seed)
-		if f.ring.order(k)[0] == 0 {
+		if f.ring.order(phiwork.RSAPrivateFor(k))[0] == 0 {
 			key = k
 			break
 		}

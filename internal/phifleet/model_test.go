@@ -8,6 +8,7 @@ import (
 
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/phiserve"
+	"phiopenssl/internal/phiwork"
 )
 
 // testModel builds a model with a flat synthetic pass cost (real passes
@@ -102,8 +103,8 @@ func TestRingProperties(t *testing.T) {
 	keys, _, _ := keySet(t, 12)
 	counts := make([]int, 4)
 	for _, k := range keys {
-		o1 := r.order(k)
-		o2 := r.order(k)
+		o1 := r.order(phiwork.RSAPrivateFor(k))
+		o2 := r.order(phiwork.RSAPrivateFor(k))
 		if len(o1) != 4 {
 			t.Fatalf("order length %d, want 4", len(o1))
 		}
@@ -140,7 +141,7 @@ func TestHotTrackerThreshold(t *testing.T) {
 
 	// Slow key: one arrival per window, never hot.
 	for i := 0; i < 5; i++ {
-		if h.observe(keys[0]) {
+		if h.observe(phiwork.RSAPrivateFor(keys[0])) {
 			t.Fatal("slow key marked hot")
 		}
 		now = now.Add(time.Second)
@@ -148,14 +149,14 @@ func TestHotTrackerThreshold(t *testing.T) {
 	// Burst key: a full batch inside one window flips it hot immediately.
 	hot := false
 	for i := 0; i < phiserve.BatchSize; i++ {
-		hot = h.observe(keys[1])
+		hot = h.observe(phiwork.RSAPrivateFor(keys[1]))
 	}
 	if !hot {
 		t.Fatal("bursting key never marked hot")
 	}
 	// After a quiet window it cools down.
 	now = now.Add(2 * time.Second)
-	if h.observe(keys[1]) {
+	if h.observe(phiwork.RSAPrivateFor(keys[1])) {
 		t.Fatal("key stayed hot through a quiet window")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/phiserve"
 	"phiopenssl/internal/phitrace"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 )
@@ -237,7 +238,7 @@ func New(cfg Config) (*Fleet, error) {
 // scheduler or worker goroutines, so it must never block on card i; Adopt
 // on a sibling is non-blocking.
 func (f *Fleet) hook(donor int) phiserve.RedispatchFunc {
-	return func(key *rsakit.PrivateKey, ops []phiserve.StolenOp, reason phiserve.StealReason) int {
+	return func(w phiwork.Workload, ops []phiserve.StolenOp, reason phiserve.StealReason) int {
 		// Only the prefix within its hop budget is movable (the hook
 		// contract is front-of-slice).
 		n := 0
@@ -324,23 +325,33 @@ func (f *Fleet) Start(ctx context.Context) {
 }
 
 // Submit routes one private-key operation to a card and returns its
-// result channel. The key's home card (hash order) serves it unless the
-// key is hot — then it round-robins over the first Replicas cards — or
-// the preferred card is degraded — then the next healthy card in hash
-// order takes it (failover). With every candidate degraded the home card
-// serves it anyway, which inside phiserve means sibling offer first,
-// scalar fallback last.
+// result channel — the compat spelling of SubmitWork over the key's
+// canonical rsa-priv workload.
 func (f *Fleet) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan phiserve.Result, error) {
 	return f.SubmitWith(ctx, key, c, phiserve.SubmitOpts{})
 }
 
-// SubmitWith is Submit with admission metadata (see phiserve.SubmitWith):
-// an already-expired context or deadline is rejected at the fleet door, and
-// a request carrying a deadline is routed past a card whose current delay
-// estimate exceeds the remaining budget, to the healthy card with the
-// smallest estimate — shedding is then a per-card decision the admission
-// layer makes with the same estimates.
+// SubmitWith is Submit with admission metadata.
 func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error) {
+	if key == nil {
+		return nil, fmt.Errorf("phifleet: nil key")
+	}
+	return f.SubmitWork(ctx, phiwork.RSAPrivateFor(key), phiwork.Input{A: c}, opts)
+}
+
+// SubmitWork routes one operation of any workload kind to a card and
+// returns its result channel. The workload's home card (hash order over
+// its RouteBytes) serves it unless the workload is hot — then it
+// round-robins over the first Replicas cards — or the preferred card is
+// degraded — then the next healthy card in hash order takes it
+// (failover). With every candidate degraded the home card serves it
+// anyway, which inside phiserve means sibling offer first, scalar
+// fallback last. An already-expired context or deadline is rejected at
+// the fleet door, and a request carrying a deadline is routed past a card
+// whose current delay estimate exceeds the remaining budget, to the
+// healthy card with the smallest estimate — shedding is then a per-card
+// decision the admission layer makes with the same estimates.
+func (f *Fleet) SubmitWork(ctx context.Context, w phiwork.Workload, in phiwork.Input, opts phiserve.SubmitOpts) (<-chan phiserve.Result, error) {
 	f.mu.Lock()
 	if !f.started {
 		f.mu.Unlock()
@@ -351,8 +362,8 @@ func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat
 		return nil, phiserve.ErrClosed
 	}
 	f.mu.Unlock()
-	if key == nil {
-		return nil, fmt.Errorf("phifleet: nil key")
+	if w == nil {
+		return nil, fmt.Errorf("phifleet: nil workload")
 	}
 	// Reject dead-on-arrival work before routing burns anything.
 	if err := ctx.Err(); err != nil {
@@ -368,11 +379,11 @@ func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat
 	if !deadline.IsZero() && now.After(deadline) {
 		return nil, phiserve.ErrDeadlineExceeded
 	}
-	order := f.ring.order(key)
+	order := f.ring.order(w)
 	why := "home"
-	if f.hot.observe(key) && f.cfg.Replicas > 1 {
-		// Rotate the replica set so a hot key's traffic lands evenly on
-		// its first Replicas cards.
+	if f.hot.observe(w) && f.cfg.Replicas > 1 {
+		// Rotate the replica set so a hot workload's traffic lands evenly
+		// on its first Replicas cards.
 		r := int(f.rr.Add(1)) % f.cfg.Replicas
 		order[0], order[r] = order[r], order[0]
 		f.hotRouted.Inc()
@@ -428,12 +439,14 @@ func (f *Fleet) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat
 		if !deadline.IsZero() {
 			slo = deadline.Sub(now)
 		}
-		journey = f.cfg.Journeys.Begin(opts.Tenant, f.cards[pick].KeyTag(key), deadline, slo)
+		journey = f.cfg.Journeys.BeginWork(opts.Tenant, f.cards[pick].WorkTag(w),
+			string(w.Kind()), deadline, slo)
 		ownJourney = true
 		opts.Journey = journey
+		journey.Event("workload", pick, string(w.Kind()))
 	}
 	journey.Event("route", pick, why)
-	ch, err := f.cards[pick].SubmitWith(ctx, key, c, opts)
+	ch, err := f.cards[pick].SubmitWork(ctx, w, in, opts)
 	if err != nil && ownJourney {
 		journey.Finish(phiserve.JourneyOutcome(err), err.Error())
 	}
@@ -469,6 +482,20 @@ func (f *Fleet) EstimatedDelay() time.Duration {
 // Do is the synchronous convenience wrapper: Submit then wait.
 func (f *Fleet) Do(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (phiserve.Result, error) {
 	ch, err := f.Submit(ctx, key, c)
+	if err != nil {
+		return phiserve.Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return phiserve.Result{}, ctx.Err()
+	}
+}
+
+// DoWork is the synchronous convenience wrapper over SubmitWork.
+func (f *Fleet) DoWork(ctx context.Context, w phiwork.Workload, in phiwork.Input) (phiserve.Result, error) {
+	ch, err := f.SubmitWork(ctx, w, in, phiserve.SubmitOpts{})
 	if err != nil {
 		return phiserve.Result{}, err
 	}
@@ -560,6 +587,16 @@ func (f *Fleet) Stats() Stats {
 		a.RetryBudgetDenied += cs.RetryBudgetDenied
 		a.SimThroughput += cs.SimThroughput
 		simLatencyWeighted += cs.MeanSimLatency * float64(cs.Completed)
+		for k, ws := range cs.Workloads {
+			if a.Workloads == nil {
+				a.Workloads = make(map[phiwork.Kind]phiserve.WorkloadStats)
+			}
+			agg := a.Workloads[k]
+			agg.Submitted += ws.Submitted
+			agg.Completed += ws.Completed
+			agg.Batches += ws.Batches
+			a.Workloads[k] = agg
+		}
 		if cs.BreakerState != "closed" {
 			degraded++
 		}

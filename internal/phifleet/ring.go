@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/phiwork"
 )
 
 // hashBytes is FNV-1a over b: stable across processes (unlike pointer
@@ -60,11 +60,13 @@ func newRing(cards, vnodes int) *ring {
 	return r
 }
 
-// order returns every card index in this key's hash-preference order: the
-// owner first, then the distinct successors clockwise. order[1:] is the
-// replication/failover chain.
-func (r *ring) order(key *rsakit.PrivateKey) []int {
-	h := hashBytes(key.N.Bytes())
+// order returns every card index in this workload's hash-preference
+// order: the owner first, then the distinct successors clockwise.
+// order[1:] is the replication/failover chain. The hash covers the
+// workload's RouteBytes (kind + modulus), so two kinds over the same key
+// — decryption and signing, say — can land on different home cards.
+func (r *ring) order(w phiwork.Workload) []int {
+	h := hashBytes(w.RouteBytes())
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
 	out := make([]int, 0, r.cards)
 	seen := make([]bool, r.cards)
@@ -78,16 +80,16 @@ func (r *ring) order(key *rsakit.PrivateKey) []int {
 	return out
 }
 
-// hotTracker watches per-key arrival rates. A key is hot while its
-// arrivals exceed one full batch per fill deadline — the point past which
-// a single card's open batch fills before its deadline anyway, so
-// spreading the key across replicas stops costing fill and starts buying
-// card parallelism.
+// hotTracker watches per-workload arrival rates. A workload is hot while
+// its arrivals exceed one full batch per fill deadline — the point past
+// which a single card's open batch fills before its deadline anyway, so
+// spreading the workload across replicas stops costing fill and starts
+// buying card parallelism.
 type hotTracker struct {
 	window    time.Duration // one fill deadline
-	threshold int           // arrivals per window that make a key hot
+	threshold int           // arrivals per window that make a workload hot
 	mu        sync.Mutex
-	states    map[*rsakit.PrivateKey]*hotState
+	states    map[phiwork.Workload]*hotState
 	now       func() time.Time // injectable for tests
 }
 
@@ -97,34 +99,35 @@ type hotState struct {
 	hot         bool
 }
 
-// hotTrackerMaxKeys bounds the tracker like the keyTag cache: beyond it
-// the state map resets wholesale (a key re-earns hotness in one window).
+// hotTrackerMaxKeys bounds the tracker like the workTag cache: beyond it
+// the state map resets wholesale (a workload re-earns hotness in one
+// window).
 const hotTrackerMaxKeys = 1024
 
 func newHotTracker(window time.Duration, threshold int) *hotTracker {
 	return &hotTracker{
 		window:    window,
 		threshold: threshold,
-		states:    make(map[*rsakit.PrivateKey]*hotState),
+		states:    make(map[phiwork.Workload]*hotState),
 		now:       time.Now,
 	}
 }
 
-// observe records one arrival for key and reports whether the key is
+// observe records one arrival for w and reports whether the workload is
 // currently hot. Hotness flips at window boundaries: a window that
 // reached the threshold marks the next window hot, one that did not
 // clears it.
-func (h *hotTracker) observe(key *rsakit.PrivateKey) bool {
+func (h *hotTracker) observe(w phiwork.Workload) bool {
 	now := h.now()
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	st := h.states[key]
+	st := h.states[w]
 	if st == nil {
 		if len(h.states) >= hotTrackerMaxKeys {
-			h.states = make(map[*rsakit.PrivateKey]*hotState)
+			h.states = make(map[phiwork.Workload]*hotState)
 		}
 		st = &hotState{windowStart: now}
-		h.states[key] = st
+		h.states[w] = st
 	}
 	if el := now.Sub(st.windowStart); el >= h.window {
 		// A full quiet window (no arrival rolled the window on time)

@@ -14,8 +14,11 @@ func (s *Server[S, J]) Instrument(reg *telemetry.Registry, prefix string, labels
 		return
 	}
 	reg.GaugeFunc(prefix+"_queue_depth",
-		"jobs currently waiting in the pool queue",
+		"jobs currently waiting in the pool queues (fast lane included)",
 		func() float64 { return float64(s.QueueDepth()) }, labels...)
+	reg.GaugeFunc(prefix+"_fast_queue_depth",
+		"jobs currently waiting in the fast lane (0 without SetFastLane)",
+		func() float64 { return float64(s.FastQueueDepth()) }, labels...)
 	reg.CounterFunc(prefix+"_jobs_run_total",
 		"jobs executed to completion by pool workers",
 		func() float64 { return float64(s.JobsRun()) }, labels...)

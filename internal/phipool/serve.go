@@ -54,6 +54,13 @@ type Server[S, J any] struct {
 
 	queue chan J
 
+	// Fast lane (SetFastLane): a second bounded queue for cheap jobs.
+	// Workers prefer it non-blockingly before taking heavy work, so a
+	// backlog of heavy jobs in the main queue cannot starve the cheap
+	// class — the public-op lanes of the workload-generic pipeline.
+	fastQueue chan J
+	isFast    func(J) bool
+
 	// Stall detection (SetJobTimeout): jobs exceeding jobTimeout abandon
 	// their worker state — the simulated hardware thread wedged — and the
 	// worker respawns with fresh state; onTimeout lets the scheduler
@@ -130,8 +137,13 @@ func (s *Server[S, J]) Threads() int { return s.threads }
 // Machine returns the simulated machine the server runs on.
 func (s *Server[S, J]) Machine() knc.Machine { return s.machine }
 
-// QueueDepth returns the number of jobs currently waiting in the queue.
-func (s *Server[S, J]) QueueDepth() int { return len(s.queue) }
+// QueueDepth returns the number of jobs currently waiting in the main
+// and fast queues combined.
+func (s *Server[S, J]) QueueDepth() int { return len(s.queue) + len(s.fastQueue) }
+
+// FastQueueDepth returns the number of jobs waiting in the fast lane
+// (0 when SetFastLane was never called).
+func (s *Server[S, J]) FastQueueDepth() int { return len(s.fastQueue) }
 
 // JobsRun returns the number of jobs executed so far.
 func (s *Server[S, J]) JobsRun() int64 { return s.jobsRun.Load() }
@@ -196,6 +208,39 @@ func (s *Server[S, J]) SetJobExpiry(expired func(J) bool, onExpired func(J)) {
 	s.onExpired = onExpired
 }
 
+// SetFastLane installs a second bounded queue of `depth` jobs (clamped to
+// at least 1) for jobs isFast classifies as cheap. Submit and TrySubmit
+// route by the classifier; workers drain the fast lane in preference to
+// the main queue — non-blockingly first, then fairly — so heavy backlog
+// cannot starve cheap jobs, while a pure-fast workload still keeps every
+// worker busy. All job guarantees (run-or-reject exactly once, expiry
+// drop, dequeue observation, timeout monitoring) apply to both lanes.
+//
+// SetFastLane must be called before Start.
+func (s *Server[S, J]) SetFastLane(depth int, isFast func(J) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("phipool: SetFastLane after Start")
+	}
+	if isFast == nil {
+		panic("phipool: nil fast-lane classifier")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s.fastQueue = make(chan J, depth)
+	s.isFast = isFast
+}
+
+// lane returns the queue a job belongs on.
+func (s *Server[S, J]) lane(job J) chan J {
+	if s.fastQueue != nil && s.isFast(job) {
+		return s.fastQueue
+	}
+	return s.queue
+}
+
 // SetDequeueObserver installs a hook observing every dequeued job on the
 // worker goroutine that took it, before the expiry judgment — so even a
 // job about to be dropped records how long it queued and which hardware
@@ -230,44 +275,82 @@ func (s *Server[S, J]) Start(ctx context.Context) {
 		go func(slot int) {
 			defer s.workers.Done()
 			state := s.newState()
-			for {
+			// Local channel copies go nil as each lane closes and drains,
+			// so the loop exits only when both are exhausted (a nil channel
+			// never selects).
+			queue, fast := s.queue, s.fastQueue
+			for queue != nil || fast != nil {
+				// Prefer the fast lane without blocking: cheap jobs jump
+				// ahead of however much heavy backlog sits in the main
+				// queue.
+				if fast != nil {
+					select {
+					case j, ok := <-fast:
+						if !ok {
+							fast = nil
+							continue
+						}
+						s.serve(slot, &state, j)
+						continue
+					default:
+					}
+				}
 				select {
 				case <-s.ctx.Done():
 					return
-				case j, ok := <-s.queue:
+				case j, ok := <-queue:
 					if !ok {
-						return
-					}
-					if s.dequeueObs != nil {
-						s.dequeueObs(slot, j)
-					}
-					if s.expired != nil && s.expired(j) {
-						s.jobsExpired.Add(1)
-						if s.onExpired != nil {
-							s.onExpired(j)
-						}
+						queue = nil
 						continue
 					}
-					if s.runMonitored(&state, j) {
-						s.jobsRun.Add(1)
+					s.serve(slot, &state, j)
+				case j, ok := <-fast:
+					if !ok {
+						fast = nil
+						continue
 					}
+					s.serve(slot, &state, j)
 				}
 			}
 		}(w)
 	}
 
-	// Janitor: after cancellation, rejects everything left in the queue
-	// (including jobs that race into the queue as workers exit) until
-	// Close closes it.
-	s.janitor.Add(1)
-	go func() {
-		defer s.janitor.Done()
-		<-s.ctx.Done()
-		for j := range s.queue {
-			s.reject(j)
-			s.jobsRejected.Add(1)
+	// Janitors: after cancellation, reject everything left in each queue
+	// (including jobs that race into a queue as workers exit) until Close
+	// closes it.
+	for _, q := range []chan J{s.queue, s.fastQueue} {
+		if q == nil {
+			continue
 		}
-	}()
+		q := q
+		s.janitor.Add(1)
+		go func() {
+			defer s.janitor.Done()
+			<-s.ctx.Done()
+			for j := range q {
+				s.reject(j)
+				s.jobsRejected.Add(1)
+			}
+		}()
+	}
+}
+
+// serve runs one dequeued job through the observer, the expiry judgment
+// and the monitored execution — the shared tail of both lanes.
+func (s *Server[S, J]) serve(slot int, state *S, j J) {
+	if s.dequeueObs != nil {
+		s.dequeueObs(slot, j)
+	}
+	if s.expired != nil && s.expired(j) {
+		s.jobsExpired.Add(1)
+		if s.onExpired != nil {
+			s.onExpired(j)
+		}
+		return
+	}
+	if s.runMonitored(state, j) {
+		s.jobsRun.Add(1)
+	}
 }
 
 // runMonitored executes one job, bounding it by the job timeout when one is
@@ -323,7 +406,7 @@ func (s *Server[S, J]) TrySubmit(job J) bool {
 	default:
 	}
 	select {
-	case s.queue <- job:
+	case s.lane(job) <- job:
 		return true
 	default:
 		return false
@@ -357,7 +440,7 @@ func (s *Server[S, J]) Submit(ctx context.Context, job J) error {
 	default:
 	}
 	select {
-	case s.queue <- job:
+	case s.lane(job) <- job:
 		return nil
 	case <-s.ctx.Done():
 		return ErrCanceled
@@ -385,7 +468,10 @@ func (s *Server[S, J]) Close() {
 	s.mu.Unlock()
 
 	s.inFlight.Wait() // every racing Submit has enqueued or given up
-	close(s.queue)    // workers (or the janitor) consume what remains
+	close(s.queue)    // workers (or the janitors) consume what remains
+	if s.fastQueue != nil {
+		close(s.fastQueue)
+	}
 	s.workers.Wait()
 	s.cancel() // wake the janitor if the parent context never fired
 	s.janitor.Wait()

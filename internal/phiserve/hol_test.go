@@ -7,6 +7,7 @@ import (
 
 	"phiopenssl/internal/bn"
 	"phiopenssl/internal/faultsim"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
 )
 
@@ -92,25 +93,25 @@ func TestDeadlineFiresWhileDispatchQueueSaturated(t *testing.T) {
 	}
 }
 
-// TestKeyTagCacheBounded: the per-key trace-tag cache must not grow
-// without bound on a long-lived server seeing many distinct keys.
-func TestKeyTagCacheBounded(t *testing.T) {
+// TestWorkTagCacheBounded: the per-workload trace-tag cache must not grow
+// without bound on a long-lived server seeing many distinct workloads.
+func TestWorkTagCacheBounded(t *testing.T) {
 	s, err := New(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < keyTagCacheMax+64; i++ {
-		k := *testKey // distinct pointer per iteration; keyTag is identity-keyed
-		if tag := s.keyTag(&k); tag == "" {
-			t.Fatal("empty key tag")
+	for i := 0; i < workTagCacheMax+64; i++ {
+		k := *testKey // distinct pointer per iteration; workTag is identity-keyed
+		if tag := s.workTag(phiwork.NewRSAPrivate(&k)); tag == "" {
+			t.Fatal("empty work tag")
 		}
 	}
 	size := 0
-	s.keyTags.Range(func(_, _ any) bool {
+	s.workTags.Range(func(_, _ any) bool {
 		size++
 		return true
 	})
-	if size > keyTagCacheMax {
-		t.Fatalf("keyTags holds %d entries, cap is %d", size, keyTagCacheMax)
+	if size > workTagCacheMax {
+		t.Fatalf("workTags holds %d entries, cap is %d", size, workTagCacheMax)
 	}
 }

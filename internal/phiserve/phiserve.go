@@ -1,18 +1,29 @@
-// Package phiserve is the streaming batch scheduler: it accepts single RSA
-// private-key requests one at a time — the shape of live server traffic —
-// and aggregates them per key into vbatch.BatchSize-lane batches for the
-// lane-per-operation vector kernels, which ablation A4 shows are cheaper
-// per operation than the per-op (horizontal) engine once the lanes are
-// full.
+// Package phiserve is the streaming batch scheduler: it accepts single
+// crypto operations one at a time — the shape of live server traffic —
+// and aggregates them per workload into vbatch.BatchSize-lane batches for
+// the lane-per-operation vector kernels, which ablation A4 shows are
+// cheaper per operation than the per-op (horizontal) engine once the
+// lanes are full.
 //
-// The scheduling policy is the classic batch-server trade: a request that
-// arrives into an empty per-key buffer opens a batch and arms a fill
-// deadline; the batch dispatches when the sixteenth request arrives or
-// when the deadline fires, whichever is first. Partial batches pad their
-// unused lanes with a duplicated operand (rsakit.PrivateOpBatchN), so a
-// partial dispatch costs a full kernel pass — the deadline is literally
-// the knob trading latency (dispatch early, waste lanes) against
-// throughput (wait for fills, queue longer).
+// The scheduler is generic over phiwork.Workload: the original RSA
+// private op, PSS signing, the two DHE exponentiations and the cheap
+// public op all ride the same pipeline. Aggregation is by Workload
+// identity — requests carrying the same Workload instance (same key,
+// same kind) fill the same batch — and execution defers to the
+// workload's ExecuteBatch, so the scheduler never knows which kernel
+// family a batch runs. Dispatch is class-aware: ClassLight batches
+// (public ops) ride the pool's fast lane and a separate overflow list,
+// so a flood of heavy private-op batches cannot starve them past their
+// SLO.
+//
+// The scheduling policy is the classic batch-server trade: a request
+// that arrives into an empty per-workload buffer opens a batch and arms
+// a fill deadline; the batch dispatches when the sixteenth request
+// arrives or when the deadline fires, whichever is first. Partial
+// batches pad their unused lanes with a duplicated operand, so a partial
+// dispatch costs a full kernel pass — the deadline is literally the knob
+// trading latency (dispatch early, waste lanes) against throughput (wait
+// for fills, queue longer).
 //
 // Execution runs on a persistent phipool.Server: long-lived workers each
 // owning a private vector unit, a bounded batch queue whose fullness
@@ -21,15 +32,16 @@
 // Results return asynchronously on a per-request channel together with
 // the simulated per-request latency; Stats aggregates queue depth, the
 // batch fill-rate histogram, cycles/op, simulated throughput and the
-// resilience counters.
+// resilience counters, with per-workload families alongside.
 //
-// Execution is verified and survivable (see resilience.go): every pass
-// runs the Bellcore re-encryption check per lane, fault-detected lanes
-// retry on fresh batches with exponential backoff and degrade to the
-// scalar non-CRT baseline path after MaxRetries, stalled workers are
-// detected by an execution timeout and respawned, and a circuit breaker
-// trips on the rolling pass-fault rate — while open, submissions bypass
-// the vector path entirely and half-open probe batches test recovery.
+// Execution is verified and survivable (see resilience.go): verifying
+// workloads run the Bellcore re-encryption check per lane, transient
+// fault-detected lanes retry on fresh batches with exponential backoff
+// and degrade to the workload's scalar path after MaxRetries, stalled
+// workers are detected by an execution timeout and respawned, and a
+// circuit breaker trips on the rolling pass-fault rate — while open,
+// submissions bypass the vector path entirely and half-open probe
+// batches test recovery.
 package phiserve
 
 import (
@@ -47,6 +59,7 @@ import (
 	"phiopenssl/internal/knc"
 	"phiopenssl/internal/phipool"
 	"phiopenssl/internal/phitrace"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/rsakit"
 	"phiopenssl/internal/telemetry"
 	"phiopenssl/internal/vpu"
@@ -58,9 +71,9 @@ const BatchSize = rsakit.BatchSize
 // Errors returned by Submit or delivered in Result.Err.
 var (
 	// ErrCanceled marks requests abandoned by context cancellation:
-	// requests still waiting in a per-key buffer or in a batch that was
-	// queued but never executed. In-flight batches are drained, so their
-	// requests complete normally.
+	// requests still waiting in a per-workload buffer or in a batch that
+	// was queued but never executed. In-flight batches are drained, so
+	// their requests complete normally.
 	ErrCanceled = errors.New("phiserve: canceled")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("phiserve: server closed")
@@ -91,14 +104,16 @@ type Config struct {
 	FillDeadline time.Duration
 	// QueueDepth bounds the dispatch queue between the scheduler and the
 	// workers; a full queue blocks dispatch and, transitively, Submit
-	// (backpressure). Defaults to 2*Workers.
+	// (backpressure). The light-class fast lane gets its own queue of the
+	// same depth. Defaults to 2*Workers.
 	QueueDepth int
-	// OverflowCap bounds the scheduler's overflow list (the batches parked
-	// when the dispatch queue is full). Intake backpressure already stops
-	// new admissions once the list is QueueDepth deep, but deadline
-	// flushes of already-open keys and adopted lanes can still push past
-	// that; at the cap the newest batch is shed with ErrOverloaded instead
-	// of growing an unserveable backlog. Defaults to 8*QueueDepth.
+	// OverflowCap bounds each of the scheduler's per-class overflow lists
+	// (the batches parked when the dispatch queue is full). Intake
+	// backpressure already stops new admissions of a class once its list
+	// is QueueDepth deep, but deadline flushes of already-open workloads
+	// and adopted lanes can still push past that; at the cap the newest
+	// batch is shed with ErrOverloaded instead of growing an unserveable
+	// backlog. Defaults to 8*QueueDepth.
 	OverflowCap int
 	// Backend selects how workers execute kernel passes:
 	// vpu.BackendDirect (calibrated direct limb arithmetic, the serving
@@ -138,12 +153,13 @@ type Config struct {
 	// to a sibling server via Adopt; the rest stay here. See steal.go.
 	Redispatch RedispatchFunc
 	// Journeys, when non-nil, records a per-request journey (batch seal,
-	// queue dequeue, kernel pass with CRT breakdown, retries, fallback,
-	// expiry checkpoints) resolved with exactly one terminal outcome at
-	// finish, and receives incident triggers on breaker transitions and
-	// retry-budget exhaustion. A journey begun upstream (the admission
-	// door or the fleet router) arrives in SubmitOpts instead; requests
-	// adopted from a sibling card keep the journey they came with.
+	// queue dequeue, kernel pass with its segment breakdown, retries,
+	// fallback, expiry checkpoints) resolved with exactly one terminal
+	// outcome at finish, and receives incident triggers on breaker
+	// transitions and retry-budget exhaustion. A journey begun upstream
+	// (the admission door or the fleet router) arrives in SubmitOpts
+	// instead; requests adopted from a sibling card keep the journey they
+	// came with.
 	Journeys *phitrace.Recorder
 	// Card is this server's index in a multi-card fleet, stamped on
 	// journey events so a steal hop is visible as a card change. 0 for a
@@ -183,11 +199,15 @@ func (c Config) withDefaults() Config {
 
 // Result is the outcome of one request.
 type Result struct {
-	// M is the plaintext (c^D mod N); valid when Err is nil. Every
-	// plaintext released here passed the Bellcore re-encryption check
-	// (m^E mod N == c) on the path that produced it.
+	// M is the workload's output for this lane (the plaintext c^D mod N
+	// for rsa-priv, the signature rep for pss-sign, g^x or the shared
+	// secret for the DHE kinds, m^E for public); valid when Err is nil.
+	// On verifying workloads every value released here passed the
+	// workload's check (the Bellcore re-encryption for the private-op
+	// kinds) on the path that produced it.
 	M bn.Nat
-	// Err is ErrCanceled for abandoned requests, or the batch-level
+	// Err is ErrCanceled for abandoned requests, a permanent per-lane
+	// error (e.g. a degenerate DHE shared secret), or the batch-level
 	// failure that poisoned this request's batch.
 	Err error
 	// BatchFill is the number of live lanes in the batch that served this
@@ -200,8 +220,8 @@ type Result struct {
 	// simulated machine: one kernel pass at the server's worker count
 	// (queueing delay is host-side and reported by the A6 load model).
 	SimLatency float64
-	// Fallback reports that the request was served by the scalar non-CRT
-	// baseline path: the breaker was open, or retries were exhausted.
+	// Fallback reports that the request was served by the workload's
+	// scalar path: the breaker was open, or retries were exhausted.
 	Fallback bool
 	// Attempts is the number of failed vector passes this request survived
 	// before the pass (or fallback) that resolved it; 0 on a clean first
@@ -209,22 +229,22 @@ type Result struct {
 	Attempts int
 }
 
-// request is one queued private-key operation. A request's pointer can
-// travel between servers (the fleet's work stealing moves it via Adopt),
-// so everything needed to resolve it rides inside: the span string fixed
-// at Submit keeps trace identity unique across cards, and the done CAS
-// keeps resolution exactly-once no matter how many cards race.
+// request is one queued operation. A request's pointer can travel between
+// servers (the fleet's work stealing moves it via Adopt), so everything
+// needed to resolve it rides inside: the span string fixed at Submit
+// keeps trace identity unique across cards, and the done CAS keeps
+// resolution exactly-once no matter how many cards race.
 type request struct {
 	id   int64  // per-server ordinal, assigned by Submit
 	span string // trace-span identity, globally unique (TrackBase-scoped)
-	key  *rsakit.PrivateKey
-	c    bn.Nat
+	work phiwork.Workload
+	in   phiwork.Input
 	at   time.Time    // Submit time, for the wall-latency histogram
 	resp chan Result  // buffered(1); receives exactly one Result
 	done atomic.Bool  // set by Server.finish; guards exactly-once delivery
 	hops atomic.Int32 // Adopt count, bounding steal ping-pong
 
-	// Admission metadata (SubmitWith). deadline is the absolute SLO
+	// Admission metadata (SubmitOpts). deadline is the absolute SLO
 	// deadline — zero means none; a lane past it is dropped at the next
 	// checkpoint (batch seal, dispatch dequeue, pre-pass filter) instead
 	// of burning card cycles. ctx is the submitter's context, checked at
@@ -251,7 +271,7 @@ func (q *request) ctxDone() bool {
 
 // batch is the scheduler's dispatch unit.
 type batch struct {
-	key  *rsakit.PrivateKey
+	work phiwork.Workload
 	reqs []*request
 	// fallback routes the batch straight to the scalar path (breaker open
 	// at admission).
@@ -264,8 +284,9 @@ type batch struct {
 	enqueuedAt time.Time
 }
 
-// pending is one key's open batch: requests accumulated since the buffer
-// was last empty, plus the deadline timer and the generation guarding it.
+// pending is one workload's open batch: requests accumulated since the
+// buffer was last empty, plus the deadline timer and the generation
+// guarding it.
 type pending struct {
 	reqs     []*request
 	gen      uint64
@@ -273,23 +294,28 @@ type pending struct {
 	openedAt time.Time // first request's arrival, for the fill-window slice
 }
 
-// flushMsg asks the scheduler to dispatch a key's open batch if it still
-// belongs to the generation whose timer fired.
+// flushMsg asks the scheduler to dispatch a workload's open batch if it
+// still belongs to the generation whose timer fired.
 type flushMsg struct {
-	key *rsakit.PrivateKey
-	gen uint64
+	work phiwork.Workload
+	gen  uint64
 }
 
-// Server is the streaming batch scheduler. Requests for the same key must
-// be submitted with the same *rsakit.PrivateKey pointer — the scheduler
-// aggregates by identity, the natural shape for a server holding a fixed
-// key set.
+// Server is the streaming batch scheduler. Requests for the same
+// workload must be submitted with the same phiwork.Workload instance —
+// the scheduler aggregates by identity (the phiwork.*For caches are the
+// canonicalization point), the natural shape for a server holding a
+// fixed key set.
 type Server struct {
 	cfg  Config
 	pool *phipool.Server[*worker, *batch]
 
-	intake chan *request
-	flush  chan flushMsg
+	// intake is the heavy-class submission channel; intakeLight carries
+	// ClassLight (public-op) requests so heavy backpressure cannot block
+	// cheap submissions.
+	intake      chan *request
+	intakeLight chan *request
+	flush       chan flushMsg
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -305,8 +331,10 @@ type Server struct {
 	// workerSeq numbers worker states for per-worker fault/jitter seeds;
 	// respawned workers get fresh numbers (fresh schedules).
 	workerSeq atomic.Int64
-	// passWall is the EWMA of recent kernel-pass host wall times (float64
-	// bits), feeding EstimatedDelay; zero until the first pass completes.
+	// passWall is the EWMA of recent heavy-class kernel-pass host wall
+	// times (float64 bits), feeding EstimatedDelay; zero until the first
+	// pass completes. Light passes are excluded — they are an order of
+	// magnitude cheaper and would drag the heavy sojourn estimate down.
 	passWall atomic.Uint64
 
 	mu       sync.Mutex
@@ -320,11 +348,11 @@ type Server struct {
 	tracer *telemetry.Tracer
 	// reqSeq numbers requests for trace-span identities.
 	reqSeq atomic.Int64
-	// keyTags caches a short display tag per key for trace labels,
-	// bounded by keyTagCacheMax (see keyTag).
-	keyTags     sync.Map // *rsakit.PrivateKey -> string
-	keyTagSeq   atomic.Int64
-	keyTagCount atomic.Int64
+	// workTags caches a short display tag per workload for trace labels,
+	// bounded by workTagCacheMax (see workTag).
+	workTags     sync.Map // phiwork.Workload -> string
+	workTagSeq   atomic.Int64
+	workTagCount atomic.Int64
 
 	stats *statsAcc
 }
@@ -350,10 +378,11 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:       cfg,
-		intake:    make(chan *request, BatchSize),
-		flush:     make(chan flushMsg, 1),
-		schedDone: make(chan struct{}),
+		cfg:         cfg,
+		intake:      make(chan *request, BatchSize),
+		intakeLight: make(chan *request, BatchSize),
+		flush:       make(chan flushMsg, 1),
+		schedDone:   make(chan struct{}),
 		breaker: newBreaker(r.BreakerWindow, r.BreakerThreshold,
 			r.BreakerMinSamples, r.BreakerCooldown),
 		release: make(chan struct{}),
@@ -371,6 +400,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The light-class fast lane: cheap public-op batches bypass the heavy
+	// dispatch queue entirely, so a heavy flood cannot starve them.
+	pool.SetFastLane(cfg.QueueDepth, func(b *batch) bool {
+		return b.work.Class() == phiwork.ClassLight
+	})
 	if r.ExecTimeout > 0 {
 		pool.SetJobTimeout(r.ExecTimeout, s.retryTimedOut)
 	}
@@ -418,35 +452,44 @@ func (s *Server) resolveDeadBatch(b *batch) {
 // /trace endpoints for this server.
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// keyTagCacheMax bounds the keyTags cache. A long-lived server seeing
-// millions of distinct keys must not grow the map forever; the tags only
-// feed trace labels, so when the cap is hit the cache is simply reset —
-// a key seen again after a reset gets a new ordinal, which is harmless.
-const keyTagCacheMax = 1024
+// workTagCacheMax bounds the workTags cache. A long-lived server seeing
+// millions of distinct workloads must not grow the map forever; the tags
+// only feed trace labels, so when the cap is hit the cache is simply
+// reset — a workload seen again after a reset gets a new ordinal, which
+// is harmless.
+const workTagCacheMax = 1024
 
-// KeyTag exposes the key's short display tag ("rsa-1024#2") so a fleet
-// router can label the journeys it begins with the same tag the card's
-// own spans and journey events use.
-func (s *Server) KeyTag(key *rsakit.PrivateKey) string { return s.keyTag(key) }
+// KeyTag exposes the short display tag ("rsa-1024#2") of the key's
+// rsa-priv workload — the compat spelling of WorkTag for RSA-only
+// callers.
+func (s *Server) KeyTag(key *rsakit.PrivateKey) string {
+	return s.workTag(phiwork.RSAPrivateFor(key))
+}
 
-// keyTag returns a stable short label for a key ("rsa-1024#2": modulus
-// bits plus an arrival ordinal distinguishing same-size keys).
-func (s *Server) keyTag(key *rsakit.PrivateKey) string {
-	if tag, ok := s.keyTags.Load(key); ok {
+// WorkTag exposes a workload's short display tag ("dhe-fixed-modp2048#3")
+// so a fleet router can label the journeys it begins with the same tag
+// the card's own spans and journey events use.
+func (s *Server) WorkTag(w phiwork.Workload) string { return s.workTag(w) }
+
+// workTag returns a stable short label for a workload: its Tag plus an
+// arrival ordinal distinguishing same-shape instances ("rsa-1024#2").
+func (s *Server) workTag(w phiwork.Workload) string {
+	if tag, ok := s.workTags.Load(w); ok {
 		return tag.(string)
 	}
-	tag := fmt.Sprintf("rsa-%d#%d", key.N.BitLen(), s.keyTagSeq.Add(1))
-	if prev, loaded := s.keyTags.LoadOrStore(key, tag); loaded {
+	tag := w.Tag() + "#" + strconv.FormatInt(s.workTagSeq.Add(1), 10)
+	if prev, loaded := s.workTags.LoadOrStore(w, tag); loaded {
 		return prev.(string)
 	}
-	if s.keyTagCount.Add(1) > keyTagCacheMax {
-		// Wholesale eviction: concurrent readers just re-insert their keys.
-		// Racing resetters double-clear at worst — the count only shrinks.
-		s.keyTags.Range(func(k, _ any) bool {
-			s.keyTags.Delete(k)
+	if s.workTagCount.Add(1) > workTagCacheMax {
+		// Wholesale eviction: concurrent readers just re-insert their
+		// workloads. Racing resetters double-clear at worst — the count
+		// only shrinks.
+		s.workTags.Range(func(k, _ any) bool {
+			s.workTags.Delete(k)
 			return true
 		})
-		s.keyTagCount.Store(0)
+		s.workTagCount.Store(0)
 	}
 	return tag
 }
@@ -490,8 +533,8 @@ func JourneyOutcome(err error) phitrace.Outcome {
 // retried passes, more than one execution path can race to answer the
 // same request, and only the first wins (reported by the return). As the
 // single resolution point it also owns completion accounting — the
-// completed/failed counters, the wall-latency histogram, and the close of
-// the request's trace span.
+// completed/failed counters (total and per-workload), the wall-latency
+// histogram, and the close of the request's trace span.
 func (s *Server) finish(q *request, res Result) bool {
 	if !q.done.CompareAndSwap(false, true) {
 		return false
@@ -500,6 +543,7 @@ func (s *Server) finish(q *request, res Result) bool {
 		s.stats.failed.Inc()
 	} else {
 		s.stats.completed.Inc()
+		s.stats.workload(q.work.Kind()).completed.Inc()
 		s.stats.wallLatency.Observe(time.Since(q.at).Seconds())
 		// Successful work funds future fault recovery (see RetryBudget).
 		s.cfg.Resilience.Budget.Deposit(1)
@@ -535,9 +579,9 @@ func (s *Server) finish(q *request, res Result) bool {
 // deadline-expired lanes are resolved (and counted) here. Every point
 // that is about to spend card time on a slice runs it — batch seal, the
 // dispatch queue's expiry check, the pre-pass filter, the retry loop and
-// the scalar path — so a dead lane can never reach kernel execution.
-// checkpoint names the call site on the dropped lane's journey, answering
-// "which of the five checkpoints caught it".
+// the scalar path — so a dead lane can never reach kernel execution, for
+// any workload class. checkpoint names the call site on the dropped
+// lane's journey, answering "which of the checkpoints caught it".
 func (s *Server) dropDeadLanes(reqs []*request, checkpoint string) []*request {
 	now := time.Now()
 	live := make([]*request, 0, len(reqs))
@@ -598,8 +642,8 @@ func (s *Server) observeDequeue(slot int, b *batch) {
 // a load or key-size shift.
 const ewmaAlpha = 0.25
 
-// observePass folds one kernel pass's host wall time into the rolling
-// per-batch service-time estimate behind EstimatedDelay.
+// observePass folds one heavy kernel pass's host wall time into the
+// rolling per-batch service-time estimate behind EstimatedDelay.
 func (s *Server) observePass(d time.Duration) {
 	sec := d.Seconds()
 	for {
@@ -616,13 +660,14 @@ func (s *Server) observePass(d time.Duration) {
 }
 
 // EstimatedDelay is the telemetry-derived sojourn estimate for a newly
-// admitted request: the fill-deadline wait, plus the backlog (dispatch
-// queue + overflow list) drained at one recent-mean pass per worker, plus
-// the request's own pass. The admission layer (internal/phiadmit) sheds
-// at the door when this exceeds a request's remaining deadline budget,
-// and the fleet router uses the per-card values to route past a card
-// whose backlog would blow the budget. Before the first pass completes
-// the estimate is just the fill deadline — a cold server admits freely.
+// admitted heavy-class request: the fill-deadline wait, plus the backlog
+// (dispatch queue + overflow lists) drained at one recent-mean pass per
+// worker, plus the request's own pass. The admission layer
+// (internal/phiadmit) sheds at the door when this exceeds a request's
+// remaining deadline budget, and the fleet router uses the per-card
+// values to route past a card whose backlog would blow the budget.
+// Before the first pass completes the estimate is just the fill deadline
+// — a cold server admits freely.
 func (s *Server) EstimatedDelay() time.Duration {
 	pass := math.Float64frombits(s.passWall.Load())
 	if pass <= 0 {
@@ -700,26 +745,41 @@ type SubmitOpts struct {
 }
 
 // Submit enqueues one private-key operation c^D mod N and returns the
-// channel its Result will arrive on. ctx bounds only this call's wait
-// (backpressure can block it); once nil is returned, exactly one Result
-// is guaranteed to arrive. c must be in [0, key.N).
+// channel its Result will arrive on — the compat spelling of SubmitWork
+// over the key's canonical rsa-priv workload. ctx bounds only this call's
+// wait (backpressure can block it); once nil is returned, exactly one
+// Result is guaranteed to arrive. c must be in [0, key.N).
 func (s *Server) Submit(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (<-chan Result, error) {
 	return s.SubmitWith(ctx, key, c, SubmitOpts{})
 }
 
-// SubmitWith is Submit with admission metadata: a tenant id and an SLO
-// deadline that travel with the request through the scheduler, the
-// dispatch queue, work stealing and the worker pool. An already-expired
-// context or deadline is rejected here — the request never reaches the
-// pool. After admission, ctx keeps mattering: a request whose context is
-// canceled while it waits is dropped at the next checkpoint (batch seal,
-// queue dequeue, pre-pass filter) and resolves with ErrCanceled.
+// SubmitWith is Submit with admission metadata.
 func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat, opts SubmitOpts) (<-chan Result, error) {
 	if key == nil {
 		return nil, fmt.Errorf("phiserve: nil key")
 	}
-	if c.Cmp(key.N) >= 0 {
-		return nil, fmt.Errorf("phiserve: ciphertext out of range")
+	return s.SubmitWork(ctx, phiwork.RSAPrivateFor(key), phiwork.Input{A: c}, opts)
+}
+
+// SubmitWork enqueues one operation of any registered workload kind, with
+// admission metadata: a tenant id and an SLO deadline that travel with
+// the request through the scheduler, the dispatch queue, work stealing
+// and the worker pool. The input is validated by the workload before it
+// can occupy a lane; an already-expired context or deadline is rejected
+// here — the request never reaches the pool. After admission, ctx keeps
+// mattering: a request whose context is canceled while it waits is
+// dropped at the next checkpoint (batch seal, queue dequeue, pre-pass
+// filter) and resolves with ErrCanceled.
+//
+// Requests aggregate into batches by Workload instance identity: resolve
+// instances through the phiwork.*For caches (or reuse your own) so equal
+// identities share batches.
+func (s *Server) SubmitWork(ctx context.Context, w phiwork.Workload, in phiwork.Input, opts SubmitOpts) (<-chan Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("phiserve: nil workload")
+	}
+	if err := w.Validate(in); err != nil {
+		return nil, err
 	}
 	// Reject dead-on-arrival work before it can occupy a lane: a canceled
 	// context, or a deadline that has already passed.
@@ -768,14 +828,16 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		if !deadline.IsZero() {
 			slo = deadline.Sub(now)
 		}
-		journey = s.cfg.Journeys.Begin(opts.Tenant, s.keyTag(key), deadline, slo)
+		journey = s.cfg.Journeys.BeginWork(opts.Tenant, s.workTag(w),
+			string(w.Kind()), deadline, slo)
 		ownJourney = true
+		journey.Event("workload", s.cfg.Card, string(w.Kind()))
 	}
 	journey.Event("submit", s.cfg.Card, "")
 	req := &request{
 		id:       s.reqSeq.Add(1),
-		key:      key,
-		c:        c,
+		work:     w,
+		in:       in,
 		at:       now,
 		resp:     make(chan Result, 1),
 		deadline: deadline,
@@ -794,7 +856,7 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 	// goroutine runs another line. The rejection paths below close the
 	// span themselves so begins and ends stay balanced.
 	if s.tracer != nil {
-		args := telemetry.Args{"key": s.keyTag(key)}
+		args := telemetry.Args{"key": s.workTag(w), "workload": string(w.Kind())}
 		if req.tenant != "" {
 			args["tenant"] = req.tenant
 		}
@@ -805,9 +867,17 @@ func (s *Server) SubmitWith(ctx context.Context, key *rsakit.PrivateKey, c bn.Na
 		}
 		s.tracer.SpanBegin(req.span, "request", args)
 	}
+	// Light-class requests ride their own intake so heavy backpressure
+	// (a closed heavy gate, a full heavy intake buffer) cannot block a
+	// cheap submission behind it.
+	intake := s.intake
+	if w.Class() == phiwork.ClassLight {
+		intake = s.intakeLight
+	}
 	select {
-	case s.intake <- req:
+	case intake <- req:
 		s.stats.submitted.Inc()
+		s.stats.workload(w.Kind()).submitted.Inc()
 		return req.resp, nil
 	case <-s.ctx.Done():
 		s.tracer.SpanEnd(req.span, "request", telemetry.Args{"err": "not submitted"})
@@ -838,6 +908,20 @@ func (s *Server) Do(ctx context.Context, key *rsakit.PrivateKey, c bn.Nat) (Resu
 	}
 }
 
+// DoWork is the synchronous convenience wrapper over SubmitWork.
+func (s *Server) DoWork(ctx context.Context, w phiwork.Workload, in phiwork.Input) (Result, error) {
+	ch, err := s.SubmitWork(ctx, w, in, SubmitOpts{})
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
 // Close shuts the server down. If the context is still alive this is a
 // graceful drain: open partial batches dispatch immediately and every
 // queued batch executes. After cancellation it instead reaps the
@@ -857,17 +941,21 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 
-	s.inFlight.Wait() // racing Submits have enqueued or given up
-	close(s.intake)   // scheduler flushes pending and exits
+	s.inFlight.Wait()    // racing Submits have enqueued or given up
+	close(s.intake)      // scheduler flushes pending and exits...
+	close(s.intakeLight) // ...once both intakes are drained
 	// Wake workers parked on injected stalls before waiting on the
-	// scheduler: the scheduler's final act is flushing its overflow list
+	// scheduler: the scheduler's final act is flushing its overflow lists
 	// through the blocking path, which needs queue slots that only free
 	// up when parked workers drain their batches via the scalar path.
 	s.releaseOnce.Do(func() { close(s.release) })
 	<-s.schedDone
 	// After cancellation the scheduler exits without draining the intake
-	// buffer; resolve whatever it left behind.
+	// buffers; resolve whatever it left behind.
 	for req := range s.intake {
+		s.finish(req, Result{Err: ErrCanceled})
+	}
+	for req := range s.intakeLight {
 		s.finish(req, Result{Err: ErrCanceled})
 	}
 	s.pool.Close()
@@ -875,53 +963,65 @@ func (s *Server) Close() {
 }
 
 // overflowPollInterval is how often the scheduler retries its overflow
-// list against the dispatch queue while the list is non-empty. Small
+// lists against the dispatch queues while either is non-empty. Small
 // against the default FillDeadline (2ms), so an overflowed batch reaches
 // a freed queue slot promptly.
 const overflowPollInterval = 250 * time.Microsecond
 
-// schedule is the single goroutine that owns the per-key buffers.
+// schedule is the single goroutine that owns the per-workload buffers.
 //
 // Dispatch never blocks this goroutine: a batch the queue cannot take
-// goes onto the scheduler-owned overflow list and is retried on a short
-// poll. Blocking here — the old behavior — was head-of-line blocking for
-// the whole server: one key saturating the dispatch queue froze fill
-// deadlines and intake for every other key. Backpressure survives the
-// fix: once the overflow list is QueueDepth deep the scheduler stops
-// pulling intake, so the intake buffer fills and Submit blocks, while
-// deadline flushes and cancellation keep being served.
+// goes onto the scheduler-owned overflow list for its class and is
+// retried on a short poll. Blocking here — the old behavior — was
+// head-of-line blocking for the whole server: one workload saturating
+// the dispatch queue froze fill deadlines and intake for every other.
+// Backpressure survives the fix, per class: once a class's overflow list
+// is QueueDepth deep the scheduler stops pulling that class's intake (a
+// nil channel never selects), so that intake buffer fills and Submit
+// blocks — while the other class, deadline flushes and cancellation keep
+// being served. A heavy flood therefore backpressures heavy submitters
+// without ever gating the light lane.
 func (s *Server) schedule() {
 	defer close(s.schedDone)
-	open := make(map[*rsakit.PrivateKey]*pending)
+	open := make(map[phiwork.Workload]*pending)
 	var gen uint64
 
-	// overflow holds dispatched batches the queue could not take, oldest
-	// first; only this goroutine touches it.
-	var overflow []*batch
+	// Per-class overflow lists (indexed by phiwork.Class), oldest first;
+	// only this goroutine touches them.
+	var overflow [2][]*batch
 	poll := time.NewTimer(overflowPollInterval)
 	if !poll.Stop() {
 		<-poll.C
 	}
 	pollArmed := false
 
-	drainOverflow := func() {
-		for len(overflow) > 0 {
-			if !s.pool.TrySubmit(overflow[0]) {
+	drainClass := func(cls phiwork.Class) {
+		q := overflow[cls]
+		for len(q) > 0 {
+			if !s.pool.TrySubmit(q[0]) {
+				overflow[cls] = q
 				return
 			}
-			overflow[0] = nil // release the batch to the GC
-			overflow = overflow[1:]
+			q[0] = nil // release the batch to the GC
+			q = q[1:]
 			s.stats.overflowDepth.Add(-1)
 		}
-		overflow = nil
+		overflow[cls] = nil
+	}
+	drainOverflow := func() {
+		// Light first: its queue frees independently and its batches are
+		// closest to their (tight) SLOs.
+		drainClass(phiwork.ClassLight)
+		drainClass(phiwork.ClassHeavy)
 	}
 	enqueue := func(b *batch) {
+		cls := b.work.Class()
 		b.enqueuedAt = time.Now()
-		drainOverflow() // keep FIFO: older batches go first
-		if len(overflow) == 0 && s.pool.TrySubmit(b) {
+		drainClass(cls) // keep FIFO within the class: older batches go first
+		if len(overflow[cls]) == 0 && s.pool.TrySubmit(b) {
 			return
 		}
-		if len(overflow) >= s.cfg.OverflowCap {
+		if len(overflow[cls]) >= s.cfg.OverflowCap {
 			// The queue and the overflow behind it are both full: shed the
 			// newest batch instead of growing an unserveable backlog. Old
 			// batches keep their FIFO position — they are closest to their
@@ -933,11 +1033,11 @@ func (s *Server) schedule() {
 			}
 			return
 		}
-		overflow = append(overflow, b)
+		overflow[cls] = append(overflow[cls], b)
 		s.stats.overflowed.Inc()
 		s.stats.overflowDepth.Add(1)
 		if note := journeyNote(b.reqs, func() string {
-			return "depth=" + strconv.Itoa(len(overflow))
+			return "depth=" + strconv.Itoa(len(overflow[cls])) + " class=" + cls.String()
 		}); note != "" {
 			for _, r := range b.reqs {
 				r.journey.Event("overflow", s.cfg.Card, note)
@@ -945,15 +1045,15 @@ func (s *Server) schedule() {
 		}
 	}
 
-	dispatch := func(key *rsakit.PrivateKey, byDeadline bool) {
-		p := open[key]
-		delete(open, key)
+	dispatch := func(w phiwork.Workload, byDeadline bool) {
+		p := open[w]
+		delete(open, w)
 		p.timer.Stop()
 		s.stats.pendingLanes.Add(float64(-len(p.reqs)))
 		if s.tracer != nil {
 			s.tracer.Slice(s.ctl(), "batch-fill", p.openedAt,
 				time.Since(p.openedAt), telemetry.Args{
-					"lanes": len(p.reqs), "key": s.keyTag(key)})
+					"lanes": len(p.reqs), "key": s.workTag(w)})
 		}
 		// Batch seal is the first drop checkpoint: lanes whose submitter
 		// canceled while they buffered, or whose deadline already expired,
@@ -976,41 +1076,89 @@ func (s *Server) schedule() {
 		if byDeadline && len(reqs) < BatchSize {
 			// A deadline-fired partial batch is the work-stealing hook's
 			// bread and butter: a sibling card may have lanes of the same
-			// key open, or simply be idle.
-			reqs = reqs[s.offerSteal(key, reqs, StealPartialDeadline):]
+			// workload open, or simply be idle.
+			reqs = reqs[s.offerSteal(w, reqs, StealPartialDeadline):]
 			if len(reqs) == 0 {
 				return
 			}
 		}
-		enqueue(&batch{key: key, reqs: reqs})
+		enqueue(&batch{work: w, reqs: reqs})
 	}
 	failAll := func() {
-		for key, p := range open {
+		for w, p := range open {
 			p.timer.Stop()
 			for _, r := range p.reqs {
 				s.finish(r, Result{Err: ErrCanceled})
 			}
 			s.stats.pendingLanes.Add(float64(-len(p.reqs)))
-			delete(open, key)
+			delete(open, w)
 		}
-		for _, b := range overflow {
-			for _, r := range b.reqs {
-				s.finish(r, Result{Err: ErrCanceled})
+		for cls := range overflow {
+			for _, b := range overflow[cls] {
+				for _, r := range b.reqs {
+					s.finish(r, Result{Err: ErrCanceled})
+				}
 			}
+			overflow[cls] = nil
 		}
 		s.stats.overflowDepth.Set(0)
-		overflow = nil
+	}
+	handle := func(req *request) {
+		if s.breaker.degraded() {
+			// Breaker open: don't buffer toward a vector batch that will
+			// not run. A healthy sibling card may take the request;
+			// otherwise dispatch straight to the scalar fallback, one
+			// request per job.
+			reqs := []*request{req}
+			if s.offerSteal(req.work, reqs, StealDegraded) > 0 {
+				return
+			}
+			enqueue(&batch{work: req.work, reqs: reqs, fallback: true})
+			return
+		}
+		p := open[req.work]
+		if p == nil {
+			gen++
+			p = &pending{gen: gen, timer: s.armDeadline(req.work, gen),
+				openedAt: time.Now()}
+			open[req.work] = p
+		}
+		p.reqs = append(p.reqs, req)
+		s.stats.pendingLanes.Add(1)
+		if len(p.reqs) == BatchSize {
+			dispatch(req.work, false)
+		}
+	}
+	gracefulFlush := func() {
+		// Graceful close: dispatch every open partial batch, then flush
+		// the overflow lists through the blocking path — Close has
+		// already released parked workers, so the queues drain.
+		for w := range open {
+			dispatch(w, false)
+		}
+		for cls := range overflow {
+			for _, b := range overflow[cls] {
+				s.submitBatch(b)
+			}
+			overflow[cls] = nil
+		}
+		s.stats.overflowDepth.Set(0)
 	}
 
+	heavyIn, lightIn := s.intake, s.intakeLight
 	for {
-		// Backpressure: with the overflow list QueueDepth deep, stop
-		// pulling intake (a nil channel never selects) until a poll
-		// drains some of it.
-		intake := s.intake
-		if len(overflow) >= s.cfg.QueueDepth {
+		// Per-class backpressure: with a class's overflow list QueueDepth
+		// deep, stop pulling that class's intake until a poll drains some
+		// of it. A closed-and-drained intake goes nil permanently.
+		intake := heavyIn
+		if len(overflow[phiwork.ClassHeavy]) >= s.cfg.QueueDepth {
 			intake = nil
 		}
-		if len(overflow) > 0 && !pollArmed {
+		intakeLight := lightIn
+		if len(overflow[phiwork.ClassLight]) >= s.cfg.QueueDepth {
+			intakeLight = nil
+		}
+		if len(overflow[phiwork.ClassHeavy])+len(overflow[phiwork.ClassLight]) > 0 && !pollArmed {
 			poll.Reset(overflowPollInterval)
 			pollArmed = true
 		}
@@ -1022,48 +1170,30 @@ func (s *Server) schedule() {
 			pollArmed = false
 			drainOverflow()
 		case msg := <-s.flush:
-			if p, ok := open[msg.key]; ok && p.gen == msg.gen {
+			if p, ok := open[msg.work]; ok && p.gen == msg.gen {
 				s.stats.deadlineFires.Add(1)
-				dispatch(msg.key, true)
+				dispatch(msg.work, true)
 			}
 		case req, ok := <-intake:
 			if !ok {
-				// Graceful close: dispatch every open partial batch, then
-				// flush the overflow through the blocking path — Close has
-				// already released parked workers, so the queue drains.
-				for key := range open {
-					dispatch(key, false)
+				heavyIn = nil
+				if lightIn == nil {
+					gracefulFlush()
+					return
 				}
-				for _, b := range overflow {
-					s.submitBatch(b)
-				}
-				s.stats.overflowDepth.Set(0)
-				return
-			}
-			if s.breaker.degraded() {
-				// Breaker open: don't buffer toward a vector batch that
-				// will not run. A healthy sibling card may take the
-				// request; otherwise dispatch straight to the scalar
-				// fallback, one request per job.
-				reqs := []*request{req}
-				if s.offerSteal(req.key, reqs, StealDegraded) > 0 {
-					continue
-				}
-				enqueue(&batch{key: req.key, reqs: reqs, fallback: true})
 				continue
 			}
-			p := open[req.key]
-			if p == nil {
-				gen++
-				p = &pending{gen: gen, timer: s.armDeadline(req.key, gen),
-					openedAt: time.Now()}
-				open[req.key] = p
+			handle(req)
+		case req, ok := <-intakeLight:
+			if !ok {
+				lightIn = nil
+				if heavyIn == nil {
+					gracefulFlush()
+					return
+				}
+				continue
 			}
-			p.reqs = append(p.reqs, req)
-			s.stats.pendingLanes.Add(1)
-			if len(p.reqs) == BatchSize {
-				dispatch(req.key, false)
-			}
+			handle(req)
 		}
 	}
 }
@@ -1089,13 +1219,13 @@ func (s *Server) submitBatch(b *batch) {
 	}
 }
 
-// armDeadline schedules a flush for (key, gen) after the fill deadline.
+// armDeadline schedules a flush for (work, gen) after the fill deadline.
 // The generation guard makes a timer that races its own Stop harmless:
 // the scheduler ignores flushes whose generation is stale.
-func (s *Server) armDeadline(key *rsakit.PrivateKey, gen uint64) *time.Timer {
+func (s *Server) armDeadline(w phiwork.Workload, gen uint64) *time.Timer {
 	return time.AfterFunc(s.cfg.FillDeadline, func() {
 		select {
-		case s.flush <- flushMsg{key: key, gen: gen}:
+		case s.flush <- flushMsg{work: w, gen: gen}:
 		case <-s.ctx.Done():
 		case <-s.schedDone:
 		}

@@ -6,11 +6,10 @@ import (
 	"time"
 
 	"phiopenssl/internal/baseline"
-	"phiopenssl/internal/bn"
 	"phiopenssl/internal/engine"
 	"phiopenssl/internal/faultsim"
 	"phiopenssl/internal/knc"
-	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/telemetry"
 	"phiopenssl/internal/vbatch"
 	"phiopenssl/internal/vpu"
@@ -231,12 +230,12 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			faulted = pending
 		} else {
 			w.backend.Reset()
-			cs := make([]bn.Nat, len(pending))
+			ins := make([]phiwork.Input, len(pending))
 			for i, q := range pending {
-				cs[i] = q.c
+				ins[i] = q.in
 			}
 			passStart := time.Now()
-			out, laneErrs, bd, err := rsakit.PrivateOpBatchVerifiedTraced(w.backend, b.key, cs)
+			out, laneErrs, bd, err := b.work.ExecuteBatch(w.backend, ins)
 			if err != nil {
 				for _, q := range pending {
 					s.finish(q, Result{Err: err})
@@ -250,9 +249,21 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			w.meter.ChargeVectorPhases(bd.Phases)
 			simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
 			served := 0
+			transient := 0
 			for i, q := range pending {
 				if laneErrs[i] != nil {
-					faulted = append(faulted, q)
+					if phiwork.Transient(laneErrs[i]) {
+						// A detected computational fault: the lane is a retry
+						// candidate on a fresh pass.
+						faulted = append(faulted, q)
+						transient++
+						continue
+					}
+					// A permanent per-lane error (e.g. a degenerate DHE
+					// shared secret): retrying cannot fix the input, and the
+					// hardware did nothing wrong, so it resolves now without
+					// feeding the breaker or the retry machinery.
+					s.finish(q, Result{Err: laneErrs[i], BatchFill: fill, Attempts: attempt})
 					continue
 				}
 				if s.finish(q, Result{
@@ -267,23 +278,23 @@ func (s *Server) runBatch(w *worker, b *batch) {
 			}
 			passWall := time.Since(passStart)
 			if note := journeyNote(pending, func() string {
-				return fmt.Sprintf(
-					"worker=%d fill=%d cycles=%.0f expP=%v expQ=%v recombine=%v verify=%v",
-					w.id, fill, cycles,
-					bd.ExpPWall.Round(time.Microsecond),
-					bd.ExpQWall.Round(time.Microsecond),
-					bd.RecombineWall.Round(time.Microsecond),
-					bd.VerifyWall.Round(time.Microsecond))
+				n := fmt.Sprintf("worker=%d fill=%d cycles=%.0f", w.id, fill, cycles)
+				for _, seg := range bd.Segments {
+					n += " " + seg.Name + "=" + seg.Wall.Round(time.Microsecond).String()
+				}
+				return n
 			}); note != "" {
 				for _, q := range pending {
 					q.journey.EventDur("pass", s.cfg.Card, note, passWall)
 				}
 			}
-			s.observePass(passWall)
-			s.stats.recordBatch(fill, served, cycles, simLat, phases)
-			s.stats.faultsDetected.Add(int64(len(faulted)))
-			s.tracePass(w, b, passStart, bd, fill, attempt, cycles, phases, len(faulted))
-			s.breaker.record(len(faulted) > 0, probe)
+			if b.work.Class() == phiwork.ClassHeavy {
+				s.observePass(passWall)
+			}
+			s.stats.recordBatch(b.work.Kind(), fill, served, cycles, simLat, phases)
+			s.stats.faultsDetected.Add(int64(transient))
+			s.tracePass(w, b, passStart, bd, fill, attempt, cycles, phases, transient)
+			s.breaker.record(transient > 0, probe)
 		}
 		probe = false // only this batch's first pass can be the probe
 		if len(faulted) == 0 {
@@ -292,7 +303,7 @@ func (s *Server) runBatch(w *worker, b *batch) {
 		// Faulted lanes are retry candidates for a sibling card first:
 		// its hardware is an independent fault domain, so a retry there
 		// dodges whatever is wrong here.
-		faulted = faulted[s.offerSteal(b.key, faulted, StealFaultRetry):]
+		faulted = faulted[s.offerSteal(b.work, faulted, StealFaultRetry):]
 		// A lane that expired or was abandoned during the failed pass must
 		// not ride a retry either.
 		faulted = s.dropDeadLanes(faulted, "retry")
@@ -335,17 +346,20 @@ func (s *Server) runBatch(w *worker, b *batch) {
 }
 
 // tracePass emits one kernel pass as a slice on the worker's track, with
-// the Bellcore-verified CRT segments nested inside (the flame-graph view),
-// and the cycle attribution riding in the args. The segment slices are
-// laid out back to back from the pass start; context setup between them
-// surfaces as the slice tail rather than as gaps.
-func (s *Server) tracePass(w *worker, b *batch, start time.Time, bd *rsakit.PassBreakdown,
+// the workload's pass segments nested inside (the flame-graph view: the
+// Bellcore-verified CRT quartet for the private-op kinds, a single "exp"
+// span for the DHE and public kinds), and the cycle attribution riding in
+// the args. The segment slices are laid out back to back from the pass
+// start; context setup between them surfaces as the slice tail rather
+// than as gaps.
+func (s *Server) tracePass(w *worker, b *batch, start time.Time, bd *phiwork.Breakdown,
 	fill, attempt int, cycles float64, phases knc.PhaseCycles, faulted int) {
 	if s.tracer == nil {
 		return
 	}
 	args := telemetry.Args{
-		"key":           s.keyTag(b.key),
+		"key":           s.workTag(b.work),
+		"workload":      string(b.work.Kind()),
 		"fill":          fill,
 		"attempt":       attempt,
 		"sim_cycles":    cycles,
@@ -361,17 +375,9 @@ func (s *Server) tracePass(w *worker, b *batch, start time.Time, bd *rsakit.Pass
 	}
 	s.tracer.Slice(w.tid(), "pass", start, time.Since(start), args)
 	t := start
-	for _, seg := range []struct {
-		name string
-		dur  time.Duration
-	}{
-		{"crt-exp-p", bd.ExpPWall},
-		{"crt-exp-q", bd.ExpQWall},
-		{"crt-recombine", bd.RecombineWall},
-		{"bellcore-verify", bd.VerifyWall},
-	} {
-		s.tracer.Slice(w.tid(), seg.name, t, seg.dur, nil)
-		t = t.Add(seg.dur)
+	for _, seg := range bd.Segments {
+		s.tracer.Slice(w.tid(), seg.Name, t, seg.Wall, nil)
+		t = t.Add(seg.Wall)
 	}
 	if faulted > 0 {
 		s.tracer.Instant(w.tid(), "fault-detected",
@@ -418,13 +424,13 @@ func (s *Server) backoff(w *worker, attempt int) bool {
 	}
 }
 
-// runScalarOn serves requests one at a time on the scalar non-CRT baseline
-// path — the degraded mode. Non-CRT means a fault cannot leak a factor of
-// N even in principle, and the scalar engine never touches the (possibly
-// sick) vector unit; verification stays on as defense in depth. Each op
-// appears in the trace as a "fallback-op" slice on the given track.
+// runScalarOn serves requests one at a time on each workload's scalar
+// fallback path — the degraded mode. For the private-op kinds that is the
+// non-CRT verified op: a fault cannot leak a factor of N even in
+// principle, and the scalar engine never touches the (possibly sick)
+// vector unit. Each op appears in the trace as a "fallback-op" slice on
+// the given track.
 func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, tid int64) {
-	opts := rsakit.PrivateOpts{UseCRT: false, Verify: true}
 	for _, q := range reqs {
 		if q.done.Load() {
 			continue
@@ -449,7 +455,7 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 		q.journey.Event("fallback", s.cfg.Card, "attempt="+fmt.Sprint(attempts))
 		eng.Reset()
 		opStart := time.Now()
-		m, err := rsakit.PrivateOp(eng, q.key, q.c, opts)
+		m, err := q.work.ExecuteScalar(eng, q.in)
 		cycles := eng.Cycles()
 		simLat := s.cfg.Machine.Latency(s.cfg.Workers, cycles)
 		s.tracer.Slice(tid, "fallback-op", opStart, time.Since(opStart),
@@ -479,7 +485,7 @@ func (s *Server) runScalarOn(eng engine.Engine, reqs []*request, attempts int, t
 // scalar work here occupies exactly the hardware thread that stalled.
 func (s *Server) retryTimedOut(b *batch) {
 	nb := &batch{
-		key:        b.key,
+		work:       b.work,
 		reqs:       s.dropDeadLanes(b.reqs, "timeout-retry"),
 		fallback:   b.fallback,
 		attempts:   b.attempts + 1,
@@ -508,6 +514,6 @@ func (s *Server) retryTimedOut(b *batch) {
 	}
 	// Before burning this hardware thread on inline scalar ops, let a
 	// sibling card pick up the leftovers.
-	rest := nb.reqs[s.offerSteal(nb.key, nb.reqs, StealFaultRetry):]
+	rest := nb.reqs[s.offerSteal(nb.work, nb.reqs, StealFaultRetry):]
 	s.runScalarOn(baseline.NewMPSS(), rest, nb.attempts, s.ctl())
 }

@@ -1,0 +1,141 @@
+package phiserve
+
+import (
+	"context"
+	mrand "math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"phiopenssl/internal/baseline"
+	"phiopenssl/internal/bn"
+	"phiopenssl/internal/phiwork"
+	"phiopenssl/internal/rsakit"
+)
+
+// TestPublicLaneJumpsHeavyFlood is the class-isolation regression test
+// (the public-op-lane SLO from the workload refactor): a sustained flood
+// of heavy rsa-priv batches saturates the single worker, the dispatch
+// queue and the heavy overflow list, and a batch of light public ops
+// submitted into the middle of that backlog must still execute promptly
+// via the fast lane instead of queueing behind it.
+//
+// The assertion is ordering-based, not wall-clock-based: when the last
+// light result lands, at most half of the heavy flood may have completed.
+// Without the per-class intake split and the pool's fast lane, the light
+// batch sits behind every parked heavy batch and completes only after
+// essentially the whole flood — which this test reliably catches.
+func TestPublicLaneJumpsHeavyFlood(t *testing.T) {
+	// Heavy: 1024-bit CRT private ops — slow enough that the worker is
+	// still deep in the flood when the light batch lands. Light: 512-bit
+	// public ops, the e=65537 cheap class.
+	heavyKey := mustKey(1024, 31)
+	heavy := phiwork.RSAPrivateFor(heavyKey)
+	light := phiwork.RSAPublicFor(&testKey.PublicKey)
+
+	const heavyBatches = 12
+	const heavyN = heavyBatches * BatchSize
+
+	s, err := New(Config{
+		Workers:      1,
+		QueueDepth:   2,
+		FillDeadline: 50 * time.Millisecond, // full batches seal immediately; this is a backstop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	defer s.Close()
+
+	// The heavy flood, from a goroutine: once the heavy overflow list hits
+	// QueueDepth the scheduler stops pulling the heavy intake, so these
+	// submits block on backpressure — which must never gate the light lane.
+	heavyResps := make([]<-chan Result, heavyN)
+	var floodDone sync.WaitGroup
+	floodDone.Add(1)
+	go func() {
+		defer floodDone.Done()
+		rng := mrand.New(mrand.NewSource(41))
+		for i := range heavyResps {
+			c, err := bn.RandomRange(rng, bn.One(), heavyKey.N)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ch, err := s.SubmitWork(context.Background(), heavy, phiwork.Input{A: c}, SubmitOpts{})
+			if err != nil {
+				t.Errorf("heavy submit %d: %v", i, err)
+				return
+			}
+			heavyResps[i] = ch
+		}
+	}()
+
+	// Wait until the backlog is real: at least one heavy batch parked on
+	// the overflow list beyond the full dispatch queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Stats().OverflowBatches < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("heavy flood never overflowed the queue; stats: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A full batch of light public ops into the saturated server. Submits
+	// must be accepted immediately (the heavy backpressure gate holds only
+	// the heavy intake) and the batch must jump the heavy backlog.
+	ref := baseline.NewOpenSSL()
+	rng := mrand.New(mrand.NewSource(43))
+	lightResps := make([]<-chan Result, BatchSize)
+	lightWant := make([]bn.Nat, BatchSize)
+	for i := range lightResps {
+		m, err := bn.RandomRange(rng, bn.One(), testKey.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rsakit.PublicOp(ref, &testKey.PublicKey, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lightWant[i] = want
+		ch, err := s.SubmitWork(context.Background(), light, phiwork.Input{A: m}, SubmitOpts{})
+		if err != nil {
+			t.Fatalf("light submit %d rejected under heavy flood: %v", i, err)
+		}
+		lightResps[i] = ch
+	}
+	for i, ch := range lightResps {
+		res := <-ch
+		if res.Err != nil || !res.M.Equal(lightWant[i]) {
+			t.Fatalf("light request %d: %+v", i, res)
+		}
+	}
+
+	// The starvation assertion: the flood is still mostly pending when the
+	// light batch finishes. The worker completes at most the in-flight
+	// heavy batch plus a couple more in the submit window; completing more
+	// than half the flood means the light batch waited in the heavy line.
+	heavyDone := s.Stats().Workloads[phiwork.KindRSAPrivate].Completed
+	if heavyDone > heavyN/2 {
+		t.Fatalf("light batch finished only after %d/%d heavy ops; public lane starved behind the flood", heavyDone, heavyN)
+	}
+
+	// Drain: the flood itself must still resolve completely and correctly
+	// sized (exactly-once accounting, nothing shed).
+	floodDone.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, ch := range heavyResps {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("heavy request %d: %v", i, res.Err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != heavyN+BatchSize || st.Failed != 0 {
+		t.Fatalf("drain accounting wrong: %+v", st)
+	}
+	if got := st.Workloads[phiwork.KindPublic].Completed; got != BatchSize {
+		t.Fatalf("public-lane accounting: completed %d, want %d", got, BatchSize)
+	}
+}

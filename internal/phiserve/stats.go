@@ -2,9 +2,11 @@ package phiserve
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/telemetry"
 	"phiopenssl/internal/vbatch"
 	"phiopenssl/internal/vpu"
@@ -104,6 +106,17 @@ type Stats struct {
 	// RetryBudgetDenied counts lane-retries refused by the shared retry
 	// budget (the lanes degraded straight to the scalar fallback).
 	RetryBudgetDenied int64
+
+	// Workloads breaks submissions, completions and kernel passes down by
+	// workload kind; kinds with no traffic are omitted.
+	Workloads map[phiwork.Kind]WorkloadStats
+}
+
+// WorkloadStats is one workload kind's slice of the aggregate counters.
+type WorkloadStats struct {
+	Submitted int64
+	Completed int64
+	Batches   int64
 }
 
 // String renders a one-line summary.
@@ -131,6 +144,19 @@ func (st Stats) String() string {
 	if st.ExpiredLanes+st.CanceledLanes+st.OverflowDropped+st.RetryBudgetDenied > 0 {
 		line += fmt.Sprintf(" expired=%d canceled=%d shed=%d budgetDenied=%d",
 			st.ExpiredLanes, st.CanceledLanes, st.OverflowDropped, st.RetryBudgetDenied)
+	}
+	if len(st.Workloads) > 0 {
+		kinds := make([]string, 0, len(st.Workloads))
+		for k := range st.Workloads {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		var parts []string
+		for _, k := range kinds {
+			w := st.Workloads[phiwork.Kind(k)]
+			parts = append(parts, fmt.Sprintf("%s:%d/%d", k, w.Completed, w.Submitted))
+		}
+		line += " workloads[" + strings.Join(parts, " ") + "]"
 	}
 	return line
 }
@@ -160,6 +186,28 @@ type statsAcc struct {
 	expiredLanes, canceledLanes  *telemetry.Counter
 	overflowDropped              *telemetry.Counter
 	budgetDenied                 *telemetry.Counter
+	// byKind holds the per-workload counter families, pre-registered for
+	// every canonical kind (so scrapes show zeros rather than absent
+	// series) plus a catch-all "other" row for out-of-tree Workload
+	// implementations.
+	byKind map[phiwork.Kind]*workloadAcc
+	other  *workloadAcc
+}
+
+// workloadAcc is one workload kind's labeled counter family.
+type workloadAcc struct {
+	submitted *telemetry.Counter
+	completed *telemetry.Counter
+	batches   *telemetry.Counter
+}
+
+// workload resolves a kind to its counter family, falling back to the
+// catch-all row for kinds outside the canonical set.
+func (a *statsAcc) workload(k phiwork.Kind) *workloadAcc {
+	if wa, ok := a.byKind[k]; ok {
+		return wa
+	}
+	return a.other
 }
 
 // newStatsAcc registers the scheduler's metric set on reg (never nil: a
@@ -239,6 +287,25 @@ func newStatsAcc(reg *telemetry.Registry, labels []string) *statsAcc {
 				"the sum across phases equals phiserve_sim_cycles_total",
 			L("phase", vbatch.PhaseName(vpu.Phase(p)))...)
 	}
+	// One labeled row per canonical workload kind, plus the catch-all.
+	a.byKind = make(map[phiwork.Kind]*workloadAcc, len(phiwork.Kinds())+1)
+	mkKind := func(label string) *workloadAcc {
+		return &workloadAcc{
+			submitted: reg.Counter("phiserve_workload_requests_total",
+				"requests accepted by Submit, by workload kind",
+				L("workload", label)...),
+			completed: reg.Counter("phiserve_workload_completed_total",
+				"requests resolved with a result, by workload kind",
+				L("workload", label)...),
+			batches: reg.Counter("phiserve_workload_batches_total",
+				"kernel passes executed, by workload kind",
+				L("workload", label)...),
+		}
+	}
+	for _, k := range phiwork.Kinds() {
+		a.byKind[k] = mkKind(string(k))
+	}
+	a.other = mkKind("other")
 	// Scrapeable latency quantiles: estimated locally from the wall
 	// histogram (Histogram.Quantile), so p50/p99 need no query engine.
 	reg.GaugeFunc("phiserve_latency_p50_seconds",
@@ -255,8 +322,9 @@ func newStatsAcc(reg *telemetry.Registry, labels []string) *statsAcc {
 // whose request a racing path already answered are excluded), with the
 // pass's per-phase cycle attribution. Completion counting itself lives in
 // Server.finish, the single resolution point.
-func (a *statsAcc) recordBatch(fill, served int, cycles, simLat float64, phases knc.PhaseCycles) {
+func (a *statsAcc) recordBatch(kind phiwork.Kind, fill, served int, cycles, simLat float64, phases knc.PhaseCycles) {
 	a.batches.Inc()
+	a.workload(kind).batches.Inc()
 	a.fill.Observe(float64(fill))
 	a.cycles.Add(cycles)
 	a.simLatency.ObserveN(simLat, int64(served))
@@ -323,6 +391,20 @@ func (a *statsAcc) snapshot(cfg Config, queueDepth int, timedOut, respawns int64
 		st.CyclesPerOp = (st.TotalSimCycles + st.FallbackCycles) / float64(st.Completed)
 		st.SimThroughput = cfg.Machine.Throughput(cfg.Workers, st.CyclesPerOp)
 		st.MeanSimLatency = a.simLatency.Sum() / float64(st.Completed)
+	}
+	for k, wa := range a.byKind {
+		ws := WorkloadStats{
+			Submitted: wa.submitted.Value(),
+			Completed: wa.completed.Value(),
+			Batches:   wa.batches.Value(),
+		}
+		if ws.Submitted+ws.Completed+ws.Batches == 0 {
+			continue
+		}
+		if st.Workloads == nil {
+			st.Workloads = make(map[phiwork.Kind]WorkloadStats)
+		}
+		st.Workloads[k] = ws
 	}
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"phiopenssl/internal/knc"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/telemetry"
 )
 
@@ -33,7 +34,7 @@ func TestStatsSnapshotZeroCompleted(t *testing.T) {
 	// pass executed whose lanes were all answered elsewhere (served == 0).
 	a.submitted.Add(3)
 	a.failed.Add(3)
-	a.recordBatch(3, 0, 5000, 0.25, knc.PhaseCycles{})
+	a.recordBatch(phiwork.KindRSAPrivate, 3, 0, 5000, 0.25, knc.PhaseCycles{})
 	st := a.snapshot(Config{}, 0, 0, 0, breakerClosed, 0)
 	check(st)
 	if st.Batches != 1 || st.MeanFill != 3 {

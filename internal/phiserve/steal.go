@@ -3,7 +3,7 @@ package phiserve
 import (
 	"time"
 
-	"phiopenssl/internal/rsakit"
+	"phiopenssl/internal/phiwork"
 	"phiopenssl/internal/telemetry"
 )
 
@@ -65,18 +65,18 @@ func (o StolenOp) Resolved() bool { return o.q.done.Load() }
 // server; routers should stop moving an op after a few hops.
 func (o StolenOp) Hops() int { return int(o.q.hops.Load()) }
 
-// RedispatchFunc is the router's side of the seam. It receives the key,
-// the offered operations (front of the donor's batch) and the reason,
-// and returns how many operations — counted from the front — it moved to
-// another server via Adopt. The donor keeps the rest. The hook runs on
-// the donor's scheduler or worker goroutine, so it must not block on the
-// donor (Adopt on a sibling is non-blocking and safe).
-type RedispatchFunc func(key *rsakit.PrivateKey, ops []StolenOp, reason StealReason) int
+// RedispatchFunc is the router's side of the seam. It receives the
+// workload, the offered operations (front of the donor's batch) and the
+// reason, and returns how many operations — counted from the front — it
+// moved to another server via Adopt. The donor keeps the rest. The hook
+// runs on the donor's scheduler or worker goroutine, so it must not block
+// on the donor (Adopt on a sibling is non-blocking and safe).
+type RedispatchFunc func(w phiwork.Workload, ops []StolenOp, reason StealReason) int
 
 // offerSteal runs the redispatch hook over reqs and returns how many
 // requests, from the front, the hook took; the caller serves the
 // remainder locally. With no hook configured it returns 0.
-func (s *Server) offerSteal(key *rsakit.PrivateKey, reqs []*request, reason StealReason) int {
+func (s *Server) offerSteal(w phiwork.Workload, reqs []*request, reason StealReason) int {
 	if s.cfg.Redispatch == nil || len(reqs) == 0 {
 		return 0
 	}
@@ -84,7 +84,7 @@ func (s *Server) offerSteal(key *rsakit.PrivateKey, reqs []*request, reason Stea
 	for i, q := range reqs {
 		ops[i] = StolenOp{q: q, from: s}
 	}
-	taken := s.cfg.Redispatch(key, ops, reason)
+	taken := s.cfg.Redispatch(w, ops, reason)
 	if taken < 0 {
 		taken = 0
 	}
@@ -97,7 +97,7 @@ func (s *Server) offerSteal(key *rsakit.PrivateKey, reqs []*request, reason Stea
 			q.journey.Event("steal", s.cfg.Card, reason.String())
 		}
 		s.tracer.Instant(s.ctl(), "steal", telemetry.Args{
-			"lanes": taken, "reason": reason.String(), "key": s.keyTag(key)})
+			"lanes": taken, "reason": reason.String(), "key": s.workTag(w)})
 	}
 	return taken
 }
@@ -150,8 +150,15 @@ func (s *Server) Adopt(ops []StolenOp) int {
 			continue
 		}
 		o.q.hops.Add(1)
+		// Route by class, like a native submission: a light op adopted
+		// onto the heavy intake would defeat the fast lane it was kept
+		// out of the heavy queue for.
+		intake := s.intake
+		if o.q.work.Class() == phiwork.ClassLight {
+			intake = s.intakeLight
+		}
 		select {
-		case s.intake <- o.q:
+		case intake <- o.q:
 			o.q.journey.Event("adopt", s.cfg.Card, "")
 			s.stats.lanesAdopted.Inc()
 			n++

@@ -99,10 +99,11 @@ type Event struct {
 // event sequence is monotone by construction — the property the observe
 // hammer asserts.
 type Journey struct {
-	id     uint64
-	tenant string
-	key    string
-	rec    *Recorder
+	id       uint64
+	tenant   string
+	key      string
+	workload string
+	rec      *Recorder
 
 	mu        sync.Mutex
 	start     time.Time
@@ -135,6 +136,15 @@ func (j *Journey) Tenant() string {
 		return ""
 	}
 	return j.tenant
+}
+
+// Workload returns the canonical workload kind the journey was begun
+// with via BeginWork ("" for the legacy Begin path).
+func (j *Journey) Workload() string {
+	if j == nil {
+		return ""
+	}
+	return j.workload
 }
 
 // Event appends a step stamped with the recorder's clock. Safe on nil.
@@ -342,6 +352,7 @@ type View struct {
 	ID        uint64      `json:"id"`
 	Tenant    string      `json:"tenant,omitempty"`
 	Key       string      `json:"key,omitempty"`
+	Workload  string      `json:"workload,omitempty"`
 	Outcome   string      `json:"outcome"`
 	Anomaly   string      `json:"anomaly,omitempty"`
 	Start     time.Time   `json:"start"`
@@ -366,6 +377,7 @@ func (j *Journey) View() View {
 		ID:        j.id,
 		Tenant:    j.tenant,
 		Key:       j.key,
+		Workload:  j.workload,
 		Outcome:   j.outcome.String(),
 		Anomaly:   j.anomalyLocked(),
 		Start:     j.start,

@@ -259,14 +259,27 @@ func (r *Recorder) SampleN() int {
 // Begin starts a journey at the recorder's clock. Safe on nil (returns a
 // nil journey, whose methods are all no-ops).
 func (r *Recorder) Begin(tenant, key string, deadline time.Time, slo time.Duration) *Journey {
+	return r.BeginWork(tenant, key, "", deadline, slo)
+}
+
+// BeginWork starts a journey tagged with its canonical workload kind
+// (the phiwork.Kind vocabulary: "rsa-priv", "dhe-fixed", "dhe-var",
+// "pss-sign", "public"); the tag rides into the /journeys view and
+// incident snapshots. Safe on nil.
+func (r *Recorder) BeginWork(tenant, key, workload string, deadline time.Time, slo time.Duration) *Journey {
 	if r == nil {
 		return nil
 	}
-	return r.BeginAt(r.now(), tenant, key, deadline, slo)
+	return r.BeginWorkAt(r.now(), tenant, key, workload, deadline, slo)
 }
 
 // BeginAt starts a journey at an explicit (virtual) time.
 func (r *Recorder) BeginAt(at time.Time, tenant, key string, deadline time.Time, slo time.Duration) *Journey {
+	return r.BeginWorkAt(at, tenant, key, "", deadline, slo)
+}
+
+// BeginWorkAt is BeginWork at an explicit (virtual) time.
+func (r *Recorder) BeginWorkAt(at time.Time, tenant, key, workload string, deadline time.Time, slo time.Duration) *Journey {
 	if r == nil {
 		return nil
 	}
@@ -274,6 +287,7 @@ func (r *Recorder) BeginAt(at time.Time, tenant, key string, deadline time.Time,
 		id:       r.seq.Add(1),
 		tenant:   tenant,
 		key:      key,
+		workload: workload,
 		rec:      r,
 		start:    at,
 		deadline: deadline,

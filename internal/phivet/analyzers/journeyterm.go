@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"phiopenssl/internal/phivet/analysis"
+	"phiopenssl/internal/phiwork"
 )
 
 // JourneyTerm pins the journey event vocabulary (PR 7). A journey's
@@ -25,7 +26,11 @@ import (
 //     switch on these strings;
 //   - the kind must come from the canonical vocabulary below;
 //   - a kind starting with "end:" is always flagged: terminal events are
-//     emitted only by the Finish/FinishAt helper.
+//     emitted only by the Finish/FinishAt helper;
+//   - a constant note on a "workload" event must name a registered
+//     phiwork kind (or "other") — the /journeys consumers and the flight
+//     recorder switch on the note the way metric consumers switch on the
+//     workload label.
 //
 // Extending the vocabulary is a deliberate act: add the kind here and to
 // the Event doc comment in internal/phitrace/journey.go in the same
@@ -51,7 +56,22 @@ var journeyVocab = map[string]bool{
 	"adopt":      true,
 	"fallback":   true,
 	"checkpoint": true,
+	"workload":   true,
 }
+
+// workloadVocab is the canonical `workload` note vocabulary: the
+// registered phiwork kinds plus the telemetry catch-all. A "workload"
+// journey event's note is switched on by the /journeys consumers and the
+// incident flight recorder exactly like metric labels are, so a constant
+// note outside this set is a kind that silently matches nothing. Built
+// from phiwork.Kinds so a new kind registers itself here automatically.
+var workloadVocab = func() map[string]bool {
+	m := map[string]bool{"other": true}
+	for _, k := range phiwork.Kinds() {
+		m[string(k)] = true
+	}
+	return m
+}()
 
 // journeyEventMethods maps each event-appending method to the index of
 // its kind argument.
@@ -100,6 +120,22 @@ func runJourneyTerm(pass *analysis.Pass) error {
 				pass.Reportf(arg.Pos(),
 					"journey event kind %q is not in the canonical vocabulary (%s); add it to the vocabulary deliberately or use an existing kind",
 					kind, vocabList())
+			case kind == "workload":
+				// A workload event's note names the workload kind; the
+				// consumers switch on it like a metric label. Constant
+				// notes must come from the phiwork kind set — computed
+				// notes (string(w.Kind())) are the sanctioned shape and
+				// pass through.
+				noteIdx := kindIdx + 2
+				if len(call.Args) <= noteIdx {
+					break
+				}
+				note, constNote := pass.ConstString(call.Args[noteIdx])
+				if constNote && !workloadVocab[note] {
+					pass.Reportf(call.Args[noteIdx].Pos(),
+						"workload journey note %q is not a registered phiwork kind (%s); use string(w.Kind()) or a canonical kind",
+						note, workloadList())
+				}
 			}
 			return true
 		})
@@ -110,6 +146,15 @@ func runJourneyTerm(pass *analysis.Pass) error {
 func vocabList() string {
 	kinds := make([]string, 0, len(journeyVocab))
 	for k := range journeyVocab {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, ", ")
+}
+
+func workloadList() string {
+	kinds := make([]string, 0, len(workloadVocab))
+	for k := range workloadVocab {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)

@@ -33,6 +33,9 @@ import (
 //     time: at runtime the registry panics on the duplicate, because the
 //     second function would be silently dropped — the PR 5 fleet bug
 //     where unlabeled per-card Func metrics merged into one card's view.
+//   - A constant `workload` label value must come from the registered
+//     phiwork kind set (or "other"): dashboards select on the canonical
+//     kinds, so an off-vocabulary constant is a series nothing reads.
 //   - Across the whole module (standalone `phivet -repo` mode), a family
 //     name may be registered from only one package.
 var MetricName = &analysis.Analyzer{
@@ -201,6 +204,9 @@ func collectMetricSites(pass *analysis.Pass, report bool) []metricSite {
 				}
 			}
 			site.labels = renderLabelArgs(pass, call.Args, m.labelStart)
+			if report {
+				checkWorkloadLabels(pass, call.Args, m.labelStart)
+			}
 			if report && !inConstructor {
 				pass.Reportf(call.Pos(),
 					"metric registered inside %s; registration takes the registry lock — move it to a construction path (init, New*, Instrument*, ensure*)",
@@ -226,6 +232,31 @@ func prefixedName(pass *analysis.Pass, e ast.Expr) bool {
 		return false
 	}
 	return metricNameRE.MatchString("x" + suffix)
+}
+
+// checkWorkloadLabels enforces the `workload` label vocabulary: a
+// constant workload label value must be a registered phiwork kind or the
+// "other" catch-all. Dashboards and the bench comparators select on
+// workload="rsa-priv" etc.; a constant value outside the set is a series
+// no consumer will ever match. Computed values (the mkKind-closure
+// registration loop over phiwork.Kinds) are dynamic and pass through.
+func checkWorkloadLabels(pass *analysis.Pass, args []ast.Expr, start int) {
+	if len(args) <= start {
+		return
+	}
+	labels := args[start:]
+	for i := 0; i+1 < len(labels); i += 2 {
+		k, okK := pass.ConstString(labels[i])
+		if !okK || k != "workload" {
+			continue
+		}
+		v, okV := pass.ConstString(labels[i+1])
+		if okV && !workloadVocab[v] {
+			pass.Reportf(labels[i+1].Pos(),
+				"workload label value %q is not a registered phiwork kind (%s); consumers select on the canonical kinds",
+				v, workloadList())
+		}
+	}
 }
 
 // renderLabelArgs canonicalizes the variadic label pairs: a sorted

@@ -22,5 +22,13 @@ func events(j *phitrace.Journey, kind string, o phitrace.Outcome) {
 	j.Event("end:served", 0, "") // want `emitted only by Finish`
 	j.Event("warp", 0, "")       // want `not in the canonical vocabulary`
 
+	// Workload events: the note is the workload kind vocabulary.
+	j.Event("workload", 0, "rsa-priv") // canonical kind
+	j.Event("workload", 0, "other")    // the telemetry catch-all
+	j.Event("workload", 0, kind)       // computed note — the string(w.Kind()) shape
+	j.EventAt(time.Now(), "workload", 1, "dhe-fixed")
+	j.Event("workload", 0, "rsa-private")       // want `not a registered phiwork kind`
+	j.EventAt(time.Now(), "workload", 1, "dhe") // want `not a registered phiwork kind`
+
 	j.Finish(o, "done") // the sanctioned terminal path
 }

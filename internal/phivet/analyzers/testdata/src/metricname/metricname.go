@@ -19,6 +19,14 @@ func New(reg *telemetry.Registry, s *stats) {
 	name := "phiserve_fixture_dynamic_total"
 	reg.Counter(name, "computed name") // want `must be a compile-time constant`
 
+	// Workload label vocabulary: constants must be registered kinds.
+	reg.Counter("phiserve_fixture_work_total", "per-kind ops", "workload", "pss-sign")
+	reg.Counter("phiserve_fixture_work_total", "per-kind ops", "workload", "other")
+	kind := "dhe-var"
+	reg.Counter("phiserve_fixture_work_total", "per-kind ops", "workload", kind)         // dynamic value, the mkKind shape
+	reg.Counter("phiserve_fixture_work_total", "per-kind ops", "workload", "rsa")        // want `not a registered phiwork kind`
+	reg.Gauge("phiserve_fixture_work_depth", "depth", "card", "0", "workload", "signer") // want `not a registered phiwork kind`
+
 	reg.GaugeFunc("phiserve_fixture_load", "load", func() float64 { return s.load })
 	reg.GaugeFunc("phiserve_fixture_load", "load", func() float64 { return -s.load }) // want `already registered`
 

@@ -87,6 +87,18 @@ func emsaPSSVerify(mHash, em []byte, emBits int) error {
 	return nil
 }
 
+// EncodePSSSHA256 hashes msg and builds its RSASSA-PSS encoded message EM
+// over emBits bits (SHA-256, salt = hash length). This is the host-side
+// half of a PSS signature — hashing, salting and MGF1 masking — split out
+// so a batch scheduler can encode per request and run the private
+// exponentiations as one vector pass (see internal/phiwork). emBits is
+// N.BitLen()-1 for the signing key; the signature is the private operation
+// on the returned EM, left-padded to the key size.
+func EncodePSSSHA256(rng io.Reader, msg []byte, emBits int) ([]byte, error) {
+	mHash := sha256.Sum256(msg)
+	return emsaPSSEncode(rng, mHash[:], emBits)
+}
+
 // SignPSSSHA256 signs msg with RSASSA-PSS (SHA-256, salt = hash length).
 func SignPSSSHA256(eng engine.Engine, rng io.Reader, key *PrivateKey, msg []byte, opts PrivateOpts) ([]byte, error) {
 	mHash := sha256.Sum256(msg)

@@ -60,6 +60,10 @@ func DHModp2048() DHGroup { return dh.MODP2048() }
 // DHModp1536 returns RFC 3526 group 5 (smaller, for fast tests).
 func DHModp1536() DHGroup { return dh.MODP1536() }
 
+// DHModp1024 returns RFC 2409 group 2 (legacy-width, for fast tests and
+// the quick experiment grid).
+func DHModp1024() DHGroup { return dh.MODP1024() }
+
 // DHGenerateKey draws an ephemeral DH key on eng.
 var DHGenerateKey = dh.GenerateKey
 

@@ -1,0 +1,79 @@
+package phiopenssl_test
+
+import (
+	"context"
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"phiopenssl"
+	"phiopenssl/internal/bench"
+)
+
+// TestFacadeWorkloads drives the multi-workload surface end to end from
+// the public API: a DHE key-generation workload and a light public-op
+// workload through one BatchServer behind an AdmissionController whose
+// tenant allow-lists gate the kinds.
+func TestFacadeWorkloads(t *testing.T) {
+	key := bench.FixedKey(512)
+	group := phiopenssl.DHModp1024()
+	dhe := phiopenssl.DHEFixedWorkload(group)
+	pub := phiopenssl.RSAPublicWorkload(&key.PublicKey)
+
+	srv, err := phiopenssl.NewBatchServer(phiopenssl.BatchServerConfig{
+		Workers:      2,
+		FillDeadline: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	defer srv.Close()
+
+	door := phiopenssl.NewAdmissionController(srv, phiopenssl.AdmissionConfig{
+		SLO: 5 * time.Second,
+		Tenants: []phiopenssl.AdmissionTenant{
+			{ID: "hs", Workloads: []phiopenssl.WorkloadKind{phiopenssl.WorkloadDHEFixed}},
+			{ID: "open"},
+		},
+	})
+
+	// A DHE key-generation op: g^x for a random 256-bit exponent, checked
+	// against the scalar engine.
+	rng := mrand.New(mrand.NewSource(9))
+	buf := make([]byte, 32)
+	rng.Read(buf)
+	buf[0] |= 0x80
+	x := phiopenssl.NatFromBytes(buf)
+	eng := phiopenssl.NewEngine(phiopenssl.EngineOpenSSL)
+	want := eng.ModExp(group.G, x, group.P)
+	res, err := door.DoWork(context.Background(), "hs", dhe, phiopenssl.WorkloadInput{A: x})
+	if err != nil || res.Err != nil {
+		t.Fatalf("DHE op failed: %v / %v", err, res.Err)
+	}
+	if !res.M.Equal(want) {
+		t.Fatal("DHE result diverges from scalar engine")
+	}
+
+	// The allow-list: tenant "hs" may not submit public ops; "open" may.
+	m := phiopenssl.NatFromUint64(4242)
+	if _, err := door.SubmitWork(context.Background(), "hs", pub, phiopenssl.WorkloadInput{A: m}); !errors.Is(err, phiopenssl.ErrWorkloadDenied) {
+		t.Fatalf("off-list workload: got %v, want ErrWorkloadDenied", err)
+	}
+	wantPub, err := phiopenssl.RSAPublic(eng, &key.PublicKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = door.DoWork(context.Background(), "open", pub, phiopenssl.WorkloadInput{A: m})
+	if err != nil || res.Err != nil {
+		t.Fatalf("public op failed: %v / %v", err, res.Err)
+	}
+	if !res.M.Equal(wantPub) {
+		t.Fatal("public result diverges from scalar engine")
+	}
+
+	if got := srv.Stats().Workloads[phiopenssl.WorkloadDHEFixed].Completed; got != 1 {
+		t.Fatalf("per-workload stats: dhe-fixed completed %d, want 1", got)
+	}
+}
